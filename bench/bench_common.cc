@@ -1,0 +1,149 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+
+#include "common/check.h"
+#include "common/csv_writer.h"
+#include "common/table_printer.h"
+
+namespace eventhit::bench {
+
+int TrialsFromEnv(int fallback) {
+  const char* value = std::getenv("EVENTHIT_TRIALS");
+  if (value == nullptr) return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+bool FastMode() {
+  const char* value = std::getenv("EVENTHIT_FAST");
+  return value != nullptr && value[0] == '1';
+}
+
+eval::RunnerConfig DefaultRunnerConfig(uint64_t seed) {
+  eval::RunnerConfig config;
+  config.seed = seed;
+  if (FastMode()) {
+    config.stream_frames_override = 80000;
+    config.train_records = 350;
+    config.calib_records = 300;
+    config.test_records = 250;
+    config.model_template.epochs = 8;
+  }
+  return config;
+}
+
+std::vector<AveragedPoint> AverageCurves(
+    const std::vector<std::vector<eval::CurvePoint>>& per_trial,
+    KnobKind kind) {
+  EVENTHIT_CHECK(!per_trial.empty());
+  const size_t n_points = per_trial.front().size();
+  std::vector<AveragedPoint> averaged(n_points);
+  for (const auto& trial : per_trial) {
+    EVENTHIT_CHECK_EQ(trial.size(), n_points);
+    for (size_t i = 0; i < n_points; ++i) {
+      const eval::CurvePoint& point = trial[i];
+      double knob = 0.0;
+      switch (kind) {
+        case KnobKind::kConfidence:
+          knob = point.confidence;
+          break;
+        case KnobKind::kCoverage:
+          knob = point.coverage;
+          break;
+        case KnobKind::kThreshold:
+          knob = point.threshold;
+          break;
+      }
+      averaged[i].knob = knob;
+      averaged[i].rec += point.metrics.rec;
+      averaged[i].spl += point.metrics.spl;
+      averaged[i].rec_c += point.metrics.rec_c;
+      averaged[i].rec_r += point.metrics.rec_r;
+      averaged[i].relayed_frames +=
+          static_cast<double>(point.metrics.relayed_frames);
+    }
+  }
+  const auto trials = static_cast<double>(per_trial.size());
+  for (AveragedPoint& point : averaged) {
+    point.rec /= trials;
+    point.spl /= trials;
+    point.rec_c /= trials;
+    point.rec_r /= trials;
+    point.relayed_frames /= trials;
+  }
+  return averaged;
+}
+
+AveragedPoint AverageMetrics(const std::vector<eval::Metrics>& metrics) {
+  EVENTHIT_CHECK(!metrics.empty());
+  AveragedPoint point;
+  for (const eval::Metrics& m : metrics) {
+    point.rec += m.rec;
+    point.spl += m.spl;
+    point.rec_c += m.rec_c;
+    point.rec_r += m.rec_r;
+    point.relayed_frames += static_cast<double>(m.relayed_frames);
+  }
+  const auto n = static_cast<double>(metrics.size());
+  point.rec /= n;
+  point.spl /= n;
+  point.rec_c /= n;
+  point.rec_r /= n;
+  point.relayed_frames /= n;
+  return point;
+}
+
+void PrintSeries(const std::string& name,
+                 const std::vector<AveragedPoint>& points,
+                 const std::string& knob_label) {
+  std::cout << "series " << name << ":\n";
+  TablePrinter table({knob_label, "REC", "SPL", "REC_c", "REC_r"});
+  for (const AveragedPoint& point : points) {
+    table.AddRow({Fmt(point.knob, 2), Fmt(point.rec), Fmt(point.spl),
+                  Fmt(point.rec_c), Fmt(point.rec_r)});
+  }
+  table.Print(std::cout);
+
+  const char* csv_dir = std::getenv("EVENTHIT_CSV_DIR");
+  if (csv_dir != nullptr && csv_dir[0] != '\0') {
+    CsvWriter csv({knob_label, "rec", "spl", "rec_c", "rec_r"});
+    for (const AveragedPoint& point : points) {
+      csv.AddRow({Fmt(point.knob, 4), Fmt(point.rec, 6), Fmt(point.spl, 6),
+                  Fmt(point.rec_c, 6), Fmt(point.rec_r, 6)});
+    }
+    std::string file = name;
+    for (char& c : file) {
+      if (c == '/' || c == ' ') c = '_';
+    }
+    const std::string path = std::string(csv_dir) + "/" + file + ".csv";
+    if (const auto status = csv.WriteFile(path); !status.ok()) {
+      std::cerr << "CSV export failed: " << status << "\n";
+    }
+  }
+}
+
+std::vector<double> ConfidenceGrid() {
+  return {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 0.99, 1.0};
+}
+
+std::vector<double> CoverageGrid() {
+  return {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95};
+}
+
+std::vector<double> CoxThresholdGrid() {
+  return {0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.97};
+}
+
+std::vector<double> VqsThresholdGrid(int horizon) {
+  std::vector<double> grid;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9}) {
+    grid.push_back(fraction * horizon);
+  }
+  return grid;
+}
+
+}  // namespace eventhit::bench

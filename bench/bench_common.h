@@ -1,0 +1,68 @@
+// Shared infrastructure for the figure/table regeneration binaries.
+//
+// Environment knobs:
+//   EVENTHIT_TRIALS=N  — independent trials per configuration (default 3;
+//                        the paper averages 10 — raise it when you have the
+//                        time budget).
+//   EVENTHIT_FAST=1    — shrink streams and record counts ~4x for a quick
+//                        smoke pass of every bench.
+//   EVENTHIT_CSV_DIR=D — additionally write every printed series as a CSV
+//                        file under D (plot-ready output).
+#ifndef EVENTHIT_BENCH_BENCH_COMMON_H_
+#define EVENTHIT_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/curves.h"
+#include "eval/runner.h"
+
+namespace eventhit::bench {
+
+/// Number of trials (EVENTHIT_TRIALS, default `fallback`).
+int TrialsFromEnv(int fallback = 3);
+
+/// True when EVENTHIT_FAST=1.
+bool FastMode();
+
+/// Standard experiment configuration for bench runs; honours FastMode.
+eval::RunnerConfig DefaultRunnerConfig(uint64_t seed);
+
+/// A (knob -> averaged metrics) curve across trials. Trials must share the
+/// same knob grid.
+struct AveragedPoint {
+  double knob = 0.0;
+  double rec = 0.0;
+  double spl = 0.0;
+  double rec_c = 0.0;
+  double rec_r = 0.0;
+  double relayed_frames = 0.0;
+};
+
+/// Selects which CurvePoint field keys the averaging.
+enum class KnobKind { kConfidence, kCoverage, kThreshold };
+
+/// Averages per-trial curves pointwise by knob value. All trials must have
+/// produced the same grid in the same order.
+std::vector<AveragedPoint> AverageCurves(
+    const std::vector<std::vector<eval::CurvePoint>>& per_trial,
+    KnobKind kind);
+
+/// Averages a set of single metric points (e.g. EHO across trials).
+AveragedPoint AverageMetrics(const std::vector<eval::Metrics>& metrics);
+
+/// Prints a named REC-SPL series in a uniform format. When
+/// EVENTHIT_CSV_DIR is set, also writes `<dir>/<name>.csv`.
+void PrintSeries(const std::string& name,
+                 const std::vector<AveragedPoint>& points,
+                 const std::string& knob_label);
+
+/// Standard sweep grids (match the paper's 0.05..0.95 style ranges).
+std::vector<double> ConfidenceGrid();
+std::vector<double> CoverageGrid();
+std::vector<double> CoxThresholdGrid();
+std::vector<double> VqsThresholdGrid(int horizon);
+
+}  // namespace eventhit::bench
+
+#endif  // EVENTHIT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,197 @@
+// Regenerates Figure 4 (a-p): REC vs SPL for every task TA1..TA16.
+//
+// Per task it prints:
+//   - EHO as a single averaged point (tau1 = tau2 = 0.5),
+//   - EHC / EHR curves swept over c / alpha,
+//   - the EHCR Pareto frontier of the joint (c, alpha) grid,
+//   - COX and VQS threshold-swept curves,
+//   - APP-VAE_200 / APP-VAE_1500 points (Breakfast tasks, as in the paper),
+//   - the OPT and BF anchors.
+//
+// Expected shape (cf. the paper): EventHit variants dominate COX/VQS; EHCR
+// reaches the maximum REC of all variants at the cost of extra SPL; Group 2
+// tasks (TA5, TA6, TA8, TA9, TA14..TA16) need more SPL for the same REC.
+
+#include <iostream>
+#include <optional>
+
+#include "baselines/app_vae.h"
+#include "baselines/cox_strategy.h"
+#include "baselines/oracle.h"
+#include "baselines/vqs_filter.h"
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "eval/curves.h"
+#include "eval/runner.h"
+
+namespace {
+
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace bench = ::eventhit::bench;
+namespace eval = ::eventhit::eval;
+namespace core = ::eventhit::core;
+namespace baselines = ::eventhit::baselines;
+namespace data = ::eventhit::data;
+namespace sim = ::eventhit::sim;
+
+struct JointPoint {
+  double confidence = 0.0;
+  double coverage = 0.0;
+  double rec = 0.0;
+  double spl = 0.0;
+};
+
+std::vector<JointPoint> ParetoOfJoint(std::vector<JointPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const JointPoint& a, const JointPoint& b) {
+              if (a.spl != b.spl) return a.spl < b.spl;
+              return a.rec > b.rec;
+            });
+  std::vector<JointPoint> frontier;
+  double best = -1.0;
+  for (const JointPoint& point : points) {
+    if (point.rec > best) {
+      frontier.push_back(point);
+      best = point.rec;
+    }
+  }
+  return frontier;
+}
+
+void RunTask(const data::Task& task, int trials) {
+  std::cout << "\n### Figure 4 — " << task.name << " ("
+            << sim::DatasetName(task.dataset) << ", events:";
+  for (int e : task.global_events) std::cout << " E" << e;
+  std::cout << ")\n";
+
+  std::vector<eval::Metrics> eho_metrics;
+  std::vector<std::vector<eval::CurvePoint>> ehc_curves;
+  std::vector<std::vector<eval::CurvePoint>> ehr_curves;
+  std::vector<std::vector<eval::CurvePoint>> ehcr_curves;
+  std::vector<std::vector<eval::CurvePoint>> cox_curves;
+  std::vector<std::vector<eval::CurvePoint>> vqs_curves;
+  std::vector<eval::Metrics> appvae200_metrics;
+  std::vector<eval::Metrics> appvae1500_metrics;
+  bool cox_ok = true;
+
+  const bool breakfast = task.dataset == sim::DatasetId::kBreakfast;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    const eval::RunnerConfig config =
+        bench::DefaultRunnerConfig(9000 + static_cast<uint64_t>(trial) * 131);
+    const auto env = eval::TaskEnvironment::Build(task, config);
+    const auto trained = eval::TrainEventHit(env, config);
+
+    // EHO point.
+    core::EventHitStrategyOptions options;
+    const core::EventHitStrategy eho(trained.model.get(), nullptr, nullptr,
+                                     options);
+    eho_metrics.push_back(eval::EvaluateFromScores(
+        eho, trained.test_scores, env.test_records(), env.horizon()));
+
+    // Conformal sweeps.
+    ehc_curves.push_back(
+        eval::SweepConfidence(trained, env, bench::ConfidenceGrid()));
+    ehr_curves.push_back(
+        eval::SweepCoverage(trained, env, bench::CoverageGrid()));
+    ehcr_curves.push_back(eval::SweepJoint(
+        trained, env, bench::ConfidenceGrid(), bench::CoverageGrid()));
+
+    // COX baseline.
+    auto cox = baselines::CoxStrategy::Fit(
+        env.train_records(), env.collection_window(),
+        env.video().feature_dim(), env.horizon());
+    if (cox.ok()) {
+      cox_curves.push_back(eval::SweepCox(cox.value(), env,
+                                          bench::CoxThresholdGrid()));
+    } else {
+      cox_ok = false;
+    }
+
+    // VQS baseline.
+    baselines::VqsStrategy vqs(&env.video(), &env.task(), env.horizon(), 0.0);
+    vqs_curves.push_back(
+        eval::SweepVqs(vqs, env, bench::VqsThresholdGrid(env.horizon())));
+
+    // APP-VAE on Breakfast (the paper omits it elsewhere: occurrences are
+    // too sparse for its window).
+    if (breakfast) {
+      for (const int window : {200, 1500}) {
+        baselines::AppVaeOptions appvae_options;
+        appvae_options.window = window;
+        const baselines::AppVaeStrategy appvae(
+            &env.video(), &env.task(), env.horizon(), env.splits().train,
+            appvae_options);
+        const eval::Metrics metrics = eval::EvaluateStrategy(
+            appvae, env.test_records(), env.horizon());
+        (window == 200 ? appvae200_metrics : appvae1500_metrics)
+            .push_back(metrics);
+      }
+    }
+  }
+
+  // --- Print ---
+  const bench::AveragedPoint eho = bench::AverageMetrics(eho_metrics);
+  std::cout << "point EHO: REC=" << Fmt(eho.rec) << " SPL=" << Fmt(eho.spl)
+            << "\n";
+  bench::PrintSeries("EHC", bench::AverageCurves(ehc_curves,
+                                                 bench::KnobKind::kConfidence),
+                     "c");
+  bench::PrintSeries("EHR", bench::AverageCurves(ehr_curves,
+                                                 bench::KnobKind::kCoverage),
+                     "alpha");
+
+  // EHCR: average the joint grid pointwise, then report the frontier.
+  const size_t joint_points = ehcr_curves.front().size();
+  std::vector<JointPoint> joint(joint_points);
+  for (const auto& trial : ehcr_curves) {
+    for (size_t i = 0; i < joint_points; ++i) {
+      joint[i].confidence = trial[i].confidence;
+      joint[i].coverage = trial[i].coverage;
+      joint[i].rec += trial[i].metrics.rec / trials;
+      joint[i].spl += trial[i].metrics.spl / trials;
+    }
+  }
+  std::cout << "series EHCR (Pareto frontier of the c x alpha grid):\n";
+  TablePrinter ehcr_table({"c", "alpha", "REC", "SPL"});
+  for (const JointPoint& point : ParetoOfJoint(joint)) {
+    ehcr_table.AddRow({Fmt(point.confidence, 2), Fmt(point.coverage, 2),
+                       Fmt(point.rec), Fmt(point.spl)});
+  }
+  ehcr_table.Print(std::cout);
+
+  if (cox_ok && !cox_curves.empty()) {
+    bench::PrintSeries("COX", bench::AverageCurves(
+                                  cox_curves, bench::KnobKind::kThreshold),
+                       "tau_cox");
+  } else {
+    std::cout << "series COX: (fit failed on at least one trial)\n";
+  }
+  bench::PrintSeries("VQS", bench::AverageCurves(vqs_curves,
+                                                 bench::KnobKind::kThreshold),
+                     "tau_vqs");
+
+  if (breakfast) {
+    const auto small = bench::AverageMetrics(appvae200_metrics);
+    const auto large = bench::AverageMetrics(appvae1500_metrics);
+    std::cout << "point APP-VAE_200:  REC=" << Fmt(small.rec)
+              << " SPL=" << Fmt(small.spl) << "\n";
+    std::cout << "point APP-VAE_1500: REC=" << Fmt(large.rec)
+              << " SPL=" << Fmt(large.spl) << "\n";
+  }
+  std::cout << "anchor OPT: REC=1.000 SPL=0.000\n";
+  std::cout << "anchor BF:  REC=1.000 SPL=1.000\n";
+}
+
+}  // namespace
+
+int main() {
+  const int trials = bench::TrialsFromEnv();
+  std::cout << "=== Figure 4: REC-SPL trade-off on all 16 tasks ("
+            << trials << " trials) ===\n";
+  for (const data::Task& task : data::AllTasks()) {
+    RunTask(task, trials);
+  }
+  return 0;
+}

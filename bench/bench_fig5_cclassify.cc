@@ -1,0 +1,45 @@
+// Regenerates Figure 5: EHC's REC, SPL and REC_c as the confidence level c
+// varies, on the paper's four representative tasks (TA1, TA5, TA7, TA10).
+//
+// Expected shape: REC and SPL rise with c; REC_c tracks (at least) c and
+// reaches 1 as c -> 1, while REC saturates below 1 because the occurrence
+// intervals themselves remain imperfect.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "eval/curves.h"
+#include "eval/runner.h"
+
+namespace {
+
+namespace bench = ::eventhit::bench;
+namespace eval = ::eventhit::eval;
+namespace data = ::eventhit::data;
+
+}  // namespace
+
+int main() {
+  const int trials = bench::TrialsFromEnv();
+  std::cout << "=== Figure 5: effect of the confidence level c on EHC ("
+            << trials << " trials) ===\n";
+  const std::vector<double> grid =
+      eval::LinearGrid(0.05, 0.99, 11);
+  for (const char* task_name : {"TA1", "TA5", "TA7", "TA10"}) {
+    const data::Task task = data::FindTask(task_name).value();
+    std::vector<std::vector<eval::CurvePoint>> curves;
+    for (int trial = 0; trial < trials; ++trial) {
+      const eval::RunnerConfig config = bench::DefaultRunnerConfig(
+          4200 + static_cast<uint64_t>(trial) * 57);
+      const auto env = eval::TaskEnvironment::Build(task, config);
+      const auto trained = eval::TrainEventHit(env, config);
+      curves.push_back(eval::SweepConfidence(trained, env, grid));
+    }
+    std::cout << "\n### Figure 5 — " << task.name << "\n";
+    bench::PrintSeries("EHC", bench::AverageCurves(
+                                  curves, bench::KnobKind::kConfidence),
+                       "c");
+  }
+  return 0;
+}

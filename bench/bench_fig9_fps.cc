@@ -1,0 +1,133 @@
+// Regenerates Figure 9 (§VI.H): REC versus effective end-to-end FPS for
+// EHCR, COX and VQS on TA10 and TA11, using the pipeline latency model
+// (YOLOv3-class feature extraction, I3D-class CI, BlazeIt-class VQS model).
+//
+// Expected shape: EHCR dominates — at REC=0.9 it sustains >100 FPS while
+// COX and VQS fall below ~40-50 FPS, because they relay far more frames to
+// the CI (and VQS additionally runs its model on every horizon frame).
+
+#include <iostream>
+
+#include "baselines/cox_strategy.h"
+#include "baselines/vqs_filter.h"
+#include "bench_common.h"
+#include "cloud/cost_model.h"
+#include "common/table_printer.h"
+#include "eval/curves.h"
+#include "eval/runner.h"
+
+namespace {
+
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace bench = ::eventhit::bench;
+namespace eval = ::eventhit::eval;
+namespace cloud = ::eventhit::cloud;
+namespace baselines = ::eventhit::baselines;
+namespace data = ::eventhit::data;
+
+// Effective FPS from trial-averaged relayed frames.
+double FpsFor(const cloud::PipelineCostModel& model,
+              cloud::PredictorKind kind, int64_t window, int horizon,
+              double relayed_per_record, double records) {
+  const auto relayed =
+      static_cast<int64_t>(relayed_per_record / records + 0.5);
+  return cloud::EffectiveFps(
+      cloud::HorizonTiming(model, kind, window, horizon, relayed), horizon);
+}
+
+}  // namespace
+
+int main() {
+  const int trials = bench::TrialsFromEnv();
+  const cloud::PipelineCostModel cost_model;
+  std::cout << "=== Figure 9: REC vs effective FPS on TA10/TA11 (" << trials
+            << " trials) ===\n";
+  std::cout << "(stage rates: feature extraction "
+            << Fmt(cost_model.feature_extraction_fps, 0)
+            << " FPS, CI " << Fmt(cost_model.ci_fps, 0)
+            << " FPS, VQS model " << Fmt(cost_model.vqs_frame_fps, 0)
+            << " FPS)\n";
+
+  for (const char* task_name : {"TA10", "TA11"}) {
+    const data::Task task = data::FindTask(task_name).value();
+    std::vector<std::vector<eval::CurvePoint>> ehcr_curves;
+    std::vector<std::vector<eval::CurvePoint>> cox_curves;
+    std::vector<std::vector<eval::CurvePoint>> vqs_curves;
+    int horizon = 0;
+    int window = 0;
+    double records = 0.0;
+
+    for (int trial = 0; trial < trials; ++trial) {
+      const eval::RunnerConfig config = bench::DefaultRunnerConfig(
+          5500 + static_cast<uint64_t>(trial) * 201);
+      const auto env = eval::TaskEnvironment::Build(task, config);
+      const auto trained = eval::TrainEventHit(env, config);
+      horizon = env.horizon();
+      window = env.collection_window();
+      records = static_cast<double>(env.test_records().size());
+
+      ehcr_curves.push_back(eval::SweepJoint(
+          trained, env, bench::ConfidenceGrid(), bench::CoverageGrid()));
+      auto cox = baselines::CoxStrategy::Fit(
+          env.train_records(), env.collection_window(),
+          env.video().feature_dim(), env.horizon());
+      if (cox.ok()) {
+        cox_curves.push_back(
+            eval::SweepCox(cox.value(), env, bench::CoxThresholdGrid()));
+      }
+      baselines::VqsStrategy vqs(&env.video(), &env.task(), env.horizon(),
+                                 0.0);
+      vqs_curves.push_back(
+          eval::SweepVqs(vqs, env, bench::VqsThresholdGrid(env.horizon())));
+    }
+
+    std::cout << "\n### Figure 9 — " << task.name << "\n";
+
+    // EHCR frontier in (REC, FPS).
+    std::vector<eval::CurvePoint> joint(ehcr_curves.front().size());
+    for (const auto& trial : ehcr_curves) {
+      for (size_t i = 0; i < joint.size(); ++i) {
+        joint[i].metrics.rec += trial[i].metrics.rec / trials;
+        joint[i].metrics.relayed_frames +=
+            trial[i].metrics.relayed_frames / static_cast<int64_t>(trials);
+      }
+    }
+    std::sort(joint.begin(), joint.end(),
+              [](const eval::CurvePoint& a, const eval::CurvePoint& b) {
+                return a.metrics.relayed_frames < b.metrics.relayed_frames;
+              });
+    TablePrinter table({"Strategy", "REC", "FPS"});
+    double best = -1.0;
+    for (const auto& point : joint) {
+      if (point.metrics.rec <= best) continue;
+      best = point.metrics.rec;
+      table.AddRow(
+          {"EHCR", Fmt(point.metrics.rec),
+           Fmt(FpsFor(cost_model, cloud::PredictorKind::kEventHit, window,
+                      horizon,
+                      static_cast<double>(point.metrics.relayed_frames),
+                      records),
+               1)});
+    }
+    if (!cox_curves.empty()) {
+      for (const auto& point :
+           bench::AverageCurves(cox_curves, bench::KnobKind::kThreshold)) {
+        table.AddRow({"COX", Fmt(point.rec),
+                      Fmt(FpsFor(cost_model, cloud::PredictorKind::kCox,
+                                 window, horizon, point.relayed_frames,
+                                 records),
+                          1)});
+      }
+    }
+    for (const auto& point :
+         bench::AverageCurves(vqs_curves, bench::KnobKind::kThreshold)) {
+      table.AddRow({"VQS", Fmt(point.rec),
+                    Fmt(FpsFor(cost_model, cloud::PredictorKind::kVqs, 0,
+                               horizon, point.relayed_frames, records),
+                        1)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

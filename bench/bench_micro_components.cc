@@ -1,0 +1,235 @@
+// Microbenchmarks of the pipeline components (google-benchmark), plus the
+// §VI.H resource details: EventHit training time, parameter count and an
+// estimate of the model's memory footprint.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "core/c_classify.h"
+#include "core/c_regress.h"
+#include "core/eventhit_model.h"
+#include "core/interval_extraction.h"
+#include "core/strategies.h"
+#include "data/record_extractor.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "sim/datasets.h"
+#include "survival/cox_model.h"
+
+namespace {
+
+namespace core = ::eventhit::core;
+namespace data = ::eventhit::data;
+namespace sim = ::eventhit::sim;
+namespace eval = ::eventhit::eval;
+using ::eventhit::Rng;
+
+core::EventHitConfig ThumosModelConfig() {
+  core::EventHitConfig config;
+  config.collection_window = 10;
+  config.horizon = 200;
+  config.feature_dim = 10;
+  config.num_events = 1;
+  return config;
+}
+
+data::Record RandomRecord(const core::EventHitConfig& config, Rng& rng) {
+  data::Record record;
+  record.covariates.resize(
+      static_cast<size_t>(config.collection_window) * config.feature_dim);
+  for (auto& v : record.covariates) {
+    v = static_cast<float>(rng.Uniform());
+  }
+  record.labels.resize(config.num_events);
+  return record;
+}
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(1);
+  eventhit::nn::Lstm lstm("l", 16, 24, rng);
+  std::vector<float> inputs(25 * 16);
+  for (auto& v : inputs) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Forward(inputs.data(), 25));
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  eventhit::nn::Lstm lstm("l", 16, 24, rng);
+  std::vector<float> inputs(25 * 16);
+  std::vector<float> dh(24, 0.1f);
+  for (auto& v : inputs) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.ForwardCached(inputs.data(), 25));
+    lstm.Backward(dh.data());
+  }
+}
+BENCHMARK(BM_LstmForwardBackward);
+
+void BM_EventHitInference(benchmark::State& state) {
+  core::EventHitConfig config = ThumosModelConfig();
+  config.num_events = static_cast<size_t>(state.range(0));
+  core::EventHitModel model(config);
+  Rng rng(3);
+  const data::Record record = RandomRecord(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(record));
+  }
+}
+BENCHMARK(BM_EventHitInference)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_EventHitTrainEpoch(benchmark::State& state) {
+  core::EventHitConfig config = ThumosModelConfig();
+  config.epochs = 1;
+  Rng rng(4);
+  std::vector<data::Record> records;
+  for (int i = 0; i < 100; ++i) {
+    data::Record record = RandomRecord(config, rng);
+    record.labels[0].present = true;
+    record.labels[0].start = 20;
+    record.labels[0].end = 60;
+    records.push_back(std::move(record));
+  }
+  for (auto _ : state) {
+    core::EventHitModel model(config);
+    benchmark::DoNotOptimize(model.Train(records));
+  }
+}
+BENCHMARK(BM_EventHitTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_ConformalPValue(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<double>> scores(1);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    scores[0].push_back(rng.Uniform());
+  }
+  const core::CClassify cclassify(std::move(scores));
+  core::EventScores event_scores;
+  event_scores.existence = {0.5};
+  event_scores.occupancy.resize(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cclassify.PValues(event_scores));
+  }
+}
+BENCHMARK(BM_ConformalPValue)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CRegressAdjust(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> start_res, end_res;
+  for (int i = 0; i < 500; ++i) {
+    start_res.push_back(rng.Uniform(0, 50));
+    end_res.push_back(rng.Uniform(0, 50));
+  }
+  const core::CRegress cregress({start_res}, {end_res}, 500);
+  const sim::Interval estimate{100, 200};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cregress.Adjust(0, estimate, 0.8));
+  }
+}
+BENCHMARK(BM_CRegressAdjust);
+
+void BM_IntervalExtraction(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> theta(static_cast<size_t>(state.range(0)));
+  for (auto& v : theta) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ExtractOccurrenceInterval(theta, 0.5));
+  }
+}
+BENCHMARK(BM_IntervalExtraction)->Arg(200)->Arg(500)->Arg(900);
+
+void BM_CoxSurvivalEvaluation(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<eventhit::survival::CoxObservation> observations;
+  for (int i = 0; i < 500; ++i) {
+    eventhit::survival::CoxObservation obs;
+    obs.covariates = {rng.Gaussian(), rng.Gaussian()};
+    obs.time = 1.0 + rng.Exponential(50.0);
+    obs.observed = rng.Bernoulli(0.6);
+    observations.push_back(std::move(obs));
+  }
+  const auto model = eventhit::survival::CoxModel::Fit(observations);
+  const std::vector<double> covariates{0.3, -0.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.value().Survival(100.0, covariates));
+  }
+}
+BENCHMARK(BM_CoxSurvivalEvaluation);
+
+void BM_RecordExtraction(benchmark::State& state) {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = 50000;
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(spec, 9);
+  const data::Task task = data::FindTask("TA10").value();
+  data::ExtractorConfig config;
+  config.collection_window = 10;
+  config.horizon = 200;
+  int64_t frame = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::BuildRecord(video, task, config, frame));
+    frame = frame >= 40000 ? 1000 : frame + 37;
+  }
+}
+BENCHMARK(BM_RecordExtraction);
+
+void BM_StreamGeneration(benchmark::State& state) {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::SyntheticVideo::Generate(spec, 11));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StreamGeneration)->Arg(20000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintResourceDetails() {
+  // §VI.H: training time, parameters, memory (weights + Adam moments).
+  std::cout << "\n=== §VI.H resource details (THUMOS-shaped model) ===\n";
+  eventhit::TablePrinter table({"Quantity", "Value"});
+  core::EventHitConfig config = ThumosModelConfig();
+  core::EventHitModel model(config);
+  Rng rng(12);
+  std::vector<data::Record> records;
+  for (int i = 0; i < 1000; ++i) {
+    data::Record record = RandomRecord(config, rng);
+    if (rng.Bernoulli(0.5)) {
+      record.labels[0].present = true;
+      record.labels[0].start = 20;
+      record.labels[0].end = 60;
+    }
+    records.push_back(std::move(record));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  model.Train(records);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const size_t params = model.ParameterCount();
+  table.AddRow({"Trainable parameters", eventhit::Fmt(
+                                            static_cast<int64_t>(params))});
+  table.AddRow({"Training time (1000 records, 18 epochs)",
+                eventhit::Fmt(elapsed, 2) + " s"});
+  // value + grad + 2 Adam moments, 4 bytes each.
+  table.AddRow({"Approx. training memory (weights+opt)",
+                eventhit::Fmt(static_cast<double>(params) * 4 * 4 / 1024.0,
+                              1) +
+                    " KiB"});
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintResourceDetails();
+  return 0;
+}

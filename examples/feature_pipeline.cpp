@@ -1,0 +1,110 @@
+// Feature engineering (§III): standardize the detector features, keep only
+// the channels that correlate with the events of interest, and compare the
+// resulting model against one trained on the raw feature set — fewer
+// parameters, less extraction work, comparable accuracy.
+//
+// Usage: feature_pipeline [task] [seed]   (defaults: TA10 17)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/strategies.h"
+#include "eval/runner.h"
+#include "features/feature_selection.h"
+#include "features/standardizer.h"
+
+namespace {
+
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace eval = ::eventhit::eval;
+namespace core = ::eventhit::core;
+namespace features = ::eventhit::features;
+
+// Trains EventHit on the given record sets and returns EHO test metrics.
+eval::Metrics TrainAndScore(const std::vector<eventhit::data::Record>& train,
+                            const std::vector<eventhit::data::Record>& test,
+                            size_t feature_dim, int window, int horizon,
+                            size_t num_events, uint64_t seed,
+                            size_t* parameters) {
+  core::EventHitConfig config;
+  config.collection_window = window;
+  config.horizon = horizon;
+  config.feature_dim = feature_dim;
+  config.num_events = num_events;
+  config.seed = seed;
+  core::EventHitModel model(config);
+  model.Train(train);
+  if (parameters != nullptr) *parameters = model.ParameterCount();
+  core::EventHitStrategyOptions options;
+  const core::EventHitStrategy eho(&model, nullptr, nullptr, options);
+  return eval::EvaluateStrategy(eho, test, horizon);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string task_name = argc > 1 ? argv[1] : "TA10";
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 17;
+
+  const auto task_result = eventhit::data::FindTask(task_name);
+  if (!task_result.ok()) {
+    std::cerr << task_result.status() << "\n";
+    return 1;
+  }
+  eval::RunnerConfig config;
+  config.seed = seed;
+  std::cout << "Building environment for " << task_name << "...\n";
+  const auto env = eval::TaskEnvironment::Build(task_result.value(), config);
+  const size_t d = env.video().feature_dim();
+
+  // --- Score the channels ---
+  std::cout << "Scoring " << d << " channels against the task labels...\n\n";
+  TablePrinter scores_table({"Channel", "|corr| with labels"});
+  const auto scores = features::ScoreChannels(env.train_records(), d);
+  for (const auto& score : scores) {
+    scores_table.AddRow({Fmt(static_cast<int64_t>(score.channel)),
+                         Fmt(score.score)});
+  }
+  scores_table.Print(std::cout);
+
+  // --- Standardize + select ---
+  const features::Standardizer standardizer =
+      features::Standardizer::Fit(env.train_records(), d);
+  auto train = env.train_records();
+  auto test = env.test_records();
+  standardizer.ApplyAll(train);
+  standardizer.ApplyAll(test);
+
+  const auto kept = features::SelectChannels(train, d, 0.15);
+  std::cout << "\nKept " << kept.size() << "/" << d << " channels:";
+  for (size_t channel : kept) std::cout << " " << channel;
+  std::cout << "\n\nTraining both variants...\n";
+
+  const auto train_selected = features::ProjectRecords(train, d, kept);
+  const auto test_selected = features::ProjectRecords(test, d, kept);
+
+  size_t raw_params = 0, selected_params = 0;
+  const eval::Metrics raw = TrainAndScore(
+      train, test, d, env.collection_window(), env.horizon(),
+      env.task().event_indices.size(), seed + 1, &raw_params);
+  const eval::Metrics selected = TrainAndScore(
+      train_selected, test_selected, kept.size(), env.collection_window(),
+      env.horizon(), env.task().event_indices.size(), seed + 1,
+      &selected_params);
+
+  TablePrinter table({"Variant", "Channels", "Parameters", "REC", "SPL"});
+  table.AddRow({"all channels", Fmt(static_cast<int64_t>(d)),
+                Fmt(static_cast<int64_t>(raw_params)), Fmt(raw.rec),
+                Fmt(raw.spl)});
+  table.AddRow({"selected", Fmt(static_cast<int64_t>(kept.size())),
+                Fmt(static_cast<int64_t>(selected_params)),
+                Fmt(selected.rec), Fmt(selected.spl)});
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nChannel selection keeps the informative precursor/activity "
+               "pairs and drops distractor/noise channels, shrinking the "
+               "model without giving up accuracy.\n";
+  return 0;
+}

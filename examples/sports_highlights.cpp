@@ -1,0 +1,112 @@
+// Sports analytics: find volleyball-spike and diving highlights (THUMOS E7
+// + E8) in a broadcast stream while keeping a hard recall floor — set the
+// conformal confidence from the *required recall* and let Theorem 4.2 do
+// the work, then compare against the lightweight-filter alternative (VQS),
+// which must run a model on every frame.
+//
+// Usage: sports_highlights [required_recall] [seed]   (defaults: 0.9 13)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/vqs_filter.h"
+#include "common/table_printer.h"
+#include "core/strategies.h"
+#include "data/tasks.h"
+#include "eval/curves.h"
+#include "eval/runner.h"
+
+namespace {
+
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace eval = ::eventhit::eval;
+
+// Two-event task over THUMOS E7+E8 (not one of Table II's named tasks; the
+// task registry is open to custom combinations).
+eventhit::data::Task HighlightsTask() {
+  eventhit::data::Task task;
+  task.name = "highlights";
+  task.dataset = eventhit::sim::DatasetId::kThumos;
+  task.event_indices = {0, 1};  // E7, E8.
+  task.global_events = {7, 8};
+  return task;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double required_recall =
+      argc > 1 ? std::strtod(argv[1], nullptr) : 0.9;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 13;
+
+  const eventhit::data::Task task = HighlightsTask();
+  eval::RunnerConfig config;
+  config.seed = seed;
+  std::cout << "Training a two-event highlight model (E7 volleyball spike, "
+               "E8 diving)...\n";
+  const auto env = eval::TaskEnvironment::Build(task, config);
+  const auto trained = eval::TrainEventHit(env, config);
+
+  // The conformal guarantee says: confidence c bounds the miss rate by 1-c.
+  // So the required recall *is* the knob setting.
+  eventhit::core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = required_recall;
+  options.coverage = 0.5;
+  const eventhit::core::EventHitStrategy marshaller(
+      trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+      options);
+  const eval::Metrics ours = eval::EvaluateFromScores(
+      marshaller, trained.test_scores, env.test_records(), env.horizon());
+
+  // VQS alternative tuned to the *same achieved existence recall* so the
+  // frame costs are comparable.
+  eventhit::baselines::VqsStrategy vqs(&env.video(), &env.task(),
+                                       env.horizon(), 0.0);
+  eval::Metrics vqs_best;
+  bool vqs_found = false;
+  for (const auto& point :
+       eval::SweepVqs(vqs, env, {0, 10, 20, 40, 60, 90, 120, 160})) {
+    if (point.metrics.rec_c + 1e-9 >= ours.rec_c &&
+        (!vqs_found ||
+         point.metrics.relayed_frames < vqs_best.relayed_frames)) {
+      vqs_best = point.metrics;
+      vqs_found = true;
+    }
+  }
+
+  std::cout << "\nRequired recall: " << Fmt(required_recall, 2)
+            << " (confidence c set to the same value)\n\n";
+  TablePrinter table(
+      {"Metric", "EventHit (EHCR)", vqs_found ? "VQS (matched)" : "VQS"});
+  auto row = [&](const std::string& name, double a, double b) {
+    table.AddRow({name, Fmt(a), vqs_found ? Fmt(b) : std::string("-")});
+  };
+  row("Existence recall REC_c", ours.rec_c, vqs_best.rec_c);
+  row("Frame recall REC", ours.rec, vqs_best.rec);
+  row("Spillage SPL", ours.spl, vqs_best.spl);
+  row("Relayed frames", static_cast<double>(ours.relayed_frames),
+      static_cast<double>(vqs_best.relayed_frames));
+  table.Print(std::cout);
+
+  if (ours.rec_c >= required_recall - 0.05) {
+    std::cout << "\nRecall floor met (Theorem 4.2 guarantee: miss rate <= "
+              << Fmt(1.0 - required_recall, 2) << ").\n";
+  } else {
+    std::cout << "\nNote: achieved REC_c "
+              << Fmt(ours.rec_c)
+              << " fell below the floor on this finite sample — the "
+                 "guarantee is marginal, not per-draw.\n";
+  }
+  if (vqs_found && ours.relayed_frames < vqs_best.relayed_frames) {
+    std::cout << "EventHit relays "
+              << Fmt(100.0 * (1.0 - static_cast<double>(ours.relayed_frames) /
+                                        static_cast<double>(
+                                            vqs_best.relayed_frames)),
+                     1)
+              << "% fewer frames than VQS at the same existence recall.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "baselines/app_vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace eventhit::baselines {
+
+AppVaeStrategy::AppVaeStrategy(const sim::SyntheticVideo* video,
+                               const data::Task* task, int horizon,
+                               const sim::Interval& train_range,
+                               AppVaeOptions options)
+    : video_(video), task_(task), horizon_(horizon), options_(options) {
+  EVENTHIT_CHECK(video_ != nullptr);
+  EVENTHIT_CHECK(task_ != nullptr);
+  EVENTHIT_CHECK_GT(horizon_, 0);
+  EVENTHIT_CHECK(!train_range.empty());
+
+  const size_t k_events = task_->event_indices.size();
+  gaps_.resize(k_events);
+  duration_mean_.assign(k_events, 0.0);
+  marginal_probability_.assign(k_events, 0.0);
+  marginal_arrival_.assign(k_events, static_cast<double>(horizon) / 2.0);
+
+  for (size_t k = 0; k < k_events; ++k) {
+    const auto& occurrences =
+        video_->timeline().occurrences(task_->event_indices[k]);
+    std::vector<double> durations;
+    const sim::Interval* previous = nullptr;
+    for (const sim::Interval& occ : occurrences) {
+      if (occ.start < train_range.start || occ.end > train_range.end) {
+        previous = nullptr;
+        continue;
+      }
+      durations.push_back(static_cast<double>(occ.length()));
+      if (previous != nullptr) {
+        gaps_[k].push_back(static_cast<double>(occ.start - previous->end));
+      }
+      previous = &occ;
+    }
+    std::sort(gaps_[k].begin(), gaps_[k].end());
+    duration_mean_[k] = Mean(durations);
+
+    // Length-biased marginal: a uniformly random time point falls in gap g_i
+    // with probability g_i / sum(g); the residual to the next start is then
+    // uniform over g_i, so P(residual <= H) = sum(min(g_i, H)) / sum(g_i).
+    double total = 0.0;
+    double within = 0.0;
+    for (double g : gaps_[k]) {
+      total += g;
+      within += std::min(g, static_cast<double>(horizon_));
+    }
+    marginal_probability_[k] = total > 0.0 ? within / total : 0.0;
+  }
+}
+
+std::string AppVaeStrategy::name() const {
+  return "APP-VAE_" + std::to_string(options_.window);
+}
+
+int64_t AppVaeStrategy::ElapsedSinceLastEnd(size_t k, int64_t frame) const {
+  const auto& occurrences =
+      video_->timeline().occurrences(task_->event_indices[k]);
+  // Last occurrence with start <= frame.
+  auto it = std::upper_bound(
+      occurrences.begin(), occurrences.end(), frame,
+      [](int64_t value, const sim::Interval& iv) { return value < iv.start; });
+  if (it == occurrences.begin()) return -1;
+  const sim::Interval& last = *std::prev(it);
+  if (last.Contains(frame)) return 0;  // Event ongoing right now.
+  const int64_t elapsed = frame - last.end;
+  // Only annotations within the visible action-unit window count.
+  if (elapsed > options_.window) return -1;
+  return elapsed;
+}
+
+double AppVaeStrategy::ConditionalStartProbability(size_t k,
+                                                   int64_t elapsed) const {
+  EVENTHIT_CHECK_LT(k, gaps_.size());
+  if (elapsed < 0) return marginal_probability_[k];
+  const auto& gaps = gaps_[k];
+  const auto begin = std::upper_bound(gaps.begin(), gaps.end(),
+                                      static_cast<double>(elapsed));
+  const auto surviving = static_cast<double>(gaps.end() - begin);
+  if (surviving == 0.0) return 1.0;  // Overdue relative to all history.
+  const auto within_end =
+      std::upper_bound(begin, gaps.end(),
+                       static_cast<double>(elapsed + horizon_));
+  return static_cast<double>(within_end - begin) / surviving;
+}
+
+double AppVaeStrategy::ConditionalQuantile(size_t k, int64_t elapsed,
+                                           double q) const {
+  const auto& gaps = gaps_[k];
+  const auto begin = std::upper_bound(gaps.begin(), gaps.end(),
+                                      static_cast<double>(elapsed));
+  const auto n = gaps.end() - begin;
+  if (n <= 0) return -1.0;
+  auto rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::max<int64_t>(1, std::min<int64_t>(rank, n));
+  return *(begin + (rank - 1)) - static_cast<double>(elapsed);
+}
+
+core::MarshalDecision AppVaeStrategy::Decide(
+    const data::Record& record) const {
+  const size_t k_events = task_->event_indices.size();
+  EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
+  core::MarshalDecision decision;
+  decision.exists.assign(k_events, false);
+  decision.intervals.assign(k_events, sim::Interval::Empty());
+
+  for (size_t k = 0; k < k_events; ++k) {
+    const int64_t elapsed = ElapsedSinceLastEnd(k, record.frame);
+    const double p = ConditionalStartProbability(k, elapsed);
+    if (p < options_.probability_threshold) continue;
+    decision.exists[k] = true;
+    if (elapsed < 0) {
+      // No visible history: relay the whole horizon.
+      decision.intervals[k] = sim::Interval{1, horizon_};
+      continue;
+    }
+    const double lo = ConditionalQuantile(k, elapsed, options_.lo_quantile);
+    const double hi = ConditionalQuantile(k, elapsed, options_.hi_quantile);
+    if (lo < 0.0 || hi < 0.0) {
+      decision.intervals[k] = sim::Interval{1, horizon_};
+      continue;
+    }
+    int64_t start = static_cast<int64_t>(std::floor(lo));
+    int64_t end = static_cast<int64_t>(std::ceil(hi + duration_mean_[k]));
+    start = std::max<int64_t>(1, std::min<int64_t>(start, horizon_));
+    end = std::max(start, std::min<int64_t>(end, horizon_));
+    decision.intervals[k] = sim::Interval{start, end};
+  }
+  return decision;
+}
+
+}  // namespace eventhit::baselines

@@ -1,0 +1,80 @@
+#include "baselines/cox_strategy.h"
+
+#include "common/check.h"
+
+namespace eventhit::baselines {
+
+std::vector<double> CoxCovariates(const data::Record& record,
+                                  int collection_window, size_t feature_dim) {
+  const auto m = static_cast<size_t>(collection_window);
+  EVENTHIT_CHECK_EQ(record.covariates.size(), m * feature_dim);
+  std::vector<double> out(2 * feature_dim, 0.0);
+  const float* last = record.covariates.data() + (m - 1) * feature_dim;
+  for (size_t c = 0; c < feature_dim; ++c) out[c] = last[c];
+  for (size_t t = 0; t < m; ++t) {
+    const float* row = record.covariates.data() + t * feature_dim;
+    for (size_t c = 0; c < feature_dim; ++c) {
+      out[feature_dim + c] += row[c] / static_cast<double>(m);
+    }
+  }
+  return out;
+}
+
+Result<CoxStrategy> CoxStrategy::Fit(const std::vector<data::Record>& training,
+                                     int collection_window, size_t feature_dim,
+                                     int horizon) {
+  if (training.empty()) {
+    return InvalidArgumentError("Cox strategy needs training records");
+  }
+  CoxStrategy strategy;
+  strategy.collection_window_ = collection_window;
+  strategy.feature_dim_ = feature_dim;
+  strategy.horizon_ = horizon;
+
+  const size_t k_events = training[0].labels.size();
+  for (size_t k = 0; k < k_events; ++k) {
+    std::vector<survival::CoxObservation> observations;
+    observations.reserve(training.size());
+    for (const data::Record& record : training) {
+      survival::CoxObservation obs;
+      obs.covariates = CoxCovariates(record, collection_window, feature_dim);
+      const data::EventLabel& label = record.labels[k];
+      if (label.present) {
+        obs.time = static_cast<double>(label.start);
+        obs.observed = true;
+      } else {
+        obs.time = static_cast<double>(horizon);
+        obs.observed = false;
+      }
+      observations.push_back(std::move(obs));
+    }
+    auto model = survival::CoxModel::Fit(observations);
+    if (!model.ok()) return model.status();
+    strategy.models_.push_back(std::move(model.value()));
+  }
+  return strategy;
+}
+
+core::MarshalDecision CoxStrategy::Decide(const data::Record& record) const {
+  EVENTHIT_CHECK_EQ(record.labels.size(), models_.size());
+  const std::vector<double> covariates =
+      CoxCovariates(record, collection_window_, feature_dim_);
+  core::MarshalDecision decision;
+  decision.exists.assign(models_.size(), false);
+  decision.intervals.assign(models_.size(), sim::Interval::Empty());
+  for (size_t k = 0; k < models_.size(); ++k) {
+    // First offset whose estimated event probability reaches the threshold.
+    // Event-probability is non-decreasing in t, so scan once.
+    for (int t = 1; t <= horizon_; ++t) {
+      if (models_[k].EventProbability(static_cast<double>(t), covariates) >=
+          threshold_) {
+        decision.exists[k] = true;
+        decision.intervals[k] = sim::Interval{t, horizon_};
+        break;
+      }
+    }
+  }
+  return decision;
+}
+
+}  // namespace eventhit::baselines

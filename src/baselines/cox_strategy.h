@@ -1,0 +1,58 @@
+// COX baseline (§VI.B item 7): a Cox proportional-hazards survival model
+// per event type, regressing the time until the event's next start from
+// summary covariates of the collection window.
+//
+// At inference it scans the horizon for the first offset whose estimated
+// event probability 1 - S(t | x) reaches the threshold tau_cox and relays
+// [t, H] — the Cox model regresses a single variable (the start), so the
+// end point is unknowable and the paper lets the interval run to the end of
+// the horizon. Sweeping tau_cox traces the REC-SPL curve.
+#ifndef EVENTHIT_BASELINES_COX_STRATEGY_H_
+#define EVENTHIT_BASELINES_COX_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/prediction.h"
+#include "data/record.h"
+#include "survival/cox_model.h"
+
+namespace eventhit::baselines {
+
+/// Reduces a record's M x D covariate block to the Cox feature vector:
+/// the last frame's features concatenated with the window means (2D dims).
+std::vector<double> CoxCovariates(const data::Record& record,
+                                  int collection_window, size_t feature_dim);
+
+/// Fitted per-event Cox marshaller.
+class CoxStrategy : public core::MarshalStrategy {
+ public:
+  /// Fits one Cox model per event type on `training` records. `horizon` is
+  /// H; `feature_dim` is D. Records without the event are right-censored at
+  /// H. Fails if any per-event fit fails.
+  static Result<CoxStrategy> Fit(const std::vector<data::Record>& training,
+                                 int collection_window, size_t feature_dim,
+                                 int horizon);
+
+  std::string name() const override { return "COX"; }
+  core::MarshalDecision Decide(const data::Record& record) const override;
+
+  void set_threshold(double tau_cox) { threshold_ = tau_cox; }
+  double threshold() const { return threshold_; }
+
+  const survival::CoxModel& model(size_t k) const { return models_[k]; }
+
+ private:
+  CoxStrategy() = default;
+
+  std::vector<survival::CoxModel> models_;
+  int collection_window_ = 0;
+  size_t feature_dim_ = 0;
+  int horizon_ = 0;
+  double threshold_ = 0.5;
+};
+
+}  // namespace eventhit::baselines
+
+#endif  // EVENTHIT_BASELINES_COX_STRATEGY_H_

@@ -1,0 +1,27 @@
+#include "baselines/oracle.h"
+
+namespace eventhit::baselines {
+
+core::MarshalDecision OptStrategy::Decide(const data::Record& record) const {
+  core::MarshalDecision decision;
+  decision.exists.resize(record.labels.size());
+  decision.intervals.assign(record.labels.size(), sim::Interval::Empty());
+  for (size_t k = 0; k < record.labels.size(); ++k) {
+    const data::EventLabel& label = record.labels[k];
+    decision.exists[k] = label.present;
+    if (label.present) {
+      decision.intervals[k] = sim::Interval{label.start, label.end};
+    }
+  }
+  return decision;
+}
+
+core::MarshalDecision BfStrategy::Decide(const data::Record& record) const {
+  core::MarshalDecision decision;
+  decision.exists.assign(record.labels.size(), true);
+  decision.intervals.assign(record.labels.size(),
+                            sim::Interval{1, horizon_});
+  return decision;
+}
+
+}  // namespace eventhit::baselines

@@ -1,0 +1,35 @@
+// The two anchor strategies of §VI.B: OPT (full knowledge of the true
+// occurrence intervals; relays exactly the event frames) and BF (brute
+// force; relays every frame of every horizon).
+#ifndef EVENTHIT_BASELINES_ORACLE_H_
+#define EVENTHIT_BASELINES_ORACLE_H_
+
+#include <string>
+
+#include "core/prediction.h"
+
+namespace eventhit::baselines {
+
+/// Theoretical optimum: relays precisely the frames of true occurrences.
+/// REC = 1, SPL = 0 by construction.
+class OptStrategy : public core::MarshalStrategy {
+ public:
+  std::string name() const override { return "OPT"; }
+  core::MarshalDecision Decide(const data::Record& record) const override;
+};
+
+/// Brute force: relays the whole horizon for every event, always.
+/// REC = 1, SPL = 1 by construction.
+class BfStrategy : public core::MarshalStrategy {
+ public:
+  explicit BfStrategy(int horizon) : horizon_(horizon) {}
+  std::string name() const override { return "BF"; }
+  core::MarshalDecision Decide(const data::Record& record) const override;
+
+ private:
+  int horizon_;
+};
+
+}  // namespace eventhit::baselines
+
+#endif  // EVENTHIT_BASELINES_ORACLE_H_

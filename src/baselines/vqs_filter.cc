@@ -1,0 +1,47 @@
+#include "baselines/vqs_filter.h"
+
+#include "common/check.h"
+
+namespace eventhit::baselines {
+
+VqsStrategy::VqsStrategy(const sim::SyntheticVideo* video,
+                         const data::Task* task, int horizon, double tau_vqs,
+                         double min_count)
+    : video_(video),
+      task_(task),
+      horizon_(horizon),
+      tau_vqs_(tau_vqs),
+      min_count_(min_count) {
+  EVENTHIT_CHECK(video_ != nullptr);
+  EVENTHIT_CHECK(task_ != nullptr);
+  EVENTHIT_CHECK_GT(horizon_, 0);
+}
+
+int VqsStrategy::CountObjectFrames(size_t k, int64_t frame) const {
+  EVENTHIT_CHECK_LT(k, task_->event_indices.size());
+  const size_t event_index = task_->event_indices[k];
+  int count = 0;
+  const int64_t end = frame + horizon_;
+  EVENTHIT_CHECK_LT(end, video_->num_frames() + 1);
+  for (int64_t t = frame + 1; t <= end; ++t) {
+    if (video_->ObjectCount(event_index, t) >= min_count_) ++count;
+  }
+  return count;
+}
+
+core::MarshalDecision VqsStrategy::Decide(const data::Record& record) const {
+  const size_t k_events = task_->event_indices.size();
+  EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
+  core::MarshalDecision decision;
+  decision.exists.assign(k_events, false);
+  decision.intervals.assign(k_events, sim::Interval::Empty());
+  for (size_t k = 0; k < k_events; ++k) {
+    if (CountObjectFrames(k, record.frame) >= tau_vqs_) {
+      decision.exists[k] = true;
+      decision.intervals[k] = sim::Interval{1, horizon_};
+    }
+  }
+  return decision;
+}
+
+}  // namespace eventhit::baselines

@@ -1,0 +1,50 @@
+// VQS baseline (§VI.B item 8): a BlazeIt-style video query system adapted
+// to the marshalling problem.
+//
+// VQS cannot predict ahead: it runs a specialised lightweight object model
+// on *every* frame of the horizon as the frames arrive and relays the whole
+// horizon to the CI when the number of frames containing the target object
+// types exceeds tau_vqs. Sweeping tau_vqs traces its REC-SPL curve; the
+// per-frame model invocations dominate its FPS in Fig. 9.
+#ifndef EVENTHIT_BASELINES_VQS_FILTER_H_
+#define EVENTHIT_BASELINES_VQS_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/prediction.h"
+#include "data/tasks.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit::baselines {
+
+/// VQS marshaller bound to the stream it filters.
+class VqsStrategy : public core::MarshalStrategy {
+ public:
+  /// `video` must outlive the strategy. `tau_vqs` is the frame-count
+  /// threshold; `min_count` is how many detected objects make a frame count
+  /// as "containing the target object types" (>= 1 by default).
+  VqsStrategy(const sim::SyntheticVideo* video, const data::Task* task,
+              int horizon, double tau_vqs, double min_count = 1.0);
+
+  std::string name() const override { return "VQS"; }
+  core::MarshalDecision Decide(const data::Record& record) const override;
+
+  void set_threshold(double tau_vqs) { tau_vqs_ = tau_vqs; }
+  double threshold() const { return tau_vqs_; }
+
+  /// Number of frames in the horizon from `frame` whose detector output
+  /// contains event `k`'s target objects.
+  int CountObjectFrames(size_t k, int64_t frame) const;
+
+ private:
+  const sim::SyntheticVideo* video_;
+  const data::Task* task_;
+  int horizon_;
+  double tau_vqs_;
+  double min_count_;
+};
+
+}  // namespace eventhit::baselines
+
+#endif  // EVENTHIT_BASELINES_VQS_FILTER_H_

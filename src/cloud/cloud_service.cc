@@ -1,0 +1,42 @@
+#include "cloud/cloud_service.h"
+
+#include "common/check.h"
+
+namespace eventhit::cloud {
+
+CloudService::CloudService(const sim::SyntheticVideo* video,
+                           const CloudConfig& config, uint64_t seed)
+    : video_(video), config_(config), rng_(seed) {
+  EVENTHIT_CHECK(video_ != nullptr);
+  EVENTHIT_CHECK_GT(config_.frames_per_second, 0.0);
+  EVENTHIT_CHECK_GE(config_.accuracy, 0.0);
+  EVENTHIT_CHECK_LE(config_.accuracy, 1.0);
+}
+
+std::vector<bool> CloudService::Detect(size_t event_index,
+                                       const sim::Interval& interval) {
+  EVENTHIT_CHECK(!interval.empty());
+  EVENTHIT_CHECK_GE(interval.start, 0);
+  EVENTHIT_CHECK_LT(interval.end, video_->num_frames());
+  std::vector<bool> detections;
+  detections.reserve(static_cast<size_t>(interval.length()));
+  for (int64_t t = interval.start; t <= interval.end; ++t) {
+    const bool truth = video_->timeline().IsActive(event_index, t);
+    const bool correct = rng_.Bernoulli(config_.accuracy);
+    detections.push_back(correct ? truth : !truth);
+  }
+  ChargeFrames(interval.length());
+  ++invoice_.requests;
+  return detections;
+}
+
+void CloudService::ChargeFrames(int64_t count) {
+  EVENTHIT_CHECK_GE(count, 0);
+  invoice_.frames_processed += count;
+  invoice_.total_cost_usd +=
+      static_cast<double>(count) * config_.price_per_frame_usd;
+  invoice_.compute_seconds +=
+      static_cast<double>(count) / config_.frames_per_second;
+}
+
+}  // namespace eventhit::cloud

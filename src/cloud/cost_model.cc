@@ -1,0 +1,48 @@
+#include "cloud/cost_model.h"
+
+#include "common/check.h"
+
+namespace eventhit::cloud {
+
+StageBreakdown HorizonTiming(const PipelineCostModel& model,
+                             PredictorKind kind, int64_t window_frames,
+                             int64_t horizon, int64_t relayed_frames) {
+  EVENTHIT_CHECK_GE(window_frames, 0);
+  EVENTHIT_CHECK_GT(horizon, 0);
+  EVENTHIT_CHECK_GE(relayed_frames, 0);
+  StageBreakdown breakdown;
+  switch (kind) {
+    case PredictorKind::kEventHit:
+      breakdown.feature_extraction_seconds =
+          static_cast<double>(window_frames) / model.feature_extraction_fps;
+      breakdown.predictor_seconds = model.eventhit_inference_seconds;
+      break;
+    case PredictorKind::kCox:
+      breakdown.feature_extraction_seconds =
+          static_cast<double>(window_frames) / model.feature_extraction_fps;
+      breakdown.predictor_seconds = model.cox_inference_seconds;
+      break;
+    case PredictorKind::kVqs:
+      // The specialised model runs on every frame of the horizon.
+      breakdown.predictor_seconds =
+          static_cast<double>(horizon) / model.vqs_frame_fps;
+      break;
+    case PredictorKind::kAppVae:
+      breakdown.feature_extraction_seconds =
+          static_cast<double>(window_frames) / model.action_detection_fps;
+      breakdown.predictor_seconds = model.appvae_inference_seconds;
+      break;
+    case PredictorKind::kOracle:
+      break;
+  }
+  breakdown.ci_seconds = static_cast<double>(relayed_frames) / model.ci_fps;
+  return breakdown;
+}
+
+double EffectiveFps(const StageBreakdown& breakdown, int64_t horizon) {
+  const double total = breakdown.TotalSeconds();
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(horizon) / total;
+}
+
+}  // namespace eventhit::cloud

@@ -1,0 +1,63 @@
+// Latency and monetary cost model of the end-to-end pipeline, reproducing
+// the accounting behind Fig. 8 (expense), Fig. 9 (REC vs FPS) and Fig. 10
+// (per-stage time proportions).
+//
+// Rates are calibrated to the systems the paper names: YOLOv3-class feature
+// extraction (~140 FPS), an I3D-class cloud model (~30 FPS), a BlazeIt
+// specialised NN (~500 FPS per frame), an action-unit detector (~25 FPS,
+// footnote 8) and a 0.1 s APP-VAE inference.
+#ifndef EVENTHIT_CLOUD_COST_MODEL_H_
+#define EVENTHIT_CLOUD_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace eventhit::cloud {
+
+/// Throughput of every pipeline stage (frames per second unless noted).
+struct PipelineCostModel {
+  double feature_extraction_fps = 140.0;  // YOLOv3-like detector.
+  double eventhit_inference_seconds = 0.001;
+  double cox_inference_seconds = 0.0005;
+  double vqs_frame_fps = 500.0;           // BlazeIt specialised model.
+  double appvae_inference_seconds = 0.1;  // Footnote 8.
+  double action_detection_fps = 25.0;     // Footnote 8.
+  double ci_fps = 30.0;                   // I3D-class cloud model.
+  double price_per_frame_usd = 0.001;     // Amazon Rekognition.
+};
+
+/// Which predictor front-end a pipeline uses (drives which local stages
+/// run and at what rates).
+enum class PredictorKind {
+  kEventHit,  // Feature extraction on the window + one model inference.
+  kCox,       // Feature extraction on the window + Cox evaluation.
+  kVqs,       // Specialised model on every horizon frame; no prediction.
+  kAppVae,    // Action detection over its window + generative inference.
+  kOracle,    // OPT/BF: no local stage at all.
+};
+
+/// Simulated wall-clock spent in each stage while processing one horizon.
+struct StageBreakdown {
+  double feature_extraction_seconds = 0.0;
+  double predictor_seconds = 0.0;
+  double ci_seconds = 0.0;
+
+  double TotalSeconds() const {
+    return feature_extraction_seconds + predictor_seconds + ci_seconds;
+  }
+};
+
+/// Timing of one horizon: the predictor consumes `window_frames` of local
+/// context (M for EventHit/COX, the action window for APP-VAE, the horizon
+/// itself for VQS — pass `horizon` there), then `relayed_frames` frames go
+/// to the CI.
+StageBreakdown HorizonTiming(const PipelineCostModel& model,
+                             PredictorKind kind, int64_t window_frames,
+                             int64_t horizon, int64_t relayed_frames);
+
+/// Effective end-to-end throughput: horizon frames covered per second of
+/// pipeline time.
+double EffectiveFps(const StageBreakdown& breakdown, int64_t horizon);
+
+}  // namespace eventhit::cloud
+
+#endif  // EVENTHIT_CLOUD_COST_MODEL_H_

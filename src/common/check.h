@@ -1,0 +1,70 @@
+// Process-fatal invariant checks.
+//
+// EVENTHIT_CHECK is always on (benches and release builds included): these
+// macros guard internal invariants whose violation means the library itself
+// is broken, so the cheapest safe response is to abort with context.
+#ifndef EVENTHIT_COMMON_CHECK_H_
+#define EVENTHIT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace eventhit::internal_check {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatBinary(const A& a, const B& b) {
+  std::ostringstream os;
+  os << "(lhs=" << a << ", rhs=" << b << ")";
+  return os.str();
+}
+
+}  // namespace eventhit::internal_check
+
+#define EVENTHIT_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::eventhit::internal_check::CheckFail(__FILE__, __LINE__, #cond,    \
+                                            std::string());               \
+    }                                                                     \
+  } while (false)
+
+#define EVENTHIT_CHECK_OP_IMPL(lhs, rhs, op)                               \
+  do {                                                                     \
+    const auto& eventhit_check_a_ = (lhs);                                 \
+    const auto& eventhit_check_b_ = (rhs);                                 \
+    if (!(eventhit_check_a_ op eventhit_check_b_)) {                       \
+      ::eventhit::internal_check::CheckFail(                               \
+          __FILE__, __LINE__, #lhs " " #op " " #rhs,                       \
+          ::eventhit::internal_check::FormatBinary(eventhit_check_a_,      \
+                                                   eventhit_check_b_));    \
+    }                                                                      \
+  } while (false)
+
+#define EVENTHIT_CHECK_EQ(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, ==)
+#define EVENTHIT_CHECK_NE(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, !=)
+#define EVENTHIT_CHECK_LT(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, <)
+#define EVENTHIT_CHECK_LE(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, <=)
+#define EVENTHIT_CHECK_GT(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, >)
+#define EVENTHIT_CHECK_GE(lhs, rhs) EVENTHIT_CHECK_OP_IMPL(lhs, rhs, >=)
+
+/// Checks that a Status-returning expression is OK.
+#define EVENTHIT_CHECK_OK(expr)                                            \
+  do {                                                                     \
+    const ::eventhit::Status eventhit_check_status_ = (expr);              \
+    if (!eventhit_check_status_.ok()) {                                    \
+      ::eventhit::internal_check::CheckFail(                               \
+          __FILE__, __LINE__, #expr, eventhit_check_status_.ToString());   \
+    }                                                                      \
+  } while (false)
+
+#endif  // EVENTHIT_COMMON_CHECK_H_

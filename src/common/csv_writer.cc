@@ -1,0 +1,60 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace eventhit {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  EVENTHIT_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  EVENTHIT_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  const std::string content = ToString();
+  const size_t written = std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  if (written != content.size()) {
+    return InternalError("short write: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace eventhit

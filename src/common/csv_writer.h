@@ -1,0 +1,40 @@
+// CSV export of result tables, so the bench harness can emit plot-ready
+// series alongside its ASCII tables (EVENTHIT_CSV_DIR).
+#ifndef EVENTHIT_COMMON_CSV_WRITER_H_
+#define EVENTHIT_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eventhit {
+
+/// Accumulates rows and writes an RFC-4180-style CSV file (fields with
+/// commas, quotes or newlines are quoted; embedded quotes doubled).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Serialises the header + rows.
+  std::string ToString() const;
+
+  /// Writes to `path` (overwrites).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace eventhit
+
+#endif  // EVENTHIT_COMMON_CSV_WRITER_H_

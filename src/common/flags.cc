@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace eventhit {
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!LooksLikeFlag(arg)) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq == 0) {
+      return InvalidArgumentError("malformed flag: " + arg);
+    }
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // boolean "--name".
+    if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+      flags.values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("flag --" + name +
+                                " expects an integer, got: " + it->second);
+  }
+  return value;
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return InvalidArgumentError("flag --" + name +
+                                " expects a number, got: " + it->second);
+  }
+  return value;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& value = it->second;
+  if (value.empty() || value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return InvalidArgumentError("flag --" + name +
+                              " expects a boolean, got: " + value);
+}
+
+std::vector<std::string> Flags::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
+}  // namespace eventhit

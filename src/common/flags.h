@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the CLI tools and examples.
+// Supports --name=value and --name value forms plus boolean --name.
+#ifndef EVENTHIT_COMMON_FLAGS_H_
+#define EVENTHIT_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eventhit {
+
+/// Parsed command line: flags plus positional arguments, in order.
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Unknown flags are kept; validation is
+  /// the caller's job via the typed getters. Fails on malformed input
+  /// (e.g. "--" followed by nothing, or a dangling "--name" at the end
+  /// being treated as boolean is fine, but "--=x" is rejected).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when absent, error when present but
+  /// unparseable.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+  /// A bare "--name" counts as true; "--name=false|0" as false.
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of every flag supplied (for unknown-flag validation).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eventhit
+
+#endif  // EVENTHIT_COMMON_FLAGS_H_

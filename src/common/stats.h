@@ -1,0 +1,54 @@
+// Small statistics helpers shared across modules (metrics, conformal
+// calibration, dataset validation).
+#ifndef EVENTHIT_COMMON_STATS_H_
+#define EVENTHIT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eventhit {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double SampleStdDev(const std::vector<double>& values);
+
+/// The conformal-style order statistic used throughout the paper:
+/// the ceil(level * n)-th smallest of `values` (1-indexed), clamped to the
+/// sample. This matches Algorithm 2's \hat q = r_(ceil(alpha*|R|)).
+/// Returns 0 for an empty input.
+double OrderStatQuantile(std::vector<double> values, double level);
+
+/// Linear min/max clamp.
+double Clamp(double value, double lo, double hi);
+
+/// Numerically-stable logistic sigmoid.
+double Sigmoid(double x);
+
+/// log(p) clamped away from -inf for cross-entropy computations.
+double SafeLog(double p);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Running mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace eventhit
+
+#endif  // EVENTHIT_COMMON_STATS_H_

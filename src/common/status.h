@@ -1,0 +1,141 @@
+// Error-handling primitives for the eventhit library.
+//
+// The library does not use C++ exceptions (Google style). Fallible
+// operations return `Status` (or `Result<T>` when they produce a value).
+// Internal invariant violations abort via the CHECK macros in check.h.
+#ifndef EVENTHIT_COMMON_STATUS_H_
+#define EVENTHIT_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace eventhit {
+
+/// Canonical error categories, mirroring the widely-used subset of
+/// absl::StatusCode.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation); error states carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code
+  /// discards the message.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Convenience constructors mirroring absl's factory functions.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+/// A value-or-error holder, analogous to absl::StatusOr<T>.
+///
+/// Accessing `value()` on an error Result aborts the process; callers must
+/// test `ok()` first (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error Result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT: implicit
+  /// Constructs a success Result holding `value`.
+  Result(T value)  // NOLINT: implicit by design, mirrors StatusOr.
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Process-fatal if `!ok()`.
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the held value, or `fallback` when this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBecauseResultError(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal_status::DieBecauseResultError(status_);
+}
+
+}  // namespace eventhit
+
+/// Evaluates `expr` (a Status expression) and early-returns it on error.
+#define EVENTHIT_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::eventhit::Status eventhit_status_tmp_ = (expr);   \
+    if (!eventhit_status_tmp_.ok()) {                   \
+      return eventhit_status_tmp_;                      \
+    }                                                   \
+  } while (false)
+
+#endif  // EVENTHIT_COMMON_STATUS_H_

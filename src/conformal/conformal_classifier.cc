@@ -1,0 +1,26 @@
+#include "conformal/conformal_classifier.h"
+
+#include <algorithm>
+
+namespace eventhit::conformal {
+
+ConformalBinaryClassifier::ConformalBinaryClassifier(
+    std::vector<double> positive_scores)
+    : sorted_scores_(std::move(positive_scores)) {
+  std::sort(sorted_scores_.begin(), sorted_scores_.end());
+}
+
+double ConformalBinaryClassifier::PValue(double score) const {
+  // Count of calibration scores a_n with score <= a_n.
+  const auto it =
+      std::lower_bound(sorted_scores_.begin(), sorted_scores_.end(), score);
+  const auto at_least = static_cast<double>(sorted_scores_.end() - it);
+  return (at_least) / (static_cast<double>(sorted_scores_.size()) + 1.0);
+}
+
+bool ConformalBinaryClassifier::PredictPositive(double score,
+                                                double confidence) const {
+  return PValue(score) >= 1.0 - confidence;
+}
+
+}  // namespace eventhit::conformal

@@ -1,0 +1,42 @@
+// Conformal prediction for binary classification (§IV.A of the paper).
+//
+// Given the non-conformity scores of the *positive-class* calibration
+// examples, the p-value of a new example is the fraction of calibration
+// scores at least as non-conforming as the new one. Predicting positive
+// whenever p >= 1 - c guarantees (under exchangeability) that a true
+// positive is missed with probability at most 1 - c, irrespective of the
+// non-conformity measure (Theorem 4.1).
+#ifndef EVENTHIT_CONFORMAL_CONFORMAL_CLASSIFIER_H_
+#define EVENTHIT_CONFORMAL_CONFORMAL_CLASSIFIER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eventhit::conformal {
+
+/// Calibrated conformal binary classifier over one event type.
+class ConformalBinaryClassifier {
+ public:
+  /// `positive_scores`: non-conformity scores a_n of the calibration
+  /// records whose true label is positive. The set may be empty, in which
+  /// case every p-value is 0/(0+1) = 0 per the paper's formula: positives
+  /// are then predicted only at confidence c = 1 (where the p >= 1-c test
+  /// is vacuously true).
+  explicit ConformalBinaryClassifier(std::vector<double> positive_scores);
+
+  /// p-value of a new example with non-conformity `score`:
+  ///   |{n : score <= a_n}| / (|calib positives| + 1).
+  double PValue(double score) const;
+
+  /// Predicts positive iff PValue(score) >= 1 - confidence.
+  bool PredictPositive(double score, double confidence) const;
+
+  size_t calibration_size() const { return sorted_scores_.size(); }
+
+ private:
+  std::vector<double> sorted_scores_;  // Ascending.
+};
+
+}  // namespace eventhit::conformal
+
+#endif  // EVENTHIT_CONFORMAL_CONFORMAL_CLASSIFIER_H_

@@ -1,0 +1,41 @@
+#include "conformal/normalized_conformal_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eventhit::conformal {
+
+NormalizedConformalRegressor::NormalizedConformalRegressor(
+    std::vector<double> abs_residuals, std::vector<double> difficulties) {
+  EVENTHIT_CHECK_EQ(abs_residuals.size(), difficulties.size());
+  sorted_ratios_.reserve(abs_residuals.size());
+  for (size_t i = 0; i < abs_residuals.size(); ++i) {
+    EVENTHIT_CHECK_GE(abs_residuals[i], 0.0);
+    EVENTHIT_CHECK_GT(difficulties[i], 0.0);
+    sorted_ratios_.push_back(abs_residuals[i] / difficulties[i]);
+  }
+  std::sort(sorted_ratios_.begin(), sorted_ratios_.end());
+}
+
+double NormalizedConformalRegressor::Quantile(double alpha) const {
+  EVENTHIT_CHECK_GE(alpha, 0.0);
+  EVENTHIT_CHECK_LE(alpha, 1.0);
+  if (sorted_ratios_.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_ratios_.size());
+  auto rank = static_cast<size_t>(std::ceil(alpha * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted_ratios_.size()) rank = sorted_ratios_.size();
+  return sorted_ratios_[rank - 1];
+}
+
+PredictionBand NormalizedConformalRegressor::Band(double prediction,
+                                                  double difficulty,
+                                                  double alpha) const {
+  EVENTHIT_CHECK_GT(difficulty, 0.0);
+  const double width = Quantile(alpha) * difficulty;
+  return PredictionBand{prediction - width, prediction + width};
+}
+
+}  // namespace eventhit::conformal

@@ -1,0 +1,47 @@
+// Normalized (locally weighted) split conformal regression.
+//
+// Standard split conformal regression (split_conformal_regressor.h) widens
+// every prediction by the same quantile q. When per-example difficulty
+// varies — easy examples with tiny errors, hard ones with huge errors — a
+// fixed width over-covers the easy and under-covers the hard. The
+// normalized variant (Lei et al. 2018, §5.2) scales each calibration
+// residual by a difficulty estimate sigma(x) > 0, takes the quantile of
+// the *ratios* r_i / sigma_i, and emits the band
+//     [mu(x) - q * sigma(x), mu(x) + q * sigma(x)].
+// The marginal coverage guarantee is unchanged; band widths adapt.
+#ifndef EVENTHIT_CONFORMAL_NORMALIZED_CONFORMAL_REGRESSOR_H_
+#define EVENTHIT_CONFORMAL_NORMALIZED_CONFORMAL_REGRESSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "conformal/split_conformal_regressor.h"
+
+namespace eventhit::conformal {
+
+/// Calibrated normalized conformal regressor for one response variable.
+class NormalizedConformalRegressor {
+ public:
+  /// `abs_residuals[i]` and `difficulties[i]` belong to the same
+  /// calibration example; difficulties must be positive. Empty calibration
+  /// yields zero-width bands (as in the unnormalized variant).
+  NormalizedConformalRegressor(std::vector<double> abs_residuals,
+                               std::vector<double> difficulties);
+
+  /// q_hat at coverage alpha: the ceil(alpha*n)-th smallest residual/
+  /// difficulty ratio.
+  double Quantile(double alpha) const;
+
+  /// [prediction - q*difficulty, prediction + q*difficulty].
+  PredictionBand Band(double prediction, double difficulty,
+                      double alpha) const;
+
+  size_t calibration_size() const { return sorted_ratios_.size(); }
+
+ private:
+  std::vector<double> sorted_ratios_;  // Ascending.
+};
+
+}  // namespace eventhit::conformal
+
+#endif  // EVENTHIT_CONFORMAL_NORMALIZED_CONFORMAL_REGRESSOR_H_

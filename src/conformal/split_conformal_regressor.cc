@@ -1,0 +1,34 @@
+#include "conformal/split_conformal_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eventhit::conformal {
+
+SplitConformalRegressor::SplitConformalRegressor(
+    std::vector<double> abs_residuals)
+    : sorted_residuals_(std::move(abs_residuals)) {
+  for (double r : sorted_residuals_) EVENTHIT_CHECK_GE(r, 0.0);
+  std::sort(sorted_residuals_.begin(), sorted_residuals_.end());
+}
+
+double SplitConformalRegressor::Quantile(double alpha) const {
+  EVENTHIT_CHECK_GE(alpha, 0.0);
+  EVENTHIT_CHECK_LE(alpha, 1.0);
+  if (sorted_residuals_.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted_residuals_.size());
+  auto rank = static_cast<size_t>(std::ceil(alpha * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted_residuals_.size()) rank = sorted_residuals_.size();
+  return sorted_residuals_[rank - 1];
+}
+
+PredictionBand SplitConformalRegressor::Band(double prediction,
+                                             double alpha) const {
+  const double q = Quantile(alpha);
+  return PredictionBand{prediction - q, prediction + q};
+}
+
+}  // namespace eventhit::conformal

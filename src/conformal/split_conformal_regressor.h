@@ -1,0 +1,44 @@
+// Split conformal regression (§V.A, Lei et al. 2018).
+//
+// Calibrated from the absolute residuals |y_n - mu_hat(x_n)| of a held-out
+// calibration set, the band [mu_hat(x) - q, mu_hat(x) + q] with q the
+// ceil(alpha * n)-th smallest residual covers the true response with
+// probability at least alpha under exchangeability (Theorem 5.1).
+#ifndef EVENTHIT_CONFORMAL_SPLIT_CONFORMAL_REGRESSOR_H_
+#define EVENTHIT_CONFORMAL_SPLIT_CONFORMAL_REGRESSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace eventhit::conformal {
+
+/// A symmetric prediction band around a point prediction.
+struct PredictionBand {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Calibrated split-conformal regressor for one response variable.
+class SplitConformalRegressor {
+ public:
+  /// `abs_residuals`: |y_n - mu_hat(x_n)| over the calibration set. May be
+  /// empty, in which case Quantile() is 0 (no widening — the degenerate but
+  /// well-defined behaviour with no calibration evidence).
+  explicit SplitConformalRegressor(std::vector<double> abs_residuals);
+
+  /// q_hat at coverage `alpha` in [0, 1]: the ceil(alpha*n)-th smallest
+  /// residual (1-indexed), clamped to the sample.
+  double Quantile(double alpha) const;
+
+  /// [prediction - q_hat, prediction + q_hat].
+  PredictionBand Band(double prediction, double alpha) const;
+
+  size_t calibration_size() const { return sorted_residuals_.size(); }
+
+ private:
+  std::vector<double> sorted_residuals_;  // Ascending.
+};
+
+}  // namespace eventhit::conformal
+
+#endif  // EVENTHIT_CONFORMAL_SPLIT_CONFORMAL_REGRESSOR_H_

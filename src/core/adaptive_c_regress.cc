@@ -1,0 +1,65 @@
+#include "core/adaptive_c_regress.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/interval_extraction.h"
+
+namespace eventhit::core {
+
+double IntervalDifficulty(const std::vector<float>& theta, double tau2) {
+  const sim::Interval envelope = ExtractOccurrenceInterval(theta, tau2);
+  return std::sqrt(
+      std::max(1.0, static_cast<double>(envelope.length())));
+}
+
+AdaptiveCRegress::AdaptiveCRegress(
+    const EventHitModel& model, const std::vector<data::Record>& calibration,
+    double tau2)
+    : horizon_(model.config().horizon), tau2_(tau2) {
+  const size_t k_events = model.config().num_events;
+  std::vector<std::vector<double>> start_res(k_events), end_res(k_events);
+  std::vector<std::vector<double>> difficulties(k_events);
+  for (const data::Record& record : calibration) {
+    EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
+    const EventScores scores = model.Predict(record);
+    for (size_t k = 0; k < k_events; ++k) {
+      const data::EventLabel& label = record.labels[k];
+      if (!label.present) continue;
+      const sim::Interval estimate =
+          ExtractOccurrenceInterval(scores.occupancy[k], tau2);
+      start_res[k].push_back(
+          std::fabs(static_cast<double>(estimate.start - label.start)));
+      end_res[k].push_back(
+          std::fabs(static_cast<double>(estimate.end - label.end)));
+      difficulties[k].push_back(IntervalDifficulty(scores.occupancy[k], tau2));
+    }
+  }
+  start_.reserve(k_events);
+  end_.reserve(k_events);
+  for (size_t k = 0; k < k_events; ++k) {
+    start_.emplace_back(start_res[k], difficulties[k]);
+    end_.emplace_back(end_res[k], difficulties[k]);
+  }
+}
+
+sim::Interval AdaptiveCRegress::Adjust(size_t k, const sim::Interval& estimate,
+                                       const std::vector<float>& theta,
+                                       double alpha) const {
+  EVENTHIT_CHECK_LT(k, start_.size());
+  EVENTHIT_CHECK(!estimate.empty());
+  const double difficulty = IntervalDifficulty(theta, tau2_);
+  const auto q_s = static_cast<int64_t>(
+      std::ceil(start_[k].Quantile(alpha) * difficulty));
+  const auto q_e = static_cast<int64_t>(
+      std::ceil(end_[k].Quantile(alpha) * difficulty));
+  return ClampToHorizon(
+      sim::Interval{estimate.start - q_s, estimate.end + q_e}, horizon_);
+}
+
+size_t AdaptiveCRegress::CalibrationSize(size_t k) const {
+  EVENTHIT_CHECK_LT(k, start_.size());
+  return start_[k].calibration_size();
+}
+
+}  // namespace eventhit::core

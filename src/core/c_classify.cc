@@ -1,0 +1,58 @@
+#include "core/c_classify.h"
+
+#include "common/check.h"
+
+namespace eventhit::core {
+
+CClassify::CClassify(const EventHitModel& model,
+                     const std::vector<data::Record>& calibration) {
+  const size_t k_events = model.config().num_events;
+  std::vector<std::vector<double>> positive_scores(k_events);
+  for (const data::Record& record : calibration) {
+    EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
+    const EventScores scores = model.Predict(record);
+    for (size_t k = 0; k < k_events; ++k) {
+      if (record.labels[k].present) {
+        positive_scores[k].push_back(1.0 - scores.existence[k]);
+      }
+    }
+  }
+  classifiers_.reserve(k_events);
+  for (auto& scores : positive_scores) {
+    classifiers_.emplace_back(std::move(scores));
+  }
+}
+
+CClassify::CClassify(
+    std::vector<std::vector<double>> positive_scores_per_event) {
+  classifiers_.reserve(positive_scores_per_event.size());
+  for (auto& scores : positive_scores_per_event) {
+    classifiers_.emplace_back(std::move(scores));
+  }
+}
+
+std::vector<double> CClassify::PValues(const EventScores& scores) const {
+  EVENTHIT_CHECK_EQ(scores.existence.size(), classifiers_.size());
+  std::vector<double> p(classifiers_.size());
+  for (size_t k = 0; k < classifiers_.size(); ++k) {
+    p[k] = classifiers_[k].PValue(1.0 - scores.existence[k]);
+  }
+  return p;
+}
+
+std::vector<bool> CClassify::PredictExistence(const EventScores& scores,
+                                              double confidence) const {
+  const std::vector<double> p = PValues(scores);
+  std::vector<bool> exists(p.size());
+  for (size_t k = 0; k < p.size(); ++k) {
+    exists[k] = p[k] >= 1.0 - confidence;
+  }
+  return exists;
+}
+
+size_t CClassify::CalibrationSize(size_t k) const {
+  EVENTHIT_CHECK_LT(k, classifiers_.size());
+  return classifiers_[k].calibration_size();
+}
+
+}  // namespace eventhit::core

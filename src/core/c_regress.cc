@@ -1,0 +1,73 @@
+#include "core/c_regress.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/interval_extraction.h"
+
+namespace eventhit::core {
+
+CRegress::CRegress(const EventHitModel& model,
+                   const std::vector<data::Record>& calibration, double tau2)
+    : horizon_(model.config().horizon) {
+  const size_t k_events = model.config().num_events;
+  std::vector<std::vector<double>> start_residuals(k_events);
+  std::vector<std::vector<double>> end_residuals(k_events);
+  for (const data::Record& record : calibration) {
+    EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
+    const EventScores scores = model.Predict(record);
+    for (size_t k = 0; k < k_events; ++k) {
+      const data::EventLabel& label = record.labels[k];
+      if (!label.present) continue;
+      const sim::Interval estimate =
+          ExtractOccurrenceInterval(scores.occupancy[k], tau2);
+      start_residuals[k].push_back(
+          std::fabs(static_cast<double>(estimate.start - label.start)));
+      end_residuals[k].push_back(
+          std::fabs(static_cast<double>(estimate.end - label.end)));
+    }
+  }
+  start_.reserve(k_events);
+  end_.reserve(k_events);
+  for (size_t k = 0; k < k_events; ++k) {
+    start_.emplace_back(std::move(start_residuals[k]));
+    end_.emplace_back(std::move(end_residuals[k]));
+  }
+}
+
+CRegress::CRegress(std::vector<std::vector<double>> start_residuals,
+                   std::vector<std::vector<double>> end_residuals, int horizon)
+    : horizon_(horizon) {
+  EVENTHIT_CHECK_EQ(start_residuals.size(), end_residuals.size());
+  EVENTHIT_CHECK_GT(horizon, 0);
+  start_.reserve(start_residuals.size());
+  end_.reserve(end_residuals.size());
+  for (auto& r : start_residuals) start_.emplace_back(std::move(r));
+  for (auto& r : end_residuals) end_.emplace_back(std::move(r));
+}
+
+double CRegress::StartQuantile(size_t k, double alpha) const {
+  EVENTHIT_CHECK_LT(k, start_.size());
+  return start_[k].Quantile(alpha);
+}
+
+double CRegress::EndQuantile(size_t k, double alpha) const {
+  EVENTHIT_CHECK_LT(k, end_.size());
+  return end_[k].Quantile(alpha);
+}
+
+sim::Interval CRegress::Adjust(size_t k, const sim::Interval& estimate,
+                               double alpha) const {
+  EVENTHIT_CHECK(!estimate.empty());
+  const auto q_s = static_cast<int64_t>(std::ceil(StartQuantile(k, alpha)));
+  const auto q_e = static_cast<int64_t>(std::ceil(EndQuantile(k, alpha)));
+  return ClampToHorizon(
+      sim::Interval{estimate.start - q_s, estimate.end + q_e}, horizon_);
+}
+
+size_t CRegress::CalibrationSize(size_t k) const {
+  EVENTHIT_CHECK_LT(k, start_.size());
+  return start_[k].calibration_size();
+}
+
+}  // namespace eventhit::core

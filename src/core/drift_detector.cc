@@ -1,0 +1,40 @@
+#include "core/drift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eventhit::core {
+
+DriftDetector::DriftDetector(const DriftDetectorOptions& options)
+    : options_(options) {
+  EVENTHIT_CHECK_GT(options_.epsilon, 0.0);
+  EVENTHIT_CHECK_LT(options_.epsilon, 1.0);
+  EVENTHIT_CHECK_GT(options_.log_threshold, 0.0);
+  EVENTHIT_CHECK_GT(options_.min_p_value, 0.0);
+}
+
+bool DriftDetector::Observe(double p_value) {
+  EVENTHIT_CHECK_GE(p_value, 0.0);
+  EVENTHIT_CHECK_LE(p_value, 1.0);
+  ++observations_;
+  const double p = std::max(p_value, options_.min_p_value);
+  // Betting-function increment: epsilon * p^(epsilon-1).
+  log_martingale_ +=
+      std::log(options_.epsilon) + (options_.epsilon - 1.0) * std::log(p);
+  // Reflect at 1 (CUSUM-style restart): a martingale that has drifted far
+  // below 1 would otherwise need many drifted observations to recover. See
+  // the header for the false-alarm analysis of the reflected walk.
+  log_martingale_ = std::max(log_martingale_, 0.0);
+  if (log_martingale_ >= options_.log_threshold) detected_ = true;
+  return detected_ && log_martingale_ >= options_.log_threshold;
+}
+
+void DriftDetector::Reset() {
+  log_martingale_ = 0.0;
+  detected_ = false;
+  observations_ = 0;
+}
+
+}  // namespace eventhit::core

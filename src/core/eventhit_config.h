@@ -1,0 +1,49 @@
+// Hyper-parameters of the EventHit network and its training loop (§III).
+#ifndef EVENTHIT_CORE_EVENTHIT_CONFIG_H_
+#define EVENTHIT_CORE_EVENTHIT_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace eventhit::core {
+
+/// Architecture + optimisation knobs. Defaults are tuned for the synthetic
+/// datasets; per-dataset M and H come from the DatasetSpec.
+struct EventHitConfig {
+  // --- Problem shape ---
+  /// Collection-window length M (timesteps seen by the LSTM).
+  int collection_window = 25;
+  /// Time-horizon length H (per-frame scores emitted per event).
+  int horizon = 500;
+  /// Covariate dimensionality D.
+  size_t feature_dim = 0;
+  /// Number of event types K (one sub-network each).
+  size_t num_events = 1;
+
+  // --- Architecture ---
+  /// LSTM hidden width.
+  size_t lstm_hidden = 24;
+  /// Width of the shared fully-connected layer producing z.
+  size_t shared_dim = 24;
+  /// Hidden width of each event-specific sub-network.
+  size_t event_hidden = 32;
+  /// Dropout rate on z during training.
+  double dropout = 0.1;
+
+  // --- Training ---
+  int epochs = 18;
+  int batch_size = 16;
+  double learning_rate = 3e-3;
+  double grad_clip_norm = 5.0;
+  /// Per-event weights of the existence loss L1 (beta_k). Empty = all 1.
+  std::vector<double> beta;
+  /// Per-event weights of the occupancy loss L2 (gamma_k). Empty = all 1.
+  std::vector<double> gamma;
+  /// Weight-initialisation / dropout / shuffle seed.
+  uint64_t seed = 7;
+};
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_EVENTHIT_CONFIG_H_

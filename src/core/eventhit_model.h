@@ -1,0 +1,85 @@
+// The EventHit deep model (§III, Figure 3): a shared LSTM encoder over the
+// collection window, a shared fully-connected + dropout layer producing the
+// latent vector z, and one sigmoid-activated sub-network per event type
+// emitting [b_k, theta_{k,1}, ..., theta_{k,H}].
+//
+// Training minimises L_Total = L1 + L2:
+//   L1 — weighted BCE between b_k and 1[E_k in L_n];
+//   L2 — for positive records, per-frame BCE between theta_{k,v} and frame
+//        occupancy, weighted 1/|interval| inside the occurrence interval and
+//        1/(H - |interval|) outside (the paper's normalisation), censored
+//        occurrences clipped at the horizon end.
+#ifndef EVENTHIT_CORE_EVENTHIT_MODEL_H_
+#define EVENTHIT_CORE_EVENTHIT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/eventhit_config.h"
+#include "core/prediction.h"
+#include "data/record.h"
+#include "nn/adam.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/lstm.h"
+#include "nn/mlp.h"
+
+namespace eventhit::core {
+
+/// Per-epoch training diagnostics.
+struct TrainEpochStats {
+  double existence_loss = 0.0;  // L1, averaged over records.
+  double occupancy_loss = 0.0;  // L2, averaged over records.
+  double total_loss = 0.0;
+  double grad_norm = 0.0;  // Mean pre-clip gradient norm across steps.
+};
+
+/// The trained/trainable EventHit network.
+class EventHitModel {
+ public:
+  /// Initialises weights from config.seed. `config.feature_dim` and
+  /// `config.num_events` must be set.
+  explicit EventHitModel(const EventHitConfig& config);
+
+  const EventHitConfig& config() const { return config_; }
+
+  /// Trains end-to-end on `records` (their covariates must be
+  /// M x feature_dim). Returns per-epoch statistics.
+  std::vector<TrainEpochStats> Train(const std::vector<data::Record>& records);
+
+  /// Inference: raw scores for one covariate block.
+  EventScores Predict(const data::Record& record) const;
+
+  /// Inference from a raw covariate pointer (M x D floats).
+  EventScores PredictCovariates(const float* covariates) const;
+
+  /// Number of trainable scalars.
+  size_t ParameterCount() const;
+
+  /// Persists / restores all weights.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  // Shared trunk forward pass (inference mode: no dropout). Fills z and the
+  // concatenated sub-network input u = z ++ x_last.
+  void TrunkForward(const float* covariates, nn::Vec& z, nn::Vec& u) const;
+
+  // One training example: forward + loss + backward. Returns (L1, L2).
+  std::pair<double, double> TrainStep(const data::Record& record, Rng& rng);
+
+  nn::ParameterRefs Parameters();
+
+  EventHitConfig config_;
+  nn::Lstm lstm_;
+  nn::Dense shared_fc_;
+  nn::Dropout dropout_;
+  std::vector<nn::Mlp> event_nets_;
+  mutable Rng rng_;  // Dropout masks and shuffling during Train.
+};
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_EVENTHIT_MODEL_H_

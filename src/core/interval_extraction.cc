@@ -1,0 +1,69 @@
+#include "core/interval_extraction.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eventhit::core {
+
+sim::Interval ExtractOccurrenceInterval(const std::vector<float>& theta,
+                                        double tau2) {
+  EVENTHIT_CHECK(!theta.empty());
+  int64_t first = -1;
+  int64_t last = -1;
+  for (size_t v = 0; v < theta.size(); ++v) {
+    if (theta[v] >= tau2) {
+      if (first < 0) first = static_cast<int64_t>(v) + 1;
+      last = static_cast<int64_t>(v) + 1;
+    }
+  }
+  if (first >= 0) return sim::Interval{first, last};
+  // Fallback: argmax as a one-frame interval.
+  const auto it = std::max_element(theta.begin(), theta.end());
+  const int64_t offset = (it - theta.begin()) + 1;
+  return sim::Interval{offset, offset};
+}
+
+sim::Interval ClampToHorizon(const sim::Interval& interval, int horizon) {
+  EVENTHIT_CHECK_GT(horizon, 0);
+  if (interval.empty()) return sim::Interval::Empty();
+  sim::Interval out{std::max<int64_t>(interval.start, 1),
+                    std::min<int64_t>(interval.end, horizon)};
+  if (out.empty()) {
+    // Entirely outside the horizon: snap to the nearest boundary frame.
+    const int64_t frame = interval.end < 1 ? 1 : horizon;
+    return sim::Interval{frame, frame};
+  }
+  return out;
+}
+
+std::vector<sim::Interval> ExtractOccurrenceIntervals(
+    const std::vector<float>& theta, double tau2, int min_gap) {
+  EVENTHIT_CHECK(!theta.empty());
+  EVENTHIT_CHECK_GE(min_gap, 1);
+  std::vector<sim::Interval> runs;
+  int64_t run_start = -1;
+  for (size_t v = 0; v <= theta.size(); ++v) {
+    const bool above = v < theta.size() && theta[v] >= tau2;
+    if (above && run_start < 0) {
+      run_start = static_cast<int64_t>(v) + 1;
+    } else if (!above && run_start >= 0) {
+      runs.push_back(sim::Interval{run_start, static_cast<int64_t>(v)});
+      run_start = -1;
+    }
+  }
+  if (runs.empty()) return runs;
+  // Merge runs separated by fewer than min_gap below-threshold frames.
+  std::vector<sim::Interval> merged;
+  merged.push_back(runs.front());
+  for (size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].start - merged.back().end - 1 < min_gap) {
+      merged.back().end = runs[i].end;
+    } else {
+      merged.push_back(runs[i]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace eventhit::core

@@ -1,0 +1,36 @@
+// Converts EventHit's per-frame occurrence scores into a predicted
+// occurrence interval (Equations (5)/(6) of §III).
+#ifndef EVENTHIT_CORE_INTERVAL_EXTRACTION_H_
+#define EVENTHIT_CORE_INTERVAL_EXTRACTION_H_
+
+#include <vector>
+
+#include "sim/interval.h"
+
+namespace eventhit::core {
+
+/// Extracts [min{v : theta_v >= tau2}, max{v : theta_v >= tau2}] with
+/// 1-based offsets, per Eq. (6). When no score clears tau2 (the paper's
+/// equations leave this case implicit), falls back to the argmax frame as a
+/// single-frame interval, so that a predicted-present event always relays at
+/// least one frame; C-REGRESS then widens it like any other estimate.
+sim::Interval ExtractOccurrenceInterval(const std::vector<float>& theta,
+                                        double tau2);
+
+/// Clamps an interval of 1-based offsets to [1, horizon]. An input that
+/// leaves no overlap with [1, horizon] yields the nearest single frame.
+sim::Interval ClampToHorizon(const sim::Interval& interval, int horizon);
+
+/// Footnote-1 extension: extracts *all* occurrence intervals in the
+/// horizon, for streams where an event type can occur more than once per
+/// horizon. Maximal runs of theta_v >= tau2 become candidate intervals;
+/// runs separated by fewer than `min_gap` sub-threshold frames are merged
+/// (the paper's "events occur in continuous frames" smoothing). Returns an
+/// empty vector when no score clears tau2 (no argmax fallback here: with
+/// multiple instances an unconfident head should relay nothing extra).
+std::vector<sim::Interval> ExtractOccurrenceIntervals(
+    const std::vector<float>& theta, double tau2, int min_gap = 1);
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_INTERVAL_EXTRACTION_H_

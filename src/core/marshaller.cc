@@ -1,0 +1,116 @@
+#include "core/marshaller.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace eventhit::core {
+
+Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
+                       int horizon, size_t feature_dim, size_t num_events)
+    : strategy_(strategy),
+      collection_window_(collection_window),
+      horizon_(horizon),
+      feature_dim_(feature_dim),
+      num_events_(num_events) {
+  EVENTHIT_CHECK(strategy_ != nullptr);
+  EVENTHIT_CHECK_GT(collection_window_, 0);
+  EVENTHIT_CHECK_GT(horizon_, 0);
+  EVENTHIT_CHECK_GT(feature_dim_, 0u);
+  EVENTHIT_CHECK_GT(num_events_, 0u);
+  ring_.assign(static_cast<size_t>(collection_window_) * feature_dim_, 0.0f);
+}
+
+void Marshaller::set_relay_callback(RelayCallback callback) {
+  relay_callback_ = std::move(callback);
+}
+
+namespace {
+
+// Predictions fire once the window has filled and every `horizon` frames
+// afterwards: frames M-1, M-1+H, M-1+2H, ...
+bool IsPredictionFrame(int64_t frame, int window, int horizon) {
+  const int64_t first = window - 1;
+  return frame >= first && (frame - first) % horizon == 0;
+}
+
+}  // namespace
+
+int64_t Marshaller::next_prediction_frame() const {
+  const int64_t first = collection_window_ - 1;
+  if (frame_count_ <= first) return first;
+  const int64_t periods = (frame_count_ - 1 - first) / horizon_ + 1;
+  const int64_t next = first + periods * horizon_;
+  // frame_count_ is the next frame to arrive; it may itself be one.
+  return IsPredictionFrame(frame_count_, collection_window_, horizon_)
+             ? frame_count_
+             : next;
+}
+
+bool Marshaller::PushFrame(const float* features) {
+  const size_t slot =
+      static_cast<size_t>(frame_count_ %
+                          static_cast<int64_t>(collection_window_));
+  std::memcpy(ring_.data() + slot * feature_dim_, features,
+              feature_dim_ * sizeof(float));
+  const int64_t current_frame = frame_count_;
+  ++frame_count_;
+  ++stats_.frames_seen;
+
+  if (!IsPredictionFrame(current_frame, collection_window_, horizon_)) {
+    return false;
+  }
+
+  // Reconstruct the window in logical (oldest-first) order.
+  std::vector<float> covariates(
+      static_cast<size_t>(collection_window_) * feature_dim_);
+  for (int m = 0; m < collection_window_; ++m) {
+    const int64_t frame = current_frame - collection_window_ + 1 + m;
+    const size_t src = static_cast<size_t>(
+        frame % static_cast<int64_t>(collection_window_));
+    std::memcpy(covariates.data() + static_cast<size_t>(m) * feature_dim_,
+                ring_.data() + src * feature_dim_,
+                feature_dim_ * sizeof(float));
+  }
+
+  data::Record record;
+  record.frame = current_frame;
+  record.covariates = std::move(covariates);
+  record.labels.resize(num_events_);  // Unknown at inference; zeroed.
+  last_decision_ = strategy_->Decide(record);
+  ++stats_.horizons_predicted;
+
+  // Relay orders in absolute frames; count billed frames as the union.
+  std::vector<sim::Interval> relayed;
+  for (size_t k = 0; k < last_decision_.exists.size(); ++k) {
+    if (!last_decision_.exists[k]) continue;
+    const sim::Interval& offsets = last_decision_.intervals[k];
+    RelayOrder order;
+    order.event = k;
+    order.frames = sim::Interval{current_frame + offsets.start,
+                                 current_frame + offsets.end};
+    relayed.push_back(order.frames);
+    ++stats_.relay_orders;
+    if (relay_callback_) relay_callback_(order);
+  }
+  if (!relayed.empty()) {
+    std::sort(relayed.begin(), relayed.end(),
+              [](const sim::Interval& a, const sim::Interval& b) {
+                return a.start < b.start;
+              });
+    int64_t cursor = relayed.front().start - 1;
+    for (const sim::Interval& interval : relayed) {
+      const int64_t from = std::max(interval.start, cursor + 1);
+      if (interval.end >= from) {
+        stats_.frames_relayed += interval.end - from + 1;
+        cursor = interval.end;
+      } else {
+        cursor = std::max(cursor, interval.end);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace eventhit::core

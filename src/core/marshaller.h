@@ -1,0 +1,84 @@
+// Streaming deployment wrapper: consumes a video stream frame by frame,
+// maintains the collection window, runs an EventHit strategy at every
+// horizon boundary, and relays the predicted occurrence intervals to the
+// cloud service — the online loop of Figure 1, as a reusable component.
+#ifndef EVENTHIT_CORE_MARSHALLER_H_
+#define EVENTHIT_CORE_MARSHALLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/prediction.h"
+#include "nn/matrix.h"
+
+namespace eventhit::core {
+
+/// One relay order produced by the marshaller: absolute stream frames to
+/// send to the CI for one event type.
+struct RelayOrder {
+  size_t event = 0;             // Index within the strategy's event list.
+  sim::Interval frames;         // Absolute stream frame interval.
+};
+
+/// Statistics of a marshalling session.
+struct MarshallerStats {
+  int64_t frames_seen = 0;
+  int64_t horizons_predicted = 0;
+  int64_t frames_relayed = 0;   // Union over events per horizon.
+  int64_t relay_orders = 0;
+};
+
+/// Frame-by-frame driver around a MarshalStrategy.
+///
+/// Usage:
+///   Marshaller marshaller(&strategy, M, H, D);
+///   for each frame f: marshaller.PushFrame(features_of(f));
+/// Relay orders are delivered through the callback passed to PushFrame's
+/// owner via `set_relay_callback`, at every horizon boundary once the
+/// collection window has filled.
+class Marshaller {
+ public:
+  using RelayCallback = std::function<void(const RelayOrder&)>;
+
+  /// `strategy` must outlive the marshaller. `collection_window` = M,
+  /// `horizon` = H, `feature_dim` = D of the per-frame feature vectors.
+  Marshaller(const MarshalStrategy* strategy, int collection_window,
+             int horizon, size_t feature_dim, size_t num_events);
+
+  /// Registers the sink for relay orders (e.g. a CloudService adapter).
+  void set_relay_callback(RelayCallback callback);
+
+  /// Feeds the features of the next stream frame (feature_dim floats).
+  /// Returns true when this frame triggered a prediction.
+  bool PushFrame(const float* features);
+
+  /// Decision made at the most recent prediction point (empty before the
+  /// first prediction).
+  const MarshalDecision& last_decision() const { return last_decision_; }
+
+  const MarshallerStats& stats() const { return stats_; }
+
+  /// The absolute frame index of the next prediction point.
+  int64_t next_prediction_frame() const;
+
+ private:
+  const MarshalStrategy* strategy_;
+  int collection_window_;
+  int horizon_;
+  size_t feature_dim_;
+  size_t num_events_;
+  RelayCallback relay_callback_;
+
+  // Ring buffer of the last M frames' features (row-major M x D, logical
+  // order reconstructed at prediction time).
+  std::vector<float> ring_;
+  int64_t frame_count_ = 0;
+
+  MarshalDecision last_decision_;
+  MarshallerStats stats_;
+};
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_MARSHALLER_H_

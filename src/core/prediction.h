@@ -1,0 +1,50 @@
+// Shared output types of EventHit and all compared marshalling strategies.
+#ifndef EVENTHIT_CORE_PREDICTION_H_
+#define EVENTHIT_CORE_PREDICTION_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+#include "sim/interval.h"
+
+namespace eventhit::core {
+
+/// Raw EventHit outputs for one record: per event type, the existence score
+/// b_k and the per-frame occurrence scores theta_{k,1..H} (probabilities,
+/// i.e. after the sigmoid).
+struct EventScores {
+  /// b_k per event (size K).
+  std::vector<double> existence;
+  /// theta_{k,v} per event (K x H); theta[k][v-1] scores horizon offset v.
+  std::vector<std::vector<float>> occupancy;
+};
+
+/// The decision a marshalling strategy makes for one record: which events it
+/// believes will occur in the horizon, and for those, which frame-offset
+/// interval to relay to the cloud service. Offsets are 1-based in [1, H];
+/// intervals of absent events must be empty.
+struct MarshalDecision {
+  std::vector<bool> exists;
+  std::vector<sim::Interval> intervals;
+};
+
+/// Interface implemented by every algorithm of §VI.B (EHO/EHC/EHR/EHCR,
+/// OPT, BF, COX, VQS, APP-VAE). A strategy observes only the record (its
+/// covariates and anchor frame); implementations that model per-frame
+/// filters (VQS) additionally consult the stream they were constructed on,
+/// mirroring the frames those systems would actually process.
+class MarshalStrategy {
+ public:
+  virtual ~MarshalStrategy() = default;
+
+  /// Display name ("EHCR", "COX", ...).
+  virtual std::string name() const = 0;
+
+  /// Decision for one record.
+  virtual MarshalDecision Decide(const data::Record& record) const = 0;
+};
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_PREDICTION_H_

@@ -1,0 +1,41 @@
+#include "core/recalibrator.h"
+
+#include "common/check.h"
+
+namespace eventhit::core {
+
+Recalibrator::Recalibrator(const EventHitModel* model, size_t capacity,
+                           double tau2)
+    : model_(model), capacity_(capacity), tau2_(tau2) {
+  EVENTHIT_CHECK(model_ != nullptr);
+  EVENTHIT_CHECK_GT(capacity_, 0u);
+}
+
+void Recalibrator::AddLabeledRecord(data::Record record) {
+  EVENTHIT_CHECK_EQ(record.labels.size(), model_->config().num_events);
+  window_.push_back(std::move(record));
+  if (window_.size() > capacity_) window_.pop_front();
+}
+
+size_t Recalibrator::PositiveCount(size_t k) const {
+  EVENTHIT_CHECK_LT(k, model_->config().num_events);
+  size_t count = 0;
+  for (const data::Record& record : window_) {
+    count += record.labels[k].present ? 1 : 0;
+  }
+  return count;
+}
+
+std::unique_ptr<CClassify> Recalibrator::BuildCClassify() const {
+  const std::vector<data::Record> records(window_.begin(), window_.end());
+  return std::make_unique<CClassify>(*model_, records);
+}
+
+std::unique_ptr<CRegress> Recalibrator::BuildCRegress() const {
+  const std::vector<data::Record> records(window_.begin(), window_.end());
+  return std::make_unique<CRegress>(*model_, records, tau2_);
+}
+
+void Recalibrator::Clear() { window_.clear(); }
+
+}  // namespace eventhit::core

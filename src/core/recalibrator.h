@@ -1,0 +1,61 @@
+// Rolling-window recalibration of the conformal wrappers — the deployment
+// response to a drift alarm (pairs with core/drift_detector.h).
+//
+// During operation, the CI's confirmations of relayed segments provide
+// fresh labeled records. The recalibrator keeps the most recent ones in a
+// bounded window and rebuilds C-CLASSIFY / C-REGRESS from them on demand,
+// so the conformal guarantees track the *current* regime without
+// retraining the underlying model (retraining remains advisable when the
+// scores themselves have degraded).
+#ifndef EVENTHIT_CORE_RECALIBRATOR_H_
+#define EVENTHIT_CORE_RECALIBRATOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/c_classify.h"
+#include "core/c_regress.h"
+#include "core/eventhit_model.h"
+#include "data/record.h"
+
+namespace eventhit::core {
+
+/// Bounded FIFO of labeled records plus calibrator factories.
+class Recalibrator {
+ public:
+  /// `model` must outlive the recalibrator. `capacity` bounds the window;
+  /// `tau2` is the occupancy threshold used when rebuilding C-REGRESS.
+  Recalibrator(const EventHitModel* model, size_t capacity,
+               double tau2 = 0.5);
+
+  /// Adds a freshly labeled record (evicting the oldest at capacity).
+  void AddLabeledRecord(data::Record record);
+
+  size_t size() const { return window_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Number of windowed records whose horizon contains event `k` — the
+  /// effective calibration sample for that event.
+  size_t PositiveCount(size_t k) const;
+
+  /// Rebuilds the conformal existence classifier from the current window.
+  std::unique_ptr<CClassify> BuildCClassify() const;
+
+  /// Rebuilds the conformal interval adjuster from the current window.
+  std::unique_ptr<CRegress> BuildCRegress() const;
+
+  /// Drops every windowed record (e.g. after a confirmed regime change,
+  /// when pre-shift records would poison the calibration).
+  void Clear();
+
+ private:
+  const EventHitModel* model_;
+  size_t capacity_;
+  double tau2_;
+  std::deque<data::Record> window_;
+};
+
+}  // namespace eventhit::core
+
+#endif  // EVENTHIT_CORE_RECALIBRATOR_H_

@@ -1,0 +1,62 @@
+#include "core/strategies.h"
+
+#include "common/check.h"
+#include "core/interval_extraction.h"
+
+namespace eventhit::core {
+
+EventHitStrategy::EventHitStrategy(const EventHitModel* model,
+                                   const CClassify* cclassify,
+                                   const CRegress* cregress,
+                                   EventHitStrategyOptions options)
+    : model_(model),
+      cclassify_(cclassify),
+      cregress_(cregress),
+      options_(options) {
+  EVENTHIT_CHECK(model_ != nullptr);
+  if (options_.use_cclassify) EVENTHIT_CHECK(cclassify_ != nullptr);
+  if (options_.use_cregress) EVENTHIT_CHECK(cregress_ != nullptr);
+}
+
+std::string EventHitStrategy::name() const {
+  if (options_.use_cclassify && options_.use_cregress) return "EHCR";
+  if (options_.use_cclassify) return "EHC";
+  if (options_.use_cregress) return "EHR";
+  return "EHO";
+}
+
+MarshalDecision EventHitStrategy::DecideFromScores(
+    const EventScores& scores) const {
+  const size_t k_events = scores.existence.size();
+  MarshalDecision decision;
+  decision.exists.resize(k_events);
+  decision.intervals.assign(k_events, sim::Interval::Empty());
+
+  std::vector<bool> exists;
+  if (options_.use_cclassify) {
+    exists = cclassify_->PredictExistence(scores, options_.confidence);
+  } else {
+    exists.resize(k_events);
+    for (size_t k = 0; k < k_events; ++k) {
+      exists[k] = scores.existence[k] >= options_.tau1;
+    }
+  }
+
+  for (size_t k = 0; k < k_events; ++k) {
+    decision.exists[k] = exists[k];
+    if (!exists[k]) continue;
+    sim::Interval interval =
+        ExtractOccurrenceInterval(scores.occupancy[k], options_.tau2);
+    if (options_.use_cregress) {
+      interval = cregress_->Adjust(k, interval, options_.coverage);
+    }
+    decision.intervals[k] = interval;
+  }
+  return decision;
+}
+
+MarshalDecision EventHitStrategy::Decide(const data::Record& record) const {
+  return DecideFromScores(model_->Predict(record));
+}
+
+}  // namespace eventhit::core

@@ -1,0 +1,12 @@
+#include "data/record.h"
+
+namespace eventhit::data {
+
+bool AnyEventPresent(const Record& record) {
+  for (const EventLabel& label : record.labels) {
+    if (label.present) return true;
+  }
+  return false;
+}
+
+}  // namespace eventhit::data

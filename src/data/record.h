@@ -1,0 +1,47 @@
+// Training/calibration/test records: the triplets (X_n, L_n, T_n) of §II.
+//
+// A record is anchored at frame T_n. Its covariates are the feature vectors
+// of the M-frame collection window ending at T_n; its labels describe, for
+// each event type of the task, whether the event occurs in the time horizon
+// (T_n, T_n + H] and at which frame offsets.
+#ifndef EVENTHIT_DATA_RECORD_H_
+#define EVENTHIT_DATA_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace eventhit::data {
+
+/// Ground-truth label of one event type within a record's time horizon.
+/// Offsets are 1-based: 1 is the first frame after T_n, H the last frame of
+/// the horizon, matching the paper's T^{s}, T^{e} in [1, H].
+struct EventLabel {
+  /// Whether the event occurs in the horizon (E_k in L_n).
+  bool present = false;
+  /// Start offset of the occurrence interval, clipped to [1, H]. An
+  /// occurrence already in progress at T_n has start = 1.
+  int start = 0;
+  /// End offset, clipped to H.
+  int end = 0;
+  /// delta_k of the paper: the occurrence extends past the horizon, so its
+  /// end is censored at H.
+  bool censored = false;
+};
+
+/// One (X_n, L_n, T_n) triplet.
+struct Record {
+  /// Anchor frame T_n in the source stream.
+  int64_t frame = 0;
+  /// Row-major M x D covariate block.
+  std::vector<float> covariates;
+  /// One label per event type of the task (same order as the task's event
+  /// list).
+  std::vector<EventLabel> labels;
+};
+
+/// True iff at least one event of the task occurs in the record's horizon.
+bool AnyEventPresent(const Record& record);
+
+}  // namespace eventhit::data
+
+#endif  // EVENTHIT_DATA_RECORD_H_

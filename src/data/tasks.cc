@@ -1,0 +1,57 @@
+#include "data/tasks.h"
+
+#include "common/check.h"
+
+namespace eventhit::data {
+namespace {
+
+Task MakeTask(const std::string& name, std::vector<int> global_events) {
+  EVENTHIT_CHECK(!global_events.empty());
+  Task task;
+  task.name = name;
+  task.global_events = global_events;
+  bool first = true;
+  for (int ev : global_events) {
+    const auto ref = sim::ResolveGlobalEvent(ev);
+    EVENTHIT_CHECK(ref.ok());
+    if (first) {
+      task.dataset = ref.value().dataset;
+      first = false;
+    } else {
+      // Table II never mixes datasets within a task.
+      EVENTHIT_CHECK(task.dataset == ref.value().dataset);
+    }
+    task.event_indices.push_back(ref.value().local_index);
+  }
+  return task;
+}
+
+std::vector<Task> BuildAllTasks() {
+  return {
+      MakeTask("TA1", {1}),       MakeTask("TA2", {2}),
+      MakeTask("TA3", {3}),       MakeTask("TA4", {4}),
+      MakeTask("TA5", {5}),       MakeTask("TA6", {6}),
+      MakeTask("TA7", {1, 5}),    MakeTask("TA8", {5, 6}),
+      MakeTask("TA9", {1, 5, 6}), MakeTask("TA10", {7}),
+      MakeTask("TA11", {8}),      MakeTask("TA12", {9}),
+      MakeTask("TA13", {10}),     MakeTask("TA14", {11}),
+      MakeTask("TA15", {11, 12}), MakeTask("TA16", {10, 12}),
+  };
+}
+
+}  // namespace
+
+const std::vector<Task>& AllTasks() {
+  static const std::vector<Task>* const kTasks =
+      new std::vector<Task>(BuildAllTasks());
+  return *kTasks;
+}
+
+Result<Task> FindTask(const std::string& name) {
+  for (const Task& task : AllTasks()) {
+    if (task.name == name) return task;
+  }
+  return NotFoundError("unknown task: " + name);
+}
+
+}  // namespace eventhit::data

@@ -1,0 +1,31 @@
+// The sixteen prediction tasks of Table II: each task names a dataset and a
+// subset of its event types whose occurrences must be predicted jointly.
+#ifndef EVENTHIT_DATA_TASKS_H_
+#define EVENTHIT_DATA_TASKS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/datasets.h"
+
+namespace eventhit::data {
+
+/// One prediction task.
+struct Task {
+  std::string name;                  // "TA1"
+  sim::DatasetId dataset;            // Source dataset.
+  std::vector<size_t> event_indices; // Local event indices in the dataset.
+  std::vector<int> global_events;    // Paper numbering E1..E12 (diagnostics).
+};
+
+/// All tasks TA1..TA16 in Table II order.
+const std::vector<Task>& AllTasks();
+
+/// Looks a task up by name ("TA7"); NotFoundError if unknown.
+Result<Task> FindTask(const std::string& name);
+
+}  // namespace eventhit::data
+
+#endif  // EVENTHIT_DATA_TASKS_H_

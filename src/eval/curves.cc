@@ -1,0 +1,150 @@
+#include "eval/curves.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace eventhit::eval {
+
+std::vector<double> LinearGrid(double lo, double hi, int count) {
+  EVENTHIT_CHECK_GE(count, 2);
+  EVENTHIT_CHECK_LE(lo, hi);
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    grid.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(count - 1));
+  }
+  return grid;
+}
+
+std::vector<CurvePoint> SweepConfidence(
+    const TrainedEventHit& trained, const TaskEnvironment& env,
+    const std::vector<double>& confidences) {
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  core::EventHitStrategy strategy(trained.model.get(),
+                                  trained.cclassify.get(), nullptr, options);
+  std::vector<CurvePoint> points;
+  for (double c : confidences) {
+    strategy.set_confidence(c);
+    CurvePoint point;
+    point.confidence = c;
+    point.metrics = EvaluateFromScores(strategy, trained.test_scores,
+                                       env.test_records(), env.horizon());
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<CurvePoint> SweepCoverage(const TrainedEventHit& trained,
+                                      const TaskEnvironment& env,
+                                      const std::vector<double>& coverages) {
+  core::EventHitStrategyOptions options;
+  options.use_cregress = true;
+  core::EventHitStrategy strategy(trained.model.get(), nullptr,
+                                  trained.cregress.get(), options);
+  std::vector<CurvePoint> points;
+  for (double alpha : coverages) {
+    strategy.set_coverage(alpha);
+    CurvePoint point;
+    point.coverage = alpha;
+    point.metrics = EvaluateFromScores(strategy, trained.test_scores,
+                                       env.test_records(), env.horizon());
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<CurvePoint> SweepJoint(const TrainedEventHit& trained,
+                                   const TaskEnvironment& env,
+                                   const std::vector<double>& confidences,
+                                   const std::vector<double>& coverages) {
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  core::EventHitStrategy strategy(trained.model.get(),
+                                  trained.cclassify.get(),
+                                  trained.cregress.get(), options);
+  std::vector<CurvePoint> points;
+  for (double c : confidences) {
+    strategy.set_confidence(c);
+    for (double alpha : coverages) {
+      strategy.set_coverage(alpha);
+      CurvePoint point;
+      point.confidence = c;
+      point.coverage = alpha;
+      point.metrics = EvaluateFromScores(strategy, trained.test_scores,
+                                         env.test_records(), env.horizon());
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::vector<CurvePoint> SweepCox(baselines::CoxStrategy& strategy,
+                                 const TaskEnvironment& env,
+                                 const std::vector<double>& thresholds) {
+  std::vector<CurvePoint> points;
+  for (double tau : thresholds) {
+    strategy.set_threshold(tau);
+    CurvePoint point;
+    point.threshold = tau;
+    point.metrics =
+        EvaluateStrategy(strategy, env.test_records(), env.horizon());
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<CurvePoint> SweepVqs(baselines::VqsStrategy& strategy,
+                                 const TaskEnvironment& env,
+                                 const std::vector<double>& thresholds) {
+  std::vector<CurvePoint> points;
+  for (double tau : thresholds) {
+    strategy.set_threshold(tau);
+    CurvePoint point;
+    point.threshold = tau;
+    point.metrics =
+        EvaluateStrategy(strategy, env.test_records(), env.horizon());
+    points.push_back(point);
+  }
+  return points;
+}
+
+std::vector<CurvePoint> ParetoFrontier(std::vector<CurvePoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const CurvePoint& a, const CurvePoint& b) {
+              if (a.metrics.spl != b.metrics.spl) {
+                return a.metrics.spl < b.metrics.spl;
+              }
+              return a.metrics.rec > b.metrics.rec;
+            });
+  std::vector<CurvePoint> frontier;
+  double best_rec = -1.0;
+  for (const CurvePoint& point : points) {
+    if (point.metrics.rec > best_rec) {
+      frontier.push_back(point);
+      best_rec = point.metrics.rec;
+    }
+  }
+  return frontier;
+}
+
+bool MinSplAtRecall(const std::vector<CurvePoint>& points, double target_rec,
+                    double* min_spl) {
+  bool found = false;
+  double best = 0.0;
+  for (const CurvePoint& point : points) {
+    if (point.metrics.rec >= target_rec) {
+      if (!found || point.metrics.spl < best) {
+        best = point.metrics.spl;
+        found = true;
+      }
+    }
+  }
+  if (found && min_spl != nullptr) *min_spl = best;
+  return found;
+}
+
+}  // namespace eventhit::eval

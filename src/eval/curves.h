@@ -1,0 +1,64 @@
+// Knob sweeps producing the REC–SPL curves of Figures 4–6, plus the Pareto
+// frontier used to plot the joint (c, alpha) sweep of EHCR.
+#ifndef EVENTHIT_EVAL_CURVES_H_
+#define EVENTHIT_EVAL_CURVES_H_
+
+#include <vector>
+
+#include "baselines/cox_strategy.h"
+#include "baselines/vqs_filter.h"
+#include "core/strategies.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace eventhit::eval {
+
+/// One swept operating point. Knobs not being swept stay at -1.
+struct CurvePoint {
+  double confidence = -1.0;  // c of C-CLASSIFY.
+  double coverage = -1.0;    // alpha of C-REGRESS.
+  double threshold = -1.0;   // tau_cox / tau_vqs for the baselines.
+  Metrics metrics;
+};
+
+/// Evenly spaced grid in [lo, hi] with `count` points (count >= 2).
+std::vector<double> LinearGrid(double lo, double hi, int count);
+
+/// EHC: sweep the confidence level c.
+std::vector<CurvePoint> SweepConfidence(
+    const TrainedEventHit& trained, const TaskEnvironment& env,
+    const std::vector<double>& confidences);
+
+/// EHR: sweep the coverage level alpha.
+std::vector<CurvePoint> SweepCoverage(const TrainedEventHit& trained,
+                                      const TaskEnvironment& env,
+                                      const std::vector<double>& coverages);
+
+/// EHCR: joint sweep over (c, alpha).
+std::vector<CurvePoint> SweepJoint(const TrainedEventHit& trained,
+                                   const TaskEnvironment& env,
+                                   const std::vector<double>& confidences,
+                                   const std::vector<double>& coverages);
+
+/// COX: sweep tau_cox.
+std::vector<CurvePoint> SweepCox(baselines::CoxStrategy& strategy,
+                                 const TaskEnvironment& env,
+                                 const std::vector<double>& thresholds);
+
+/// VQS: sweep tau_vqs.
+std::vector<CurvePoint> SweepVqs(baselines::VqsStrategy& strategy,
+                                 const TaskEnvironment& env,
+                                 const std::vector<double>& thresholds);
+
+/// Keeps the points not dominated in (higher REC, lower SPL); the result is
+/// sorted by SPL ascending (REC strictly increasing).
+std::vector<CurvePoint> ParetoFrontier(std::vector<CurvePoint> points);
+
+/// Smallest SPL among swept points reaching at least `target_rec`;
+/// returns false if no point reaches it.
+bool MinSplAtRecall(const std::vector<CurvePoint>& points, double target_rec,
+                    double* min_spl);
+
+}  // namespace eventhit::eval
+
+#endif  // EVENTHIT_EVAL_CURVES_H_

@@ -1,0 +1,106 @@
+#include "eval/hyper_search.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/eventhit_model.h"
+#include "core/strategies.h"
+#include "eval/runner.h"
+
+namespace eventhit::eval {
+namespace {
+
+core::EventHitConfig ApplyCandidate(const core::EventHitConfig& base,
+                                    size_t lstm_hidden, size_t event_hidden,
+                                    double learning_rate, double beta,
+                                    double gamma) {
+  core::EventHitConfig config = base;
+  config.lstm_hidden = lstm_hidden;
+  config.event_hidden = event_hidden;
+  config.learning_rate = learning_rate;
+  config.beta.assign(config.num_events, beta);
+  config.gamma.assign(config.num_events, gamma);
+  return config;
+}
+
+void SortBestFirst(std::vector<HyperResult>& results) {
+  std::sort(results.begin(), results.end(),
+            [](const HyperResult& a, const HyperResult& b) {
+              return a.objective > b.objective;
+            });
+}
+
+}  // namespace
+
+HyperResult EvaluateCandidate(const core::EventHitConfig& config,
+                              const std::vector<data::Record>& train,
+                              const std::vector<data::Record>& validation,
+                              const HyperSearchOptions& options) {
+  EVENTHIT_CHECK(!train.empty());
+  EVENTHIT_CHECK(!validation.empty());
+  HyperResult result;
+  result.config = config;
+  core::EventHitModel model(config);
+  model.Train(train);
+  core::EventHitStrategyOptions strategy_options;
+  strategy_options.tau1 = options.tau1;
+  strategy_options.tau2 = options.tau2;
+  const core::EventHitStrategy eho(&model, nullptr, nullptr,
+                                   strategy_options);
+  result.validation =
+      EvaluateStrategy(eho, validation, config.horizon);
+  result.objective =
+      result.validation.rec - options.spillage_weight * result.validation.spl;
+  return result;
+}
+
+std::vector<HyperResult> GridSearch(
+    const core::EventHitConfig& base, const HyperGrid& grid,
+    const std::vector<data::Record>& train,
+    const std::vector<data::Record>& validation,
+    const HyperSearchOptions& options) {
+  EVENTHIT_CHECK_GT(grid.Combinations(), 0u);
+  std::vector<HyperResult> results;
+  results.reserve(grid.Combinations());
+  for (size_t lstm : grid.lstm_hidden) {
+    for (size_t hidden : grid.event_hidden) {
+      for (double lr : grid.learning_rate) {
+        for (double beta : grid.beta) {
+          for (double gamma : grid.gamma) {
+            results.push_back(EvaluateCandidate(
+                ApplyCandidate(base, lstm, hidden, lr, beta, gamma), train,
+                validation, options));
+          }
+        }
+      }
+    }
+  }
+  SortBestFirst(results);
+  return results;
+}
+
+std::vector<HyperResult> RandomSearch(
+    const core::EventHitConfig& base, const HyperGrid& grid, size_t samples,
+    const std::vector<data::Record>& train,
+    const std::vector<data::Record>& validation, Rng& rng,
+    const HyperSearchOptions& options) {
+  EVENTHIT_CHECK_GT(samples, 0u);
+  EVENTHIT_CHECK_GT(grid.Combinations(), 0u);
+  auto pick = [&rng](const auto& values) {
+    return values[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
+  };
+  std::vector<HyperResult> results;
+  results.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    results.push_back(EvaluateCandidate(
+        ApplyCandidate(base, pick(grid.lstm_hidden), pick(grid.event_hidden),
+                       pick(grid.learning_rate), pick(grid.beta),
+                       pick(grid.gamma)),
+        train, validation, options));
+  }
+  SortBestFirst(results);
+  return results;
+}
+
+}  // namespace eventhit::eval

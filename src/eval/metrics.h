@@ -1,0 +1,57 @@
+// Evaluation measures of §VI.C: REC (Eq. 12), SPL (Eq. 13), REC_c and
+// REC_r, plus frame accounting for the cost/FPS figures.
+#ifndef EVENTHIT_EVAL_METRICS_H_
+#define EVENTHIT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prediction.h"
+#include "data/record.h"
+
+namespace eventhit::eval {
+
+/// Aggregate metrics over a record set.
+struct Metrics {
+  /// Frame-level recall REC (Eq. 12): mean over positive (record, event)
+  /// pairs of the covered fraction of the true occurrence interval.
+  double rec = 0.0;
+  /// Spillage SPL (Eq. 13): frame-level false-positive rate, averaged over
+  /// all (record, event) pairs.
+  double spl = 0.0;
+  /// Existence-prediction recall REC_c.
+  double rec_c = 0.0;
+  /// Interval recall REC_r over records correctly predicted positive.
+  double rec_r = 0.0;
+  /// Existence-prediction precision: of the (record, event) pairs predicted
+  /// positive, the fraction that truly contain the event. The quantity the
+  /// paper trades against recall when tuning c (§IV.B).
+  double pre_c = 0.0;
+  /// Frame-level precision: of all relayed frames (per event), the fraction
+  /// inside true occurrence intervals.
+  double pre_f = 0.0;
+
+  /// Total frames relayed to the CI, counting the per-record union across
+  /// events once (what a cloud bill would charge).
+  int64_t relayed_frames = 0;
+  /// Sum over records of the horizon length (the BF frame count).
+  int64_t horizon_frames = 0;
+  /// Number of (record, event) positive pairs.
+  int64_t positives = 0;
+  int64_t records = 0;
+};
+
+/// Computes all metrics for `decisions[i]` against `records[i]`.
+/// Decision intervals use 1-based horizon offsets in [1, horizon].
+Metrics ComputeMetrics(const std::vector<data::Record>& records,
+                       const std::vector<core::MarshalDecision>& decisions,
+                       int horizon);
+
+/// Per-(record,event) frame recall eta (the building block of Eq. 12):
+/// |pred ∩ truth| / |truth|, 0 when the event is predicted absent.
+double FrameRecall(const data::EventLabel& label, bool predicted_present,
+                   const sim::Interval& predicted);
+
+}  // namespace eventhit::eval
+
+#endif  // EVENTHIT_EVAL_METRICS_H_

@@ -1,0 +1,101 @@
+#include "eval/runner.h"
+
+#include "common/check.h"
+#include "sim/datasets.h"
+
+namespace eventhit::eval {
+
+TaskEnvironment TaskEnvironment::Build(const data::Task& task,
+                                       const RunnerConfig& config) {
+  TaskEnvironment env;
+  env.task_ = task;
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(task.dataset);
+  if (config.stream_frames_override > 0) {
+    // Keep occurrence *rates* fixed while shrinking the stream: counts
+    // scale down proportionally, statistics per Table I are unchanged.
+    spec.num_frames = config.stream_frames_override;
+  }
+
+  Rng rng(config.seed);
+  env.video_ = std::make_shared<const sim::SyntheticVideo>(
+      sim::SyntheticVideo::Generate(spec, rng.Fork(1)));
+
+  env.extractor_.collection_window = config.collection_window_override > 0
+                                         ? config.collection_window_override
+                                         : spec.collection_window;
+  env.extractor_.horizon = config.horizon_override > 0
+                               ? config.horizon_override
+                               : spec.horizon;
+
+  env.splits_ = data::ComputeSplits(*env.video_, env.extractor_,
+                                    config.train_frac, config.calib_frac);
+
+  Rng train_rng(rng.Fork(2));
+  Rng calib_rng(rng.Fork(3));
+  Rng test_rng(rng.Fork(4));
+  env.train_ = data::SampleBalancedRecords(
+      *env.video_, task, env.extractor_, env.splits_.train,
+      config.train_records, config.train_positive_fraction, train_rng);
+  env.calib_ = data::SampleUniformRecords(*env.video_, task, env.extractor_,
+                                          env.splits_.calib,
+                                          config.calib_records, calib_rng);
+  env.test_ = data::SampleUniformRecords(*env.video_, task, env.extractor_,
+                                         env.splits_.test,
+                                         config.test_records, test_rng);
+  return env;
+}
+
+TrainedEventHit TrainEventHit(const TaskEnvironment& env,
+                              const RunnerConfig& config, double tau2) {
+  TrainedEventHit trained;
+  core::EventHitConfig model_config = config.model_template;
+  model_config.collection_window = env.collection_window();
+  model_config.horizon = env.horizon();
+  model_config.feature_dim = env.video().feature_dim();
+  model_config.num_events = env.task().event_indices.size();
+  model_config.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
+
+  trained.model = std::make_unique<core::EventHitModel>(model_config);
+  trained.history = trained.model->Train(env.train_records());
+  trained.cclassify = std::make_unique<core::CClassify>(
+      *trained.model, env.calib_records());
+  trained.cregress = std::make_unique<core::CRegress>(
+      *trained.model, env.calib_records(), tau2);
+
+  trained.test_scores.reserve(env.test_records().size());
+  for (const data::Record& record : env.test_records()) {
+    trained.test_scores.push_back(trained.model->Predict(record));
+  }
+  return trained;
+}
+
+Metrics EvaluateStrategy(const core::MarshalStrategy& strategy,
+                         const std::vector<data::Record>& test, int horizon) {
+  std::vector<core::MarshalDecision> decisions;
+  decisions.reserve(test.size());
+  for (const data::Record& record : test) {
+    decisions.push_back(strategy.Decide(record));
+  }
+  return ComputeMetrics(test, decisions, horizon);
+}
+
+Metrics EvaluateFromScores(const core::EventHitStrategy& strategy,
+                           const std::vector<core::EventScores>& scores,
+                           const std::vector<data::Record>& test,
+                           int horizon) {
+  EVENTHIT_CHECK_EQ(scores.size(), test.size());
+  return ComputeMetrics(test, DecisionsFromScores(strategy, scores), horizon);
+}
+
+std::vector<core::MarshalDecision> DecisionsFromScores(
+    const core::EventHitStrategy& strategy,
+    const std::vector<core::EventScores>& scores) {
+  std::vector<core::MarshalDecision> decisions;
+  decisions.reserve(scores.size());
+  for (const core::EventScores& record_scores : scores) {
+    decisions.push_back(strategy.DecideFromScores(record_scores));
+  }
+  return decisions;
+}
+
+}  // namespace eventhit::eval

@@ -1,0 +1,109 @@
+// Experiment orchestration shared by the benchmark harness, examples and
+// integration tests: builds the synthetic environment for a task, trains
+// EventHit, calibrates the conformal wrappers, and evaluates strategies.
+#ifndef EVENTHIT_EVAL_RUNNER_H_
+#define EVENTHIT_EVAL_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/c_classify.h"
+#include "core/c_regress.h"
+#include "core/eventhit_model.h"
+#include "core/prediction.h"
+#include "core/strategies.h"
+#include "data/record_extractor.h"
+#include "data/tasks.h"
+#include "eval/metrics.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit::eval {
+
+/// Experiment-level knobs. Model architecture/training settings come from
+/// `model_template`; the runner fills in the problem shape (M, H, D, K).
+struct RunnerConfig {
+  size_t train_records = 1000;
+  size_t calib_records = 800;
+  size_t test_records = 600;
+  /// Oversampling target for positives in the training set (training only;
+  /// calibration/test stay uniform to preserve exchangeability).
+  double train_positive_fraction = 0.5;
+  /// Stream fraction used for training / calibration (rest = test).
+  double train_frac = 0.55;
+  double calib_frac = 0.15;
+  /// Overrides of the dataset's default M / H; 0 keeps the default.
+  int collection_window_override = 0;
+  int horizon_override = 0;
+  /// Override of the dataset's stream length; 0 keeps the default. Shrink
+  /// for fast tests/benches (event counts scale down proportionally).
+  int64_t stream_frames_override = 0;
+  /// Architecture + optimisation template (shape fields are overwritten).
+  core::EventHitConfig model_template;
+  /// Master seed; vary per trial.
+  uint64_t seed = 42;
+};
+
+/// The generated world and record sets for one task.
+class TaskEnvironment {
+ public:
+  /// Generates the stream and samples all three record sets.
+  static TaskEnvironment Build(const data::Task& task,
+                               const RunnerConfig& config);
+
+  const data::Task& task() const { return task_; }
+  const sim::SyntheticVideo& video() const { return *video_; }
+  const data::ExtractorConfig& extractor() const { return extractor_; }
+  int horizon() const { return extractor_.horizon; }
+  int collection_window() const { return extractor_.collection_window; }
+  const data::SplitRanges& splits() const { return splits_; }
+
+  const std::vector<data::Record>& train_records() const { return train_; }
+  const std::vector<data::Record>& calib_records() const { return calib_; }
+  const std::vector<data::Record>& test_records() const { return test_; }
+
+ private:
+  data::Task task_;
+  std::shared_ptr<const sim::SyntheticVideo> video_;
+  data::ExtractorConfig extractor_;
+  data::SplitRanges splits_;
+  std::vector<data::Record> train_;
+  std::vector<data::Record> calib_;
+  std::vector<data::Record> test_;
+};
+
+/// A trained EventHit model with its conformal calibrators and the
+/// precomputed raw scores of every test record (so knob sweeps pay one
+/// forward pass per record total).
+struct TrainedEventHit {
+  std::unique_ptr<core::EventHitModel> model;
+  std::unique_ptr<core::CClassify> cclassify;
+  std::unique_ptr<core::CRegress> cregress;
+  std::vector<core::EventScores> test_scores;
+  std::vector<core::TrainEpochStats> history;
+};
+
+/// Trains + calibrates EventHit on the environment. `tau2` is the occupancy
+/// threshold used for C-REGRESS calibration (the compared algorithms all
+/// use 0.5).
+TrainedEventHit TrainEventHit(const TaskEnvironment& env,
+                              const RunnerConfig& config, double tau2 = 0.5);
+
+/// Evaluates a strategy by calling Decide on every test record.
+Metrics EvaluateStrategy(const core::MarshalStrategy& strategy,
+                         const std::vector<data::Record>& test, int horizon);
+
+/// Evaluates an EventHit strategy from precomputed scores.
+Metrics EvaluateFromScores(const core::EventHitStrategy& strategy,
+                           const std::vector<core::EventScores>& scores,
+                           const std::vector<data::Record>& test,
+                           int horizon);
+
+/// Collects the per-record decisions of an EventHit strategy (for cost /
+/// timing accounting).
+std::vector<core::MarshalDecision> DecisionsFromScores(
+    const core::EventHitStrategy& strategy,
+    const std::vector<core::EventScores>& scores);
+
+}  // namespace eventhit::eval
+
+#endif  // EVENTHIT_EVAL_RUNNER_H_

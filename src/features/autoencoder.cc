@@ -1,0 +1,153 @@
+#include "features/autoencoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/adam.h"
+
+namespace eventhit::features {
+
+Autoencoder::Autoencoder(size_t input_dim, const Options& options)
+    : options_(options), rng_(options.seed) {
+  EVENTHIT_CHECK_GT(input_dim, 0u);
+  EVENTHIT_CHECK_GT(options.latent_dim, 0u);
+  EVENTHIT_CHECK_GT(options.hidden_dim, 0u);
+  Rng init(rng_.Fork(1));
+  enc1_ = nn::Dense("ae.enc1", input_dim, options.hidden_dim, init);
+  enc2_ = nn::Dense("ae.enc2", options.hidden_dim, options.latent_dim, init);
+  dec1_ = nn::Dense("ae.dec1", options.latent_dim, options.hidden_dim, init);
+  dec2_ = nn::Dense("ae.dec2", options.hidden_dim, input_dim, init);
+}
+
+void Autoencoder::Reconstruct(const float* frame, nn::Vec& h1, nn::Vec& code,
+                              nn::Vec& h2, nn::Vec& out) const {
+  enc1_.Forward(frame, h1);
+  nn::TanhInPlace(h1.data(), h1.size());
+  enc2_.Forward(h1.data(), code);
+  nn::TanhInPlace(code.data(), code.size());
+  dec1_.Forward(code.data(), h2);
+  nn::TanhInPlace(h2.data(), h2.size());
+  dec2_.Forward(h2.data(), out);  // Linear output.
+}
+
+void Autoencoder::Encode(const float* frame, nn::Vec& code) const {
+  nn::Vec h1;
+  enc1_.Forward(frame, h1);
+  nn::TanhInPlace(h1.data(), h1.size());
+  enc2_.Forward(h1.data(), code);
+  nn::TanhInPlace(code.data(), code.size());
+}
+
+double Autoencoder::ReconstructionError(const float* frame) const {
+  nn::Vec h1, code, h2, out;
+  Reconstruct(frame, h1, code, h2, out);
+  double mse = 0.0;
+  for (size_t c = 0; c < out.size(); ++c) {
+    const double diff = out[c] - frame[c];
+    mse += diff * diff;
+  }
+  return mse / static_cast<double>(out.size());
+}
+
+std::vector<double> Autoencoder::Train(
+    const std::vector<data::Record>& records) {
+  EVENTHIT_CHECK(!records.empty());
+  const size_t d = input_dim();
+
+  // Collect frame pointers once.
+  std::vector<const float*> frames;
+  for (const data::Record& record : records) {
+    EVENTHIT_CHECK_EQ(record.covariates.size() % d, 0u);
+    const size_t m = record.covariates.size() / d;
+    for (size_t t = 0; t < m; ++t) {
+      frames.push_back(record.covariates.data() + t * d);
+    }
+  }
+
+  nn::ParameterRefs params;
+  enc1_.CollectParameters(params);
+  enc2_.CollectParameters(params);
+  dec1_.CollectParameters(params);
+  dec2_.CollectParameters(params);
+  nn::AdamOptions adam;
+  adam.learning_rate = options_.learning_rate;
+  nn::AdamOptimizer optimizer(params, adam);
+
+  std::vector<size_t> order(frames.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng shuffle_rng(rng_.Fork(2));
+
+  std::vector<double> history;
+  const auto batch = static_cast<size_t>(std::max(options_.batch_size, 1));
+  nn::Vec h1, code, h2, out;
+  nn::Vec dout(d), dh2, dcode, dh1;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    shuffle_rng.Shuffle(order);
+    double epoch_mse = 0.0;
+    for (size_t begin = 0; begin < order.size(); begin += batch) {
+      const size_t end = std::min(begin + batch, order.size());
+      for (size_t i = begin; i < end; ++i) {
+        const float* x = frames[order[i]];
+        Reconstruct(x, h1, code, h2, out);
+        // MSE loss and gradient.
+        double mse = 0.0;
+        for (size_t c = 0; c < d; ++c) {
+          const float diff = out[c] - x[c];
+          mse += static_cast<double>(diff) * diff;
+          dout[c] = 2.0f * diff / static_cast<float>(d);
+        }
+        epoch_mse += mse / static_cast<double>(d);
+
+        dh2.assign(h2.size(), 0.0f);
+        dec2_.Backward(h2.data(), dout.data(), dh2.data());
+        nn::Vec dh2_pre(h2.size());
+        nn::TanhBackward(h2.data(), dh2.data(), dh2_pre.data(), h2.size());
+        dcode.assign(code.size(), 0.0f);
+        dec1_.Backward(code.data(), dh2_pre.data(), dcode.data());
+        nn::Vec dcode_pre(code.size());
+        nn::TanhBackward(code.data(), dcode.data(), dcode_pre.data(),
+                         code.size());
+        dh1.assign(h1.size(), 0.0f);
+        enc2_.Backward(h1.data(), dcode_pre.data(), dh1.data());
+        nn::Vec dh1_pre(h1.size());
+        nn::TanhBackward(h1.data(), dh1.data(), dh1_pre.data(), h1.size());
+        enc1_.Backward(x, dh1_pre.data(), nullptr);
+      }
+      nn::ScaleGradients(params, 1.0f / static_cast<float>(end - begin));
+      optimizer.Step();
+    }
+    history.push_back(epoch_mse / static_cast<double>(frames.size()));
+  }
+  return history;
+}
+
+data::Record Autoencoder::EncodeRecord(const data::Record& record) const {
+  const size_t d = input_dim();
+  EVENTHIT_CHECK_EQ(record.covariates.size() % d, 0u);
+  const size_t m = record.covariates.size() / d;
+  data::Record out;
+  out.frame = record.frame;
+  out.labels = record.labels;
+  out.covariates.resize(m * latent_dim());
+  nn::Vec code;
+  for (size_t t = 0; t < m; ++t) {
+    Encode(record.covariates.data() + t * d, code);
+    std::copy(code.begin(), code.end(),
+              out.covariates.begin() + t * latent_dim());
+  }
+  return out;
+}
+
+std::vector<data::Record> Autoencoder::EncodeRecords(
+    const std::vector<data::Record>& records) const {
+  std::vector<data::Record> out;
+  out.reserve(records.size());
+  for (const data::Record& record : records) {
+    out.push_back(EncodeRecord(record));
+  }
+  return out;
+}
+
+}  // namespace eventhit::features

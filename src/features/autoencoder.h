@@ -1,0 +1,60 @@
+// Dimensionality reduction via a small autoencoder (§III cites
+// autoencoder-based reduction [26][27] as an alternative feature-
+// engineering stage). Trained on individual frame feature vectors with MSE
+// reconstruction loss; the bounded (tanh) code replaces the raw channels.
+#ifndef EVENTHIT_FEATURES_AUTOENCODER_H_
+#define EVENTHIT_FEATURES_AUTOENCODER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/record.h"
+#include "nn/dense.h"
+
+namespace eventhit::features {
+
+/// A 2-layer encoder / 2-layer decoder with tanh activations.
+class Autoencoder {
+ public:
+  struct Options {
+    size_t latent_dim = 6;
+    size_t hidden_dim = 16;
+    int epochs = 25;
+    int batch_size = 32;
+    double learning_rate = 3e-3;
+    uint64_t seed = 1;
+  };
+
+  Autoencoder(size_t input_dim, const Options& options);
+
+  size_t input_dim() const { return enc1_.in_dim(); }
+  size_t latent_dim() const { return enc2_.out_dim(); }
+
+  /// Trains on every frame of every record's covariate block (feature
+  /// dimension must equal input_dim()). Returns per-epoch mean MSE.
+  std::vector<double> Train(const std::vector<data::Record>& records);
+
+  /// Encodes one frame's features into the latent code.
+  void Encode(const float* frame, nn::Vec& code) const;
+
+  /// Mean squared reconstruction error of one frame.
+  double ReconstructionError(const float* frame) const;
+
+  /// Replaces a record's covariates with their per-frame codes (the result
+  /// has feature dimension latent_dim()).
+  data::Record EncodeRecord(const data::Record& record) const;
+  std::vector<data::Record> EncodeRecords(
+      const std::vector<data::Record>& records) const;
+
+ private:
+  void Reconstruct(const float* frame, nn::Vec& h1, nn::Vec& code,
+                   nn::Vec& h2, nn::Vec& out) const;
+
+  Options options_;
+  nn::Dense enc1_, enc2_, dec1_, dec2_;
+  Rng rng_;
+};
+
+}  // namespace eventhit::features
+
+#endif  // EVENTHIT_FEATURES_AUTOENCODER_H_

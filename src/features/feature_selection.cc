@@ -1,0 +1,124 @@
+#include "features/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace eventhit::features {
+namespace {
+
+// Window mean of one channel of one record.
+double ChannelMean(const data::Record& record, size_t feature_dim,
+                   size_t channel) {
+  const size_t m = record.covariates.size() / feature_dim;
+  double sum = 0.0;
+  for (size_t t = 0; t < m; ++t) {
+    sum += record.covariates[t * feature_dim + channel];
+  }
+  return sum / static_cast<double>(m);
+}
+
+}  // namespace
+
+std::vector<ChannelScore> ScoreChannels(
+    const std::vector<data::Record>& records, size_t feature_dim) {
+  EVENTHIT_CHECK(!records.empty());
+  EVENTHIT_CHECK_GT(feature_dim, 0u);
+  const size_t k_events = records[0].labels.size();
+  EVENTHIT_CHECK_GT(k_events, 0u);
+
+  // Label series per event.
+  std::vector<std::vector<double>> labels(k_events,
+                                          std::vector<double>(records.size()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    EVENTHIT_CHECK_EQ(records[i].labels.size(), k_events);
+    for (size_t k = 0; k < k_events; ++k) {
+      labels[k][i] = records[i].labels[k].present ? 1.0 : 0.0;
+    }
+  }
+
+  std::vector<ChannelScore> scores(feature_dim);
+  std::vector<double> series(records.size());
+  for (size_t c = 0; c < feature_dim; ++c) {
+    for (size_t i = 0; i < records.size(); ++i) {
+      series[i] = ChannelMean(records[i], feature_dim, c);
+    }
+    double best = 0.0;
+    for (size_t k = 0; k < k_events; ++k) {
+      best = std::max(best, std::fabs(PearsonCorrelation(series, labels[k])));
+    }
+    scores[c] = ChannelScore{c, best};
+  }
+  return scores;
+}
+
+std::vector<size_t> SelectChannels(const std::vector<data::Record>& records,
+                                   size_t feature_dim, double min_score) {
+  const std::vector<ChannelScore> scores = ScoreChannels(records, feature_dim);
+  std::vector<size_t> kept;
+  for (const ChannelScore& score : scores) {
+    if (score.score >= min_score) kept.push_back(score.channel);
+  }
+  if (kept.empty()) {
+    // Never return an empty feature set: keep the single best channel.
+    const auto best = std::max_element(
+        scores.begin(), scores.end(),
+        [](const ChannelScore& a, const ChannelScore& b) {
+          return a.score < b.score;
+        });
+    kept.push_back(best->channel);
+  }
+  return kept;
+}
+
+std::vector<size_t> SelectTopChannels(
+    const std::vector<data::Record>& records, size_t feature_dim, size_t k) {
+  EVENTHIT_CHECK_GT(k, 0u);
+  std::vector<ChannelScore> scores = ScoreChannels(records, feature_dim);
+  std::sort(scores.begin(), scores.end(),
+            [](const ChannelScore& a, const ChannelScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.channel < b.channel;
+            });
+  scores.resize(std::min(k, scores.size()));
+  std::vector<size_t> kept;
+  kept.reserve(scores.size());
+  for (const ChannelScore& score : scores) kept.push_back(score.channel);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+data::Record ProjectRecord(const data::Record& record, size_t feature_dim,
+                           const std::vector<size_t>& channels) {
+  EVENTHIT_CHECK(!channels.empty());
+  EVENTHIT_CHECK_EQ(record.covariates.size() % feature_dim, 0u);
+  const size_t m = record.covariates.size() / feature_dim;
+  data::Record out;
+  out.frame = record.frame;
+  out.labels = record.labels;
+  out.covariates.resize(m * channels.size());
+  for (size_t t = 0; t < m; ++t) {
+    const float* src = record.covariates.data() + t * feature_dim;
+    float* dst = out.covariates.data() + t * channels.size();
+    for (size_t j = 0; j < channels.size(); ++j) {
+      EVENTHIT_CHECK_LT(channels[j], feature_dim);
+      dst[j] = src[channels[j]];
+    }
+  }
+  return out;
+}
+
+std::vector<data::Record> ProjectRecords(
+    const std::vector<data::Record>& records, size_t feature_dim,
+    const std::vector<size_t>& channels) {
+  std::vector<data::Record> out;
+  out.reserve(records.size());
+  for (const data::Record& record : records) {
+    out.push_back(ProjectRecord(record, feature_dim, channels));
+  }
+  return out;
+}
+
+}  // namespace eventhit::features

@@ -1,0 +1,51 @@
+// Correlation-based feature selection (§III: "We select features through
+// standard correlation analysis methods [25]").
+//
+// For each channel, computes the absolute Pearson correlation between the
+// channel's window summary (mean over the collection window) and each
+// event's existence label, and keeps the channels whose best correlation
+// across events clears a threshold (or the top-k).
+#ifndef EVENTHIT_FEATURES_FEATURE_SELECTION_H_
+#define EVENTHIT_FEATURES_FEATURE_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/record.h"
+
+namespace eventhit::features {
+
+/// Per-channel relevance report.
+struct ChannelScore {
+  size_t channel = 0;
+  /// max over events of |corr(window-mean of channel, 1[event present])|.
+  double score = 0.0;
+};
+
+/// Scores every channel against every event label. Records must share the
+/// covariate layout (M x feature_dim).
+std::vector<ChannelScore> ScoreChannels(
+    const std::vector<data::Record>& records, size_t feature_dim);
+
+/// Channels whose score clears `min_score`, in channel order. Guarantees a
+/// non-empty result by falling back to the single best channel.
+std::vector<size_t> SelectChannels(const std::vector<data::Record>& records,
+                                   size_t feature_dim, double min_score);
+
+/// The `k` best-scoring channels (k clamped to D), in channel order.
+std::vector<size_t> SelectTopChannels(
+    const std::vector<data::Record>& records, size_t feature_dim, size_t k);
+
+/// Projects a record's covariates onto the kept channels, returning a new
+/// record with feature dimension channels.size().
+data::Record ProjectRecord(const data::Record& record, size_t feature_dim,
+                           const std::vector<size_t>& channels);
+
+/// Projects a whole record set.
+std::vector<data::Record> ProjectRecords(
+    const std::vector<data::Record>& records, size_t feature_dim,
+    const std::vector<size_t>& channels);
+
+}  // namespace eventhit::features
+
+#endif  // EVENTHIT_FEATURES_FEATURE_SELECTION_H_

@@ -1,0 +1,66 @@
+#include "features/standardizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace eventhit::features {
+namespace {
+constexpr double kMinStd = 1e-6;
+}  // namespace
+
+Standardizer Standardizer::Fit(const std::vector<data::Record>& records,
+                               size_t feature_dim) {
+  EVENTHIT_CHECK(!records.empty());
+  EVENTHIT_CHECK_GT(feature_dim, 0u);
+  std::vector<double> sum(feature_dim, 0.0);
+  std::vector<double> sum_sq(feature_dim, 0.0);
+  int64_t frames = 0;
+  for (const data::Record& record : records) {
+    EVENTHIT_CHECK_EQ(record.covariates.size() % feature_dim, 0u);
+    const size_t m = record.covariates.size() / feature_dim;
+    for (size_t t = 0; t < m; ++t) {
+      const float* row = record.covariates.data() + t * feature_dim;
+      for (size_t c = 0; c < feature_dim; ++c) {
+        sum[c] += row[c];
+        sum_sq[c] += static_cast<double>(row[c]) * row[c];
+      }
+    }
+    frames += static_cast<int64_t>(m);
+  }
+  EVENTHIT_CHECK_GT(frames, 0);
+  std::vector<double> means(feature_dim), stds(feature_dim);
+  for (size_t c = 0; c < feature_dim; ++c) {
+    means[c] = sum[c] / static_cast<double>(frames);
+    const double variance =
+        sum_sq[c] / static_cast<double>(frames) - means[c] * means[c];
+    stds[c] = std::sqrt(std::max(variance, 0.0));
+  }
+  return Standardizer(std::move(means), std::move(stds));
+}
+
+Standardizer::Standardizer(std::vector<double> means,
+                           std::vector<double> stds)
+    : means_(std::move(means)), stds_(std::move(stds)) {
+  EVENTHIT_CHECK_EQ(means_.size(), stds_.size());
+  EVENTHIT_CHECK(!means_.empty());
+  for (double& s : stds_) s = std::max(s, kMinStd);
+}
+
+void Standardizer::Apply(std::vector<float>& covariates) const {
+  const size_t d = means_.size();
+  EVENTHIT_CHECK_EQ(covariates.size() % d, 0u);
+  const size_t m = covariates.size() / d;
+  for (size_t t = 0; t < m; ++t) {
+    float* row = covariates.data() + t * d;
+    for (size_t c = 0; c < d; ++c) {
+      row[c] = static_cast<float>((row[c] - means_[c]) / stds_[c]);
+    }
+  }
+}
+
+void Standardizer::ApplyAll(std::vector<data::Record>& records) const {
+  for (data::Record& record : records) Apply(record.covariates);
+}
+
+}  // namespace eventhit::features

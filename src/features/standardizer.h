@@ -1,0 +1,43 @@
+// Per-channel standardization of covariate blocks (zero mean, unit
+// variance), fitted on training records. Part of the feature-engineering
+// stage of §III ("like any other application of ML, this is a task that
+// requires feature engineering").
+#ifndef EVENTHIT_FEATURES_STANDARDIZER_H_
+#define EVENTHIT_FEATURES_STANDARDIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/record.h"
+
+namespace eventhit::features {
+
+/// Fitted per-channel affine transform x -> (x - mean) / std.
+class Standardizer {
+ public:
+  /// Fits channel statistics over every frame of every record's covariate
+  /// block. `feature_dim` is D; records' covariates must be multiples of D.
+  static Standardizer Fit(const std::vector<data::Record>& records,
+                          size_t feature_dim);
+
+  /// Builds from explicit statistics (tests, persisted pipelines).
+  Standardizer(std::vector<double> means, std::vector<double> stds);
+
+  size_t feature_dim() const { return means_.size(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+  /// Standardizes a covariate block in place (any number of frames).
+  void Apply(std::vector<float>& covariates) const;
+
+  /// Standardizes every record in `records` in place.
+  void ApplyAll(std::vector<data::Record>& records) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;  // Floored away from zero.
+};
+
+}  // namespace eventhit::features
+
+#endif  // EVENTHIT_FEATURES_STANDARDIZER_H_

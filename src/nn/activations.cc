@@ -1,0 +1,42 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace eventhit::nn {
+
+float SigmoidScalar(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float TanhScalar(float x) { return std::tanh(x); }
+
+void TanhInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void SigmoidInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = SigmoidScalar(x[i]);
+}
+
+void ReluInPlace(float* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void TanhBackward(const float* y, const float* dy, float* dx, size_t n) {
+  for (size_t i = 0; i < n; ++i) dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+}
+
+void SigmoidBackward(const float* y, const float* dy, float* dx, size_t n) {
+  for (size_t i = 0; i < n; ++i) dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+}
+
+void ReluBackward(const float* y, const float* dy, float* dx, size_t n) {
+  for (size_t i = 0; i < n; ++i) dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+}  // namespace eventhit::nn

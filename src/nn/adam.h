@@ -1,0 +1,47 @@
+// Adam optimizer (Kingma & Ba) over a registry of Parameters.
+#ifndef EVENTHIT_NN_ADAM_H_
+#define EVENTHIT_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+
+/// Hyper-parameters for Adam; the defaults match the original paper.
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global L2 gradient-norm clip applied before each step; <= 0 disables.
+  double clip_norm = 5.0;
+};
+
+/// Owns per-parameter first/second moment buffers. Parameters are registered
+/// once; Step() consumes the gradients accumulated in each Parameter::grad
+/// and zeroes them afterwards.
+class AdamOptimizer {
+ public:
+  AdamOptimizer(ParameterRefs params, AdamOptions options);
+
+  /// Applies one Adam update from the accumulated gradients, then zeroes
+  /// them. Returns the pre-clip global gradient norm.
+  double Step();
+
+  size_t step_count() const { return step_count_; }
+  const AdamOptions& options() const { return options_; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  ParameterRefs params_;
+  AdamOptions options_;
+  std::vector<Matrix> moment1_;
+  std::vector<Matrix> moment2_;
+  size_t step_count_ = 0;
+};
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_ADAM_H_

@@ -1,0 +1,35 @@
+#include "nn/dense.h"
+
+#include "common/check.h"
+
+namespace eventhit::nn {
+
+Dense::Dense(std::string name, size_t in_dim, size_t out_dim, Rng& rng)
+    : weight_(name + ".W", Matrix::GlorotUniform(out_dim, in_dim, rng)),
+      bias_(name + ".b", Matrix::Zeros(out_dim, 1)) {
+  EVENTHIT_CHECK_GT(in_dim, 0u);
+  EVENTHIT_CHECK_GT(out_dim, 0u);
+}
+
+void Dense::Forward(const float* x, Vec& y) const {
+  y.resize(out_dim());
+  MatVec(weight_.value, x, y.data());
+  const float* b = bias_.value.data();
+  for (size_t i = 0; i < y.size(); ++i) y[i] += b[i];
+}
+
+void Dense::Backward(const float* x, const float* dy, float* dx) {
+  OuterAccum(weight_.grad, dy, x);
+  float* db = bias_.grad.data();
+  for (size_t i = 0; i < out_dim(); ++i) db[i] += dy[i];
+  if (dx != nullptr) {
+    MatTVecAccum(weight_.value, dy, dx);
+  }
+}
+
+void Dense::CollectParameters(ParameterRefs& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+}  // namespace eventhit::nn

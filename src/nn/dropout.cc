@@ -1,0 +1,37 @@
+#include "nn/dropout.h"
+
+#include "common/check.h"
+
+namespace eventhit::nn {
+
+Dropout::Dropout(double rate) : rate_(rate) {
+  EVENTHIT_CHECK_GE(rate, 0.0);
+  EVENTHIT_CHECK_LT(rate, 1.0);
+}
+
+void Dropout::ForwardTrain(const float* x, size_t n, Rng& rng, Vec& y) {
+  y.resize(n);
+  mask_.resize(n);
+  if (rate_ == 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      mask_[i] = 1.0f;
+      y[i] = x[i];
+    }
+    return;
+  }
+  const auto scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (size_t i = 0; i < n; ++i) {
+    mask_[i] = rng.Bernoulli(rate_) ? 0.0f : scale;
+    y[i] = x[i] * mask_[i];
+  }
+}
+
+void Dropout::ForwardEval(const float* x, size_t n, Vec& y) const {
+  y.assign(x, x + n);
+}
+
+void Dropout::Backward(const float* dy, float* dx) const {
+  for (size_t i = 0; i < mask_.size(); ++i) dx[i] = dy[i] * mask_[i];
+}
+
+}  // namespace eventhit::nn

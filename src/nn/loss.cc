@@ -1,0 +1,44 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace eventhit::nn {
+namespace {
+
+// Stable -log(sigmoid(x)) = log(1 + exp(-x)) = max(0,-x) + log1p(exp(-|x|)).
+inline double LogSigmoidNeg(float x) {
+  const double ax = std::fabs(static_cast<double>(x));
+  const double base = std::log1p(std::exp(-ax));
+  return x >= 0.0f ? base : base + ax;
+}
+
+}  // namespace
+
+double BceWithLogits(float logit, float target, float weight, float* dlogit) {
+  // loss = -(y * log p + (1-y) * log(1-p)), p = sigmoid(logit)
+  //      = y * (-log p) + (1-y) * (-log(1-p))
+  // with -log p = LogSigmoidNeg(logit), -log(1-p) = LogSigmoidNeg(-logit).
+  const double loss =
+      weight * (target * LogSigmoidNeg(logit) +
+                (1.0 - target) * LogSigmoidNeg(-logit));
+  const float p = SigmoidScalar(logit);
+  *dlogit = weight * (p - target);
+  return loss;
+}
+
+double BceWithLogitsVector(const float* logits, const float* targets,
+                           const float* weights, size_t n, float* dlogits) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] == 0.0f) {
+      dlogits[i] = 0.0f;
+      continue;
+    }
+    total += BceWithLogits(logits[i], targets[i], weights[i], &dlogits[i]);
+  }
+  return total;
+}
+
+}  // namespace eventhit::nn

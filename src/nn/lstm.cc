@@ -1,0 +1,138 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/activations.h"
+
+namespace eventhit::nn {
+
+Lstm::Lstm(std::string name, size_t input_dim, size_t hidden_dim, Rng& rng)
+    : wx_(name + ".Wx", Matrix::GlorotUniform(4 * hidden_dim, input_dim, rng)),
+      wh_(name + ".Wh", Matrix::GlorotUniform(4 * hidden_dim, hidden_dim, rng)),
+      bias_(name + ".b", Matrix::Zeros(4 * hidden_dim, 1)) {
+  EVENTHIT_CHECK_GT(input_dim, 0u);
+  EVENTHIT_CHECK_GT(hidden_dim, 0u);
+  // Forget-gate bias = 1 so early training does not forget aggressively.
+  for (size_t j = hidden_dim; j < 2 * hidden_dim; ++j) {
+    bias_.value.At(j, 0) = 1.0f;
+  }
+}
+
+void Lstm::StepForward(const float* x, const float* h_prev,
+                       const float* c_prev, StepCache& cache) const {
+  const size_t hd = hidden_dim();
+  cache.gates.assign(4 * hd, 0.0f);
+  float* pre = cache.gates.data();
+  MatVec(wx_.value, x, pre);
+  MatVecAccum(wh_.value, h_prev, pre);
+  const float* b = bias_.value.data();
+  for (size_t j = 0; j < 4 * hd; ++j) pre[j] += b[j];
+
+  float* gate_i = pre;
+  float* gate_f = pre + hd;
+  float* gate_g = pre + 2 * hd;
+  float* gate_o = pre + 3 * hd;
+  SigmoidInPlace(gate_i, hd);
+  SigmoidInPlace(gate_f, hd);
+  TanhInPlace(gate_g, hd);
+  SigmoidInPlace(gate_o, hd);
+
+  cache.cell.resize(hd);
+  cache.tanh_c.resize(hd);
+  cache.hidden.resize(hd);
+  for (size_t j = 0; j < hd; ++j) {
+    cache.cell[j] = gate_f[j] * c_prev[j] + gate_i[j] * gate_g[j];
+    cache.tanh_c[j] = std::tanh(cache.cell[j]);
+    cache.hidden[j] = gate_o[j] * cache.tanh_c[j];
+  }
+}
+
+Vec Lstm::ForwardCached(const float* inputs, size_t steps) {
+  EVENTHIT_CHECK_GT(steps, 0u);
+  const size_t hd = hidden_dim();
+  const size_t d = input_dim();
+  cache_.resize(steps);
+  cached_inputs_ = inputs;
+  cached_steps_ = steps;
+
+  const Vec zeros(hd, 0.0f);
+  for (size_t t = 0; t < steps; ++t) {
+    const float* h_prev = t == 0 ? zeros.data() : cache_[t - 1].hidden.data();
+    const float* c_prev = t == 0 ? zeros.data() : cache_[t - 1].cell.data();
+    StepForward(inputs + t * d, h_prev, c_prev, cache_[t]);
+  }
+  return cache_.back().hidden;
+}
+
+Vec Lstm::Forward(const float* inputs, size_t steps) const {
+  EVENTHIT_CHECK_GT(steps, 0u);
+  const size_t hd = hidden_dim();
+  const size_t d = input_dim();
+  Vec h(hd, 0.0f);
+  Vec c(hd, 0.0f);
+  StepCache scratch;
+  for (size_t t = 0; t < steps; ++t) {
+    StepForward(inputs + t * d, h.data(), c.data(), scratch);
+    h = scratch.hidden;
+    c = scratch.cell;
+  }
+  return h;
+}
+
+void Lstm::Backward(const float* dh_final, float* dinputs) {
+  EVENTHIT_CHECK(cached_inputs_ != nullptr);
+  const size_t hd = hidden_dim();
+  const size_t d = input_dim();
+  const size_t steps = cached_steps_;
+
+  Vec dh(dh_final, dh_final + hd);
+  Vec dc(hd, 0.0f);
+  Vec dpre(4 * hd);
+  Vec dh_prev(hd);
+  const Vec zeros(hd, 0.0f);
+
+  for (size_t t = steps; t-- > 0;) {
+    const StepCache& cache = cache_[t];
+    const float* gate_i = cache.gates.data();
+    const float* gate_f = cache.gates.data() + hd;
+    const float* gate_g = cache.gates.data() + 2 * hd;
+    const float* gate_o = cache.gates.data() + 3 * hd;
+    const float* c_prev = t == 0 ? zeros.data() : cache_[t - 1].cell.data();
+    const float* h_prev = t == 0 ? zeros.data() : cache_[t - 1].hidden.data();
+
+    for (size_t j = 0; j < hd; ++j) {
+      const float tc = cache.tanh_c[j];
+      const float d_o = dh[j] * tc;
+      const float dc_total = dc[j] + dh[j] * gate_o[j] * (1.0f - tc * tc);
+      const float d_i = dc_total * gate_g[j];
+      const float d_f = dc_total * c_prev[j];
+      const float d_g = dc_total * gate_i[j];
+      dpre[j] = d_i * gate_i[j] * (1.0f - gate_i[j]);
+      dpre[hd + j] = d_f * gate_f[j] * (1.0f - gate_f[j]);
+      dpre[2 * hd + j] = d_g * (1.0f - gate_g[j] * gate_g[j]);
+      dpre[3 * hd + j] = d_o * gate_o[j] * (1.0f - gate_o[j]);
+      dc[j] = dc_total * gate_f[j];
+    }
+
+    OuterAccum(wx_.grad, dpre.data(), cached_inputs_ + t * d);
+    OuterAccum(wh_.grad, dpre.data(), h_prev);
+    float* db = bias_.grad.data();
+    for (size_t j = 0; j < 4 * hd; ++j) db[j] += dpre[j];
+
+    if (dinputs != nullptr) {
+      MatTVecAccum(wx_.value, dpre.data(), dinputs + t * d);
+    }
+    std::fill(dh_prev.begin(), dh_prev.end(), 0.0f);
+    MatTVecAccum(wh_.value, dpre.data(), dh_prev.data());
+    dh = dh_prev;
+  }
+}
+
+void Lstm::CollectParameters(ParameterRefs& out) {
+  out.push_back(&wx_);
+  out.push_back(&wh_);
+  out.push_back(&bias_);
+}
+
+}  // namespace eventhit::nn

@@ -1,0 +1,77 @@
+// Dense row-major float matrix plus the handful of kernels the neural
+// network substrate needs (matrix-vector products, outer-product gradient
+// accumulation). Deliberately minimal: EventHit's model is small, so clarity
+// and cache-friendly contiguous loops beat a general BLAS dependency.
+#ifndef EVENTHIT_NN_MATRIX_H_
+#define EVENTHIT_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eventhit::nn {
+
+/// Vector of activations/gradients. Plain std::vector keeps interop with the
+/// rest of the library trivial.
+using Vec = std::vector<float>;
+
+/// Row-major dense matrix of floats.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix of zeros.
+  Matrix(size_t rows, size_t cols);
+
+  /// All-zero matrix (alias of the constructor, for readability).
+  static Matrix Zeros(size_t rows, size_t cols);
+
+  /// Glorot/Xavier-uniform initialisation in
+  /// [-sqrt(6/(rows+cols)), +sqrt(6/(rows+cols))].
+  static Matrix GlorotUniform(size_t rows, size_t cols, Rng& rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to zero (used to reset gradients between steps).
+  void SetZero();
+
+  /// Element-wise in-place: this += scale * other. Shapes must match.
+  void Axpy(float scale, const Matrix& other);
+
+  /// Sum of squared elements (for gradient-norm clipping).
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// y = W * x. `x` must have W.cols() elements, `y` W.rows().
+void MatVec(const Matrix& w, const float* x, float* y);
+
+/// y += W * x.
+void MatVecAccum(const Matrix& w, const float* x, float* y);
+
+/// dx += W^T * dy. `dy` has W.rows() elements, `dx` W.cols().
+void MatTVecAccum(const Matrix& w, const float* dy, float* dx);
+
+/// dW += dy * x^T (outer product), the weight gradient of y = W x.
+void OuterAccum(Matrix& dw, const float* dy, const float* x);
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_MATRIX_H_

@@ -1,0 +1,71 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+
+namespace eventhit::nn {
+
+Mlp::Mlp(std::string name, const std::vector<size_t>& dims, Rng& rng) {
+  EVENTHIT_CHECK_GE(dims.size(), 2u);
+  layers_.reserve(dims.size() - 1);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(name + ".fc" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+  activations_.resize(layers_.size());
+}
+
+void Mlp::ForwardCached(const float* x, Vec& logits) {
+  const float* current = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    Vec& out = last ? logits : activations_[i];
+    layers_[i].Forward(current, out);
+    if (!last) {
+      TanhInPlace(out.data(), out.size());
+      current = out.data();
+    }
+  }
+}
+
+void Mlp::Forward(const float* x, Vec& logits) const {
+  Vec scratch;
+  const float* current = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    Vec out;
+    layers_[i].Forward(current, last ? logits : out);
+    if (!last) {
+      TanhInPlace(out.data(), out.size());
+      scratch = std::move(out);
+      current = scratch.data();
+    }
+  }
+}
+
+void Mlp::Backward(const float* x, const float* dlogits, float* dx) {
+  // Walk backwards; the gradient w.r.t. each hidden activation is computed
+  // into a scratch buffer, then passed through the tanh derivative.
+  Vec dcurrent(dlogits, dlogits + layers_.back().out_dim());
+  for (size_t i = layers_.size(); i-- > 0;) {
+    const bool first = i == 0;
+    const float* input = first ? x : activations_[i - 1].data();
+    if (first) {
+      layers_[i].Backward(input, dcurrent.data(), dx);
+    } else {
+      Vec dinput(layers_[i].in_dim(), 0.0f);
+      layers_[i].Backward(input, dcurrent.data(), dinput.data());
+      // Through the tanh applied to activations_[i-1].
+      Vec dpre(dinput.size());
+      TanhBackward(activations_[i - 1].data(), dinput.data(), dpre.data(),
+                   dpre.size());
+      dcurrent = std::move(dpre);
+    }
+  }
+}
+
+void Mlp::CollectParameters(ParameterRefs& out) {
+  for (Dense& layer : layers_) layer.CollectParameters(out);
+}
+
+}  // namespace eventhit::nn

@@ -1,0 +1,52 @@
+// Multi-layer perceptron: Dense -> tanh -> ... -> Dense (final layer is
+// linear; callers apply sigmoid/softmax or feed logits to a loss).
+#ifndef EVENTHIT_NN_MLP_H_
+#define EVENTHIT_NN_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dense.h"
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+
+/// A stack of Dense layers with tanh between them. `dims` lists
+/// [input, hidden..., output]; a two-element dims is a single affine layer.
+class Mlp {
+ public:
+  Mlp() = default;
+  Mlp(std::string name, const std::vector<size_t>& dims, Rng& rng);
+
+  size_t in_dim() const { return layers_.front().in_dim(); }
+  size_t out_dim() const { return layers_.back().out_dim(); }
+
+  /// Forward pass producing logits; caches intermediate activations for
+  /// Backward.
+  void ForwardCached(const float* x, Vec& logits);
+
+  /// Inference-only forward (no cache mutation).
+  void Forward(const float* x, Vec& logits) const;
+
+  /// Backward from dlogits; accumulates parameter gradients. `dx` (size
+  /// in_dim()) receives += input gradients when non-null. Must follow
+  /// ForwardCached with the same `x`.
+  void Backward(const float* x, const float* dlogits, float* dx);
+
+  void CollectParameters(ParameterRefs& out);
+
+  const std::vector<Dense>& layers() const { return layers_; }
+  std::vector<Dense>& mutable_layers() { return layers_; }
+
+ private:
+  std::vector<Dense> layers_;
+  // activations_[i] = tanh output of layer i (for i < last). Cached by
+  // ForwardCached for use in Backward.
+  std::vector<Vec> activations_;
+};
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_MLP_H_

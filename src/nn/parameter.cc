@@ -1,0 +1,35 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace eventhit::nn {
+
+void ZeroGradients(const ParameterRefs& params) {
+  for (Parameter* p : params) p->grad.SetZero();
+}
+
+void ScaleGradients(const ParameterRefs& params, float scale) {
+  for (Parameter* p : params) {
+    float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i) g[i] *= scale;
+  }
+}
+
+double ClipGradientNorm(const ParameterRefs& params, double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params) total += p->grad.SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale = static_cast<float>(max_norm / norm);
+    ScaleGradients(params, scale);
+  }
+  return norm;
+}
+
+size_t ParameterCount(const ParameterRefs& params) {
+  size_t count = 0;
+  for (const Parameter* p : params) count += p->value.size();
+  return count;
+}
+
+}  // namespace eventhit::nn

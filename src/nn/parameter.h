@@ -1,0 +1,46 @@
+// Trainable parameter: value plus gradient accumulator. Layers expose their
+// parameters so an optimizer can own the update step (Adam, SGD) without
+// knowing layer internals.
+#ifndef EVENTHIT_NN_PARAMETER_H_
+#define EVENTHIT_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace eventhit::nn {
+
+/// A named weight tensor with its gradient buffer. Bias vectors are stored
+/// as n x 1 matrices so optimizers treat everything uniformly.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string param_name, Matrix initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.rows(), value.cols()) {}
+};
+
+/// Non-owning list of parameters assembled from all layers of a model.
+using ParameterRefs = std::vector<Parameter*>;
+
+/// Sets every gradient in `params` to zero.
+void ZeroGradients(const ParameterRefs& params);
+
+/// Scales every gradient by `scale` (e.g. 1/batch_size).
+void ScaleGradients(const ParameterRefs& params, float scale);
+
+/// Global L2 gradient-norm clipping: if the joint norm exceeds `max_norm`,
+/// rescales all gradients by max_norm / norm. Returns the pre-clip norm.
+double ClipGradientNorm(const ParameterRefs& params, double max_norm);
+
+/// Total number of scalar weights across `params`.
+size_t ParameterCount(const ParameterRefs& params);
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_PARAMETER_H_

@@ -1,0 +1,97 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace eventhit::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x45564849;  // "EVHI"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveParameters(const ParameterRefs& params, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  if (!WriteU32(f, kMagic) || !WriteU32(f, kVersion) ||
+      !WriteU32(f, static_cast<uint32_t>(params.size()))) {
+    return InternalError("short write (header): " + path);
+  }
+  for (const Parameter* p : params) {
+    const auto name_len = static_cast<uint32_t>(p->name.size());
+    if (!WriteU32(f, name_len) ||
+        std::fwrite(p->name.data(), 1, name_len, f) != name_len ||
+        !WriteU32(f, static_cast<uint32_t>(p->value.rows())) ||
+        !WriteU32(f, static_cast<uint32_t>(p->value.cols())) ||
+        std::fwrite(p->value.data(), sizeof(float), p->value.size(), f) !=
+            p->value.size()) {
+      return InternalError("short write (parameter " + p->name + "): " + path);
+    }
+  }
+  return OkStatus();
+}
+
+Status LoadParameters(const ParameterRefs& params, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return NotFoundError("cannot open for reading: " + path);
+  }
+  std::FILE* f = file.get();
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadU32(f, &magic) || !ReadU32(f, &version) || !ReadU32(f, &count)) {
+    return InvalidArgumentError("truncated header: " + path);
+  }
+  if (magic != kMagic) return InvalidArgumentError("bad magic: " + path);
+  if (version != kVersion) return InvalidArgumentError("bad version: " + path);
+  if (count != params.size()) {
+    return InvalidArgumentError("parameter count mismatch in " + path);
+  }
+  for (Parameter* p : params) {
+    uint32_t name_len = 0;
+    if (!ReadU32(f, &name_len)) {
+      return InvalidArgumentError("truncated name length: " + path);
+    }
+    std::string name(name_len, '\0');
+    if (std::fread(name.data(), 1, name_len, f) != name_len) {
+      return InvalidArgumentError("truncated name: " + path);
+    }
+    if (name != p->name) {
+      return InvalidArgumentError("parameter name mismatch: expected " +
+                                  p->name + ", found " + name);
+    }
+    uint32_t rows = 0, cols = 0;
+    if (!ReadU32(f, &rows) || !ReadU32(f, &cols)) {
+      return InvalidArgumentError("truncated shape for " + name);
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return InvalidArgumentError("shape mismatch for " + name);
+    }
+    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
+        p->value.size()) {
+      return InvalidArgumentError("truncated data for " + name);
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace eventhit::nn

@@ -1,0 +1,24 @@
+// Binary save/load of parameter sets, so a trained EventHit model can be
+// persisted locally and redeployed without retraining (the paper trains once
+// before deployment).
+#ifndef EVENTHIT_NN_SERIALIZE_H_
+#define EVENTHIT_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+
+/// Writes all parameters (name, shape, float data) to `path`. The format is
+/// a little-endian stream with a magic header; see serialize.cc.
+Status SaveParameters(const ParameterRefs& params, const std::string& path);
+
+/// Loads parameters from `path` into `params`. Names and shapes must match
+/// the registered parameters exactly (same order).
+Status LoadParameters(const ParameterRefs& params, const std::string& path);
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_SERIALIZE_H_

@@ -1,0 +1,53 @@
+// Closed integer frame intervals. Used for ground-truth occurrence
+// intervals, predicted occurrence intervals, and the REC/SPL metrics.
+#ifndef EVENTHIT_SIM_INTERVAL_H_
+#define EVENTHIT_SIM_INTERVAL_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace eventhit::sim {
+
+/// A closed interval of frame indices [start, end]. An interval with
+/// start > end is empty; Interval::Empty() is the canonical empty value.
+struct Interval {
+  int64_t start = 0;
+  int64_t end = -1;
+
+  static Interval Empty() { return Interval{0, -1}; }
+
+  bool empty() const { return start > end; }
+
+  /// Number of frames covered (0 when empty).
+  int64_t length() const { return empty() ? 0 : end - start + 1; }
+
+  /// True iff frame `t` lies inside.
+  bool Contains(int64_t t) const { return !empty() && t >= start && t <= end; }
+
+  /// True iff the two intervals share at least one frame.
+  bool Overlaps(const Interval& other) const {
+    if (empty() || other.empty()) return false;
+    return start <= other.end && other.start <= end;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    if (a.empty() && b.empty()) return true;
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// The overlap of two intervals (possibly empty).
+inline Interval Intersect(const Interval& a, const Interval& b) {
+  if (a.empty() || b.empty()) return Interval::Empty();
+  const Interval out{std::max(a.start, b.start), std::min(a.end, b.end)};
+  return out.empty() ? Interval::Empty() : out;
+}
+
+/// |a \ b|: frames of `a` not covered by `b`.
+inline int64_t DifferenceLength(const Interval& a, const Interval& b) {
+  return a.length() - Intersect(a, b).length();
+}
+
+}  // namespace eventhit::sim
+
+#endif  // EVENTHIT_SIM_INTERVAL_H_

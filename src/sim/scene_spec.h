@@ -1,0 +1,92 @@
+// Declarative description of a synthetic video-stream dataset: the event
+// occurrence processes (parameterised to match Table I of the paper) and the
+// feature-synthesis knobs that control how learnable each event is.
+#ifndef EVENTHIT_SIM_SCENE_SPEC_H_
+#define EVENTHIT_SIM_SCENE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eventhit::sim {
+
+/// One event type: its occurrence statistics plus the precursor signature
+/// that makes the event predictable from the frame features.
+///
+/// The precursor models the causal texture a real detector would see before
+/// an event (e.g. a truck growing larger in frame before "truck at gate"):
+/// a ramp rising over `lead_mean` frames before each occurrence. Group 2
+/// events of the paper (long or high-variance durations) get noisier, less
+/// reliable precursors, which reproduces their lower REC / higher SPL.
+struct EventTypeSpec {
+  std::string name;
+
+  // --- Occurrence process (Table I) ---
+  /// Mean gap between occurrences (frames).
+  double mean_gap = 2000.0;
+  /// Gap regularity (coefficient of variation; 0 = exponential gaps). See
+  /// OccurrenceProcess::gap_cv.
+  double gap_cv = 0.0;
+  double duration_mean = 60.0;
+  double duration_std = 15.0;
+
+  // --- Precursor signature ---
+  /// Frames of advance warning before an occurrence starts.
+  double lead_mean = 300.0;
+  double lead_std = 60.0;
+  /// Gaussian noise added to the precursor channel per frame.
+  double precursor_noise = 0.08;
+  /// Fraction of occurrences whose precursor is weak (scaled far down),
+  /// creating genuinely hard-to-predict instances.
+  double weak_precursor_prob = 0.08;
+
+  // --- Detector-style observables ---
+  /// Mean object count reported by the (simulated) lightweight detector
+  /// while the event is active / inactive. Consumed by the VQS baseline.
+  double object_rate_active = 2.5;
+  double object_rate_background = 0.3;
+};
+
+/// A full dataset: stream length, default EventHit hyper-parameters for this
+/// dataset (the paper uses per-dataset M and H), the event types, and global
+/// nuisance parameters.
+struct DatasetSpec {
+  std::string name;
+  int64_t num_frames = 100000;
+
+  /// Default collection-window size M for this dataset.
+  int collection_window = 25;
+  /// Default time-horizon H for this dataset.
+  int horizon = 500;
+
+  std::vector<EventTypeSpec> events;
+
+  /// Channels that ramp like precursors but are uncorrelated with any event
+  /// (false-alarm texture).
+  int num_distractor_channels = 2;
+  /// Pure white-noise channels.
+  int num_noise_channels = 2;
+  /// Distractor ramps per 10k frames per distractor channel.
+  double distractor_rate_per_10k = 4.0;
+  /// Probability the simulated detector misses an active-event observation
+  /// in a frame (activity channel reads background).
+  double detector_miss_prob = 0.08;
+  /// Probability of a spurious detection in a background frame.
+  double detector_fp_prob = 0.02;
+
+  /// Feature-vector dimensionality D: per event a (precursor, activity)
+  /// pair, plus distractor and noise channels.
+  size_t FeatureDim() const {
+    return events.size() * 2 +
+           static_cast<size_t>(num_distractor_channels) +
+           static_cast<size_t>(num_noise_channels);
+  }
+
+  /// Channel index of event k's precursor / activity channel.
+  static size_t PrecursorChannel(size_t k) { return 2 * k; }
+  static size_t ActivityChannel(size_t k) { return 2 * k + 1; }
+};
+
+}  // namespace eventhit::sim
+
+#endif  // EVENTHIT_SIM_SCENE_SPEC_H_

@@ -1,0 +1,79 @@
+// Generated synthetic video stream: ground-truth event timeline plus the
+// per-frame feature vectors a lightweight detector pipeline would produce.
+#ifndef EVENTHIT_SIM_SYNTHETIC_VIDEO_H_
+#define EVENTHIT_SIM_SYNTHETIC_VIDEO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_timeline.h"
+#include "sim/interval.h"
+#include "sim/scene_spec.h"
+
+namespace eventhit::sim {
+
+/// One annotated action unit: event type + occurrence interval. The merged,
+/// time-sorted action-unit stream feeds the APP-VAE baseline.
+struct ActionUnit {
+  size_t event_type;
+  Interval interval;
+};
+
+/// Immutable generated stream. Frame features are stored row-major
+/// (num_frames x feature_dim).
+class SyntheticVideo {
+ public:
+  /// Generates the full stream for `spec` deterministically from `seed`.
+  static SyntheticVideo Generate(const DatasetSpec& spec, uint64_t seed);
+
+  /// Generates a stream whose occurrence distribution *shifts*: the first
+  /// `before.num_frames` frames follow `before`, the rest follow `after`
+  /// (same event types and feature layout required). Used to exercise the
+  /// drift-detection extension (§VIII future work): a model trained on the
+  /// `before` regime degrades after the shift point.
+  static SyntheticVideo GenerateWithShift(const DatasetSpec& before,
+                                          const DatasetSpec& after,
+                                          uint64_t seed);
+
+  /// Frame index where the `after` regime begins (num_frames() for
+  /// unshifted streams).
+  int64_t shift_frame() const { return shift_frame_; }
+
+  /// Reassembles a stream from its parts (deserialization, external feature
+  /// imports). `features` is row-major num_frames x spec.FeatureDim();
+  /// `counts` holds one series of num_frames detector counts per event
+  /// type. The action-unit annotation stream is rebuilt from the timeline.
+  static SyntheticVideo FromParts(DatasetSpec spec, EventTimeline timeline,
+                                  std::vector<float> features,
+                                  std::vector<std::vector<float>> counts,
+                                  int64_t shift_frame);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const EventTimeline& timeline() const { return timeline_; }
+
+  int64_t num_frames() const { return timeline_.num_frames(); }
+  size_t feature_dim() const { return spec_.FeatureDim(); }
+  size_t num_event_types() const { return spec_.events.size(); }
+
+  /// Pointer to the D features of frame `t`.
+  const float* FrameFeatures(int64_t t) const;
+
+  /// Simulated detector object count for event `k`'s target classes at
+  /// frame `t` (used by the VQS baseline).
+  double ObjectCount(size_t k, int64_t t) const;
+
+  /// All action units across event types, sorted by start frame.
+  const std::vector<ActionUnit>& action_units() const { return action_units_; }
+
+ private:
+  DatasetSpec spec_;
+  EventTimeline timeline_;
+  std::vector<float> features_;            // num_frames x D
+  std::vector<std::vector<float>> counts_;  // per event type, num_frames
+  std::vector<ActionUnit> action_units_;
+  int64_t shift_frame_ = 0;  // Set by Generate/GenerateWithShift.
+};
+
+}  // namespace eventhit::sim
+
+#endif  // EVENTHIT_SIM_SYNTHETIC_VIDEO_H_

@@ -1,0 +1,194 @@
+#include "sim/video_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace eventhit::sim {
+namespace {
+
+constexpr uint32_t kMagic = 0x45565653;  // "EVVS"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+bool WriteScalar(std::FILE* f, T value) {
+  return WriteBytes(f, &value, sizeof(value));
+}
+
+template <typename T>
+bool ReadScalar(std::FILE* f, T* value) {
+  return ReadBytes(f, value, sizeof(*value));
+}
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  return WriteScalar(f, static_cast<uint32_t>(s.size())) &&
+         WriteBytes(f, s.data(), s.size());
+}
+
+bool ReadString(std::FILE* f, std::string* s) {
+  uint32_t size = 0;
+  if (!ReadScalar(f, &size)) return false;
+  if (size > (1u << 20)) return false;  // Corrupt-length guard.
+  s->assign(size, '\0');
+  return ReadBytes(f, s->data(), size);
+}
+
+}  // namespace
+
+Status SaveVideo(const SyntheticVideo& video, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  const DatasetSpec& spec = video.spec();
+
+  bool ok = WriteScalar(f, kMagic) && WriteScalar(f, kVersion) &&
+            WriteString(f, spec.name) &&
+            WriteScalar<int64_t>(f, spec.num_frames) &&
+            WriteScalar<int32_t>(f, spec.collection_window) &&
+            WriteScalar<int32_t>(f, spec.horizon) &&
+            WriteScalar<int32_t>(f, spec.num_distractor_channels) &&
+            WriteScalar<int32_t>(f, spec.num_noise_channels) &&
+            WriteScalar<int64_t>(f, video.shift_frame()) &&
+            WriteScalar<uint32_t>(f,
+                                  static_cast<uint32_t>(spec.events.size()));
+  if (!ok) return InternalError("short write (header): " + path);
+
+  for (const EventTypeSpec& ev : spec.events) {
+    if (!WriteString(f, ev.name) || !WriteScalar(f, ev.mean_gap) ||
+        !WriteScalar(f, ev.gap_cv) || !WriteScalar(f, ev.duration_mean) ||
+        !WriteScalar(f, ev.duration_std)) {
+      return InternalError("short write (event spec): " + path);
+    }
+  }
+
+  // Timeline.
+  for (size_t k = 0; k < spec.events.size(); ++k) {
+    const auto& occurrences = video.timeline().occurrences(k);
+    if (!WriteScalar<uint64_t>(f, occurrences.size())) {
+      return InternalError("short write (timeline size): " + path);
+    }
+    for (const Interval& occ : occurrences) {
+      if (!WriteScalar<int64_t>(f, occ.start) ||
+          !WriteScalar<int64_t>(f, occ.end)) {
+        return InternalError("short write (timeline): " + path);
+      }
+    }
+  }
+
+  // Features + counts.
+  const size_t d = spec.FeatureDim();
+  for (int64_t t = 0; t < spec.num_frames; ++t) {
+    if (!WriteBytes(f, video.FrameFeatures(t), d * sizeof(float))) {
+      return InternalError("short write (features): " + path);
+    }
+  }
+  for (size_t k = 0; k < spec.events.size(); ++k) {
+    for (int64_t t = 0; t < spec.num_frames; ++t) {
+      const auto count = static_cast<float>(video.ObjectCount(k, t));
+      if (!WriteScalar(f, count)) {
+        return InternalError("short write (counts): " + path);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<SyntheticVideo> LoadVideo(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return NotFoundError("cannot open for reading: " + path);
+  }
+  std::FILE* f = file.get();
+
+  uint32_t magic = 0, version = 0;
+  if (!ReadScalar(f, &magic) || !ReadScalar(f, &version)) {
+    return InvalidArgumentError("truncated header: " + path);
+  }
+  if (magic != kMagic) return InvalidArgumentError("bad magic: " + path);
+  if (version != kVersion) {
+    return InvalidArgumentError("unsupported version: " + path);
+  }
+
+  DatasetSpec spec;
+  int32_t collection_window = 0, horizon = 0, distractors = 0, noise = 0;
+  int64_t shift_frame = 0;
+  uint32_t num_events = 0;
+  if (!ReadString(f, &spec.name) || !ReadScalar(f, &spec.num_frames) ||
+      !ReadScalar(f, &collection_window) || !ReadScalar(f, &horizon) ||
+      !ReadScalar(f, &distractors) || !ReadScalar(f, &noise) ||
+      !ReadScalar(f, &shift_frame) || !ReadScalar(f, &num_events)) {
+    return InvalidArgumentError("truncated spec: " + path);
+  }
+  if (spec.num_frames <= 0 || num_events == 0 || num_events > 1024) {
+    return InvalidArgumentError("implausible spec values: " + path);
+  }
+  spec.collection_window = collection_window;
+  spec.horizon = horizon;
+  spec.num_distractor_channels = distractors;
+  spec.num_noise_channels = noise;
+
+  for (uint32_t k = 0; k < num_events; ++k) {
+    EventTypeSpec ev;
+    if (!ReadString(f, &ev.name) || !ReadScalar(f, &ev.mean_gap) ||
+        !ReadScalar(f, &ev.gap_cv) || !ReadScalar(f, &ev.duration_mean) ||
+        !ReadScalar(f, &ev.duration_std)) {
+      return InvalidArgumentError("truncated event spec: " + path);
+    }
+    spec.events.push_back(std::move(ev));
+  }
+
+  std::vector<std::vector<Interval>> intervals(num_events);
+  for (uint32_t k = 0; k < num_events; ++k) {
+    uint64_t count = 0;
+    if (!ReadScalar(f, &count) ||
+        count > static_cast<uint64_t>(spec.num_frames)) {
+      return InvalidArgumentError("truncated timeline: " + path);
+    }
+    intervals[k].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Interval occ;
+      if (!ReadScalar(f, &occ.start) || !ReadScalar(f, &occ.end)) {
+        return InvalidArgumentError("truncated timeline entry: " + path);
+      }
+      intervals[k].push_back(occ);
+    }
+  }
+
+  const size_t d = spec.FeatureDim();
+  std::vector<float> features(static_cast<size_t>(spec.num_frames) * d);
+  if (!ReadBytes(f, features.data(), features.size() * sizeof(float))) {
+    return InvalidArgumentError("truncated features: " + path);
+  }
+  std::vector<std::vector<float>> counts(
+      num_events, std::vector<float>(static_cast<size_t>(spec.num_frames)));
+  for (auto& series : counts) {
+    if (!ReadBytes(f, series.data(), series.size() * sizeof(float))) {
+      return InvalidArgumentError("truncated counts: " + path);
+    }
+  }
+
+  EventTimeline timeline =
+      EventTimeline::FromIntervals(std::move(intervals), spec.num_frames);
+  return SyntheticVideo::FromParts(std::move(spec), std::move(timeline),
+                                   std::move(features), std::move(counts),
+                                   shift_frame);
+}
+
+}  // namespace eventhit::sim

@@ -1,0 +1,252 @@
+#include "survival/cox_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace eventhit::survival {
+namespace {
+
+// Solves A x = b in place by Gaussian elimination with partial pivoting.
+// Returns false if the matrix is (numerically) singular.
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b,
+                       size_t d, std::vector<double>* x) {
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::fabs(a[r * d + col]) > std::fabs(a[pivot * d + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * d + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < d; ++c) std::swap(a[col * d + c], a[pivot * d + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * d + col];
+    for (size_t r = col + 1; r < d; ++r) {
+      const double factor = a[r * d + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < d; ++c) a[r * d + c] -= factor * a[col * d + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  x->assign(d, 0.0);
+  for (size_t row = d; row-- > 0;) {
+    double acc = b[row];
+    for (size_t c = row + 1; c < d; ++c) acc -= a[row * d + c] * (*x)[c];
+    (*x)[row] = acc / a[row * d + row];
+  }
+  return true;
+}
+
+struct LikelihoodState {
+  double log_likelihood = 0.0;
+  std::vector<double> gradient;  // of the *negative* log likelihood
+  std::vector<double> hessian;   // d x d, of the negative log likelihood
+};
+
+// Evaluates the Breslow partial likelihood, its gradient and Hessian at
+// `beta`. `order` indexes observations sorted by time descending.
+LikelihoodState Evaluate(const std::vector<CoxObservation>& obs,
+                         const std::vector<size_t>& order,
+                         const std::vector<double>& beta, double ridge) {
+  const size_t d = beta.size();
+  LikelihoodState state;
+  state.gradient.assign(d, 0.0);
+  state.hessian.assign(d * d, 0.0);
+
+  double s0 = 0.0;
+  std::vector<double> s1(d, 0.0);
+  std::vector<double> s2(d * d, 0.0);
+
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    const double time = obs[order[i]].time;
+    // Add everyone with this time to the risk set.
+    size_t j = i;
+    while (j < n && obs[order[j]].time == time) {
+      const CoxObservation& o = obs[order[j]];
+      double eta = 0.0;
+      for (size_t c = 0; c < d; ++c) eta += beta[c] * o.covariates[c];
+      const double w = std::exp(eta);
+      s0 += w;
+      for (size_t c = 0; c < d; ++c) {
+        s1[c] += w * o.covariates[c];
+        for (size_t c2 = 0; c2 < d; ++c2) {
+          s2[c * d + c2] += w * o.covariates[c] * o.covariates[c2];
+        }
+      }
+      ++j;
+    }
+    // Process the events (deaths) at this time against the full risk set.
+    size_t deaths = 0;
+    for (size_t r = i; r < j; ++r) {
+      const CoxObservation& o = obs[order[r]];
+      if (!o.observed) continue;
+      ++deaths;
+      double eta = 0.0;
+      for (size_t c = 0; c < d; ++c) eta += beta[c] * o.covariates[c];
+      state.log_likelihood += eta;
+      for (size_t c = 0; c < d; ++c) state.gradient[c] -= o.covariates[c];
+    }
+    if (deaths > 0) {
+      EVENTHIT_CHECK_GT(s0, 0.0);
+      state.log_likelihood -= static_cast<double>(deaths) * std::log(s0);
+      for (size_t c = 0; c < d; ++c) {
+        state.gradient[c] += static_cast<double>(deaths) * s1[c] / s0;
+      }
+      for (size_t c = 0; c < d; ++c) {
+        for (size_t c2 = 0; c2 < d; ++c2) {
+          state.hessian[c * d + c2] +=
+              static_cast<double>(deaths) *
+              (s2[c * d + c2] / s0 - (s1[c] / s0) * (s1[c2] / s0));
+        }
+      }
+    }
+    i = j;
+  }
+
+  // Ridge penalty (on the NLL).
+  for (size_t c = 0; c < d; ++c) {
+    state.log_likelihood -= 0.5 * ridge * beta[c] * beta[c];
+    state.gradient[c] += ridge * beta[c];
+    state.hessian[c * d + c] += ridge;
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<CoxModel> CoxModel::Fit(const std::vector<CoxObservation>& observations,
+                               const CoxFitOptions& options) {
+  if (observations.empty()) {
+    return InvalidArgumentError("Cox fit requires at least one observation");
+  }
+  const size_t d = observations[0].covariates.size();
+  if (d == 0) {
+    return InvalidArgumentError("Cox fit requires non-empty covariates");
+  }
+  bool any_event = false;
+  for (const CoxObservation& o : observations) {
+    if (o.covariates.size() != d) {
+      return InvalidArgumentError("inconsistent covariate dimensions");
+    }
+    if (o.time <= 0.0) {
+      return InvalidArgumentError("observation times must be positive");
+    }
+    any_event = any_event || o.observed;
+  }
+  if (!any_event) {
+    return FailedPreconditionError(
+        "Cox fit requires at least one observed (uncensored) event");
+  }
+
+  std::vector<size_t> order(observations.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return observations[a].time > observations[b].time;
+  });
+
+  CoxModel model;
+  model.beta_.assign(d, 0.0);
+  LikelihoodState state =
+      Evaluate(observations, order, model.beta_, options.ridge);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    model.iterations_ = iter + 1;
+    std::vector<double> step;
+    if (!SolveLinearSystem(state.hessian, state.gradient, d, &step)) {
+      return InternalError("singular Hessian in Cox Newton step");
+    }
+    // Newton with step halving: beta_new = beta - step (step solves H s = g
+    // where g is the NLL gradient).
+    double scale = 1.0;
+    bool improved = false;
+    for (int half = 0; half < 20; ++half) {
+      std::vector<double> candidate(d);
+      for (size_t c = 0; c < d; ++c) {
+        candidate[c] = model.beta_[c] - scale * step[c];
+      }
+      LikelihoodState next =
+          Evaluate(observations, order, candidate, options.ridge);
+      if (next.log_likelihood >= state.log_likelihood - 1e-12) {
+        const double delta = next.log_likelihood - state.log_likelihood;
+        model.beta_ = std::move(candidate);
+        state = std::move(next);
+        improved = true;
+        if (std::fabs(delta) < options.tolerance) {
+          iter = options.max_iterations;  // Converged; exit outer loop.
+        }
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;  // No ascent direction; accept current beta.
+  }
+  model.log_likelihood_ = state.log_likelihood;
+
+  // Breslow baseline cumulative hazard at each distinct event time.
+  // Build ascending-time risk-set sums from the descending order.
+  std::vector<double> weights(observations.size());
+  for (size_t idx = 0; idx < observations.size(); ++idx) {
+    weights[idx] = std::exp(model.LinearPredictor(observations[idx].covariates));
+  }
+  double s0 = 0.0;
+  double cumulative = 0.0;
+  std::vector<std::pair<double, double>> increments;  // (time, d_t / s0)
+  size_t i = 0;
+  const size_t n = order.size();
+  while (i < n) {
+    const double time = observations[order[i]].time;
+    size_t j = i;
+    size_t deaths = 0;
+    while (j < n && observations[order[j]].time == time) {
+      s0 += weights[order[j]];
+      if (observations[order[j]].observed) ++deaths;
+      ++j;
+    }
+    if (deaths > 0) {
+      increments.emplace_back(time, static_cast<double>(deaths) / s0);
+    }
+    i = j;
+  }
+  // `increments` is in descending time; reverse and accumulate.
+  std::reverse(increments.begin(), increments.end());
+  for (const auto& [time, inc] : increments) {
+    cumulative += inc;
+    model.hazard_times_.push_back(time);
+    model.cumulative_hazard_.push_back(cumulative);
+  }
+  return model;
+}
+
+double CoxModel::LinearPredictor(const std::vector<double>& covariates) const {
+  EVENTHIT_CHECK_EQ(covariates.size(), beta_.size());
+  double eta = 0.0;
+  for (size_t c = 0; c < beta_.size(); ++c) eta += beta_[c] * covariates[c];
+  return eta;
+}
+
+double CoxModel::BaselineCumulativeHazard(double time) const {
+  // Last hazard time <= `time`.
+  const auto it = std::upper_bound(hazard_times_.begin(), hazard_times_.end(),
+                                   time);
+  if (it == hazard_times_.begin()) return 0.0;
+  const size_t idx = static_cast<size_t>(it - hazard_times_.begin()) - 1;
+  return cumulative_hazard_[idx];
+}
+
+double CoxModel::Survival(double time,
+                          const std::vector<double>& covariates) const {
+  const double h0 = BaselineCumulativeHazard(time);
+  return std::exp(-h0 * std::exp(LinearPredictor(covariates)));
+}
+
+double CoxModel::EventProbability(
+    double time, const std::vector<double>& covariates) const {
+  return 1.0 - Survival(time, covariates);
+}
+
+}  // namespace eventhit::survival

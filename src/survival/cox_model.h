@@ -1,0 +1,68 @@
+// Cox proportional-hazards model (Cox 1972), the survival-analysis baseline
+// of §VI.B. Fitted by Newton–Raphson on the Breslow partial likelihood;
+// exposes the baseline cumulative hazard so survival curves S(t | x) can be
+// evaluated at arbitrary horizon offsets.
+#ifndef EVENTHIT_SURVIVAL_COX_MODEL_H_
+#define EVENTHIT_SURVIVAL_COX_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eventhit::survival {
+
+/// One subject: covariate vector, observed time (time-to-event or censoring
+/// time), and whether the event was observed (1) or censored (0).
+struct CoxObservation {
+  std::vector<double> covariates;
+  double time = 0.0;
+  bool observed = false;
+};
+
+/// Fitting options.
+struct CoxFitOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-7;
+  /// L2 (ridge) penalty on the coefficients; stabilises separated data.
+  double ridge = 1e-3;
+};
+
+/// Fitted Cox model.
+class CoxModel {
+ public:
+  /// Fits the model; fails if observations are empty, covariate dimensions
+  /// disagree, or the Newton solve does not make progress.
+  static Result<CoxModel> Fit(const std::vector<CoxObservation>& observations,
+                              const CoxFitOptions& options = {});
+
+  /// Linear predictor beta . x.
+  double LinearPredictor(const std::vector<double>& covariates) const;
+
+  /// Baseline cumulative hazard H0(t) (Breslow estimator, step function).
+  double BaselineCumulativeHazard(double time) const;
+
+  /// Survival probability S(t | x) = exp(-H0(t) * exp(beta . x)).
+  double Survival(double time, const std::vector<double>& covariates) const;
+
+  /// Probability the event occurs by `time`: 1 - S(t | x).
+  double EventProbability(double time,
+                          const std::vector<double>& covariates) const;
+
+  const std::vector<double>& coefficients() const { return beta_; }
+  int iterations_used() const { return iterations_; }
+  double final_log_likelihood() const { return log_likelihood_; }
+
+ private:
+  std::vector<double> beta_;
+  // Breslow baseline hazard: sorted unique event times and the cumulative
+  // hazard immediately after each.
+  std::vector<double> hazard_times_;
+  std::vector<double> cumulative_hazard_;
+  int iterations_ = 0;
+  double log_likelihood_ = 0.0;
+};
+
+}  // namespace eventhit::survival
+
+#endif  // EVENTHIT_SURVIVAL_COX_MODEL_H_

@@ -1,0 +1,130 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+namespace {
+
+TEST(AdamTest, MinimisesQuadratic) {
+  // f(w) = 0.5 * (w - 3)^2; gradient = w - 3.
+  Parameter w("w", Matrix::Zeros(1, 1));
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  options.clip_norm = 0.0;
+  AdamOptimizer optimizer({&w}, options);
+  for (int i = 0; i < 500; ++i) {
+    w.grad.At(0, 0) = w.value.At(0, 0) - 3.0f;
+    optimizer.Step();
+  }
+  EXPECT_NEAR(w.value.At(0, 0), 3.0f, 1e-2);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Parameter w("w", Matrix::Zeros(2, 2));
+  AdamOptimizer optimizer({&w}, AdamOptions{});
+  w.grad.At(0, 0) = 1.0f;
+  optimizer.Step();
+  EXPECT_EQ(w.grad.SquaredNorm(), 0.0);
+}
+
+TEST(AdamTest, ReportsPreClipNorm) {
+  Parameter w("w", Matrix::Zeros(1, 2));
+  AdamOptions options;
+  options.clip_norm = 1.0;
+  AdamOptimizer optimizer({&w}, options);
+  w.grad.At(0, 0) = 3.0f;
+  w.grad.At(0, 1) = 4.0f;
+  EXPECT_NEAR(optimizer.Step(), 5.0, 1e-6);
+}
+
+TEST(AdamTest, ClipLimitsUpdateMagnitude) {
+  // With and without clipping, starting from the same state, the clipped
+  // first step must be no larger.
+  auto run_once = [](double clip) {
+    Parameter w("w", Matrix::Zeros(1, 1));
+    AdamOptions options;
+    options.learning_rate = 1.0;
+    options.clip_norm = clip;
+    AdamOptimizer optimizer({&w}, options);
+    w.grad.At(0, 0) = 100.0f;
+    optimizer.Step();
+    return std::fabs(w.value.At(0, 0));
+  };
+  EXPECT_LE(run_once(1.0), run_once(0.0) + 1e-7);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // Adam's bias correction makes the first step ~= lr * sign(grad).
+  Parameter w("w", Matrix::Zeros(1, 1));
+  AdamOptions options;
+  options.learning_rate = 0.01;
+  options.clip_norm = 0.0;
+  AdamOptimizer optimizer({&w}, options);
+  w.grad.At(0, 0) = 42.0f;
+  optimizer.Step();
+  EXPECT_NEAR(w.value.At(0, 0), -0.01f, 1e-4);
+}
+
+TEST(AdamTest, MultipleParametersConverge) {
+  // Minimise sum_i 0.5*(w_i - t_i)^2 over two parameter tensors.
+  Parameter a("a", Matrix::Zeros(1, 2));
+  Parameter b("b", Matrix::Zeros(2, 1));
+  AdamOptions options;
+  options.learning_rate = 0.05;
+  AdamOptimizer optimizer({&a, &b}, options);
+  const float ta[] = {1.0f, -2.0f};
+  const float tb[] = {0.5f, 4.0f};
+  for (int i = 0; i < 2000; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      a.grad.data()[j] = a.value.data()[j] - ta[j];
+      b.grad.data()[j] = b.value.data()[j] - tb[j];
+    }
+    optimizer.Step();
+  }
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_NEAR(a.value.data()[j], ta[j], 0.05);
+    EXPECT_NEAR(b.value.data()[j], tb[j], 0.05);
+  }
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Parameter w("w", Matrix::Zeros(1, 1));
+  AdamOptimizer optimizer({&w}, AdamOptions{});
+  EXPECT_EQ(optimizer.step_count(), 0u);
+  optimizer.Step();
+  optimizer.Step();
+  EXPECT_EQ(optimizer.step_count(), 2u);
+}
+
+TEST(ParameterTest, ClipGradientNormRescales) {
+  Parameter w("w", Matrix::Zeros(1, 2));
+  w.grad.At(0, 0) = 3.0f;
+  w.grad.At(0, 1) = 4.0f;
+  const double norm = ClipGradientNorm({&w}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(w.grad.SquaredNorm()), 1.0, 1e-5);
+}
+
+TEST(ParameterTest, ClipLeavesSmallGradientsAlone) {
+  Parameter w("w", Matrix::Zeros(1, 1));
+  w.grad.At(0, 0) = 0.5f;
+  ClipGradientNorm({&w}, 1.0);
+  EXPECT_FLOAT_EQ(w.grad.At(0, 0), 0.5f);
+}
+
+TEST(ParameterTest, ScaleAndZeroGradients) {
+  Parameter w("w", Matrix::Zeros(1, 1));
+  w.grad.At(0, 0) = 2.0f;
+  ScaleGradients({&w}, 0.25f);
+  EXPECT_FLOAT_EQ(w.grad.At(0, 0), 0.5f);
+  ZeroGradients({&w});
+  EXPECT_FLOAT_EQ(w.grad.At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,83 @@
+#include "core/c_classify.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::core {
+namespace {
+
+EventScores ScoresFor(std::vector<double> existence) {
+  EventScores scores;
+  scores.existence = std::move(existence);
+  scores.occupancy.resize(scores.existence.size());
+  return scores;
+}
+
+TEST(CClassifyTest, PValuesMatchAlgorithmOne) {
+  // Event 0 calibration b-scores {0.9, 0.8, 0.7, 0.6} -> non-conformity
+  // a = 1-b in {0.1, 0.2, 0.3, 0.4}.
+  CClassify cclassify(
+      std::vector<std::vector<double>>{{0.1, 0.2, 0.3, 0.4}});
+  // New score b = 0.75 -> a = 0.25 -> two calibration scores >= 0.25 -> 2/5.
+  const auto p = cclassify.PValues(ScoresFor({0.75}));
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 2.0 / 5.0);
+}
+
+TEST(CClassifyTest, ExistenceDecisionThresholdsPValue) {
+  CClassify cclassify(
+      std::vector<std::vector<double>>{{0.1, 0.2, 0.3, 0.4}});
+  // p(b=0.75) = 0.4: positive iff 0.4 >= 1-c, i.e. c >= 0.6.
+  EXPECT_FALSE(cclassify.PredictExistence(ScoresFor({0.75}), 0.5)[0]);
+  EXPECT_TRUE(cclassify.PredictExistence(ScoresFor({0.75}), 0.6)[0]);
+  EXPECT_TRUE(cclassify.PredictExistence(ScoresFor({0.75}), 0.9)[0]);
+}
+
+TEST(CClassifyTest, PerEventIndependence) {
+  CClassify cclassify(std::vector<std::vector<double>>{
+      {0.1, 0.2},          // Event 0: strong calibration scores.
+      {0.7, 0.8, 0.9}});   // Event 1: weak calibration scores.
+  const auto p = cclassify.PValues(ScoresFor({0.5, 0.5}));
+  // Event 0: a=0.5, none >= 0.5 -> 0/3. Event 1: a=0.5, all >= -> 3/4.
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 3.0 / 4.0);
+  EXPECT_EQ(cclassify.CalibrationSize(0), 2u);
+  EXPECT_EQ(cclassify.CalibrationSize(1), 3u);
+}
+
+TEST(CClassifyTest, MonotoneSetGrowthInConfidence) {
+  // Eq. (10): the predicted-positive set grows with c.
+  CClassify cclassify(std::vector<std::vector<double>>{
+      {0.05, 0.15, 0.35, 0.55}, {0.2, 0.4, 0.6, 0.8}});
+  const EventScores scores = ScoresFor({0.7, 0.45});
+  size_t previous = 0;
+  for (double c : {0.2, 0.4, 0.6, 0.8, 0.95, 1.0}) {
+    const auto exists = cclassify.PredictExistence(scores, c);
+    size_t count = 0;
+    for (bool e : exists) count += e ? 1 : 0;
+    EXPECT_GE(count, previous) << "c=" << c;
+    previous = count;
+  }
+  EXPECT_EQ(previous, 2u);  // c=1 predicts everything.
+}
+
+TEST(CClassifyTest, HigherScoreNeverHurts) {
+  CClassify cclassify(
+      std::vector<std::vector<double>>{{0.1, 0.3, 0.5, 0.7, 0.9}});
+  for (double c : {0.3, 0.6, 0.9}) {
+    bool was_positive = false;
+    for (double b : {0.05, 0.2, 0.5, 0.8, 0.95}) {
+      const bool positive = cclassify.PredictExistence(ScoresFor({b}), c)[0];
+      EXPECT_TRUE(positive || !was_positive)
+          << "b=" << b << " c=" << c;
+      was_positive = positive;
+    }
+  }
+}
+
+TEST(CClassifyTest, ScoreArityMismatchDies) {
+  CClassify cclassify(std::vector<std::vector<double>>{{0.1}});
+  EXPECT_DEATH(cclassify.PValues(ScoresFor({0.5, 0.5})), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::core

@@ -1,0 +1,93 @@
+#include "core/c_regress.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::core {
+namespace {
+
+constexpr int kHorizon = 100;
+
+CRegress MakeFixedCRegress() {
+  // Event 0: start residuals {1..5}, end residuals {2,4,6,8,10}.
+  return CRegress({{1, 2, 3, 4, 5}}, {{2, 4, 6, 8, 10}}, kHorizon);
+}
+
+TEST(CRegressTest, QuantilesAreOrderStatistics) {
+  const CRegress cregress = MakeFixedCRegress();
+  EXPECT_DOUBLE_EQ(cregress.StartQuantile(0, 0.5), 3.0);  // ceil(0.5*5)=3rd.
+  EXPECT_DOUBLE_EQ(cregress.EndQuantile(0, 0.5), 6.0);
+  EXPECT_DOUBLE_EQ(cregress.StartQuantile(0, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cregress.EndQuantile(0, 0.2), 2.0);
+}
+
+TEST(CRegressTest, AdjustWidensAsymmetrically) {
+  const CRegress cregress = MakeFixedCRegress();
+  // Eq. 11: start moves earlier by q_s, end later by q_e.
+  const sim::Interval adjusted =
+      cregress.Adjust(0, sim::Interval{20, 40}, 0.5);
+  EXPECT_EQ(adjusted, (sim::Interval{17, 46}));
+}
+
+TEST(CRegressTest, AdjustClampsToHorizon) {
+  const CRegress cregress = MakeFixedCRegress();
+  EXPECT_EQ(cregress.Adjust(0, sim::Interval{2, 98}, 1.0),
+            (sim::Interval{1, kHorizon}));
+}
+
+TEST(CRegressTest, LargerAlphaNeverShrinksInterval) {
+  const CRegress cregress = MakeFixedCRegress();
+  const sim::Interval base{30, 60};
+  sim::Interval previous = cregress.Adjust(0, base, 0.1);
+  for (double alpha : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const sim::Interval widened = cregress.Adjust(0, base, alpha);
+    EXPECT_LE(widened.start, previous.start);
+    EXPECT_GE(widened.end, previous.end);
+    previous = widened;
+  }
+}
+
+TEST(CRegressTest, AdjustedIntervalContainsEstimate) {
+  const CRegress cregress = MakeFixedCRegress();
+  const sim::Interval base{30, 60};
+  for (double alpha : {0.2, 0.6, 1.0}) {
+    const sim::Interval widened = cregress.Adjust(0, base, alpha);
+    EXPECT_LE(widened.start, base.start);
+    EXPECT_GE(widened.end, base.end);
+  }
+}
+
+TEST(CRegressTest, EmptyResidualsNoWidening) {
+  const CRegress cregress({{}}, {{}}, kHorizon);
+  EXPECT_EQ(cregress.Adjust(0, sim::Interval{10, 20}, 0.9),
+            (sim::Interval{10, 20}));
+  EXPECT_EQ(cregress.CalibrationSize(0), 0u);
+}
+
+TEST(CRegressTest, PerEventResiduals) {
+  const CRegress cregress({{1, 1, 1}, {10, 10, 10}},
+                          {{1, 1, 1}, {10, 10, 10}}, kHorizon);
+  EXPECT_EQ(cregress.Adjust(0, sim::Interval{50, 60}, 0.9),
+            (sim::Interval{49, 61}));
+  EXPECT_EQ(cregress.Adjust(1, sim::Interval{50, 60}, 0.9),
+            (sim::Interval{40, 70}));
+}
+
+TEST(CRegressTest, MismatchedResidualSetsDie) {
+  EXPECT_DEATH(CRegress({{1.0}}, {{1.0}, {2.0}}, kHorizon), "CHECK failed");
+  const CRegress cregress = MakeFixedCRegress();
+  EXPECT_DEATH(cregress.Adjust(3, sim::Interval{1, 2}, 0.5), "CHECK failed");
+  EXPECT_DEATH(cregress.Adjust(0, sim::Interval::Empty(), 0.5),
+               "CHECK failed");
+}
+
+TEST(CRegressTest, FractionalQuantileCeiled) {
+  // Non-integer residual quantiles are ceiled to whole frames so the
+  // adjusted interval stays a frame interval.
+  const CRegress cregress({{1.5, 2.5}}, {{0.5, 3.5}}, kHorizon);
+  const sim::Interval adjusted = cregress.Adjust(0, sim::Interval{20, 30}, 0.5);
+  EXPECT_EQ(adjusted.start, 18);  // 20 - ceil(1.5).
+  EXPECT_EQ(adjusted.end, 31);    // 30 + ceil(0.5).
+}
+
+}  // namespace
+}  // namespace eventhit::core

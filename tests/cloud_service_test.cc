@@ -1,0 +1,89 @@
+#include "cloud/cloud_service.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/datasets.h"
+
+namespace eventhit::cloud {
+namespace {
+
+sim::SyntheticVideo SmallVideo() {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = 30000;
+  return sim::SyntheticVideo::Generate(spec, 51);
+}
+
+TEST(CloudServiceTest, InvoiceAccrual) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudConfig config;
+  config.price_per_frame_usd = 0.001;
+  config.frames_per_second = 30.0;
+  CloudService service(&video, config, 1);
+
+  service.Detect(0, sim::Interval{100, 199});
+  EXPECT_EQ(service.invoice().frames_processed, 100);
+  EXPECT_EQ(service.invoice().requests, 1);
+  EXPECT_NEAR(service.invoice().total_cost_usd, 0.1, 1e-12);
+  EXPECT_NEAR(service.invoice().compute_seconds, 100.0 / 30.0, 1e-9);
+
+  service.Detect(0, sim::Interval{200, 249});
+  EXPECT_EQ(service.invoice().frames_processed, 150);
+  EXPECT_EQ(service.invoice().requests, 2);
+
+  service.ResetInvoice();
+  EXPECT_EQ(service.invoice().frames_processed, 0);
+  EXPECT_EQ(service.invoice().total_cost_usd, 0.0);
+}
+
+TEST(CloudServiceTest, PerfectAccuracyMatchesGroundTruth) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudConfig config;
+  config.accuracy = 1.0;
+  CloudService service(&video, config, 2);
+  const sim::Interval window{1000, 1999};
+  const auto detections = service.Detect(0, window);
+  ASSERT_EQ(detections.size(), 1000u);
+  for (int64_t t = window.start; t <= window.end; ++t) {
+    EXPECT_EQ(detections[static_cast<size_t>(t - window.start)],
+              video.timeline().IsActive(0, t));
+  }
+}
+
+TEST(CloudServiceTest, ImperfectAccuracyFlipsSomeLabels) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudConfig config;
+  config.accuracy = 0.9;
+  CloudService service(&video, config, 3);
+  const sim::Interval window{0, 9999};
+  const auto detections = service.Detect(0, window);
+  int64_t flips = 0;
+  for (int64_t t = 0; t < 10000; ++t) {
+    if (detections[static_cast<size_t>(t)] !=
+        video.timeline().IsActive(0, t)) {
+      ++flips;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / 10000.0, 0.1, 0.02);
+}
+
+TEST(CloudServiceTest, ChargeFramesWithoutDetection) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudService service(&video, CloudConfig{}, 4);
+  service.ChargeFrames(500);
+  EXPECT_EQ(service.invoice().frames_processed, 500);
+  EXPECT_EQ(service.invoice().requests, 0);
+}
+
+TEST(CloudServiceTest, InvalidIntervalDies) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudService service(&video, CloudConfig{}, 5);
+  EXPECT_DEATH(service.Detect(0, sim::Interval::Empty()), "CHECK failed");
+  EXPECT_DEATH(service.Detect(0, sim::Interval{-5, 10}), "CHECK failed");
+  EXPECT_DEATH(
+      service.Detect(0, sim::Interval{0, video.num_frames() + 5}),
+      "CHECK failed");
+  EXPECT_DEATH(service.ChargeFrames(-1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::cloud

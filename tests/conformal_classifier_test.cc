@@ -1,0 +1,80 @@
+#include "conformal/conformal_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::conformal {
+namespace {
+
+TEST(ConformalClassifierTest, PValueCountsAtLeastAsNonconforming) {
+  // Calibration scores {0.1, 0.2, 0.3, 0.4}; p(score) = #{a_n >= score}/5.
+  ConformalBinaryClassifier classifier({0.1, 0.2, 0.3, 0.4});
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.05), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.25), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.5), 0.0);
+  // Ties count (score <= a_n is inclusive).
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.2), 3.0 / 5.0);
+}
+
+TEST(ConformalClassifierTest, EmptyCalibrationFollowsPaperFormula) {
+  // With no positive calibration records, p = 0/(0+1) = 0: predictions are
+  // positive only at the vacuous confidence c = 1.
+  ConformalBinaryClassifier classifier({});
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.9), 0.0);
+  EXPECT_FALSE(classifier.PredictPositive(0.9, 0.5));
+  EXPECT_TRUE(classifier.PredictPositive(0.9, 1.0));
+}
+
+TEST(ConformalClassifierTest, HigherConfidencePredictsMorePositives) {
+  ConformalBinaryClassifier classifier({0.1, 0.2, 0.3, 0.4, 0.5});
+  // p(0.45) = 1/6 ~ 0.167.
+  EXPECT_FALSE(classifier.PredictPositive(0.45, 0.8));
+  EXPECT_TRUE(classifier.PredictPositive(0.45, 0.9));
+  // Monotone: positive at c implies positive at any c' > c.
+  for (double score : {0.05, 0.25, 0.45, 0.6}) {
+    bool was_positive = false;
+    for (double c : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+      const bool positive = classifier.PredictPositive(score, c);
+      EXPECT_TRUE(!was_positive || positive)
+          << "monotonicity violated at score " << score << " c " << c;
+      was_positive = positive;
+    }
+  }
+}
+
+TEST(ConformalClassifierTest, CalibrationSize) {
+  ConformalBinaryClassifier classifier({0.3, 0.1});
+  EXPECT_EQ(classifier.calibration_size(), 2u);
+}
+
+// Empirical validity (Theorem 4.1): with exchangeable calibration and test
+// positives, P(predicted positive | true positive) >= c.
+class ConformalValidityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConformalValidityTest, MarginalCoverageHolds) {
+  const double confidence = GetParam();
+  Rng rng(12345);
+  // Positive-class scores drawn iid from a fixed distribution.
+  auto draw_score = [&]() { return rng.Uniform() * rng.Uniform(); };
+  std::vector<double> calibration;
+  for (int i = 0; i < 500; ++i) calibration.push_back(draw_score());
+  ConformalBinaryClassifier classifier(calibration);
+
+  int kept = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (classifier.PredictPositive(draw_score(), confidence)) ++kept;
+  }
+  const double recall = static_cast<double>(kept) / trials;
+  // Marginal guarantee with finite-sample slack.
+  EXPECT_GE(recall, confidence - 0.03) << "c=" << confidence;
+  // And it should not be wildly conservative for a continuous score.
+  EXPECT_LE(recall, confidence + 0.05) << "c=" << confidence;
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverage, ConformalValidityTest,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace eventhit::conformal

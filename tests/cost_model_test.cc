@@ -1,0 +1,87 @@
+#include "cloud/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::cloud {
+namespace {
+
+TEST(CostModelTest, EventHitTimingComposition) {
+  PipelineCostModel model;
+  const StageBreakdown breakdown =
+      HorizonTiming(model, PredictorKind::kEventHit, 25, 500, 100);
+  EXPECT_NEAR(breakdown.feature_extraction_seconds, 25.0 / 140.0, 1e-9);
+  EXPECT_NEAR(breakdown.predictor_seconds, 0.001, 1e-12);
+  EXPECT_NEAR(breakdown.ci_seconds, 100.0 / 30.0, 1e-9);
+  EXPECT_NEAR(breakdown.TotalSeconds(),
+              25.0 / 140.0 + 0.001 + 100.0 / 30.0, 1e-9);
+}
+
+TEST(CostModelTest, VqsPaysPerHorizonFrame) {
+  PipelineCostModel model;
+  const StageBreakdown breakdown =
+      HorizonTiming(model, PredictorKind::kVqs, 0, 200, 50);
+  EXPECT_EQ(breakdown.feature_extraction_seconds, 0.0);
+  EXPECT_NEAR(breakdown.predictor_seconds, 200.0 / 500.0, 1e-9);
+  EXPECT_NEAR(breakdown.ci_seconds, 50.0 / 30.0, 1e-9);
+}
+
+TEST(CostModelTest, AppVaeWindowCostMatchesFootnoteEight) {
+  // Footnote 8: M=200 needs ~7-8s of action detection at ~25 FPS; M=1500
+  // needs ~60s.
+  PipelineCostModel model;
+  const StageBreakdown small =
+      HorizonTiming(model, PredictorKind::kAppVae, 200, 500, 0);
+  EXPECT_NEAR(small.feature_extraction_seconds, 8.0, 0.5);
+  const StageBreakdown large =
+      HorizonTiming(model, PredictorKind::kAppVae, 1500, 500, 0);
+  EXPECT_NEAR(large.feature_extraction_seconds, 60.0, 1.0);
+  EXPECT_NEAR(small.predictor_seconds, 0.1, 1e-9);
+}
+
+TEST(CostModelTest, OracleHasOnlyCiCost) {
+  PipelineCostModel model;
+  const StageBreakdown breakdown =
+      HorizonTiming(model, PredictorKind::kOracle, 0, 500, 60);
+  EXPECT_EQ(breakdown.feature_extraction_seconds, 0.0);
+  EXPECT_EQ(breakdown.predictor_seconds, 0.0);
+  EXPECT_NEAR(breakdown.ci_seconds, 2.0, 1e-9);
+}
+
+TEST(CostModelTest, EffectiveFps) {
+  StageBreakdown breakdown;
+  breakdown.ci_seconds = 2.0;
+  EXPECT_NEAR(EffectiveFps(breakdown, 500), 250.0, 1e-9);
+  EXPECT_EQ(EffectiveFps(StageBreakdown{}, 500), 0.0);
+}
+
+TEST(CostModelTest, FewerRelayedFramesIsFaster) {
+  PipelineCostModel model;
+  const double fps_few = EffectiveFps(
+      HorizonTiming(model, PredictorKind::kEventHit, 25, 500, 20), 500);
+  const double fps_many = EffectiveFps(
+      HorizonTiming(model, PredictorKind::kEventHit, 25, 500, 400), 500);
+  EXPECT_GT(fps_few, fps_many);
+}
+
+TEST(CostModelTest, CiDominatesTypicalEventHitPipeline) {
+  // Figure 10: CI time is ~96% of the pipeline when ~20% of a 200-frame
+  // horizon is relayed.
+  PipelineCostModel model;
+  const StageBreakdown breakdown =
+      HorizonTiming(model, PredictorKind::kEventHit, 10, 200, 40);
+  const double ci_fraction = breakdown.ci_seconds / breakdown.TotalSeconds();
+  EXPECT_GT(ci_fraction, 0.9);
+}
+
+TEST(CostModelTest, InvalidArgumentsDie) {
+  PipelineCostModel model;
+  EXPECT_DEATH(HorizonTiming(model, PredictorKind::kEventHit, -1, 500, 10),
+               "CHECK failed");
+  EXPECT_DEATH(HorizonTiming(model, PredictorKind::kEventHit, 10, 0, 10),
+               "CHECK failed");
+  EXPECT_DEATH(HorizonTiming(model, PredictorKind::kEventHit, 10, 500, -1),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::cloud

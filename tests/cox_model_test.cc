@@ -1,0 +1,180 @@
+#include "survival/cox_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::survival {
+namespace {
+
+// Synthetic proportional-hazards data: hazard(t|x) = h0 * exp(beta . x),
+// i.e. time ~ Exponential(mean = 1 / (h0 * exp(beta . x))).
+std::vector<CoxObservation> SimulateCoxData(const std::vector<double>& beta,
+                                            double h0, size_t n,
+                                            double censor_time, Rng& rng) {
+  std::vector<CoxObservation> observations;
+  observations.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CoxObservation obs;
+    obs.covariates.resize(beta.size());
+    double eta = 0.0;
+    for (size_t c = 0; c < beta.size(); ++c) {
+      obs.covariates[c] = rng.Gaussian(0.0, 1.0);
+      eta += beta[c] * obs.covariates[c];
+    }
+    const double rate = h0 * std::exp(eta);
+    const double time = rng.Exponential(1.0 / rate);
+    if (time < censor_time) {
+      obs.time = std::max(time, 1e-3);
+      obs.observed = true;
+    } else {
+      obs.time = censor_time;
+      obs.observed = false;
+    }
+    observations.push_back(std::move(obs));
+  }
+  return observations;
+}
+
+TEST(CoxModelTest, RecoversCoefficients) {
+  Rng rng(42);
+  const std::vector<double> beta{0.8, -0.5};
+  const auto data = SimulateCoxData(beta, 0.05, 2000, 100.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok()) << fit.status();
+  const auto& coefficients = fit.value().coefficients();
+  ASSERT_EQ(coefficients.size(), 2u);
+  EXPECT_NEAR(coefficients[0], 0.8, 0.12);
+  EXPECT_NEAR(coefficients[1], -0.5, 0.12);
+}
+
+TEST(CoxModelTest, NullModelOnNoise) {
+  Rng rng(43);
+  const auto data = SimulateCoxData({0.0}, 0.05, 1500, 100.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients()[0], 0.0, 0.1);
+}
+
+TEST(CoxModelTest, SurvivalCurveProperties) {
+  Rng rng(44);
+  const auto data = SimulateCoxData({0.6}, 0.05, 800, 100.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  const CoxModel& model = fit.value();
+  const std::vector<double> x{0.5};
+  // S(0) = 1; non-increasing in t; event probability complementary.
+  EXPECT_DOUBLE_EQ(model.Survival(0.0, x), 1.0);
+  double previous = 1.0;
+  for (double t : {1.0, 5.0, 10.0, 25.0, 50.0, 90.0}) {
+    const double s = model.Survival(t, x);
+    EXPECT_LE(s, previous + 1e-12);
+    EXPECT_GE(s, 0.0);
+    EXPECT_NEAR(model.EventProbability(t, x), 1.0 - s, 1e-12);
+    previous = s;
+  }
+}
+
+TEST(CoxModelTest, HigherRiskCovariateLowersSurvival) {
+  Rng rng(45);
+  const auto data = SimulateCoxData({1.0}, 0.05, 1500, 100.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  const CoxModel& model = fit.value();
+  EXPECT_LT(model.Survival(20.0, {1.0}), model.Survival(20.0, {-1.0}));
+}
+
+TEST(CoxModelTest, BaselineHazardIsStepwiseNondecreasing) {
+  Rng rng(46);
+  const auto data = SimulateCoxData({0.3}, 0.1, 300, 50.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  const CoxModel& model = fit.value();
+  double previous = 0.0;
+  for (double t = 0.0; t <= 50.0; t += 2.5) {
+    const double h = model.BaselineCumulativeHazard(t);
+    EXPECT_GE(h, previous);
+    previous = h;
+  }
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(CoxModelTest, HandlesHeavyCensoring) {
+  Rng rng(47);
+  // Censor early -> most observations censored.
+  const auto data = SimulateCoxData({0.5}, 0.01, 1500, 20.0, rng);
+  size_t events = 0;
+  for (const auto& o : data) events += o.observed ? 1 : 0;
+  ASSERT_LT(events, data.size() / 2);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit.value().coefficients()[0], 0.1);
+}
+
+TEST(CoxModelTest, TiedEventTimesSupported) {
+  // Integer times force ties; Breslow handling must not crash or diverge.
+  Rng rng(48);
+  std::vector<CoxObservation> data;
+  for (int i = 0; i < 400; ++i) {
+    CoxObservation obs;
+    obs.covariates = {rng.Gaussian()};
+    const double raw = rng.Exponential(10.0 * std::exp(-0.5 * obs.covariates[0]));
+    obs.time = std::max(1.0, std::floor(raw));  // Heavy ties at small ints.
+    obs.observed = true;
+    data.push_back(std::move(obs));
+  }
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit.value().coefficients()[0], 0.2);
+}
+
+TEST(CoxModelTest, InputValidation) {
+  EXPECT_FALSE(CoxModel::Fit({}).ok());
+
+  CoxObservation no_covariates;
+  no_covariates.time = 1.0;
+  no_covariates.observed = true;
+  EXPECT_FALSE(CoxModel::Fit({no_covariates}).ok());
+
+  CoxObservation bad_time;
+  bad_time.covariates = {1.0};
+  bad_time.time = 0.0;
+  bad_time.observed = true;
+  EXPECT_FALSE(CoxModel::Fit({bad_time}).ok());
+
+  CoxObservation censored_only;
+  censored_only.covariates = {1.0};
+  censored_only.time = 5.0;
+  censored_only.observed = false;
+  EXPECT_EQ(CoxModel::Fit({censored_only}).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  CoxObservation a, b;
+  a.covariates = {1.0};
+  a.time = 1.0;
+  a.observed = true;
+  b.covariates = {1.0, 2.0};
+  b.time = 2.0;
+  b.observed = true;
+  EXPECT_FALSE(CoxModel::Fit({a, b}).ok());
+}
+
+TEST(CoxModelTest, LikelihoodImprovesOverNull) {
+  Rng rng(49);
+  const auto data = SimulateCoxData({1.2}, 0.05, 600, 100.0, rng);
+  const auto fit = CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  // Evaluate the null model's likelihood by fitting with a huge ridge, which
+  // pins beta ~ 0.
+  CoxFitOptions null_options;
+  null_options.ridge = 1e9;
+  const auto null_fit = CoxModel::Fit(data, null_options);
+  ASSERT_TRUE(null_fit.ok());
+  EXPECT_GT(fit.value().final_log_likelihood(),
+            null_fit.value().final_log_likelihood());
+}
+
+}  // namespace
+}  // namespace eventhit::survival

@@ -1,0 +1,133 @@
+#include "baselines/cox_strategy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::baselines {
+namespace {
+
+constexpr int kWindow = 5;
+constexpr int kHorizon = 50;
+constexpr size_t kFeatureDim = 3;
+
+// Toy survival problem: channel 0 level drives the time-to-start; high
+// level -> early event.
+data::Record MakeRecord(double level, Rng& rng) {
+  data::Record record;
+  record.covariates.resize(kWindow * kFeatureDim);
+  for (int m = 0; m < kWindow; ++m) {
+    float* row = record.covariates.data() + m * kFeatureDim;
+    row[0] = static_cast<float>(level + rng.Gaussian(0.0, 0.05));
+    row[1] = static_cast<float>(rng.Uniform());
+    row[2] = 0.3f;
+  }
+  data::EventLabel label;
+  const double rate = 0.01 * std::exp(2.0 * level);
+  const double draw = rng.Exponential(1.0 / rate);
+  if (draw < kHorizon - 5) {
+    label.present = true;
+    label.start = std::max(1, static_cast<int>(draw));
+    label.end = std::min(kHorizon, label.start + 4);
+  }
+  record.labels.push_back(label);
+  return record;
+}
+
+std::vector<data::Record> MakeDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Record> records;
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(MakeRecord(rng.Uniform(), rng));
+  }
+  return records;
+}
+
+TEST(CoxCovariatesTest, LastFrameAndWindowMean) {
+  Rng rng(1);
+  data::Record record;
+  record.covariates.resize(kWindow * kFeatureDim);
+  for (size_t i = 0; i < record.covariates.size(); ++i) {
+    record.covariates[i] = static_cast<float>(i);
+  }
+  const auto covariates = CoxCovariates(record, kWindow, kFeatureDim);
+  ASSERT_EQ(covariates.size(), 2 * kFeatureDim);
+  // Last frame is the final row: 12, 13, 14.
+  EXPECT_DOUBLE_EQ(covariates[0], 12.0);
+  EXPECT_DOUBLE_EQ(covariates[2], 14.0);
+  // Window means of channel 0: (0+3+6+9+12)/5 = 6.
+  EXPECT_NEAR(covariates[3], 6.0, 1e-9);
+}
+
+TEST(CoxStrategyTest, FitAndPredictEndToEnd) {
+  const auto training = MakeDataset(600, 7);
+  auto fitted = CoxStrategy::Fit(training, kWindow, kFeatureDim, kHorizon);
+  ASSERT_TRUE(fitted.ok()) << fitted.status();
+  CoxStrategy& strategy = fitted.value();
+  strategy.set_threshold(0.5);
+
+  Rng rng(9);
+  // High-risk record: early predicted start; interval runs to horizon end.
+  const auto high = strategy.Decide(MakeRecord(0.95, rng));
+  ASSERT_EQ(high.exists.size(), 1u);
+  if (high.exists[0]) {
+    EXPECT_EQ(high.intervals[0].end, kHorizon);
+    EXPECT_GE(high.intervals[0].start, 1);
+  }
+
+  // Risk ordering: averaged over draws, high level predicts existence more
+  // often and earlier than low level.
+  int high_hits = 0, low_hits = 0;
+  int64_t high_start = 0, low_start = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto h = strategy.Decide(MakeRecord(0.95, rng));
+    const auto l = strategy.Decide(MakeRecord(0.05, rng));
+    if (h.exists[0]) {
+      ++high_hits;
+      high_start += h.intervals[0].start;
+    }
+    if (l.exists[0]) {
+      ++low_hits;
+      low_start += l.intervals[0].start;
+    }
+  }
+  EXPECT_GT(high_hits, low_hits);
+  if (high_hits > 0 && low_hits > 0) {
+    EXPECT_LT(high_start / high_hits, low_start / low_hits);
+  }
+}
+
+TEST(CoxStrategyTest, ThresholdSweepIsMonotone) {
+  const auto training = MakeDataset(400, 11);
+  auto fitted = CoxStrategy::Fit(training, kWindow, kFeatureDim, kHorizon);
+  ASSERT_TRUE(fitted.ok());
+  CoxStrategy& strategy = fitted.value();
+  Rng rng(13);
+  const data::Record probe = MakeRecord(0.7, rng);
+  int64_t previous_length = kHorizon + 1;
+  for (double tau : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    strategy.set_threshold(tau);
+    const auto decision = strategy.Decide(probe);
+    const int64_t length =
+        decision.exists[0] ? decision.intervals[0].length() : 0;
+    // Higher threshold -> later start (or no prediction) -> shorter relay.
+    EXPECT_LE(length, previous_length);
+    previous_length = length;
+  }
+}
+
+TEST(CoxStrategyTest, EmptyTrainingRejected) {
+  EXPECT_FALSE(CoxStrategy::Fit({}, kWindow, kFeatureDim, kHorizon).ok());
+}
+
+TEST(CoxStrategyTest, NameIsCox) {
+  const auto training = MakeDataset(200, 17);
+  auto fitted = CoxStrategy::Fit(training, kWindow, kFeatureDim, kHorizon);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_EQ(fitted.value().name(), "COX");
+}
+
+}  // namespace
+}  // namespace eventhit::baselines

@@ -1,0 +1,56 @@
+#include "common/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace eventhit {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape("1.5"), "1.5");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, SpecialCharactersQuoted) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, SerialisesHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"x,y", "z"});
+  EXPECT_EQ(csv.ToString(), "a,b\n1,2\n\"x,y\",z\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, ArityEnforced) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_DEATH(csv.AddRow({"only"}), "CHECK failed");
+  EXPECT_DEATH(CsvWriter({}), "CHECK failed");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  const std::string path = std::string(::testing::TempDir()) + "/out.csv";
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"rec", "0.95"});
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\nrec,0.95\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, UnwritablePathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_FALSE(csv.WriteFile("/nonexistent_dir_xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace eventhit

@@ -1,0 +1,73 @@
+#include "eval/curves.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::eval {
+namespace {
+
+CurvePoint Point(double rec, double spl) {
+  CurvePoint point;
+  point.metrics.rec = rec;
+  point.metrics.spl = spl;
+  return point;
+}
+
+TEST(LinearGridTest, EndpointsAndSpacing) {
+  const auto grid = LinearGrid(0.1, 0.9, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.9);
+  EXPECT_NEAR(grid[1] - grid[0], 0.2, 1e-12);
+}
+
+TEST(LinearGridTest, Validation) {
+  EXPECT_DEATH(LinearGrid(0.0, 1.0, 1), "CHECK failed");
+  EXPECT_DEATH(LinearGrid(1.0, 0.0, 3), "CHECK failed");
+}
+
+TEST(ParetoFrontierTest, RemovesDominatedPoints) {
+  const auto frontier = ParetoFrontier({
+      Point(0.5, 0.10),
+      Point(0.6, 0.10),  // Dominates the previous (same SPL, more REC).
+      Point(0.55, 0.20),  // Dominated: more SPL, less REC than (0.6, 0.1).
+      Point(0.9, 0.40),
+      Point(0.8, 0.50),  // Dominated.
+  });
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_DOUBLE_EQ(frontier[0].metrics.rec, 0.6);
+  EXPECT_DOUBLE_EQ(frontier[0].metrics.spl, 0.10);
+  EXPECT_DOUBLE_EQ(frontier[1].metrics.rec, 0.9);
+}
+
+TEST(ParetoFrontierTest, SortedBySplAndStrictlyIncreasingRec) {
+  const auto frontier = ParetoFrontier({
+      Point(0.9, 0.4), Point(0.3, 0.05), Point(0.7, 0.2), Point(0.7, 0.3),
+  });
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LE(frontier[i - 1].metrics.spl, frontier[i].metrics.spl);
+    EXPECT_LT(frontier[i - 1].metrics.rec, frontier[i].metrics.rec);
+  }
+}
+
+TEST(ParetoFrontierTest, EmptyInput) {
+  EXPECT_TRUE(ParetoFrontier({}).empty());
+}
+
+TEST(MinSplAtRecallTest, FindsCheapestQualifyingPoint) {
+  const std::vector<CurvePoint> points{
+      Point(0.5, 0.05), Point(0.8, 0.2), Point(0.85, 0.15), Point(0.95, 0.6),
+  };
+  double spl = -1.0;
+  ASSERT_TRUE(MinSplAtRecall(points, 0.8, &spl));
+  EXPECT_DOUBLE_EQ(spl, 0.15);
+  ASSERT_TRUE(MinSplAtRecall(points, 0.9, &spl));
+  EXPECT_DOUBLE_EQ(spl, 0.6);
+  EXPECT_FALSE(MinSplAtRecall(points, 0.99, &spl));
+}
+
+TEST(MinSplAtRecallTest, NullOutputPointerAllowed) {
+  EXPECT_TRUE(MinSplAtRecall({Point(1.0, 0.3)}, 0.9, nullptr));
+}
+
+}  // namespace
+}  // namespace eventhit::eval

@@ -1,0 +1,97 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gradient_check.h"
+#include "nn/loss.h"
+
+namespace eventhit::nn {
+namespace {
+
+TEST(DenseTest, ForwardAffine) {
+  Rng rng(1);
+  Dense layer("fc", 2, 2, rng);
+  // Overwrite with known weights.
+  layer.mutable_weight().value.At(0, 0) = 1.0f;
+  layer.mutable_weight().value.At(0, 1) = 2.0f;
+  layer.mutable_weight().value.At(1, 0) = -1.0f;
+  layer.mutable_weight().value.At(1, 1) = 0.5f;
+  layer.mutable_bias().value.At(0, 0) = 0.25f;
+  layer.mutable_bias().value.At(1, 0) = -0.25f;
+  const float x[] = {2.0f, 3.0f};
+  Vec y;
+  layer.Forward(x, y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 1.0f * 2 + 2.0f * 3 + 0.25f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f * 2 + 0.5f * 3 - 0.25f);
+}
+
+TEST(DenseTest, CollectParametersExposesWeightAndBias) {
+  Rng rng(2);
+  Dense layer("fc", 3, 4, rng);
+  ParameterRefs params;
+  layer.CollectParameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "fc.W");
+  EXPECT_EQ(params[1]->name, "fc.b");
+  EXPECT_EQ(params[0]->value.rows(), 4u);
+  EXPECT_EQ(params[0]->value.cols(), 3u);
+  EXPECT_EQ(params[1]->value.rows(), 4u);
+}
+
+TEST(DenseTest, GradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  Dense layer("fc", 4, 3, rng);
+  Vec x(4);
+  for (auto& v : x) v = static_cast<float>(rng.Gaussian());
+  const Vec target = {1.0f, 0.0f, 1.0f};
+
+  ParameterRefs params;
+  layer.CollectParameters(params);
+
+  auto loss_fn = [&]() {
+    Vec logits;
+    layer.Forward(x.data(), logits);
+    Vec dlogits(3);
+    const Vec weights(3, 1.0f);
+    return BceWithLogitsVector(logits.data(), target.data(), weights.data(),
+                               3, dlogits.data());
+  };
+
+  // Analytic pass.
+  ZeroGradients(params);
+  Vec logits;
+  layer.Forward(x.data(), logits);
+  Vec dlogits(3);
+  const Vec weights(3, 1.0f);
+  BceWithLogitsVector(logits.data(), target.data(), weights.data(), 3,
+                      dlogits.data());
+  Vec dx(4, 0.0f);
+  layer.Backward(x.data(), dlogits.data(), dx.data());
+
+  ExpectParameterGradientsMatch(params, loss_fn);
+}
+
+TEST(DenseTest, BackwardSkipsInputGradWhenNull) {
+  Rng rng(4);
+  Dense layer("fc", 2, 2, rng);
+  const float x[] = {1.0f, 1.0f};
+  const float dy[] = {1.0f, 1.0f};
+  layer.Backward(x, dy, nullptr);  // Must not crash.
+  EXPECT_GT(layer.weight().grad.SquaredNorm(), 0.0);
+}
+
+TEST(DenseTest, BackwardAccumulatesAcrossCalls) {
+  Rng rng(5);
+  Dense layer("fc", 2, 1, rng);
+  const float x[] = {1.0f, 2.0f};
+  const float dy[] = {1.0f};
+  layer.Backward(x, dy, nullptr);
+  const double first = layer.weight().grad.SquaredNorm();
+  layer.Backward(x, dy, nullptr);
+  EXPECT_NEAR(layer.weight().grad.SquaredNorm(), 4.0 * first, 1e-9);
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,116 @@
+// Full-deployment integration test: a trained EventHit strategy drives the
+// streaming Marshaller over the live portion of a synthetic stream, relay
+// orders are billed against the CloudService, and the resulting bill must
+// undercut brute force by a wide margin while still catching most events.
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.h"
+#include "core/marshaller.h"
+#include "core/strategies.h"
+#include "eval/runner.h"
+
+namespace eventhit {
+namespace {
+
+TEST(DeploymentLoopTest, MarshalledBillUndercutsBruteForce) {
+  const data::Task task = data::FindTask("TA10").value();
+  eval::RunnerConfig config;
+  config.stream_frames_override = 120000;
+  config.train_records = 500;
+  config.calib_records = 400;
+  config.test_records = 10;  // Unused: we stream instead.
+  config.seed = 2024;
+  const auto env = eval::TaskEnvironment::Build(task, config);
+  const auto trained = eval::TrainEventHit(env, config);
+
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = 0.9;
+  options.coverage = 0.5;
+  const core::EventHitStrategy strategy(
+      trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+      options);
+
+  core::Marshaller marshaller(&strategy, env.collection_window(),
+                              env.horizon(), env.video().feature_dim(), 1);
+  cloud::CloudService cloud(&env.video(), cloud::CloudConfig{}, 1);
+  int64_t base_frame = env.splits().test.start;
+  int64_t detected_event_frames = 0;
+  marshaller.set_relay_callback([&](const core::RelayOrder& order) {
+    // Relay orders are relative to the marshaller's own frame counter;
+    // shift into absolute stream frames.
+    const sim::Interval absolute{order.frames.start + base_frame,
+                                 order.frames.end + base_frame};
+    if (absolute.end >= env.video().num_frames()) return;
+    for (bool hit :
+         cloud.Detect(task.event_indices[order.event], absolute)) {
+      detected_event_frames += hit ? 1 : 0;
+    }
+  });
+
+  // Stream the test slice.
+  const int64_t stream_end =
+      env.splits().test.end - env.horizon();
+  int64_t frames_streamed = 0;
+  for (int64_t frame = base_frame; frame < stream_end; ++frame) {
+    marshaller.PushFrame(env.video().FrameFeatures(frame));
+    ++frames_streamed;
+  }
+  ASSERT_GT(marshaller.stats().horizons_predicted, 20);
+
+  // Brute force would bill every streamed frame.
+  const double brute_force_cost =
+      static_cast<double>(frames_streamed) *
+      cloud.config().price_per_frame_usd;
+  EXPECT_GT(cloud.invoice().total_cost_usd, 0.0);
+  EXPECT_LT(cloud.invoice().total_cost_usd, 0.35 * brute_force_cost);
+
+  // The relayed segments actually contain event frames (the detector
+  // confirmed some), i.e. the marshalling is not saving money by relaying
+  // junk.
+  EXPECT_GT(detected_event_frames, 100);
+
+  // Consistency between marshaller accounting and the cloud invoice: the
+  // invoice counts per-event relays (possibly overlapping); the marshaller
+  // counts the union, so invoice >= union.
+  EXPECT_GE(cloud.invoice().frames_processed,
+            marshaller.stats().frames_relayed -
+                static_cast<int64_t>(marshaller.stats().relay_orders));
+}
+
+TEST(DeploymentLoopTest, HigherConfidenceCatchesMoreEventFrames) {
+  const data::Task task = data::FindTask("TA10").value();
+  eval::RunnerConfig config;
+  config.stream_frames_override = 100000;
+  config.train_records = 400;
+  config.calib_records = 350;
+  config.test_records = 10;
+  config.seed = 4048;
+  const auto env = eval::TaskEnvironment::Build(task, config);
+  const auto trained = eval::TrainEventHit(env, config);
+
+  auto run_at = [&](double confidence) {
+    core::EventHitStrategyOptions options;
+    options.use_cclassify = true;
+    options.use_cregress = true;
+    options.confidence = confidence;
+    options.coverage = 0.5;
+    const core::EventHitStrategy strategy(
+        trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+        options);
+    core::Marshaller marshaller(&strategy, env.collection_window(),
+                                env.horizon(), env.video().feature_dim(), 1);
+    for (int64_t frame = env.splits().test.start;
+         frame < env.splits().test.end - env.horizon(); ++frame) {
+      marshaller.PushFrame(
+          env.video().FrameFeatures(frame));
+    }
+    return marshaller.stats().frames_relayed;
+  };
+
+  EXPECT_LE(run_at(0.5), run_at(0.95));
+}
+
+}  // namespace
+}  // namespace eventhit

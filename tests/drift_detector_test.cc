@@ -1,0 +1,119 @@
+#include "core/drift_detector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::core {
+namespace {
+
+TEST(DriftDetectorTest, StaysQuietOnUniformPValues) {
+  // Under exchangeability p-values are uniform; the reflected martingale's
+  // crossing rate of the default threshold is ~1e-5 per observation, so
+  // 5000 quiet observations almost never alarm.
+  Rng rng(1);
+  DriftDetector detector;
+  for (int i = 0; i < 5000; ++i) {
+    detector.Observe(rng.Uniform());
+  }
+  EXPECT_FALSE(detector.drift_detected());
+}
+
+TEST(DriftDetectorTest, FiresOnSkewedPValues) {
+  // Drifted regime: p-values concentrate near 0.
+  Rng rng(2);
+  DriftDetector detector;
+  int steps = 0;
+  for (int i = 0; i < 1000 && !detector.drift_detected(); ++i) {
+    detector.Observe(rng.Uniform() * 0.05);
+    ++steps;
+  }
+  EXPECT_TRUE(detector.drift_detected());
+  EXPECT_LT(steps, 50);  // Strong drift should be caught quickly.
+}
+
+TEST(DriftDetectorTest, DetectsAfterRegimeChange) {
+  Rng rng(3);
+  DriftDetector detector;
+  for (int i = 0; i < 2000; ++i) {
+    detector.Observe(rng.Uniform());
+  }
+  ASSERT_FALSE(detector.drift_detected());
+  int latency = 0;
+  while (!detector.drift_detected() && latency < 500) {
+    detector.Observe(rng.Uniform() * 0.1);
+    ++latency;
+  }
+  EXPECT_TRUE(detector.drift_detected());
+  EXPECT_LT(latency, 100);
+}
+
+TEST(DriftDetectorTest, AlarmIsSticky) {
+  Rng rng(4);
+  DriftDetector detector;
+  while (!detector.drift_detected()) {
+    detector.Observe(0.001);
+  }
+  // Uniform p-values afterwards do not clear the alarm.
+  for (int i = 0; i < 100; ++i) detector.Observe(rng.Uniform());
+  EXPECT_TRUE(detector.drift_detected());
+}
+
+TEST(DriftDetectorTest, ResetClearsState) {
+  DriftDetector detector;
+  while (!detector.drift_detected()) {
+    detector.Observe(0.001);
+  }
+  detector.Reset();
+  EXPECT_FALSE(detector.drift_detected());
+  EXPECT_EQ(detector.observations(), 0u);
+  EXPECT_DOUBLE_EQ(detector.log_martingale(), 0.0);
+}
+
+TEST(DriftDetectorTest, MartingaleFlooredAtOne) {
+  DriftDetector detector;
+  // Large p-values shrink the power martingale; the floor keeps log M >= 0
+  // so a later drift is detected with bounded latency.
+  for (int i = 0; i < 1000; ++i) detector.Observe(0.99);
+  EXPECT_GE(detector.log_martingale(), 0.0);
+}
+
+TEST(DriftDetectorTest, ZeroPValueIsClamped) {
+  DriftDetector detector;
+  detector.Observe(0.0);  // Must not produce inf.
+  EXPECT_TRUE(std::isfinite(detector.log_martingale()));
+}
+
+TEST(DriftDetectorTest, OptionValidation) {
+  DriftDetectorOptions options;
+  options.epsilon = 0.0;
+  EXPECT_DEATH(DriftDetector{options}, "CHECK failed");
+  options.epsilon = 1.0;
+  EXPECT_DEATH(DriftDetector{options}, "CHECK failed");
+  options = DriftDetectorOptions{};
+  DriftDetector detector(options);
+  EXPECT_DEATH(detector.Observe(-0.1), "CHECK failed");
+  EXPECT_DEATH(detector.Observe(1.1), "CHECK failed");
+}
+
+TEST(DriftDetectorTest, FalseAlarmRateBounded) {
+  // Over many independent uniform streams, the alarm rate must be below
+  // the Ville bound exp(-log_threshold) ~ 1% (with slack for the floor).
+  int alarms = 0;
+  const int streams = 200;
+  for (int s = 0; s < streams; ++s) {
+    Rng rng(100 + static_cast<uint64_t>(s));
+    DriftDetector detector;
+    for (int i = 0; i < 500 && !detector.drift_detected(); ++i) {
+      detector.Observe(rng.Uniform());
+    }
+    alarms += detector.drift_detected() ? 1 : 0;
+  }
+  // Expected alarms: 200 streams x 500 obs x ~1e-5 ~ 1. Allow a margin.
+  EXPECT_LE(alarms, 8);
+}
+
+}  // namespace
+}  // namespace eventhit::core

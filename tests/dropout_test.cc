@@ -1,0 +1,79 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::nn {
+namespace {
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout dropout(0.5);
+  const float x[] = {1.0f, -2.0f, 3.0f};
+  Vec y;
+  dropout.ForwardEval(x, 3, y);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+  EXPECT_FLOAT_EQ(y[2], 3.0f);
+}
+
+TEST(DropoutTest, ZeroRateTrainIsIdentity) {
+  Dropout dropout(0.0);
+  Rng rng(1);
+  const float x[] = {1.0f, 2.0f};
+  Vec y;
+  dropout.ForwardTrain(x, 2, rng, y);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+}
+
+TEST(DropoutTest, InvertedScalingPreservesExpectation) {
+  Dropout dropout(0.4);
+  Rng rng(2);
+  const size_t n = 20000;
+  Vec x(n, 1.0f);
+  Vec y;
+  dropout.ForwardTrain(x.data(), n, rng, y);
+  double sum = 0.0;
+  for (float v : y) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(n), 1.0, 0.03);
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  Dropout dropout(0.3);
+  Rng rng(3);
+  const size_t n = 20000;
+  Vec x(n, 1.0f);
+  Vec y;
+  dropout.ForwardTrain(x.data(), n, rng, y);
+  size_t zeros = 0;
+  for (float v : y) zeros += v == 0.0f ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout dropout(0.5);
+  Rng rng(4);
+  Vec x(64, 2.0f);
+  Vec y;
+  dropout.ForwardTrain(x.data(), x.size(), rng, y);
+  Vec dy(64, 1.0f);
+  Vec dx(64);
+  dropout.Backward(dy.data(), dx.data());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (y[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(dx[i], 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(dx[i], 2.0f);  // 1/(1-0.5) scaling.
+    }
+  }
+}
+
+TEST(DropoutTest, RateValidation) {
+  EXPECT_DEATH(Dropout(-0.1), "CHECK failed");
+  EXPECT_DEATH(Dropout(1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,86 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit {
+namespace {
+
+Flags ParseOk(std::vector<const char*> args) {
+  auto flags = Flags::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(flags.ok());
+  return flags.value();
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = ParseOk({"--task=TA1", "--seed=7"});
+  EXPECT_EQ(flags.GetString("task", ""), "TA1");
+  EXPECT_EQ(flags.GetInt("seed", 0).value(), 7);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = ParseOk({"--task", "TA2", "--confidence", "0.9"});
+  EXPECT_EQ(flags.GetString("task", ""), "TA2");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("confidence", 0).value(), 0.9);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  const Flags flags =
+      ParseOk({"--verbose", "--fast=false", "--slow=true", "--raw=0"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).value());
+  EXPECT_FALSE(flags.GetBool("fast", true).value());
+  EXPECT_TRUE(flags.GetBool("slow", false).value());
+  EXPECT_FALSE(flags.GetBool("raw", true).value());
+  EXPECT_TRUE(flags.GetBool("absent", true).value());
+}
+
+TEST(FlagsTest, PositionalArgumentsPreserved) {
+  const Flags flags = ParseOk({"stats", "--seed=1", "extra"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"stats", "extra"}));
+}
+
+TEST(FlagsTest, DanglingFlagIsBoolean) {
+  const Flags flags = ParseOk({"--last"});
+  EXPECT_TRUE(flags.Has("last"));
+  EXPECT_TRUE(flags.GetBool("last", false).value());
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsBoolean) {
+  const Flags flags = ParseOk({"--a", "--b=1"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_EQ(flags.GetInt("b", 0).value(), 1);
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags flags = ParseOk({});
+  EXPECT_EQ(flags.GetString("x", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetInt("x", 5).value(), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 2.5).value(), 2.5);
+}
+
+TEST(FlagsTest, TypeErrorsReported) {
+  const Flags flags = ParseOk({"--n=abc", "--d=zz", "--b=maybe"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("d", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  const char* args[] = {"--=oops"};
+  EXPECT_FALSE(Flags::Parse(1, args).ok());
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  const Flags flags = ParseOk({"--offset=-12", "--scale", "-0.5"});
+  EXPECT_EQ(flags.GetInt("offset", 0).value(), -12);
+  // "-0.5" does not look like a flag (single dash), so the space form works.
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0).value(), -0.5);
+}
+
+TEST(FlagsTest, FlagNamesEnumerated) {
+  const Flags flags = ParseOk({"--b=1", "--a=2"});
+  EXPECT_EQ(flags.FlagNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace eventhit

@@ -1,0 +1,103 @@
+// Statistical tests of the gap-regularity extension of the occurrence
+// process (lognormal vs exponential inter-arrivals), and its wiring through
+// the Breakfast dataset spec.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/datasets.h"
+#include "sim/event_timeline.h"
+
+namespace eventhit::sim {
+namespace {
+
+std::vector<double> GapsOf(const EventTimeline& timeline, size_t k) {
+  std::vector<double> gaps;
+  const auto& occurrences = timeline.occurrences(k);
+  for (size_t i = 1; i < occurrences.size(); ++i) {
+    gaps.push_back(
+        static_cast<double>(occurrences[i].start - occurrences[i - 1].end));
+  }
+  return gaps;
+}
+
+TEST(GapRegularityTest, ExponentialGapsHaveUnitCv) {
+  Rng rng(3);
+  OccurrenceProcess proc;
+  proc.mean_gap = 500.0;
+  proc.duration_mean = 20.0;
+  proc.duration_std = 2.0;
+  const EventTimeline timeline = EventTimeline::Generate({proc}, 600000, rng);
+  const auto gaps = GapsOf(timeline, 0);
+  ASSERT_GT(gaps.size(), 400u);
+  EXPECT_NEAR(Mean(gaps), 500.0, 50.0);
+  // Exponential: cv = 1.
+  EXPECT_NEAR(SampleStdDev(gaps) / Mean(gaps), 1.0, 0.12);
+}
+
+TEST(GapRegularityTest, LognormalGapsMatchRequestedCv) {
+  Rng rng(5);
+  OccurrenceProcess proc;
+  proc.mean_gap = 500.0;
+  proc.gap_cv = 0.4;
+  proc.duration_mean = 20.0;
+  proc.duration_std = 2.0;
+  const EventTimeline timeline = EventTimeline::Generate({proc}, 600000, rng);
+  const auto gaps = GapsOf(timeline, 0);
+  ASSERT_GT(gaps.size(), 400u);
+  EXPECT_NEAR(Mean(gaps), 500.0, 40.0);
+  EXPECT_NEAR(SampleStdDev(gaps) / Mean(gaps), 0.4, 0.08);
+}
+
+TEST(GapRegularityTest, RegularGapsConcentrateHazard) {
+  // The structural property APP-VAE exploits: with regular gaps, the
+  // conditional probability of a start soon *rises* with the elapsed time;
+  // with exponential gaps it is flat (memoryless).
+  Rng rng(7);
+  OccurrenceProcess regular;
+  regular.mean_gap = 1000.0;
+  regular.gap_cv = 0.35;
+  regular.duration_mean = 20.0;
+  regular.duration_std = 2.0;
+  const EventTimeline timeline =
+      EventTimeline::Generate({regular}, 3000000, rng);
+  const auto gaps = GapsOf(timeline, 0);
+  ASSERT_GT(gaps.size(), 1000u);
+  auto conditional = [&](double elapsed, double window) {
+    int surviving = 0, within = 0;
+    for (double g : gaps) {
+      if (g > elapsed) {
+        ++surviving;
+        if (g <= elapsed + window) ++within;
+      }
+    }
+    return static_cast<double>(within) / std::max(surviving, 1);
+  };
+  // At 1.2x the mean gap, a start within the next half-mean is far more
+  // likely than right after the previous occurrence.
+  EXPECT_GT(conditional(1200.0, 500.0), conditional(50.0, 500.0) + 0.25);
+}
+
+TEST(GapRegularityTest, BreakfastSpecIsRegularOthersAreNot) {
+  const DatasetSpec breakfast = MakeDatasetSpec(DatasetId::kBreakfast);
+  for (const EventTypeSpec& ev : breakfast.events) {
+    EXPECT_GT(ev.gap_cv, 0.0) << ev.name;
+  }
+  for (const DatasetId id : {DatasetId::kVirat, DatasetId::kThumos}) {
+    for (const EventTypeSpec& ev : MakeDatasetSpec(id).events) {
+      EXPECT_DOUBLE_EQ(ev.gap_cv, 0.0) << ev.name;
+    }
+  }
+}
+
+TEST(GapRegularityTest, NegativeCvDies) {
+  Rng rng(9);
+  OccurrenceProcess proc;
+  proc.gap_cv = -0.1;
+  EXPECT_DEATH(EventTimeline::Generate({proc}, 10000, rng), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::sim

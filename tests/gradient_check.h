@@ -1,0 +1,40 @@
+// Finite-difference gradient checking utilities for the nn/ tests.
+#ifndef EVENTHIT_TESTS_GRADIENT_CHECK_H_
+#define EVENTHIT_TESTS_GRADIENT_CHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+
+/// Verifies that the analytic gradients stored in each parameter's `grad`
+/// match central finite differences of `loss_fn` (a pure function of the
+/// current parameter values). `loss_fn` must not itself mutate gradients.
+inline void ExpectParameterGradientsMatch(
+    const ParameterRefs& params, const std::function<double()>& loss_fn,
+    double epsilon = 1e-3, double tolerance = 2e-2) {
+  for (Parameter* p : params) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float saved = p->value.data()[i];
+      p->value.data()[i] = saved + static_cast<float>(epsilon);
+      const double up = loss_fn();
+      p->value.data()[i] = saved - static_cast<float>(epsilon);
+      const double down = loss_fn();
+      p->value.data()[i] = saved;
+      const double numeric = (up - down) / (2.0 * epsilon);
+      const double analytic = static_cast<double>(p->grad.data()[i]);
+      const double scale =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic / scale, numeric / scale, tolerance)
+          << "parameter " << p->name << " element " << i;
+    }
+  }
+}
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_TESTS_GRADIENT_CHECK_H_

@@ -1,0 +1,126 @@
+#include "eval/hyper_search.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::eval {
+namespace {
+
+constexpr int kWindow = 5;
+constexpr int kHorizon = 20;
+constexpr size_t kDim = 3;
+
+// The same toy problem as the model tests: channel 0 level drives both
+// existence and location.
+data::Record ToyRecord(double level, Rng& rng) {
+  data::Record record;
+  record.covariates.resize(kWindow * kDim);
+  for (int m = 0; m < kWindow; ++m) {
+    float* row = record.covariates.data() + m * kDim;
+    row[0] = static_cast<float>(level + rng.Gaussian(0, 0.03));
+    row[1] = static_cast<float>(rng.Uniform());
+    row[2] = 0.5f;
+  }
+  data::EventLabel label;
+  if (level > 0.4) {
+    label.present = true;
+    label.start = std::max(1, static_cast<int>((1.0 - level) * kHorizon));
+    label.end = std::min(kHorizon, label.start + 4);
+  }
+  record.labels.push_back(label);
+  return record;
+}
+
+std::vector<data::Record> ToyDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Record> records;
+  for (size_t i = 0; i < n; ++i) records.push_back(ToyRecord(rng.Uniform(), rng));
+  return records;
+}
+
+core::EventHitConfig BaseConfig() {
+  core::EventHitConfig config;
+  config.collection_window = kWindow;
+  config.horizon = kHorizon;
+  config.feature_dim = kDim;
+  config.num_events = 1;
+  config.lstm_hidden = 8;
+  config.shared_dim = 8;
+  config.event_hidden = 12;
+  config.epochs = 8;
+  return config;
+}
+
+HyperGrid TinyGrid() {
+  HyperGrid grid;
+  grid.lstm_hidden = {8};
+  grid.event_hidden = {12};
+  grid.learning_rate = {3e-3};
+  grid.beta = {1.0, 2.0};
+  grid.gamma = {0.5, 1.0};
+  return grid;
+}
+
+TEST(HyperSearchTest, GridEnumeratesAllCombinations) {
+  const auto train = ToyDataset(120, 1);
+  const auto validation = ToyDataset(80, 2);
+  const auto results = GridSearch(BaseConfig(), TinyGrid(), train, validation);
+  EXPECT_EQ(results.size(), 4u);
+  // Best first.
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].objective, results[i].objective);
+  }
+}
+
+TEST(HyperSearchTest, CandidateConfigsCarrySearchedValues) {
+  const auto train = ToyDataset(100, 3);
+  const auto validation = ToyDataset(60, 4);
+  HyperGrid grid = TinyGrid();
+  grid.beta = {2.5};
+  grid.gamma = {0.25};
+  const auto results = GridSearch(BaseConfig(), grid, train, validation);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].config.beta.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].config.beta[0], 2.5);
+  EXPECT_DOUBLE_EQ(results[0].config.gamma[0], 0.25);
+}
+
+TEST(HyperSearchTest, ObjectivePenalisesSpillage) {
+  const auto train = ToyDataset(100, 5);
+  const auto validation = ToyDataset(60, 6);
+  HyperSearchOptions options;
+  options.spillage_weight = 0.5;
+  const auto result =
+      EvaluateCandidate(BaseConfig(), train, validation, options);
+  EXPECT_NEAR(result.objective,
+              result.validation.rec - 0.5 * result.validation.spl, 1e-12);
+}
+
+TEST(HyperSearchTest, BestCandidateLearnsTheTask) {
+  const auto train = ToyDataset(200, 7);
+  const auto validation = ToyDataset(120, 8);
+  const auto results = GridSearch(BaseConfig(), TinyGrid(), train, validation);
+  EXPECT_GT(results.front().validation.rec, 0.5);
+}
+
+TEST(HyperSearchTest, RandomSearchSamplesRequestedCount) {
+  const auto train = ToyDataset(100, 9);
+  const auto validation = ToyDataset(60, 10);
+  Rng rng(11);
+  const auto results =
+      RandomSearch(BaseConfig(), TinyGrid(), 3, train, validation, rng);
+  EXPECT_EQ(results.size(), 3u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].objective, results[i].objective);
+  }
+}
+
+TEST(HyperSearchTest, EmptyInputsDie) {
+  const auto records = ToyDataset(10, 12);
+  EXPECT_DEATH(EvaluateCandidate(BaseConfig(), {}, records), "CHECK failed");
+  EXPECT_DEATH(EvaluateCandidate(BaseConfig(), records, {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::eval

@@ -1,0 +1,65 @@
+#include "core/interval_extraction.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::core {
+namespace {
+
+TEST(IntervalExtractionTest, MinMaxAboveThreshold) {
+  // Offsets are 1-based: theta[0] scores offset 1.
+  const std::vector<float> theta{0.1f, 0.6f, 0.4f, 0.7f, 0.2f};
+  const sim::Interval interval = ExtractOccurrenceInterval(theta, 0.5);
+  EXPECT_EQ(interval, (sim::Interval{2, 4}));
+}
+
+TEST(IntervalExtractionTest, DiscontinuousScoresSpanned) {
+  // Eq. (6) takes min..max even when intermediate frames dip below tau2.
+  const std::vector<float> theta{0.9f, 0.1f, 0.1f, 0.9f};
+  EXPECT_EQ(ExtractOccurrenceInterval(theta, 0.5), (sim::Interval{1, 4}));
+}
+
+TEST(IntervalExtractionTest, AllAboveThreshold) {
+  const std::vector<float> theta{0.8f, 0.9f, 0.8f};
+  EXPECT_EQ(ExtractOccurrenceInterval(theta, 0.5), (sim::Interval{1, 3}));
+}
+
+TEST(IntervalExtractionTest, FallbackToArgmaxWhenNothingClears) {
+  const std::vector<float> theta{0.1f, 0.3f, 0.2f};
+  EXPECT_EQ(ExtractOccurrenceInterval(theta, 0.5), (sim::Interval{2, 2}));
+}
+
+TEST(IntervalExtractionTest, ThresholdIsInclusive) {
+  const std::vector<float> theta{0.5f, 0.4f};
+  EXPECT_EQ(ExtractOccurrenceInterval(theta, 0.5), (sim::Interval{1, 1}));
+}
+
+TEST(IntervalExtractionTest, SingleFrameHorizon) {
+  EXPECT_EQ(ExtractOccurrenceInterval({0.9f}, 0.5), (sim::Interval{1, 1}));
+  EXPECT_EQ(ExtractOccurrenceInterval({0.1f}, 0.5), (sim::Interval{1, 1}));
+}
+
+TEST(IntervalExtractionTest, EmptyThetaDies) {
+  EXPECT_DEATH(ExtractOccurrenceInterval({}, 0.5), "CHECK failed");
+}
+
+TEST(ClampToHorizonTest, InsideUnchanged) {
+  EXPECT_EQ(ClampToHorizon(sim::Interval{2, 5}, 10), (sim::Interval{2, 5}));
+}
+
+TEST(ClampToHorizonTest, ClipsBothEnds) {
+  EXPECT_EQ(ClampToHorizon(sim::Interval{-3, 15}, 10),
+            (sim::Interval{1, 10}));
+}
+
+TEST(ClampToHorizonTest, SnapsWhenFullyOutside) {
+  EXPECT_EQ(ClampToHorizon(sim::Interval{-9, -2}, 10), (sim::Interval{1, 1}));
+  EXPECT_EQ(ClampToHorizon(sim::Interval{12, 20}, 10),
+            (sim::Interval{10, 10}));
+}
+
+TEST(ClampToHorizonTest, EmptyStaysEmpty) {
+  EXPECT_TRUE(ClampToHorizon(sim::Interval::Empty(), 10).empty());
+}
+
+}  // namespace
+}  // namespace eventhit::core

@@ -1,0 +1,145 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gradient_check.h"
+
+namespace eventhit::nn {
+namespace {
+
+Vec RandomSequence(size_t steps, size_t dim, Rng& rng) {
+  Vec seq(steps * dim);
+  for (auto& v : seq) v = static_cast<float>(rng.Gaussian(0.0, 0.5));
+  return seq;
+}
+
+TEST(LstmTest, ShapesAndDeterminism) {
+  Rng rng(1);
+  Lstm lstm("l", 3, 5, rng);
+  EXPECT_EQ(lstm.input_dim(), 3u);
+  EXPECT_EQ(lstm.hidden_dim(), 5u);
+  Rng data_rng(2);
+  const Vec seq = RandomSequence(4, 3, data_rng);
+  const Vec h1 = lstm.Forward(seq.data(), 4);
+  const Vec h2 = lstm.Forward(seq.data(), 4);
+  ASSERT_EQ(h1.size(), 5u);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(LstmTest, CachedAndUncachedForwardAgree) {
+  Rng rng(3);
+  Lstm lstm("l", 4, 6, rng);
+  Rng data_rng(4);
+  const Vec seq = RandomSequence(7, 4, data_rng);
+  const Vec h_eval = lstm.Forward(seq.data(), 7);
+  const Vec h_cached = lstm.ForwardCached(seq.data(), 7);
+  ASSERT_EQ(h_eval.size(), h_cached.size());
+  for (size_t i = 0; i < h_eval.size(); ++i) {
+    EXPECT_NEAR(h_eval[i], h_cached[i], 1e-6);
+  }
+}
+
+TEST(LstmTest, HiddenStateBounded) {
+  // h = o * tanh(c) with o in (0,1): |h| < 1 always.
+  Rng rng(5);
+  Lstm lstm("l", 2, 8, rng);
+  Rng data_rng(6);
+  const Vec seq = RandomSequence(50, 2, data_rng);
+  const Vec h = lstm.Forward(seq.data(), 50);
+  for (float v : h) EXPECT_LT(std::fabs(v), 1.0f);
+}
+
+TEST(LstmTest, ForgetBiasInitialisedToOne) {
+  Rng rng(7);
+  Lstm lstm("l", 2, 4, rng);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(lstm.bias().value.At(4 + j, 0), 1.0f);  // Forget block.
+    EXPECT_FLOAT_EQ(lstm.bias().value.At(j, 0), 0.0f);      // Input block.
+  }
+}
+
+TEST(LstmTest, ParameterGradientsMatchFiniteDifferences) {
+  Rng rng(8);
+  Lstm lstm("l", 3, 4, rng);
+  Rng data_rng(9);
+  const Vec seq = RandomSequence(5, 3, data_rng);
+  // Scalar loss: weighted sum of final hidden state.
+  Vec loss_weights(4);
+  for (auto& w : loss_weights) w = static_cast<float>(data_rng.Gaussian());
+
+  auto loss_fn = [&]() {
+    const Vec h = lstm.Forward(seq.data(), 5);
+    double loss = 0.0;
+    for (size_t i = 0; i < h.size(); ++i) {
+      loss += static_cast<double>(loss_weights[i]) * h[i];
+    }
+    return loss;
+  };
+
+  ParameterRefs params;
+  lstm.CollectParameters(params);
+  ZeroGradients(params);
+  lstm.ForwardCached(seq.data(), 5);
+  lstm.Backward(loss_weights.data());
+  ExpectParameterGradientsMatch(params, loss_fn);
+}
+
+TEST(LstmTest, InputGradientsMatchFiniteDifferences) {
+  Rng rng(10);
+  Lstm lstm("l", 2, 3, rng);
+  Rng data_rng(11);
+  Vec seq = RandomSequence(4, 2, data_rng);
+  Vec loss_weights(3);
+  for (auto& w : loss_weights) w = static_cast<float>(data_rng.Gaussian());
+
+  auto loss_fn = [&]() {
+    const Vec h = lstm.Forward(seq.data(), 4);
+    double loss = 0.0;
+    for (size_t i = 0; i < h.size(); ++i) {
+      loss += static_cast<double>(loss_weights[i]) * h[i];
+    }
+    return loss;
+  };
+
+  ParameterRefs params;
+  lstm.CollectParameters(params);
+  ZeroGradients(params);
+  lstm.ForwardCached(seq.data(), 4);
+  Vec dinputs(seq.size(), 0.0f);
+  lstm.Backward(loss_weights.data(), dinputs.data());
+
+  const double eps = 1e-3;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const float saved = seq[i];
+    seq[i] = saved + static_cast<float>(eps);
+    const double up = loss_fn();
+    seq[i] = saved - static_cast<float>(eps);
+    const double down = loss_fn();
+    seq[i] = saved;
+    EXPECT_NEAR(dinputs[i], (up - down) / (2 * eps), 2e-2) << "input " << i;
+  }
+}
+
+TEST(LstmTest, LongerSequencePropagatesEarlySignal) {
+  // The final hidden state must depend on the first input (non-zero input
+  // gradient at t=0), i.e. BPTT spans the window.
+  Rng rng(12);
+  Lstm lstm("l", 2, 6, rng);
+  Rng data_rng(13);
+  const Vec seq = RandomSequence(20, 2, data_rng);
+  lstm.ForwardCached(seq.data(), 20);
+  Vec dh(6, 1.0f);
+  Vec dinputs(seq.size(), 0.0f);
+  lstm.Backward(dh.data(), dinputs.data());
+  double first_step_norm = 0.0;
+  for (size_t c = 0; c < 2; ++c) {
+    first_step_norm += std::fabs(static_cast<double>(dinputs[c]));
+  }
+  EXPECT_GT(first_step_norm, 1e-6);
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,152 @@
+#include "core/marshaller.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::core {
+namespace {
+
+constexpr int kWindow = 4;
+constexpr int kHorizon = 10;
+constexpr size_t kFeatureDim = 2;
+
+// A scripted strategy that records the covariates it is shown and returns a
+// fixed decision.
+class ScriptedStrategy : public MarshalStrategy {
+ public:
+  std::string name() const override { return "scripted"; }
+
+  MarshalDecision Decide(const data::Record& record) const override {
+    last_record = record;
+    ++calls;
+    MarshalDecision decision;
+    decision.exists = {next_exists};
+    decision.intervals = {next_exists ? next_interval
+                                      : sim::Interval::Empty()};
+    return decision;
+  }
+
+  mutable data::Record last_record;
+  mutable int calls = 0;
+  bool next_exists = true;
+  sim::Interval next_interval{2, 5};
+};
+
+std::vector<float> FrameOf(float value) {
+  return {value, value + 100.0f};
+}
+
+TEST(MarshallerTest, FiresAtWindowFillThenEveryHorizon) {
+  ScriptedStrategy strategy;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  std::vector<int64_t> fired_at;
+  for (int64_t f = 0; f < 40; ++f) {
+    if (marshaller.PushFrame(FrameOf(static_cast<float>(f)).data())) {
+      fired_at.push_back(f);
+    }
+  }
+  // First at M-1 = 3, then every H = 10 frames: 3, 13, 23, 33.
+  EXPECT_EQ(fired_at, (std::vector<int64_t>{3, 13, 23, 33}));
+  EXPECT_EQ(strategy.calls, 4);
+  EXPECT_EQ(marshaller.stats().frames_seen, 40);
+  EXPECT_EQ(marshaller.stats().horizons_predicted, 4);
+}
+
+TEST(MarshallerTest, WindowContentsInLogicalOrder) {
+  ScriptedStrategy strategy;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  for (int64_t f = 0; f <= 13; ++f) {
+    marshaller.PushFrame(FrameOf(static_cast<float>(f)).data());
+  }
+  // The prediction at frame 13 must see frames 10..13, oldest first.
+  const auto& covariates = strategy.last_record.covariates;
+  ASSERT_EQ(covariates.size(), kWindow * kFeatureDim);
+  for (int m = 0; m < kWindow; ++m) {
+    EXPECT_FLOAT_EQ(covariates[m * kFeatureDim], static_cast<float>(10 + m));
+    EXPECT_FLOAT_EQ(covariates[m * kFeatureDim + 1],
+                    static_cast<float>(110 + m));
+  }
+  EXPECT_EQ(strategy.last_record.frame, 13);
+}
+
+TEST(MarshallerTest, RelayOrdersUseAbsoluteFrames) {
+  ScriptedStrategy strategy;
+  strategy.next_interval = sim::Interval{2, 5};
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  std::vector<RelayOrder> orders;
+  marshaller.set_relay_callback(
+      [&](const RelayOrder& order) { orders.push_back(order); });
+  for (int64_t f = 0; f <= 3; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].event, 0u);
+  // Prediction at frame 3, offsets [2,5] -> absolute [5, 8].
+  EXPECT_EQ(orders[0].frames, (sim::Interval{5, 8}));
+  EXPECT_EQ(marshaller.stats().frames_relayed, 4);
+  EXPECT_EQ(marshaller.stats().relay_orders, 1);
+}
+
+TEST(MarshallerTest, AbsentPredictionsRelayNothing) {
+  ScriptedStrategy strategy;
+  strategy.next_exists = false;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  int callbacks = 0;
+  marshaller.set_relay_callback([&](const RelayOrder&) { ++callbacks; });
+  for (int64_t f = 0; f < 25; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(marshaller.stats().frames_relayed, 0);
+  EXPECT_GT(marshaller.stats().horizons_predicted, 0);
+}
+
+// Two-event strategy with overlapping intervals: billed frames must count
+// the union once.
+class TwoEventStrategy : public MarshalStrategy {
+ public:
+  std::string name() const override { return "two"; }
+  MarshalDecision Decide(const data::Record&) const override {
+    MarshalDecision decision;
+    decision.exists = {true, true};
+    decision.intervals = {sim::Interval{1, 6}, sim::Interval{4, 9}};
+    return decision;
+  }
+};
+
+TEST(MarshallerTest, UnionBillingAcrossEvents) {
+  TwoEventStrategy strategy;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 2);
+  for (int64_t f = 0; f <= 3; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  // [1,6] U [4,9] = 9 frames, not 12.
+  EXPECT_EQ(marshaller.stats().frames_relayed, 9);
+  EXPECT_EQ(marshaller.stats().relay_orders, 2);
+}
+
+TEST(MarshallerTest, NextPredictionFrameAdvances) {
+  ScriptedStrategy strategy;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  EXPECT_EQ(marshaller.next_prediction_frame(), 3);
+  for (int64_t f = 0; f <= 3; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  EXPECT_EQ(marshaller.next_prediction_frame(), 13);
+  for (int64_t f = 4; f <= 12; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  EXPECT_EQ(marshaller.next_prediction_frame(), 13);
+}
+
+TEST(MarshallerTest, InvalidConstructionDies) {
+  ScriptedStrategy strategy;
+  EXPECT_DEATH(Marshaller(nullptr, kWindow, kHorizon, kFeatureDim, 1),
+               "CHECK failed");
+  EXPECT_DEATH(Marshaller(&strategy, 0, kHorizon, kFeatureDim, 1),
+               "CHECK failed");
+  EXPECT_DEATH(Marshaller(&strategy, kWindow, 0, kFeatureDim, 1),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::core

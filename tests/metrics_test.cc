@@ -1,0 +1,207 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::eval {
+namespace {
+
+constexpr int kHorizon = 100;
+
+data::Record RecordWithLabels(std::vector<data::EventLabel> labels) {
+  data::Record record;
+  record.labels = std::move(labels);
+  return record;
+}
+
+data::EventLabel Present(int start, int end) {
+  data::EventLabel label;
+  label.present = true;
+  label.start = start;
+  label.end = end;
+  return label;
+}
+
+core::MarshalDecision Decide(
+    std::vector<std::pair<bool, sim::Interval>> per_event) {
+  core::MarshalDecision decision;
+  for (auto& [exists, interval] : per_event) {
+    decision.exists.push_back(exists);
+    decision.intervals.push_back(exists ? interval : sim::Interval::Empty());
+  }
+  return decision;
+}
+
+TEST(FrameRecallTest, FullPartialAndMiss) {
+  const data::EventLabel label = Present(11, 20);
+  EXPECT_DOUBLE_EQ(FrameRecall(label, true, sim::Interval{11, 20}), 1.0);
+  EXPECT_DOUBLE_EQ(FrameRecall(label, true, sim::Interval{16, 30}), 0.5);
+  EXPECT_DOUBLE_EQ(FrameRecall(label, true, sim::Interval{40, 60}), 0.0);
+  EXPECT_DOUBLE_EQ(FrameRecall(label, false, sim::Interval::Empty()), 0.0);
+}
+
+TEST(MetricsTest, PerfectPredictionIsOptLike) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+      RecordWithLabels({data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{11, 20}}}),
+      Decide({{false, sim::Interval::Empty()}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.rec, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.spl, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.rec_c, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.rec_r, 1.0);
+  EXPECT_EQ(metrics.relayed_frames, 10);
+  EXPECT_EQ(metrics.positives, 1);
+}
+
+TEST(MetricsTest, BruteForceHasSplOne) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+      RecordWithLabels({data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{1, kHorizon}}}),
+      Decide({{true, sim::Interval{1, kHorizon}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.rec, 1.0);
+  // Positive record: excess 90 over (H - 10) = 90 -> 1. Negative: 100/100.
+  EXPECT_DOUBLE_EQ(metrics.spl, 1.0);
+}
+
+TEST(MetricsTest, SplMatchesEquationThirteenByHand) {
+  // Record A: event at [11,20], predicted [16,40]:
+  //   excess = |[16,40] \ [11,20]| = 20; spl term = 20 / (100-10) = 2/9.
+  // Record B: no event, predicted [1,50]: term = 50/100 = 0.5.
+  // SPL = (2/9 + 0.5) / 2.
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+      RecordWithLabels({data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{16, 40}}}),
+      Decide({{true, sim::Interval{1, 50}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_NEAR(metrics.spl, (20.0 / 90.0 + 0.5) / 2.0, 1e-12);
+  // REC: record A covered 5/10, record B has no positive pair.
+  EXPECT_NEAR(metrics.rec, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, RecCountsMissedPositivesAsZero) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+      RecordWithLabels({Present(31, 40)}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{11, 20}}}),
+      Decide({{false, sim::Interval::Empty()}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.rec, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.rec_c, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.rec_r, 1.0);  // Over hits only.
+}
+
+TEST(MetricsTest, MultiEventRecordAveragesPerPair) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20), data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{11, 20}}, {true, sim::Interval{1, 25}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.rec, 1.0);
+  // Pair 1 contributes 0; pair 2 contributes 25/100; averaged over 2 pairs.
+  EXPECT_NEAR(metrics.spl, (0.0 + 0.25) / 2.0, 1e-12);
+  // Union billing: [11,20] U [1,25] = [1,25] -> 25 frames.
+  EXPECT_EQ(metrics.relayed_frames, 25);
+}
+
+TEST(MetricsTest, UnionBillingMergesAdjacentIntervals) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({data::EventLabel{}, data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{1, 10}}, {true, sim::Interval{11, 20}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_EQ(metrics.relayed_frames, 20);
+}
+
+TEST(MetricsTest, FullHorizonTruthSkipsSplTerm) {
+  // True interval covers the whole horizon: H - |truth| = 0; the Eq. 13
+  // term is skipped rather than dividing by zero.
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(1, kHorizon)}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{1, kHorizon}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.spl, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.rec, 1.0);
+}
+
+TEST(MetricsTest, PrecisionMetrics) {
+  // Record A: event [11,20] predicted [11,30] (hit, half the relay inside).
+  // Record B: no event, predicted [1,10] (false positive).
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+      RecordWithLabels({data::EventLabel{}}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{true, sim::Interval{11, 30}}}),
+      Decide({{true, sim::Interval{1, 10}}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.pre_c, 0.5);  // 1 hit of 2 predicted pairs.
+  // Relayed frames: 20 + 10; inside-truth: 10.
+  EXPECT_DOUBLE_EQ(metrics.pre_f, 10.0 / 30.0);
+}
+
+TEST(MetricsTest, PrecisionDegenerateCases) {
+  // Nothing predicted: precision defined as 0.
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+  };
+  const auto decisions = std::vector<core::MarshalDecision>{
+      Decide({{false, sim::Interval::Empty()}}),
+  };
+  const Metrics metrics = ComputeMetrics(records, decisions, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.pre_c, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.pre_f, 0.0);
+}
+
+TEST(MetricsTest, EmptyTestSetYieldsZeros) {
+  const Metrics metrics = ComputeMetrics({}, {}, kHorizon);
+  EXPECT_DOUBLE_EQ(metrics.rec, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.spl, 0.0);
+  EXPECT_EQ(metrics.records, 0);
+}
+
+TEST(MetricsTest, MalformedDecisionsDie) {
+  const auto records = std::vector<data::Record>{
+      RecordWithLabels({Present(11, 20)}),
+  };
+  // Predicted-present with empty interval.
+  core::MarshalDecision bad;
+  bad.exists = {true};
+  bad.intervals = {sim::Interval::Empty()};
+  EXPECT_DEATH(ComputeMetrics(records, {bad}, kHorizon), "CHECK failed");
+  // Interval outside [1, H].
+  bad.intervals = {sim::Interval{0, 5}};
+  EXPECT_DEATH(ComputeMetrics(records, {bad}, kHorizon), "CHECK failed");
+  // Predicted-absent with non-empty interval.
+  bad.exists = {false};
+  bad.intervals = {sim::Interval{1, 5}};
+  EXPECT_DEATH(ComputeMetrics(records, {bad}, kHorizon), "CHECK failed");
+  // Arity mismatch.
+  EXPECT_DEATH(ComputeMetrics(records, {}, kHorizon), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::eval

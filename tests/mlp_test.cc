@@ -1,0 +1,114 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gradient_check.h"
+#include "nn/loss.h"
+
+namespace eventhit::nn {
+namespace {
+
+TEST(MlpTest, SingleLayerIsAffine) {
+  Rng rng(1);
+  Mlp mlp("m", {3, 2}, rng);
+  EXPECT_EQ(mlp.in_dim(), 3u);
+  EXPECT_EQ(mlp.out_dim(), 2u);
+  EXPECT_EQ(mlp.layers().size(), 1u);
+}
+
+TEST(MlpTest, ForwardCachedMatchesEvalForward) {
+  Rng rng(2);
+  Mlp mlp("m", {4, 8, 3}, rng);
+  Rng data_rng(3);
+  Vec x(4);
+  for (auto& v : x) v = static_cast<float>(data_rng.Gaussian());
+  Vec cached, eval;
+  mlp.ForwardCached(x.data(), cached);
+  mlp.Forward(x.data(), eval);
+  ASSERT_EQ(cached.size(), eval.size());
+  for (size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_NEAR(cached[i], eval[i], 1e-6);
+  }
+}
+
+TEST(MlpTest, ParameterCountsAcrossLayers) {
+  Rng rng(4);
+  Mlp mlp("m", {5, 7, 2}, rng);
+  ParameterRefs params;
+  mlp.CollectParameters(params);
+  // Two layers x (W, b).
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(ParameterCount(params), 5u * 7 + 7 + 7 * 2 + 2);
+}
+
+TEST(MlpTest, DeepGradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  Mlp mlp("m", {3, 6, 4, 2}, rng);
+  Rng data_rng(6);
+  Vec x(3);
+  for (auto& v : x) v = static_cast<float>(data_rng.Gaussian());
+  const Vec targets = {1.0f, 0.0f};
+  const Vec weights = {1.0f, 2.0f};
+
+  auto loss_fn = [&]() {
+    Vec logits;
+    mlp.Forward(x.data(), logits);
+    Vec scratch(2);
+    return BceWithLogitsVector(logits.data(), targets.data(), weights.data(),
+                               2, scratch.data());
+  };
+
+  ParameterRefs params;
+  mlp.CollectParameters(params);
+  ZeroGradients(params);
+  Vec logits;
+  mlp.ForwardCached(x.data(), logits);
+  Vec dlogits(2);
+  BceWithLogitsVector(logits.data(), targets.data(), weights.data(), 2,
+                      dlogits.data());
+  Vec dx(3, 0.0f);
+  mlp.Backward(x.data(), dlogits.data(), dx.data());
+
+  ExpectParameterGradientsMatch(params, loss_fn);
+}
+
+TEST(MlpTest, InputGradientMatchesFiniteDifferences) {
+  Rng rng(7);
+  Mlp mlp("m", {2, 5, 1}, rng);
+  Rng data_rng(8);
+  Vec x(2);
+  for (auto& v : x) v = static_cast<float>(data_rng.Gaussian());
+  const Vec targets = {1.0f};
+  const Vec weights = {1.0f};
+
+  auto loss_fn = [&]() {
+    Vec logits;
+    mlp.Forward(x.data(), logits);
+    Vec scratch(1);
+    return BceWithLogitsVector(logits.data(), targets.data(), weights.data(),
+                               1, scratch.data());
+  };
+
+  Vec logits;
+  mlp.ForwardCached(x.data(), logits);
+  Vec dlogits(1);
+  BceWithLogitsVector(logits.data(), targets.data(), weights.data(), 1,
+                      dlogits.data());
+  Vec dx(2, 0.0f);
+  mlp.Backward(x.data(), dlogits.data(), dx.data());
+
+  const double eps = 1e-3;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + static_cast<float>(eps);
+    const double up = loss_fn();
+    x[i] = saved - static_cast<float>(eps);
+    const double down = loss_fn();
+    x[i] = saved;
+    EXPECT_NEAR(dx[i], (up - down) / (2 * eps), 2e-2);
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,156 @@
+// Tests of the footnote-1 extension: multiple occurrence instances of the
+// same event type within one horizon.
+#include <gtest/gtest.h>
+
+#include "core/interval_extraction.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit::core {
+namespace {
+
+TEST(MultiInstanceExtractionTest, SplitsSeparatedRuns) {
+  std::vector<float> theta(20, 0.1f);
+  for (int v = 3; v <= 5; ++v) theta[v - 1] = 0.9f;
+  for (int v = 12; v <= 15; ++v) theta[v - 1] = 0.8f;
+  const auto intervals = ExtractOccurrenceIntervals(theta, 0.5, 2);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (sim::Interval{3, 5}));
+  EXPECT_EQ(intervals[1], (sim::Interval{12, 15}));
+}
+
+TEST(MultiInstanceExtractionTest, MergesCloseRuns) {
+  std::vector<float> theta(20, 0.1f);
+  for (int v = 3; v <= 5; ++v) theta[v - 1] = 0.9f;
+  for (int v = 7; v <= 9; ++v) theta[v - 1] = 0.9f;  // Gap of 1 frame (v=6).
+  const auto merged = ExtractOccurrenceIntervals(theta, 0.5, 2);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (sim::Interval{3, 9}));
+  // min_gap = 1 keeps them separate.
+  const auto split = ExtractOccurrenceIntervals(theta, 0.5, 1);
+  ASSERT_EQ(split.size(), 2u);
+}
+
+TEST(MultiInstanceExtractionTest, EmptyWhenNothingClears) {
+  const std::vector<float> theta(10, 0.2f);
+  EXPECT_TRUE(ExtractOccurrenceIntervals(theta, 0.5).empty());
+}
+
+TEST(MultiInstanceExtractionTest, RunsTouchingBoundaries) {
+  std::vector<float> theta(10, 0.1f);
+  theta[0] = 0.9f;
+  theta[9] = 0.9f;
+  const auto intervals = ExtractOccurrenceIntervals(theta, 0.5, 1);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (sim::Interval{1, 1}));
+  EXPECT_EQ(intervals[1], (sim::Interval{10, 10}));
+}
+
+TEST(MultiInstanceExtractionTest, SingleInstanceAgreesWithEqSix) {
+  // With exactly one run, the multi-instance extraction and the paper's
+  // min/max extraction coincide.
+  std::vector<float> theta(30, 0.2f);
+  for (int v = 8; v <= 17; ++v) theta[v - 1] = 0.7f;
+  const auto intervals = ExtractOccurrenceIntervals(theta, 0.5);
+  const sim::Interval single = ExtractOccurrenceInterval(theta, 0.5);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0], single);
+}
+
+TEST(MultiInstanceExtractionTest, SpanOfAllRunsMatchesEqSix) {
+  // Eq. (6) is the envelope [min run start, max run end] of the runs.
+  std::vector<float> theta(30, 0.1f);
+  for (int v = 4; v <= 6; ++v) theta[v - 1] = 0.9f;
+  for (int v = 20; v <= 22; ++v) theta[v - 1] = 0.9f;
+  const auto intervals = ExtractOccurrenceIntervals(theta, 0.5, 1);
+  const sim::Interval envelope = ExtractOccurrenceInterval(theta, 0.5);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(envelope.start, intervals.front().start);
+  EXPECT_EQ(envelope.end, intervals.back().end);
+  // The multi-instance mode relays strictly fewer frames here.
+  int64_t multi_frames = 0;
+  for (const auto& interval : intervals) multi_frames += interval.length();
+  EXPECT_LT(multi_frames, envelope.length());
+}
+
+TEST(MultiInstanceExtractionTest, Validation) {
+  EXPECT_DEATH(ExtractOccurrenceIntervals({}, 0.5), "CHECK failed");
+  EXPECT_DEATH(ExtractOccurrenceIntervals({0.5f}, 0.5, 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::core
+
+namespace eventhit::sim {
+namespace {
+
+TEST(ShiftedStreamTest, ConcatenatesRegimes) {
+  DatasetSpec before;
+  before.name = "before";
+  before.num_frames = 20000;
+  EventTypeSpec ev;
+  ev.name = "e";
+  ev.mean_gap = 900.0;
+  ev.duration_mean = 50.0;
+  ev.duration_std = 10.0;
+  before.events.push_back(ev);
+
+  DatasetSpec after = before;
+  after.name = "after";
+  after.num_frames = 20000;
+  after.events[0].mean_gap = 200.0;  // Events arrive ~4x as often.
+
+  const SyntheticVideo video =
+      SyntheticVideo::GenerateWithShift(before, after, 5);
+  EXPECT_EQ(video.num_frames(), 40000);
+  EXPECT_EQ(video.shift_frame(), 20000);
+
+  // Occurrence density must jump at the shift point.
+  int64_t early = 0, late = 0;
+  for (const Interval& occ : video.timeline().occurrences(0)) {
+    EXPECT_GE(occ.start, 0);
+    EXPECT_LT(occ.end, 40000);
+    (occ.start < 20000 ? early : late) += 1;
+  }
+  EXPECT_GT(late, 2 * early);
+
+  // Features are continuous (valid) across the boundary.
+  for (int64_t t = 19990; t < 20010; ++t) {
+    for (size_t c = 0; c < video.feature_dim(); ++c) {
+      const float v = video.FrameFeatures(t)[c];
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.6f);
+    }
+  }
+  // Object counts accessible across the whole concatenated stream.
+  EXPECT_GE(video.ObjectCount(0, 39999), 0.0);
+}
+
+TEST(ShiftedStreamTest, ActionUnitsCoverBothRegimes) {
+  DatasetSpec spec;
+  spec.num_frames = 15000;
+  EventTypeSpec ev;
+  ev.name = "e";
+  ev.mean_gap = 500.0;
+  spec.events.push_back(ev);
+  const SyntheticVideo video =
+      SyntheticVideo::GenerateWithShift(spec, spec, 9);
+  bool any_late = false;
+  for (const ActionUnit& unit : video.action_units()) {
+    any_late = any_late || unit.interval.start >= 15000;
+  }
+  EXPECT_TRUE(any_late);
+}
+
+TEST(ShiftedStreamTest, MismatchedSpecsDie) {
+  DatasetSpec a;
+  a.num_frames = 1000;
+  a.events.emplace_back();
+  a.events[0].duration_mean = 20;
+  DatasetSpec b = a;
+  b.events.emplace_back();
+  b.events[1].duration_mean = 20;
+  EXPECT_DEATH(SyntheticVideo::GenerateWithShift(a, b, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::sim

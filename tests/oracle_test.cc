@@ -1,0 +1,46 @@
+#include "baselines/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::baselines {
+namespace {
+
+data::Record MakeRecord() {
+  data::Record record;
+  record.frame = 100;
+  data::EventLabel present;
+  present.present = true;
+  present.start = 10;
+  present.end = 30;
+  data::EventLabel absent;
+  record.labels = {present, absent};
+  return record;
+}
+
+TEST(OptStrategyTest, RelaysExactlyTrueIntervals) {
+  const OptStrategy opt;
+  const auto decision = opt.Decide(MakeRecord());
+  ASSERT_EQ(decision.exists.size(), 2u);
+  EXPECT_TRUE(decision.exists[0]);
+  EXPECT_EQ(decision.intervals[0], (sim::Interval{10, 30}));
+  EXPECT_FALSE(decision.exists[1]);
+  EXPECT_TRUE(decision.intervals[1].empty());
+}
+
+TEST(BfStrategyTest, RelaysWholeHorizonAlways) {
+  const BfStrategy bf(200);
+  const auto decision = bf.Decide(MakeRecord());
+  ASSERT_EQ(decision.exists.size(), 2u);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_TRUE(decision.exists[k]);
+    EXPECT_EQ(decision.intervals[k], (sim::Interval{1, 200}));
+  }
+}
+
+TEST(OracleTest, Names) {
+  EXPECT_EQ(OptStrategy().name(), "OPT");
+  EXPECT_EQ(BfStrategy(10).name(), "BF");
+}
+
+}  // namespace
+}  // namespace eventhit::baselines

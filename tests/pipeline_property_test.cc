@@ -1,0 +1,222 @@
+// Cross-cutting property sweeps over the marshalling pipeline: knob
+// monotonicities of the EventHit strategies, metric invariants under
+// arbitrary decisions, and Cox survival-curve laws — parameterized so each
+// property is checked across a range of operating points.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "eval/metrics.h"
+#include "survival/cox_model.h"
+
+namespace eventhit {
+namespace {
+
+constexpr int kHorizon = 40;
+
+// ---------- Metric invariants under random decisions ----------
+
+data::Record RandomRecord(Rng& rng, size_t k_events) {
+  data::Record record;
+  record.labels.resize(k_events);
+  for (auto& label : record.labels) {
+    if (rng.Bernoulli(0.5)) {
+      label.present = true;
+      label.start = static_cast<int>(rng.UniformInt(1, kHorizon - 5));
+      label.end = static_cast<int>(
+          rng.UniformInt(label.start, kHorizon));
+    }
+  }
+  return record;
+}
+
+core::MarshalDecision RandomDecision(Rng& rng, size_t k_events) {
+  core::MarshalDecision decision;
+  decision.exists.resize(k_events);
+  decision.intervals.assign(k_events, sim::Interval::Empty());
+  for (size_t k = 0; k < k_events; ++k) {
+    decision.exists[k] = rng.Bernoulli(0.6);
+    if (decision.exists[k]) {
+      const int64_t start = rng.UniformInt(1, kHorizon);
+      decision.intervals[k] =
+          sim::Interval{start, rng.UniformInt(start, kHorizon)};
+    }
+  }
+  return decision;
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MetricsPropertyTest, AllMetricsStayInUnitRange) {
+  const size_t k_events = GetParam();
+  Rng rng(17 + k_events);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<data::Record> records;
+    std::vector<core::MarshalDecision> decisions;
+    const auto n = static_cast<size_t>(rng.UniformInt(1, 40));
+    for (size_t i = 0; i < n; ++i) {
+      records.push_back(RandomRecord(rng, k_events));
+      decisions.push_back(RandomDecision(rng, k_events));
+    }
+    const eval::Metrics metrics =
+        eval::ComputeMetrics(records, decisions, kHorizon);
+    EXPECT_GE(metrics.rec, 0.0);
+    EXPECT_LE(metrics.rec, 1.0);
+    EXPECT_GE(metrics.spl, 0.0);
+    EXPECT_LE(metrics.spl, 1.0);
+    EXPECT_GE(metrics.rec_c, 0.0);
+    EXPECT_LE(metrics.rec_c, 1.0);
+    EXPECT_GE(metrics.rec_r, 0.0);
+    EXPECT_LE(metrics.rec_r, 1.0);
+    EXPECT_GE(metrics.rec_r + 1e-12, metrics.rec * 0.0);  // Defined.
+    // rec <= rec_c (covering a fraction of each hit cannot beat hitting).
+    EXPECT_LE(metrics.rec, metrics.rec_c + 1e-12);
+    EXPECT_LE(metrics.relayed_frames,
+              static_cast<int64_t>(n) * kHorizon);
+  }
+}
+
+TEST_P(MetricsPropertyTest, OptimalDecisionsAreOptimal) {
+  const size_t k_events = GetParam();
+  Rng rng(31 + k_events);
+  std::vector<data::Record> records;
+  std::vector<core::MarshalDecision> decisions;
+  for (int i = 0; i < 30; ++i) {
+    data::Record record = RandomRecord(rng, k_events);
+    core::MarshalDecision decision;
+    for (const auto& label : record.labels) {
+      decision.exists.push_back(label.present);
+      decision.intervals.push_back(
+          label.present ? sim::Interval{label.start, label.end}
+                        : sim::Interval::Empty());
+    }
+    records.push_back(std::move(record));
+    decisions.push_back(std::move(decision));
+  }
+  const eval::Metrics metrics =
+      eval::ComputeMetrics(records, decisions, kHorizon);
+  if (metrics.positives > 0) {
+    EXPECT_DOUBLE_EQ(metrics.rec, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.rec_c, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.rec_r, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(metrics.spl, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(EventCounts, MetricsPropertyTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+// ---------- Strategy knob monotonicities ----------
+
+class StrategyKnobTest : public ::testing::TestWithParam<double> {};
+
+core::EventScores ScoresWithBump(double b, int from, int to) {
+  core::EventScores scores;
+  scores.existence = {b};
+  scores.occupancy.resize(1);
+  scores.occupancy[0].assign(kHorizon, 0.05f);
+  for (int v = from; v <= to; ++v) scores.occupancy[0][v - 1] = 0.9f;
+  return scores;
+}
+
+TEST_P(StrategyKnobTest, Tau1MonotoneInPredictions) {
+  const double b = GetParam();
+  core::EventHitConfig config;
+  config.collection_window = 3;
+  config.horizon = kHorizon;
+  config.feature_dim = 2;
+  config.num_events = 1;
+  config.epochs = 1;
+  core::EventHitModel model(config);
+  core::EventHitStrategyOptions options;
+  core::EventHitStrategy strategy(&model, nullptr, nullptr, options);
+  bool was_positive = true;
+  for (double tau1 : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    strategy.set_tau1(tau1);
+    const bool positive =
+        strategy.DecideFromScores(ScoresWithBump(b, 10, 15)).exists[0];
+    // Raising tau1 can only turn positives into negatives: once the
+    // decision flips to negative it must stay negative.
+    EXPECT_TRUE(!positive || was_positive)
+        << "b=" << b << " tau1=" << tau1;
+    was_positive = positive;
+  }
+}
+
+TEST_P(StrategyKnobTest, Tau2WidensThenNarrowsEnvelope) {
+  const double b = GetParam();
+  core::EventHitConfig config;
+  config.collection_window = 3;
+  config.horizon = kHorizon;
+  config.feature_dim = 2;
+  config.num_events = 1;
+  config.epochs = 1;
+  core::EventHitModel model(config);
+  core::EventHitStrategyOptions options;
+  options.tau1 = 0.0;  // Always predict present; isolate tau2.
+  core::EventHitStrategy strategy(&model, nullptr, nullptr, options);
+  // Graded occupancy: 0.9 on [10,12], 0.5 on [8,15], 0.05 elsewhere.
+  core::EventScores scores = ScoresWithBump(b, 10, 12);
+  for (int v = 8; v <= 15; ++v) {
+    scores.occupancy[0][v - 1] =
+        std::max(scores.occupancy[0][v - 1], 0.5f);
+  }
+  int64_t previous = kHorizon + 1;
+  for (double tau2 : {0.1, 0.5, 0.8}) {
+    strategy.set_tau2(tau2);
+    const auto decision = strategy.DecideFromScores(scores);
+    ASSERT_TRUE(decision.exists[0]);
+    // Higher tau2 -> equal or shorter envelope.
+    EXPECT_LE(decision.intervals[0].length(), previous);
+    previous = decision.intervals[0].length();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scores, StrategyKnobTest,
+                         ::testing::Values(0.1, 0.5, 0.9));
+
+// ---------- Cox survival laws across thresholds ----------
+
+class CoxLawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoxLawTest, SurvivalMonotoneAndCalibratedAtScale) {
+  const double beta = GetParam();
+  Rng rng(static_cast<uint64_t>(beta * 100) + 7);
+  std::vector<survival::CoxObservation> data;
+  for (int i = 0; i < 800; ++i) {
+    survival::CoxObservation obs;
+    obs.covariates = {rng.Gaussian()};
+    const double rate = 0.02 * std::exp(beta * obs.covariates[0]);
+    obs.time = std::max(1e-3, rng.Exponential(1.0 / rate));
+    obs.observed = obs.time < 200.0;
+    if (!obs.observed) obs.time = 200.0;
+    data.push_back(std::move(obs));
+  }
+  const auto fit = survival::CoxModel::Fit(data);
+  ASSERT_TRUE(fit.ok());
+  const auto& model = fit.value();
+  // Sign of the fitted coefficient matches the generator.
+  if (beta > 0.2) {
+    EXPECT_GT(model.coefficients()[0], 0.0);
+  }
+  if (beta < -0.2) {
+    EXPECT_LT(model.coefficients()[0], 0.0);
+  }
+  // S is non-increasing for every covariate value.
+  for (double x : {-1.5, 0.0, 1.5}) {
+    double previous = 1.0;
+    for (double t = 0.0; t <= 200.0; t += 10.0) {
+      const double s = model.Survival(t, {x});
+      EXPECT_LE(s, previous + 1e-12);
+      previous = s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, CoxLawTest,
+                         ::testing::Values(-0.8, 0.0, 0.5, 1.2));
+
+}  // namespace
+}  // namespace eventhit

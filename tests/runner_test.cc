@@ -1,0 +1,171 @@
+// End-to-end integration tests of the experiment runner: generate stream,
+// train EventHit, calibrate, evaluate — on a shrunken THUMOS environment so
+// the whole suite stays fast.
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/oracle.h"
+#include "eval/curves.h"
+
+namespace eventhit::eval {
+namespace {
+
+RunnerConfig FastConfig(uint64_t seed = 42) {
+  RunnerConfig config;
+  config.stream_frames_override = 60000;
+  config.train_records = 350;
+  config.calib_records = 300;
+  config.test_records = 250;
+  config.model_template.epochs = 10;
+  config.seed = seed;
+  return config;
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new data::Task(data::FindTask("TA10").value());
+    config_ = new RunnerConfig(FastConfig());
+    env_ = new TaskEnvironment(TaskEnvironment::Build(*task_, *config_));
+    trained_ = new TrainedEventHit(TrainEventHit(*env_, *config_));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    delete env_;
+    delete config_;
+    delete task_;
+    trained_ = nullptr;
+    env_ = nullptr;
+    config_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static data::Task* task_;
+  static RunnerConfig* config_;
+  static TaskEnvironment* env_;
+  static TrainedEventHit* trained_;
+};
+
+data::Task* RunnerTest::task_ = nullptr;
+RunnerConfig* RunnerTest::config_ = nullptr;
+TaskEnvironment* RunnerTest::env_ = nullptr;
+TrainedEventHit* RunnerTest::trained_ = nullptr;
+
+TEST_F(RunnerTest, EnvironmentShape) {
+  EXPECT_EQ(env_->video().num_frames(), 60000);
+  EXPECT_EQ(env_->collection_window(), 10);
+  EXPECT_EQ(env_->horizon(), 200);
+  EXPECT_EQ(env_->train_records().size(), 350u);
+  EXPECT_EQ(env_->calib_records().size(), 300u);
+  EXPECT_EQ(env_->test_records().size(), 250u);
+}
+
+TEST_F(RunnerTest, SplitsDoNotLeak) {
+  for (const data::Record& record : env_->train_records()) {
+    EXPECT_LE(record.frame, env_->splits().train.end);
+  }
+  for (const data::Record& record : env_->calib_records()) {
+    EXPECT_GE(record.frame, env_->splits().calib.start);
+    EXPECT_LE(record.frame, env_->splits().calib.end);
+  }
+  for (const data::Record& record : env_->test_records()) {
+    EXPECT_GE(record.frame, env_->splits().test.start);
+  }
+}
+
+TEST_F(RunnerTest, TrainingLearnsSignal) {
+  ASSERT_FALSE(trained_->history.empty());
+  EXPECT_LT(trained_->history.back().total_loss,
+            trained_->history.front().total_loss);
+  EXPECT_EQ(trained_->test_scores.size(), env_->test_records().size());
+}
+
+TEST_F(RunnerTest, EhoBeatsChance) {
+  core::EventHitStrategyOptions options;
+  const core::EventHitStrategy eho(trained_->model.get(), nullptr, nullptr,
+                                   options);
+  const Metrics metrics = EvaluateFromScores(
+      eho, trained_->test_scores, env_->test_records(), env_->horizon());
+  EXPECT_GT(metrics.rec, 0.5);
+  EXPECT_LT(metrics.spl, 0.3);
+}
+
+TEST_F(RunnerTest, AnchorsBehaveAsDefined) {
+  const baselines::OptStrategy opt;
+  const Metrics opt_metrics =
+      EvaluateStrategy(opt, env_->test_records(), env_->horizon());
+  EXPECT_DOUBLE_EQ(opt_metrics.rec, 1.0);
+  EXPECT_DOUBLE_EQ(opt_metrics.spl, 0.0);
+
+  const baselines::BfStrategy bf(env_->horizon());
+  const Metrics bf_metrics =
+      EvaluateStrategy(bf, env_->test_records(), env_->horizon());
+  EXPECT_DOUBLE_EQ(bf_metrics.rec, 1.0);
+  EXPECT_DOUBLE_EQ(bf_metrics.spl, 1.0);
+  EXPECT_EQ(bf_metrics.relayed_frames,
+            static_cast<int64_t>(env_->test_records().size()) *
+                env_->horizon());
+}
+
+TEST_F(RunnerTest, ConfidenceSweepMonotoneInRecC) {
+  const auto points =
+      SweepConfidence(*trained_, *env_, LinearGrid(0.1, 0.99, 8));
+  ASSERT_EQ(points.size(), 8u);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].metrics.rec_c, points[i - 1].metrics.rec_c - 1e-9);
+    EXPECT_GE(points[i].metrics.relayed_frames,
+              points[i - 1].metrics.relayed_frames);
+  }
+}
+
+TEST_F(RunnerTest, CoverageSweepMonotoneInRelays) {
+  const auto points =
+      SweepCoverage(*trained_, *env_, LinearGrid(0.1, 0.95, 6));
+  for (size_t i = 1; i < points.size(); ++i) {
+    // Wider conformal bands can only relay more frames.
+    EXPECT_GE(points[i].metrics.relayed_frames,
+              points[i - 1].metrics.relayed_frames);
+    EXPECT_GE(points[i].metrics.rec_r, points[i - 1].metrics.rec_r - 1e-9);
+  }
+}
+
+TEST_F(RunnerTest, JointSweepReachesHigherRecallThanEho) {
+  core::EventHitStrategyOptions options;
+  const core::EventHitStrategy eho(trained_->model.get(), nullptr, nullptr,
+                                   options);
+  const Metrics eho_metrics = EvaluateFromScores(
+      eho, trained_->test_scores, env_->test_records(), env_->horizon());
+  const auto points = SweepJoint(*trained_, *env_, {0.99}, {0.95});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GT(points[0].metrics.rec, eho_metrics.rec);
+}
+
+TEST_F(RunnerTest, DeterministicAcrossRebuilds) {
+  const TaskEnvironment env2 = TaskEnvironment::Build(*task_, *config_);
+  ASSERT_EQ(env2.test_records().size(), env_->test_records().size());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(env2.test_records()[i].frame, env_->test_records()[i].frame);
+  }
+  const TrainedEventHit trained2 = TrainEventHit(env2, *config_);
+  EXPECT_DOUBLE_EQ(trained2.test_scores[0].existence[0],
+                   trained_->test_scores[0].existence[0]);
+}
+
+TEST(RunnerConfigTest, HorizonAndWindowOverridesApply) {
+  RunnerConfig config = FastConfig();
+  config.collection_window_override = 20;
+  config.horizon_override = 100;
+  config.train_records = 50;
+  config.calib_records = 50;
+  config.test_records = 50;
+  const data::Task task = data::FindTask("TA10").value();
+  const TaskEnvironment env = TaskEnvironment::Build(task, config);
+  EXPECT_EQ(env.collection_window(), 20);
+  EXPECT_EQ(env.horizon(), 100);
+  EXPECT_EQ(env.test_records()[0].covariates.size(),
+            20 * env.video().feature_dim());
+}
+
+}  // namespace
+}  // namespace eventhit::eval

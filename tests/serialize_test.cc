@@ -1,0 +1,91 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace eventhit::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(1);
+  Parameter a("a", Matrix::GlorotUniform(3, 4, rng));
+  Parameter b("b", Matrix::GlorotUniform(2, 2, rng));
+  const std::string path = TempPath("roundtrip.bin");
+  ASSERT_TRUE(SaveParameters({&a, &b}, path).ok());
+
+  Parameter a2("a", Matrix::Zeros(3, 4));
+  Parameter b2("b", Matrix::Zeros(2, 2));
+  ASSERT_TRUE(LoadParameters({&a2, &b2}, path).ok());
+  for (size_t i = 0; i < a.value.size(); ++i) {
+    EXPECT_EQ(a.value.data()[i], a2.value.data()[i]);
+  }
+  for (size_t i = 0; i < b.value.size(); ++i) {
+    EXPECT_EQ(b.value.data()[i], b2.value.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Parameter a("a", Matrix::Zeros(1, 1));
+  const Status status = LoadParameters({&a}, TempPath("does_not_exist.bin"));
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, NameMismatchRejected) {
+  Rng rng(2);
+  Parameter a("a", Matrix::GlorotUniform(2, 2, rng));
+  const std::string path = TempPath("name_mismatch.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter wrong("different", Matrix::Zeros(2, 2));
+  const Status status = LoadParameters({&wrong}, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(3);
+  Parameter a("a", Matrix::GlorotUniform(2, 2, rng));
+  const std::string path = TempPath("shape_mismatch.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter wrong("a", Matrix::Zeros(2, 3));
+  EXPECT_EQ(LoadParameters({&wrong}, path).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchRejected) {
+  Rng rng(4);
+  Parameter a("a", Matrix::GlorotUniform(2, 2, rng));
+  const std::string path = TempPath("count_mismatch.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  Parameter a2("a", Matrix::Zeros(2, 2));
+  Parameter extra("extra", Matrix::Zeros(1, 1));
+  EXPECT_EQ(LoadParameters({&a2, &extra}, path).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  const std::string path = TempPath("corrupt.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "not a model file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Parameter a("a", Matrix::Zeros(1, 1));
+  EXPECT_EQ(LoadParameters({&a}, path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -1,0 +1,83 @@
+#include "conformal/split_conformal_regressor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::conformal {
+namespace {
+
+TEST(SplitConformalRegressorTest, QuantileIsOrderStatistic) {
+  SplitConformalRegressor regressor({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.2), 1.0);  // ceil(0.2*5)=1st.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.5), 3.0);  // ceil(0.5*5)=3rd.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.9), 5.0);  // ceil(0.9*5)=5th.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.0), 1.0);  // Clamped to rank 1.
+}
+
+TEST(SplitConformalRegressorTest, EmptyCalibrationGivesZeroWidth) {
+  SplitConformalRegressor regressor({});
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.9), 0.0);
+  const PredictionBand band = regressor.Band(10.0, 0.9);
+  EXPECT_DOUBLE_EQ(band.lo, 10.0);
+  EXPECT_DOUBLE_EQ(band.hi, 10.0);
+}
+
+TEST(SplitConformalRegressorTest, BandIsSymmetric) {
+  SplitConformalRegressor regressor({1.0, 2.0, 3.0});
+  const PredictionBand band = regressor.Band(5.0, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(band.lo, 3.0);
+  EXPECT_DOUBLE_EQ(band.hi, 7.0);
+}
+
+TEST(SplitConformalRegressorTest, QuantileMonotoneInAlpha) {
+  Rng rng(1);
+  std::vector<double> residuals;
+  for (int i = 0; i < 200; ++i) residuals.push_back(std::fabs(rng.Gaussian()));
+  SplitConformalRegressor regressor(residuals);
+  double previous = -1.0;
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const double q = regressor.Quantile(alpha);
+    EXPECT_GE(q, previous);
+    previous = q;
+  }
+}
+
+TEST(SplitConformalRegressorTest, NegativeResidualsDie) {
+  EXPECT_DEATH(SplitConformalRegressor({1.0, -0.5}), "CHECK failed");
+}
+
+// Empirical validity (Theorem 5.1): bands built from exchangeable residuals
+// cover fresh responses with probability >= alpha.
+class SplitConformalCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitConformalCoverageTest, CoverageHolds) {
+  const double alpha = GetParam();
+  Rng rng(777);
+  // Model: y = 2x + noise; mu_hat = 2x exactly, residuals are |noise|.
+  auto noise = [&]() { return rng.Gaussian(0.0, 1.5); };
+  std::vector<double> residuals;
+  for (int i = 0; i < 400; ++i) residuals.push_back(std::fabs(noise()));
+  SplitConformalRegressor regressor(residuals);
+
+  int covered = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.Uniform(-5.0, 5.0);
+    const double y = 2.0 * x + noise();
+    const PredictionBand band = regressor.Band(2.0 * x, alpha);
+    if (y >= band.lo && y <= band.hi) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GE(coverage, alpha - 0.03) << "alpha=" << alpha;
+  EXPECT_LE(coverage, alpha + 0.07) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverage, SplitConformalCoverageTest,
+                         ::testing::Values(0.5, 0.7, 0.8, 0.9, 0.95));
+
+}  // namespace
+}  // namespace eventhit::conformal

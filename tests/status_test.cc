@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgumentError("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, OkCodeDiscardsMessage) {
+  const Status status(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(OkStatus().code(), StatusCode::kOk);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(OkStatus(), OkStatus());
+  EXPECT_EQ(InternalError("a"), InternalError("a"));
+  EXPECT_FALSE(InternalError("a") == InternalError("b"));
+  EXPECT_FALSE(InternalError("a") == InvalidArgumentError("a"));
+}
+
+TEST(StatusTest, StatusCodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> result(NotFoundError("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ValueOnErrorDies) {
+  const Result<int> result(InternalError("boom"));
+  EXPECT_DEATH({ (void)result.value(); }, "boom");
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto inner = []() -> Status { return InternalError("inner"); };
+  auto outer = [&]() -> Status {
+    EVENTHIT_RETURN_IF_ERROR(inner());
+    return OkStatus();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kInternal);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto inner = []() -> Status { return OkStatus(); };
+  auto outer = [&]() -> Status {
+    EVENTHIT_RETURN_IF_ERROR(inner());
+    return NotFoundError("after");
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace eventhit

@@ -1,0 +1,160 @@
+#include "core/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::core {
+namespace {
+
+constexpr int kHorizon = 20;
+
+EventHitConfig TinyConfig() {
+  EventHitConfig config;
+  config.collection_window = 4;
+  config.horizon = kHorizon;
+  config.feature_dim = 2;
+  config.num_events = 1;
+  config.lstm_hidden = 6;
+  config.shared_dim = 6;
+  config.event_hidden = 8;
+  config.epochs = 1;
+  return config;
+}
+
+EventScores MakeScores(double b, std::vector<float> theta) {
+  EventScores scores;
+  scores.existence = {b};
+  scores.occupancy = {std::move(theta)};
+  return scores;
+}
+
+std::vector<float> ThetaWithBump(int from, int to, float level = 0.9f) {
+  std::vector<float> theta(kHorizon, 0.05f);
+  for (int v = from; v <= to; ++v) theta[v - 1] = level;
+  return theta;
+}
+
+class StrategiesTest : public ::testing::Test {
+ protected:
+  StrategiesTest()
+      : model_(TinyConfig()),
+        cclassify_(std::vector<std::vector<double>>{{0.1, 0.2, 0.3, 0.4}}),
+        cregress_({{2, 2, 2}}, {{3, 3, 3}}, kHorizon) {}
+
+  EventHitModel model_;
+  CClassify cclassify_;
+  CRegress cregress_;
+};
+
+TEST_F(StrategiesTest, NamesFollowVariantFlags) {
+  EventHitStrategyOptions options;
+  EXPECT_EQ(EventHitStrategy(&model_, nullptr, nullptr, options).name(),
+            "EHO");
+  options.use_cclassify = true;
+  EXPECT_EQ(EventHitStrategy(&model_, &cclassify_, nullptr, options).name(),
+            "EHC");
+  options.use_cclassify = false;
+  options.use_cregress = true;
+  EXPECT_EQ(EventHitStrategy(&model_, nullptr, &cregress_, options).name(),
+            "EHR");
+  options.use_cclassify = true;
+  EXPECT_EQ(
+      EventHitStrategy(&model_, &cclassify_, &cregress_, options).name(),
+      "EHCR");
+}
+
+TEST_F(StrategiesTest, EhoThresholdsExistenceAtTau1) {
+  EventHitStrategyOptions options;
+  options.tau1 = 0.5;
+  const EventHitStrategy strategy(&model_, nullptr, nullptr, options);
+  const auto positive =
+      strategy.DecideFromScores(MakeScores(0.6, ThetaWithBump(5, 9)));
+  EXPECT_TRUE(positive.exists[0]);
+  EXPECT_EQ(positive.intervals[0], (sim::Interval{5, 9}));
+  const auto negative =
+      strategy.DecideFromScores(MakeScores(0.4, ThetaWithBump(5, 9)));
+  EXPECT_FALSE(negative.exists[0]);
+  EXPECT_TRUE(negative.intervals[0].empty());
+}
+
+TEST_F(StrategiesTest, EhcUsesConformalExistence) {
+  EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.confidence = 0.9;
+  EventHitStrategy strategy(&model_, &cclassify_, nullptr, options);
+  // b = 0.75 -> a = 0.25 -> p = 2/5 = 0.4 >= 1-0.9: positive even though
+  // a tau1-style threshold at 0.8 would reject it.
+  const auto decision =
+      strategy.DecideFromScores(MakeScores(0.75, ThetaWithBump(3, 6)));
+  EXPECT_TRUE(decision.exists[0]);
+  // At c = 0.5: 0.4 < 0.5 -> negative.
+  strategy.set_confidence(0.5);
+  EXPECT_FALSE(
+      strategy.DecideFromScores(MakeScores(0.75, ThetaWithBump(3, 6)))
+          .exists[0]);
+}
+
+TEST_F(StrategiesTest, EhrWidensIntervals) {
+  EventHitStrategyOptions options;
+  options.use_cregress = true;
+  options.coverage = 0.9;
+  const EventHitStrategy strategy(&model_, nullptr, &cregress_, options);
+  const auto decision =
+      strategy.DecideFromScores(MakeScores(0.9, ThetaWithBump(8, 12)));
+  ASSERT_TRUE(decision.exists[0]);
+  EXPECT_EQ(decision.intervals[0], (sim::Interval{6, 15}));
+}
+
+TEST_F(StrategiesTest, EhcrCombinesBoth) {
+  EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = 0.9;
+  options.coverage = 0.9;
+  const EventHitStrategy strategy(&model_, &cclassify_, &cregress_, options);
+  const auto decision =
+      strategy.DecideFromScores(MakeScores(0.75, ThetaWithBump(8, 12)));
+  ASSERT_TRUE(decision.exists[0]);
+  EXPECT_EQ(decision.intervals[0], (sim::Interval{6, 15}));
+}
+
+TEST_F(StrategiesTest, AbsentEventHasEmptyInterval) {
+  EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.confidence = 0.05;  // Nearly impossible to predict positive.
+  const EventHitStrategy strategy(&model_, &cclassify_, &cregress_, options);
+  const auto decision =
+      strategy.DecideFromScores(MakeScores(0.3, ThetaWithBump(8, 12)));
+  EXPECT_FALSE(decision.exists[0]);
+  EXPECT_TRUE(decision.intervals[0].empty());
+}
+
+TEST_F(StrategiesTest, MissingCalibratorsDie) {
+  EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  EXPECT_DEATH(EventHitStrategy(&model_, nullptr, nullptr, options),
+               "CHECK failed");
+  options.use_cclassify = false;
+  options.use_cregress = true;
+  EXPECT_DEATH(EventHitStrategy(&model_, nullptr, nullptr, options),
+               "CHECK failed");
+}
+
+TEST_F(StrategiesTest, DecideRunsModelEndToEnd) {
+  EventHitStrategyOptions options;
+  const EventHitStrategy strategy(&model_, nullptr, nullptr, options);
+  data::Record record;
+  record.covariates.assign(4 * 2, 0.5f);
+  record.labels.resize(1);
+  const MarshalDecision decision = strategy.Decide(record);
+  EXPECT_EQ(decision.exists.size(), 1u);
+  EXPECT_EQ(decision.intervals.size(), 1u);
+  if (decision.exists[0]) {
+    EXPECT_GE(decision.intervals[0].start, 1);
+    EXPECT_LE(decision.intervals[0].end, kHorizon);
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::core

@@ -1,0 +1,58 @@
+#include "data/tasks.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::data {
+namespace {
+
+TEST(TasksTest, SixteenTasksInTableTwoOrder) {
+  const auto& tasks = AllTasks();
+  ASSERT_EQ(tasks.size(), 16u);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].name, "TA" + std::to_string(i + 1));
+  }
+}
+
+TEST(TasksTest, EventAssignmentsMatchTableTwo) {
+  EXPECT_EQ(FindTask("TA1").value().global_events, (std::vector<int>{1}));
+  EXPECT_EQ(FindTask("TA7").value().global_events, (std::vector<int>{1, 5}));
+  EXPECT_EQ(FindTask("TA8").value().global_events, (std::vector<int>{5, 6}));
+  EXPECT_EQ(FindTask("TA9").value().global_events,
+            (std::vector<int>{1, 5, 6}));
+  EXPECT_EQ(FindTask("TA15").value().global_events,
+            (std::vector<int>{11, 12}));
+  EXPECT_EQ(FindTask("TA16").value().global_events,
+            (std::vector<int>{10, 12}));
+}
+
+TEST(TasksTest, DatasetsAssignedCorrectly) {
+  for (int i = 1; i <= 9; ++i) {
+    EXPECT_EQ(FindTask("TA" + std::to_string(i)).value().dataset,
+              sim::DatasetId::kVirat);
+  }
+  for (int i = 10; i <= 12; ++i) {
+    EXPECT_EQ(FindTask("TA" + std::to_string(i)).value().dataset,
+              sim::DatasetId::kThumos);
+  }
+  for (int i = 13; i <= 16; ++i) {
+    EXPECT_EQ(FindTask("TA" + std::to_string(i)).value().dataset,
+              sim::DatasetId::kBreakfast);
+  }
+}
+
+TEST(TasksTest, LocalIndicesConsistentWithGlobal) {
+  const Task task = FindTask("TA9").value();
+  ASSERT_EQ(task.event_indices.size(), 3u);
+  EXPECT_EQ(task.event_indices[0], 0u);  // E1.
+  EXPECT_EQ(task.event_indices[1], 4u);  // E5.
+  EXPECT_EQ(task.event_indices[2], 5u);  // E6.
+}
+
+TEST(TasksTest, UnknownTaskIsNotFound) {
+  EXPECT_FALSE(FindTask("TA17").ok());
+  EXPECT_FALSE(FindTask("").ok());
+  EXPECT_EQ(FindTask("nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace eventhit::data

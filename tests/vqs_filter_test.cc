@@ -1,0 +1,111 @@
+#include "baselines/vqs_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "data/record_extractor.h"
+
+namespace eventhit::baselines {
+namespace {
+
+class VqsFilterTest : public ::testing::Test {
+ protected:
+  VqsFilterTest() {
+    sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+    spec.num_frames = 40000;
+    video_ = std::make_unique<sim::SyntheticVideo>(
+        sim::SyntheticVideo::Generate(spec, 31));
+    task_ = data::FindTask("TA10").value();
+    config_.collection_window = 10;
+    config_.horizon = 200;
+  }
+
+  data::Record RecordAt(int64_t frame) const {
+    return data::BuildRecord(*video_, task_, config_, frame);
+  }
+
+  std::unique_ptr<sim::SyntheticVideo> video_;
+  data::Task task_;
+  data::ExtractorConfig config_;
+};
+
+TEST_F(VqsFilterTest, CountsObjectFramesInHorizon) {
+  const VqsStrategy vqs(video_.get(), &task_, 200, 10.0);
+  const int count = vqs.CountObjectFrames(0, 5000);
+  EXPECT_GE(count, 0);
+  EXPECT_LE(count, 200);
+  // Manual recount.
+  int manual = 0;
+  for (int64_t t = 5001; t <= 5200; ++t) {
+    if (video_->ObjectCount(task_.event_indices[0], t) >= 1.0) ++manual;
+  }
+  EXPECT_EQ(count, manual);
+}
+
+TEST_F(VqsFilterTest, RelaysWholeHorizonWhenAboveThreshold) {
+  VqsStrategy vqs(video_.get(), &task_, 200, 0.0);  // Threshold 0: always.
+  const auto decision = vqs.Decide(RecordAt(5000));
+  ASSERT_TRUE(decision.exists[0]);
+  EXPECT_EQ(decision.intervals[0], (sim::Interval{1, 200}));
+}
+
+TEST_F(VqsFilterTest, InfeasibleThresholdRelaysNothing) {
+  VqsStrategy vqs(video_.get(), &task_, 200, 201.0);
+  const auto decision = vqs.Decide(RecordAt(5000));
+  EXPECT_FALSE(decision.exists[0]);
+  EXPECT_TRUE(decision.intervals[0].empty());
+}
+
+TEST_F(VqsFilterTest, EventHorizonsHaveMoreObjectFrames) {
+  const VqsStrategy vqs(video_.get(), &task_, 200, 10.0);
+  const auto& occurrences =
+      video_->timeline().occurrences(task_.event_indices[0]);
+  ASSERT_GT(occurrences.size(), 3u);
+  double event_counts = 0.0, background_counts = 0.0;
+  int event_n = 0, background_n = 0;
+  for (const sim::Interval& occ : occurrences) {
+    const int64_t anchor = occ.start - 50;
+    if (anchor < 10 || anchor + 200 >= video_->num_frames()) continue;
+    event_counts += vqs.CountObjectFrames(0, anchor);
+    ++event_n;
+  }
+  // Background anchors far from occurrences.
+  for (int64_t anchor = 500; anchor < video_->num_frames() - 500 &&
+                             background_n < event_n;
+       anchor += 977) {
+    const auto hit = video_->timeline().FirstOverlapping(
+        task_.event_indices[0], sim::Interval{anchor - 200, anchor + 400});
+    if (hit.has_value()) continue;
+    background_counts += vqs.CountObjectFrames(0, anchor);
+    ++background_n;
+  }
+  ASSERT_GT(event_n, 0);
+  ASSERT_GT(background_n, 0);
+  EXPECT_GT(event_counts / event_n, background_counts / background_n + 20.0);
+}
+
+TEST_F(VqsFilterTest, ThresholdSweepMonotoneInRelays) {
+  VqsStrategy vqs(video_.get(), &task_, 200, 0.0);
+  const auto records = [&] {
+    std::vector<data::Record> out;
+    for (int64_t f = 1000; f <= 30000; f += 1000) out.push_back(RecordAt(f));
+    return out;
+  }();
+  size_t previous = records.size() + 1;
+  for (double tau : {0.0, 30.0, 60.0, 120.0, 201.0}) {
+    vqs.set_threshold(tau);
+    size_t relayed = 0;
+    for (const auto& record : records) {
+      relayed += vqs.Decide(record).exists[0] ? 1 : 0;
+    }
+    EXPECT_LE(relayed, previous);
+    previous = relayed;
+  }
+}
+
+TEST_F(VqsFilterTest, NameIsVqs) {
+  const VqsStrategy vqs(video_.get(), &task_, 200, 1.0);
+  EXPECT_EQ(vqs.name(), "VQS");
+}
+
+}  // namespace
+}  // namespace eventhit::baselines

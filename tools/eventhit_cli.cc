@@ -1,0 +1,284 @@
+// Command-line front end for the library.
+//
+//   eventhit_cli stats   [--dataset=VIRAT|THUMOS|Breakfast] [--seed=N]
+//                         [--load=PATH]
+//   eventhit_cli generate --dataset=... --out=PATH [--frames=N] [--seed=N]
+//   eventhit_cli evaluate --task=TA1 [--confidence=0.9] [--coverage=0.5]
+//                         [--seed=N] [--model-out=path]
+//   eventhit_cli sweep    --task=TA1 [--seed=N] [--csv=path]
+//   eventhit_cli hypersearch --task=TA10 [--seed=N] [--samples=N]
+//
+// Every subcommand builds the synthetic environment for the chosen task,
+// so results are reproducible from the seed alone.
+
+#include <iostream>
+
+#include "baselines/oracle.h"
+#include "common/csv_writer.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/strategies.h"
+#include "data/tasks.h"
+#include "eval/curves.h"
+#include "eval/hyper_search.h"
+#include "eval/runner.h"
+#include "sim/datasets.h"
+#include "sim/video_io.h"
+
+namespace {
+
+using ::eventhit::Flags;
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace eval = ::eventhit::eval;
+namespace core = ::eventhit::core;
+namespace data = ::eventhit::data;
+namespace sim = ::eventhit::sim;
+
+int Usage() {
+  std::cerr <<
+      "usage: eventhit_cli <stats|evaluate|sweep|hypersearch> [flags]\n"
+      "  stats        --dataset=VIRAT|THUMOS|Breakfast  [--seed=N]\n"
+      "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
+      "               [--model-out=PATH]\n"
+      "  sweep        --task=TA1 [--seed=N] [--csv=PATH]\n"
+      "  hypersearch  --task=TA10 [--samples=N] [--seed=N]\n";
+  return 2;
+}
+
+eventhit::Result<sim::DatasetId> ParseDataset(const std::string& name) {
+  if (name == "VIRAT") return sim::DatasetId::kVirat;
+  if (name == "THUMOS") return sim::DatasetId::kThumos;
+  if (name == "Breakfast") return sim::DatasetId::kBreakfast;
+  return eventhit::InvalidArgumentError("unknown dataset: " + name);
+}
+
+int RunStats(const Flags& flags) {
+  const std::string load_path = flags.GetString("load", "");
+  sim::SyntheticVideo video = [&] {
+    if (!load_path.empty()) {
+      auto loaded = sim::LoadVideo(load_path);
+      if (!loaded.ok()) {
+        std::cerr << loaded.status() << "\n";
+        std::exit(1);
+      }
+      return std::move(loaded).value();
+    }
+    const auto dataset = ParseDataset(flags.GetString("dataset", "VIRAT"));
+    if (!dataset.ok()) {
+      std::cerr << dataset.status() << "\n";
+      std::exit(1);
+    }
+    const auto seed =
+        static_cast<uint64_t>(flags.GetInt("seed", 42).value_or(42));
+    return sim::SyntheticVideo::Generate(
+        sim::MakeDatasetSpec(dataset.value()), seed);
+  }();
+  const sim::DatasetSpec& spec = video.spec();
+  TablePrinter table({"Event", "Occurrences", "DurMean", "DurStd"});
+  for (const auto& stats : sim::ComputeEventStats(video)) {
+    table.AddRow({stats.name, Fmt(stats.occurrences),
+                  Fmt(stats.duration_mean, 1), Fmt(stats.duration_std, 1)});
+  }
+  std::cout << spec.name << " (" << spec.num_frames << " frames, D="
+            << spec.FeatureDim() << ", M=" << spec.collection_window
+            << ", H=" << spec.horizon << ")\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunGenerate(const Flags& flags) {
+  const auto dataset = ParseDataset(flags.GetString("dataset", "VIRAT"));
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::cerr << "--out is required\n";
+    return 1;
+  }
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(dataset.value());
+  const auto frames = flags.GetInt("frames", 0).value_or(0);
+  if (frames > 0) spec.num_frames = frames;
+  const auto seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42).value_or(42));
+  std::cerr << "generating " << spec.num_frames << " frames of " << spec.name
+            << "...\n";
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(spec, seed);
+  if (const auto status = sim::SaveVideo(video, out); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+struct TrainedTask {
+  eval::TaskEnvironment env;
+  eval::TrainedEventHit trained;
+};
+
+eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
+  const std::string task_name = flags.GetString("task", "");
+  if (task_name.empty()) {
+    return eventhit::InvalidArgumentError("--task is required");
+  }
+  auto task = data::FindTask(task_name);
+  if (!task.ok()) return task.status();
+  eval::RunnerConfig config;
+  const auto seed = flags.GetInt("seed", 42);
+  if (!seed.ok()) return seed.status();
+  config.seed = static_cast<uint64_t>(seed.value());
+  std::cerr << "building environment + training on " << task_name << "...\n";
+  eval::TaskEnvironment env = eval::TaskEnvironment::Build(task.value(), config);
+  eval::TrainedEventHit trained = eval::TrainEventHit(env, config);
+  return TrainedTask{std::move(env), std::move(trained)};
+}
+
+int RunEvaluate(const Flags& flags) {
+  auto built = BuildAndTrain(flags);
+  if (!built.ok()) {
+    std::cerr << built.status() << "\n";
+    return 1;
+  }
+  const auto& [env, trained] = built.value();
+  const auto confidence = flags.GetDouble("confidence", 0.9);
+  const auto coverage = flags.GetDouble("coverage", 0.5);
+  if (!confidence.ok() || !coverage.ok()) {
+    std::cerr << "bad --confidence/--coverage\n";
+    return 1;
+  }
+
+  const std::string model_out = flags.GetString("model-out", "");
+  if (!model_out.empty()) {
+    if (const auto status = trained.model->Save(model_out); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cerr << "model saved to " << model_out << "\n";
+  }
+
+  TablePrinter table({"Strategy", "REC", "SPL", "REC_c", "REC_r"});
+  for (const bool use_cc : {false, true}) {
+    for (const bool use_cr : {false, true}) {
+      core::EventHitStrategyOptions options;
+      options.use_cclassify = use_cc;
+      options.use_cregress = use_cr;
+      options.confidence = confidence.value();
+      options.coverage = coverage.value();
+      const core::EventHitStrategy strategy(
+          trained.model.get(), trained.cclassify.get(),
+          trained.cregress.get(), options);
+      const eval::Metrics metrics = eval::EvaluateFromScores(
+          strategy, trained.test_scores, env.test_records(), env.horizon());
+      table.AddRow({strategy.name(), Fmt(metrics.rec), Fmt(metrics.spl),
+                    Fmt(metrics.rec_c), Fmt(metrics.rec_r)});
+    }
+  }
+  const eventhit::baselines::OptStrategy opt;
+  const eval::Metrics opt_metrics =
+      eval::EvaluateStrategy(opt, env.test_records(), env.horizon());
+  table.AddRow({"OPT", Fmt(opt_metrics.rec), Fmt(opt_metrics.spl), "1.000",
+                "1.000"});
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunSweep(const Flags& flags) {
+  auto built = BuildAndTrain(flags);
+  if (!built.ok()) {
+    std::cerr << built.status() << "\n";
+    return 1;
+  }
+  const auto& [env, trained] = built.value();
+  const auto points = eval::ParetoFrontier(eval::SweepJoint(
+      trained, env, eval::LinearGrid(0.05, 1.0, 12),
+      eval::LinearGrid(0.05, 0.95, 8)));
+
+  TablePrinter table({"c", "alpha", "REC", "SPL"});
+  eventhit::CsvWriter csv({"c", "alpha", "rec", "spl"});
+  for (const auto& point : points) {
+    table.AddRow({Fmt(point.confidence, 2), Fmt(point.coverage, 2),
+                  Fmt(point.metrics.rec), Fmt(point.metrics.spl)});
+    csv.AddRow({Fmt(point.confidence, 3), Fmt(point.coverage, 3),
+                Fmt(point.metrics.rec, 6), Fmt(point.metrics.spl, 6)});
+  }
+  table.Print(std::cout);
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    if (const auto status = csv.WriteFile(csv_path); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cerr << "frontier written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
+int RunHyperSearch(const Flags& flags) {
+  const std::string task_name = flags.GetString("task", "TA10");
+  auto task = data::FindTask(task_name);
+  if (!task.ok()) {
+    std::cerr << task.status() << "\n";
+    return 1;
+  }
+  eval::RunnerConfig config;
+  config.seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42).value_or(42));
+  // A light environment: hyper-search trains one model per candidate.
+  config.train_records = 500;
+  config.test_records = 300;
+  std::cerr << "building environment for " << task_name << "...\n";
+  const auto env = eval::TaskEnvironment::Build(task.value(), config);
+
+  core::EventHitConfig base = config.model_template;
+  base.collection_window = env.collection_window();
+  base.horizon = env.horizon();
+  base.feature_dim = env.video().feature_dim();
+  base.num_events = env.task().event_indices.size();
+  base.epochs = 10;
+
+  const auto samples = flags.GetInt("samples", 6).value_or(6);
+  eventhit::Rng rng(config.seed + 1);
+  std::cerr << "random search over " << samples << " candidates...\n";
+  const auto results = eval::RandomSearch(
+      base, eval::HyperGrid{}, static_cast<size_t>(samples),
+      env.train_records(), env.calib_records(), rng);
+
+  TablePrinter table({"lstm", "hidden", "lr", "beta", "gamma", "REC", "SPL",
+                      "objective"});
+  for (const auto& result : results) {
+    table.AddRow({Fmt(static_cast<int64_t>(result.config.lstm_hidden)),
+                  Fmt(static_cast<int64_t>(result.config.event_hidden)),
+                  Fmt(result.config.learning_rate, 4),
+                  Fmt(result.config.beta.empty() ? 1.0
+                                                 : result.config.beta[0],
+                      2),
+                  Fmt(result.config.gamma.empty() ? 1.0
+                                                  : result.config.gamma[0],
+                      2),
+                  Fmt(result.validation.rec), Fmt(result.validation.spl),
+                  Fmt(result.objective)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = Flags::Parse(argc - 2, argv + 2);
+  if (!flags.ok()) {
+    std::cerr << flags.status() << "\n";
+    return 2;
+  }
+  if (command == "stats") return RunStats(flags.value());
+  if (command == "generate") return RunGenerate(flags.value());
+  if (command == "evaluate") return RunEvaluate(flags.value());
+  if (command == "sweep") return RunSweep(flags.value());
+  if (command == "hypersearch") return RunHyperSearch(flags.value());
+  return Usage();
+}
