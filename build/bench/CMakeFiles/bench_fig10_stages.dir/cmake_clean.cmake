@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stages.dir/bench_fig10_stages.cc.o"
+  "CMakeFiles/bench_fig10_stages.dir/bench_fig10_stages.cc.o.d"
+  "bench_fig10_stages"
+  "bench_fig10_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rec_spl.dir/bench_fig4_rec_spl.cc.o"
+  "CMakeFiles/bench_fig4_rec_spl.dir/bench_fig4_rec_spl.cc.o.d"
+  "bench_fig4_rec_spl"
+  "bench_fig4_rec_spl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rec_spl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

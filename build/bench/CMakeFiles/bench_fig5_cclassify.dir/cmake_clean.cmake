@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cclassify.dir/bench_fig5_cclassify.cc.o"
+  "CMakeFiles/bench_fig5_cclassify.dir/bench_fig5_cclassify.cc.o.d"
+  "bench_fig5_cclassify"
+  "bench_fig5_cclassify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cclassify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

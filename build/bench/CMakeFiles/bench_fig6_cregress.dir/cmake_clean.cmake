@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cregress.dir/bench_fig6_cregress.cc.o"
+  "CMakeFiles/bench_fig6_cregress.dir/bench_fig6_cregress.cc.o.d"
+  "bench_fig6_cregress"
+  "bench_fig6_cregress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cregress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

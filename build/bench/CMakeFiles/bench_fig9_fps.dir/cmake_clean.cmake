@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fps.dir/bench_fig9_fps.cc.o"
+  "CMakeFiles/bench_fig9_fps.dir/bench_fig9_fps.cc.o.d"
+  "bench_fig9_fps"
+  "bench_fig9_fps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/eventhit_bench_common.dir/bench_common.cc.o.d"
+  "libeventhit_bench_common.a"
+  "libeventhit_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeventhit_bench_common.a"
+)

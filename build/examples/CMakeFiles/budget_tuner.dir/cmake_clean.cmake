@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_tuner.dir/budget_tuner.cpp.o"
+  "CMakeFiles/budget_tuner.dir/budget_tuner.cpp.o.d"
+  "budget_tuner"
+  "budget_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for budget_tuner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_pipeline.dir/feature_pipeline.cpp.o"
+  "CMakeFiles/feature_pipeline.dir/feature_pipeline.cpp.o.d"
+  "feature_pipeline"
+  "feature_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

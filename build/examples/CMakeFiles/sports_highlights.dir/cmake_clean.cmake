@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_highlights.dir/sports_highlights.cpp.o"
+  "CMakeFiles/sports_highlights.dir/sports_highlights.cpp.o.d"
+  "sports_highlights"
+  "sports_highlights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_highlights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

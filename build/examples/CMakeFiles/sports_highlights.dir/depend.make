@@ -1,0 +1,2 @@
+# Empty dependencies file for sports_highlights.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_gate.dir/surveillance_gate.cpp.o"
+  "CMakeFiles/surveillance_gate.dir/surveillance_gate.cpp.o.d"
+  "surveillance_gate"
+  "surveillance_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for surveillance_gate.
+# This may be replaced when dependencies are built.

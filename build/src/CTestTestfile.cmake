@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nn")
+subdirs("sim")
+subdirs("data")
+subdirs("features")
+subdirs("conformal")
+subdirs("survival")
+subdirs("core")
+subdirs("baselines")
+subdirs("cloud")
+subdirs("eval")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/app_vae.cc" "src/baselines/CMakeFiles/eventhit_baselines.dir/app_vae.cc.o" "gcc" "src/baselines/CMakeFiles/eventhit_baselines.dir/app_vae.cc.o.d"
+  "/root/repo/src/baselines/cox_strategy.cc" "src/baselines/CMakeFiles/eventhit_baselines.dir/cox_strategy.cc.o" "gcc" "src/baselines/CMakeFiles/eventhit_baselines.dir/cox_strategy.cc.o.d"
+  "/root/repo/src/baselines/oracle.cc" "src/baselines/CMakeFiles/eventhit_baselines.dir/oracle.cc.o" "gcc" "src/baselines/CMakeFiles/eventhit_baselines.dir/oracle.cc.o.d"
+  "/root/repo/src/baselines/vqs_filter.cc" "src/baselines/CMakeFiles/eventhit_baselines.dir/vqs_filter.cc.o" "gcc" "src/baselines/CMakeFiles/eventhit_baselines.dir/vqs_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eventhit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survival/CMakeFiles/eventhit_survival.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eventhit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eventhit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/conformal/CMakeFiles/eventhit_conformal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_baselines.dir/app_vae.cc.o"
+  "CMakeFiles/eventhit_baselines.dir/app_vae.cc.o.d"
+  "CMakeFiles/eventhit_baselines.dir/cox_strategy.cc.o"
+  "CMakeFiles/eventhit_baselines.dir/cox_strategy.cc.o.d"
+  "CMakeFiles/eventhit_baselines.dir/oracle.cc.o"
+  "CMakeFiles/eventhit_baselines.dir/oracle.cc.o.d"
+  "CMakeFiles/eventhit_baselines.dir/vqs_filter.cc.o"
+  "CMakeFiles/eventhit_baselines.dir/vqs_filter.cc.o.d"
+  "libeventhit_baselines.a"
+  "libeventhit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

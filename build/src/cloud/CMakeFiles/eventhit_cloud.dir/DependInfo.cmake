@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_service.cc" "src/cloud/CMakeFiles/eventhit_cloud.dir/cloud_service.cc.o" "gcc" "src/cloud/CMakeFiles/eventhit_cloud.dir/cloud_service.cc.o.d"
+  "/root/repo/src/cloud/cost_model.cc" "src/cloud/CMakeFiles/eventhit_cloud.dir/cost_model.cc.o" "gcc" "src/cloud/CMakeFiles/eventhit_cloud.dir/cost_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

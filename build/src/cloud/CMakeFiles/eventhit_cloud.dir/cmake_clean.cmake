@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_cloud.dir/cloud_service.cc.o"
+  "CMakeFiles/eventhit_cloud.dir/cloud_service.cc.o.d"
+  "CMakeFiles/eventhit_cloud.dir/cost_model.cc.o"
+  "CMakeFiles/eventhit_cloud.dir/cost_model.cc.o.d"
+  "libeventhit_cloud.a"
+  "libeventhit_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

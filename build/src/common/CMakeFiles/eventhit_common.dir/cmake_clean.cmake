@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_common.dir/csv_writer.cc.o"
+  "CMakeFiles/eventhit_common.dir/csv_writer.cc.o.d"
+  "CMakeFiles/eventhit_common.dir/flags.cc.o"
+  "CMakeFiles/eventhit_common.dir/flags.cc.o.d"
+  "CMakeFiles/eventhit_common.dir/rng.cc.o"
+  "CMakeFiles/eventhit_common.dir/rng.cc.o.d"
+  "CMakeFiles/eventhit_common.dir/stats.cc.o"
+  "CMakeFiles/eventhit_common.dir/stats.cc.o.d"
+  "CMakeFiles/eventhit_common.dir/status.cc.o"
+  "CMakeFiles/eventhit_common.dir/status.cc.o.d"
+  "CMakeFiles/eventhit_common.dir/table_printer.cc.o"
+  "CMakeFiles/eventhit_common.dir/table_printer.cc.o.d"
+  "libeventhit_common.a"
+  "libeventhit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conformal/conformal_classifier.cc" "src/conformal/CMakeFiles/eventhit_conformal.dir/conformal_classifier.cc.o" "gcc" "src/conformal/CMakeFiles/eventhit_conformal.dir/conformal_classifier.cc.o.d"
+  "/root/repo/src/conformal/normalized_conformal_regressor.cc" "src/conformal/CMakeFiles/eventhit_conformal.dir/normalized_conformal_regressor.cc.o" "gcc" "src/conformal/CMakeFiles/eventhit_conformal.dir/normalized_conformal_regressor.cc.o.d"
+  "/root/repo/src/conformal/split_conformal_regressor.cc" "src/conformal/CMakeFiles/eventhit_conformal.dir/split_conformal_regressor.cc.o" "gcc" "src/conformal/CMakeFiles/eventhit_conformal.dir/split_conformal_regressor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_conformal.dir/conformal_classifier.cc.o"
+  "CMakeFiles/eventhit_conformal.dir/conformal_classifier.cc.o.d"
+  "CMakeFiles/eventhit_conformal.dir/normalized_conformal_regressor.cc.o"
+  "CMakeFiles/eventhit_conformal.dir/normalized_conformal_regressor.cc.o.d"
+  "CMakeFiles/eventhit_conformal.dir/split_conformal_regressor.cc.o"
+  "CMakeFiles/eventhit_conformal.dir/split_conformal_regressor.cc.o.d"
+  "libeventhit_conformal.a"
+  "libeventhit_conformal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_conformal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_c_regress.cc" "src/core/CMakeFiles/eventhit_core.dir/adaptive_c_regress.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/adaptive_c_regress.cc.o.d"
+  "/root/repo/src/core/c_classify.cc" "src/core/CMakeFiles/eventhit_core.dir/c_classify.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/c_classify.cc.o.d"
+  "/root/repo/src/core/c_regress.cc" "src/core/CMakeFiles/eventhit_core.dir/c_regress.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/c_regress.cc.o.d"
+  "/root/repo/src/core/drift_detector.cc" "src/core/CMakeFiles/eventhit_core.dir/drift_detector.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/drift_detector.cc.o.d"
+  "/root/repo/src/core/eventhit_model.cc" "src/core/CMakeFiles/eventhit_core.dir/eventhit_model.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/eventhit_model.cc.o.d"
+  "/root/repo/src/core/interval_extraction.cc" "src/core/CMakeFiles/eventhit_core.dir/interval_extraction.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/interval_extraction.cc.o.d"
+  "/root/repo/src/core/marshaller.cc" "src/core/CMakeFiles/eventhit_core.dir/marshaller.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/marshaller.cc.o.d"
+  "/root/repo/src/core/recalibrator.cc" "src/core/CMakeFiles/eventhit_core.dir/recalibrator.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/recalibrator.cc.o.d"
+  "/root/repo/src/core/strategies.cc" "src/core/CMakeFiles/eventhit_core.dir/strategies.cc.o" "gcc" "src/core/CMakeFiles/eventhit_core.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eventhit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eventhit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/conformal/CMakeFiles/eventhit_conformal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

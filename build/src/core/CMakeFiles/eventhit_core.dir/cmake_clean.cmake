@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_core.dir/adaptive_c_regress.cc.o"
+  "CMakeFiles/eventhit_core.dir/adaptive_c_regress.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/c_classify.cc.o"
+  "CMakeFiles/eventhit_core.dir/c_classify.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/c_regress.cc.o"
+  "CMakeFiles/eventhit_core.dir/c_regress.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/drift_detector.cc.o"
+  "CMakeFiles/eventhit_core.dir/drift_detector.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/eventhit_model.cc.o"
+  "CMakeFiles/eventhit_core.dir/eventhit_model.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/interval_extraction.cc.o"
+  "CMakeFiles/eventhit_core.dir/interval_extraction.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/marshaller.cc.o"
+  "CMakeFiles/eventhit_core.dir/marshaller.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/recalibrator.cc.o"
+  "CMakeFiles/eventhit_core.dir/recalibrator.cc.o.d"
+  "CMakeFiles/eventhit_core.dir/strategies.cc.o"
+  "CMakeFiles/eventhit_core.dir/strategies.cc.o.d"
+  "libeventhit_core.a"
+  "libeventhit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

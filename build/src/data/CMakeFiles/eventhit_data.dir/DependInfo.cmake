@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/record.cc" "src/data/CMakeFiles/eventhit_data.dir/record.cc.o" "gcc" "src/data/CMakeFiles/eventhit_data.dir/record.cc.o.d"
+  "/root/repo/src/data/record_extractor.cc" "src/data/CMakeFiles/eventhit_data.dir/record_extractor.cc.o" "gcc" "src/data/CMakeFiles/eventhit_data.dir/record_extractor.cc.o.d"
+  "/root/repo/src/data/tasks.cc" "src/data/CMakeFiles/eventhit_data.dir/tasks.cc.o" "gcc" "src/data/CMakeFiles/eventhit_data.dir/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

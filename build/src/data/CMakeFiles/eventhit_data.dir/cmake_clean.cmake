@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_data.dir/record.cc.o"
+  "CMakeFiles/eventhit_data.dir/record.cc.o.d"
+  "CMakeFiles/eventhit_data.dir/record_extractor.cc.o"
+  "CMakeFiles/eventhit_data.dir/record_extractor.cc.o.d"
+  "CMakeFiles/eventhit_data.dir/tasks.cc.o"
+  "CMakeFiles/eventhit_data.dir/tasks.cc.o.d"
+  "libeventhit_data.a"
+  "libeventhit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

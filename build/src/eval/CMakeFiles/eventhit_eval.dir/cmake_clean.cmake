@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_eval.dir/curves.cc.o"
+  "CMakeFiles/eventhit_eval.dir/curves.cc.o.d"
+  "CMakeFiles/eventhit_eval.dir/hyper_search.cc.o"
+  "CMakeFiles/eventhit_eval.dir/hyper_search.cc.o.d"
+  "CMakeFiles/eventhit_eval.dir/metrics.cc.o"
+  "CMakeFiles/eventhit_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/eventhit_eval.dir/runner.cc.o"
+  "CMakeFiles/eventhit_eval.dir/runner.cc.o.d"
+  "libeventhit_eval.a"
+  "libeventhit_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

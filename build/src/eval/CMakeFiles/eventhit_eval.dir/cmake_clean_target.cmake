@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeventhit_eval.a"
+)

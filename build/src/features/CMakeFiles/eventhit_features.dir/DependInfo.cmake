@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/autoencoder.cc" "src/features/CMakeFiles/eventhit_features.dir/autoencoder.cc.o" "gcc" "src/features/CMakeFiles/eventhit_features.dir/autoencoder.cc.o.d"
+  "/root/repo/src/features/feature_selection.cc" "src/features/CMakeFiles/eventhit_features.dir/feature_selection.cc.o" "gcc" "src/features/CMakeFiles/eventhit_features.dir/feature_selection.cc.o.d"
+  "/root/repo/src/features/standardizer.cc" "src/features/CMakeFiles/eventhit_features.dir/standardizer.cc.o" "gcc" "src/features/CMakeFiles/eventhit_features.dir/standardizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eventhit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eventhit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

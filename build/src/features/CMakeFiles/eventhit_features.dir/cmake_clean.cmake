@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_features.dir/autoencoder.cc.o"
+  "CMakeFiles/eventhit_features.dir/autoencoder.cc.o.d"
+  "CMakeFiles/eventhit_features.dir/feature_selection.cc.o"
+  "CMakeFiles/eventhit_features.dir/feature_selection.cc.o.d"
+  "CMakeFiles/eventhit_features.dir/standardizer.cc.o"
+  "CMakeFiles/eventhit_features.dir/standardizer.cc.o.d"
+  "libeventhit_features.a"
+  "libeventhit_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

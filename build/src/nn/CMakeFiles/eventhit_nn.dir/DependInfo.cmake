@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/eventhit_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/eventhit_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/eventhit_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/eventhit_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/eventhit_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/eventhit_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/eventhit_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/eventhit_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/eventhit_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/parameter.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/eventhit_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/eventhit_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

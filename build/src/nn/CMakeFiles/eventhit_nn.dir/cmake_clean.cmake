@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_nn.dir/activations.cc.o"
+  "CMakeFiles/eventhit_nn.dir/activations.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/adam.cc.o"
+  "CMakeFiles/eventhit_nn.dir/adam.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/dense.cc.o"
+  "CMakeFiles/eventhit_nn.dir/dense.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/dropout.cc.o"
+  "CMakeFiles/eventhit_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/loss.cc.o"
+  "CMakeFiles/eventhit_nn.dir/loss.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/lstm.cc.o"
+  "CMakeFiles/eventhit_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/matrix.cc.o"
+  "CMakeFiles/eventhit_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/mlp.cc.o"
+  "CMakeFiles/eventhit_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/parameter.cc.o"
+  "CMakeFiles/eventhit_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/eventhit_nn.dir/serialize.cc.o"
+  "CMakeFiles/eventhit_nn.dir/serialize.cc.o.d"
+  "libeventhit_nn.a"
+  "libeventhit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cc" "src/sim/CMakeFiles/eventhit_sim.dir/datasets.cc.o" "gcc" "src/sim/CMakeFiles/eventhit_sim.dir/datasets.cc.o.d"
+  "/root/repo/src/sim/event_timeline.cc" "src/sim/CMakeFiles/eventhit_sim.dir/event_timeline.cc.o" "gcc" "src/sim/CMakeFiles/eventhit_sim.dir/event_timeline.cc.o.d"
+  "/root/repo/src/sim/synthetic_video.cc" "src/sim/CMakeFiles/eventhit_sim.dir/synthetic_video.cc.o" "gcc" "src/sim/CMakeFiles/eventhit_sim.dir/synthetic_video.cc.o.d"
+  "/root/repo/src/sim/video_io.cc" "src/sim/CMakeFiles/eventhit_sim.dir/video_io.cc.o" "gcc" "src/sim/CMakeFiles/eventhit_sim.dir/video_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_sim.dir/datasets.cc.o"
+  "CMakeFiles/eventhit_sim.dir/datasets.cc.o.d"
+  "CMakeFiles/eventhit_sim.dir/event_timeline.cc.o"
+  "CMakeFiles/eventhit_sim.dir/event_timeline.cc.o.d"
+  "CMakeFiles/eventhit_sim.dir/synthetic_video.cc.o"
+  "CMakeFiles/eventhit_sim.dir/synthetic_video.cc.o.d"
+  "CMakeFiles/eventhit_sim.dir/video_io.cc.o"
+  "CMakeFiles/eventhit_sim.dir/video_io.cc.o.d"
+  "libeventhit_sim.a"
+  "libeventhit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

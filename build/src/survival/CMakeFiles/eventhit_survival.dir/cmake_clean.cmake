@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_survival.dir/cox_model.cc.o"
+  "CMakeFiles/eventhit_survival.dir/cox_model.cc.o.d"
+  "libeventhit_survival.a"
+  "libeventhit_survival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_survival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activations_test.dir/activations_test.cc.o"
+  "CMakeFiles/activations_test.dir/activations_test.cc.o.d"
+  "activations_test"
+  "activations_test.pdb"
+  "activations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

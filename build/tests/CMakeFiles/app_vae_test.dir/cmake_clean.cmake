@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_vae_test.dir/app_vae_test.cc.o"
+  "CMakeFiles/app_vae_test.dir/app_vae_test.cc.o.d"
+  "app_vae_test"
+  "app_vae_test.pdb"
+  "app_vae_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_vae_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_classify_test.dir/c_classify_test.cc.o"
+  "CMakeFiles/c_classify_test.dir/c_classify_test.cc.o.d"
+  "c_classify_test"
+  "c_classify_test.pdb"
+  "c_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

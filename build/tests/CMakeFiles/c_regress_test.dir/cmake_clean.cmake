@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_regress_test.dir/c_regress_test.cc.o"
+  "CMakeFiles/c_regress_test.dir/c_regress_test.cc.o.d"
+  "c_regress_test"
+  "c_regress_test.pdb"
+  "c_regress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

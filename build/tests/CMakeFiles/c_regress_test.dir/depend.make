@@ -1,0 +1,2 @@
+# Empty dependencies file for c_regress_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_service_test.dir/cloud_service_test.cc.o"
+  "CMakeFiles/cloud_service_test.dir/cloud_service_test.cc.o.d"
+  "cloud_service_test"
+  "cloud_service_test.pdb"
+  "cloud_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

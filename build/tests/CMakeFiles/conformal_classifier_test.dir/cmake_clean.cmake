@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_classifier_test.dir/conformal_classifier_test.cc.o"
+  "CMakeFiles/conformal_classifier_test.dir/conformal_classifier_test.cc.o.d"
+  "conformal_classifier_test"
+  "conformal_classifier_test.pdb"
+  "conformal_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

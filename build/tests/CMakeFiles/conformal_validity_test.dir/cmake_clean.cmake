@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformal_validity_test.dir/conformal_validity_test.cc.o"
+  "CMakeFiles/conformal_validity_test.dir/conformal_validity_test.cc.o.d"
+  "conformal_validity_test"
+  "conformal_validity_test.pdb"
+  "conformal_validity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformal_validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cox_model_test.dir/cox_model_test.cc.o"
+  "CMakeFiles/cox_model_test.dir/cox_model_test.cc.o.d"
+  "cox_model_test"
+  "cox_model_test.pdb"
+  "cox_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cox_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cox_strategy_test.dir/cox_strategy_test.cc.o"
+  "CMakeFiles/cox_strategy_test.dir/cox_strategy_test.cc.o.d"
+  "cox_strategy_test"
+  "cox_strategy_test.pdb"
+  "cox_strategy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cox_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

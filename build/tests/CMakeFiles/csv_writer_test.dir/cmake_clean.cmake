@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_writer_test.dir/csv_writer_test.cc.o"
+  "CMakeFiles/csv_writer_test.dir/csv_writer_test.cc.o.d"
+  "csv_writer_test"
+  "csv_writer_test.pdb"
+  "csv_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curves_test.dir/curves_test.cc.o"
+  "CMakeFiles/curves_test.dir/curves_test.cc.o.d"
+  "curves_test"
+  "curves_test.pdb"
+  "curves_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

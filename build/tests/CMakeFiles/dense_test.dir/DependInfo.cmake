@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dense_test.cc" "tests/CMakeFiles/dense_test.dir/dense_test.cc.o" "gcc" "tests/CMakeFiles/dense_test.dir/dense_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/eventhit_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/eventhit_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/eventhit_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/eventhit_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eventhit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survival/CMakeFiles/eventhit_survival.dir/DependInfo.cmake"
+  "/root/repo/build/src/conformal/CMakeFiles/eventhit_conformal.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/eventhit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eventhit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/eventhit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eventhit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_test.dir/dense_test.cc.o"
+  "CMakeFiles/dense_test.dir/dense_test.cc.o.d"
+  "dense_test"
+  "dense_test.pdb"
+  "dense_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

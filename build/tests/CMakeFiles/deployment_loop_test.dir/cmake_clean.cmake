@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_loop_test.dir/deployment_loop_test.cc.o"
+  "CMakeFiles/deployment_loop_test.dir/deployment_loop_test.cc.o.d"
+  "deployment_loop_test"
+  "deployment_loop_test.pdb"
+  "deployment_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

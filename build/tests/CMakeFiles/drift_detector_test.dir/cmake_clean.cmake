@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_detector_test.dir/drift_detector_test.cc.o"
+  "CMakeFiles/drift_detector_test.dir/drift_detector_test.cc.o.d"
+  "drift_detector_test"
+  "drift_detector_test.pdb"
+  "drift_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

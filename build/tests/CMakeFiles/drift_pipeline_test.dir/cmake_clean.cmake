@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_pipeline_test.dir/drift_pipeline_test.cc.o"
+  "CMakeFiles/drift_pipeline_test.dir/drift_pipeline_test.cc.o.d"
+  "drift_pipeline_test"
+  "drift_pipeline_test.pdb"
+  "drift_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

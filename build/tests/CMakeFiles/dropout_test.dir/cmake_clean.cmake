@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_test.dir/dropout_test.cc.o"
+  "CMakeFiles/dropout_test.dir/dropout_test.cc.o.d"
+  "dropout_test"
+  "dropout_test.pdb"
+  "dropout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

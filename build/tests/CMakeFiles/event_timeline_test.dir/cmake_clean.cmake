@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_timeline_test.dir/event_timeline_test.cc.o"
+  "CMakeFiles/event_timeline_test.dir/event_timeline_test.cc.o.d"
+  "event_timeline_test"
+  "event_timeline_test.pdb"
+  "event_timeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

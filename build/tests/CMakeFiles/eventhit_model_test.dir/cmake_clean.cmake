@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_model_test.dir/eventhit_model_test.cc.o"
+  "CMakeFiles/eventhit_model_test.dir/eventhit_model_test.cc.o.d"
+  "eventhit_model_test"
+  "eventhit_model_test.pdb"
+  "eventhit_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

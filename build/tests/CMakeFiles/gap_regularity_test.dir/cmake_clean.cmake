@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_regularity_test.dir/gap_regularity_test.cc.o"
+  "CMakeFiles/gap_regularity_test.dir/gap_regularity_test.cc.o.d"
+  "gap_regularity_test"
+  "gap_regularity_test.pdb"
+  "gap_regularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_regularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyper_search_test.dir/hyper_search_test.cc.o"
+  "CMakeFiles/hyper_search_test.dir/hyper_search_test.cc.o.d"
+  "hyper_search_test"
+  "hyper_search_test.pdb"
+  "hyper_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyper_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

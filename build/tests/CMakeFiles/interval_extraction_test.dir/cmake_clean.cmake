@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_extraction_test.dir/interval_extraction_test.cc.o"
+  "CMakeFiles/interval_extraction_test.dir/interval_extraction_test.cc.o.d"
+  "interval_extraction_test"
+  "interval_extraction_test.pdb"
+  "interval_extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_test.dir/loss_test.cc.o"
+  "CMakeFiles/loss_test.dir/loss_test.cc.o.d"
+  "loss_test"
+  "loss_test.pdb"
+  "loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_test.dir/lstm_test.cc.o"
+  "CMakeFiles/lstm_test.dir/lstm_test.cc.o.d"
+  "lstm_test"
+  "lstm_test.pdb"
+  "lstm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marshaller_test.dir/marshaller_test.cc.o"
+  "CMakeFiles/marshaller_test.dir/marshaller_test.cc.o.d"
+  "marshaller_test"
+  "marshaller_test.pdb"
+  "marshaller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marshaller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

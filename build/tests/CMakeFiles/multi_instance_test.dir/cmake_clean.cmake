@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_instance_test.dir/multi_instance_test.cc.o"
+  "CMakeFiles/multi_instance_test.dir/multi_instance_test.cc.o.d"
+  "multi_instance_test"
+  "multi_instance_test.pdb"
+  "multi_instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

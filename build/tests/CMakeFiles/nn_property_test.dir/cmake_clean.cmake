@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_property_test.dir/nn_property_test.cc.o"
+  "CMakeFiles/nn_property_test.dir/nn_property_test.cc.o.d"
+  "nn_property_test"
+  "nn_property_test.pdb"
+  "nn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalized_conformal_test.dir/normalized_conformal_test.cc.o"
+  "CMakeFiles/normalized_conformal_test.dir/normalized_conformal_test.cc.o.d"
+  "normalized_conformal_test"
+  "normalized_conformal_test.pdb"
+  "normalized_conformal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalized_conformal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

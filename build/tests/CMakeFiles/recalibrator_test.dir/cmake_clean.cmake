@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recalibrator_test.dir/recalibrator_test.cc.o"
+  "CMakeFiles/recalibrator_test.dir/recalibrator_test.cc.o.d"
+  "recalibrator_test"
+  "recalibrator_test.pdb"
+  "recalibrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recalibrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_extractor_test.dir/record_extractor_test.cc.o"
+  "CMakeFiles/record_extractor_test.dir/record_extractor_test.cc.o.d"
+  "record_extractor_test"
+  "record_extractor_test.pdb"
+  "record_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_conformal_regressor_test.dir/split_conformal_regressor_test.cc.o"
+  "CMakeFiles/split_conformal_regressor_test.dir/split_conformal_regressor_test.cc.o.d"
+  "split_conformal_regressor_test"
+  "split_conformal_regressor_test.pdb"
+  "split_conformal_regressor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_conformal_regressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

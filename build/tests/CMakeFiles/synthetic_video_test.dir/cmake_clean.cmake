@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_video_test.dir/synthetic_video_test.cc.o"
+  "CMakeFiles/synthetic_video_test.dir/synthetic_video_test.cc.o.d"
+  "synthetic_video_test"
+  "synthetic_video_test.pdb"
+  "synthetic_video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_io_test.dir/video_io_test.cc.o"
+  "CMakeFiles/video_io_test.dir/video_io_test.cc.o.d"
+  "video_io_test"
+  "video_io_test.pdb"
+  "video_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

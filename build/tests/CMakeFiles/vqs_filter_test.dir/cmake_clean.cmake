@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqs_filter_test.dir/vqs_filter_test.cc.o"
+  "CMakeFiles/vqs_filter_test.dir/vqs_filter_test.cc.o.d"
+  "vqs_filter_test"
+  "vqs_filter_test.pdb"
+  "vqs_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqs_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

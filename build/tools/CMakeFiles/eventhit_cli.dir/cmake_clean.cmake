@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eventhit_cli.dir/eventhit_cli.cc.o"
+  "CMakeFiles/eventhit_cli.dir/eventhit_cli.cc.o.d"
+  "eventhit_cli"
+  "eventhit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eventhit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
