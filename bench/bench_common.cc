@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -21,6 +22,55 @@ int TrialsFromEnv(int fallback) {
 bool FastMode() {
   const char* value = std::getenv("EVENTHIT_FAST");
   return value != nullptr && value[0] == '1';
+}
+
+int ThreadsFromEnv() { return ThreadPool::DefaultThreads(); }
+
+ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
+                                      const std::vector<data::Record>& test,
+                                      int horizon, int threads, int reps,
+                                      uint64_t seed) {
+  EVENTHIT_CHECK_GE(reps, 1);
+  const ExecutionContext ctx(threads, seed);
+  ThroughputResult result;
+  result.threads = ctx.threads();
+  double best_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    result.metrics = eval::EvaluateStrategy(strategy, test, horizon, ctx);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (rep == 0 || elapsed.count() < best_seconds) {
+      best_seconds = elapsed.count();
+    }
+  }
+  if (best_seconds > 0.0) {
+    result.records_per_sec = static_cast<double>(test.size()) / best_seconds;
+  }
+  return result;
+}
+
+void PrintThroughputComparison(const std::string& name,
+                               const ThroughputResult& serial,
+                               const ThroughputResult& parallel) {
+  const double speedup = serial.records_per_sec > 0.0
+                             ? parallel.records_per_sec / serial.records_per_sec
+                             : 0.0;
+  TablePrinter table({"Path", "Threads", "Records/s", "Speedup"});
+  table.AddRow({name, Fmt(static_cast<int64_t>(serial.threads)),
+                Fmt(serial.records_per_sec, 0), "1.00"});
+  table.AddRow({name, Fmt(static_cast<int64_t>(parallel.threads)),
+                Fmt(parallel.records_per_sec, 0), Fmt(speedup, 2)});
+  table.Print(std::cout);
+  const bool identical = serial.metrics.rec == parallel.metrics.rec &&
+                         serial.metrics.spl == parallel.metrics.spl &&
+                         serial.metrics.rec_c == parallel.metrics.rec_c &&
+                         serial.metrics.rec_r == parallel.metrics.rec_r &&
+                         serial.metrics.relayed_frames ==
+                             parallel.metrics.relayed_frames;
+  std::cout << "determinism: parallel metrics "
+            << (identical ? "identical to" : "DIFFER FROM")
+            << " single-thread\n";
 }
 
 eval::RunnerConfig DefaultRunnerConfig(uint64_t seed) {

@@ -8,12 +8,17 @@
 //                        smoke pass of every bench.
 //   EVENTHIT_CSV_DIR=D — additionally write every printed series as a CSV
 //                        file under D (plot-ready output).
+//   EVENTHIT_THREADS=N — worker threads for the multi-thread legs of the
+//                        throughput benchmarks (default: all hardware
+//                        threads). Parallel results are identical to
+//                        serial by construction; only wall time changes.
 #ifndef EVENTHIT_BENCH_BENCH_COMMON_H_
 #define EVENTHIT_BENCH_BENCH_COMMON_H_
 
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "eval/curves.h"
 #include "eval/runner.h"
 
@@ -24,6 +29,32 @@ int TrialsFromEnv(int fallback = 3);
 
 /// True when EVENTHIT_FAST=1.
 bool FastMode();
+
+/// Thread count for multi-thread benchmark legs: EVENTHIT_THREADS if set,
+/// else every hardware thread (ThreadPool::DefaultThreads).
+int ThreadsFromEnv();
+
+/// Result of one timed throughput leg.
+struct ThroughputResult {
+  int threads = 1;
+  double records_per_sec = 0.0;
+  eval::Metrics metrics;  // For the determinism cross-check between legs.
+};
+
+/// Times `EvaluateStrategy(strategy, test, horizon)` over `reps`
+/// repetitions at the given thread count and reports sustained
+/// records/second (best rep, to damp scheduler noise).
+ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
+                                      const std::vector<data::Record>& test,
+                                      int horizon, int threads, int reps,
+                                      uint64_t seed);
+
+/// Prints a single-thread vs multi-thread throughput comparison for the
+/// evaluation path and cross-checks that both legs produced identical
+/// metrics (the substrate's determinism contract).
+void PrintThroughputComparison(const std::string& name,
+                               const ThroughputResult& serial,
+                               const ThroughputResult& parallel);
 
 /// Standard experiment configuration for bench runs; honours FastMode.
 eval::RunnerConfig DefaultRunnerConfig(uint64_t seed);

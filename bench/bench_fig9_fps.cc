@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "cloud/cost_model.h"
 #include "common/table_printer.h"
+#include "core/strategies.h"
 #include "eval/curves.h"
 #include "eval/runner.h"
 
@@ -128,6 +129,35 @@ int main() {
                         1)});
     }
     table.Print(std::cout);
+  }
+
+  // Local-filter throughput: how many records/s the evaluation path (one
+  // EHCR decision per record — LSTM forward pass, conformal existence test,
+  // interval extraction + widening) sustains single-threaded vs on the
+  // deterministic thread pool. Multi-stream ingest is viable only when this
+  // stage outruns the stream rate, and the parallel metrics are identical
+  // to serial by construction.
+  {
+    const int threads = bench::ThreadsFromEnv();
+    std::cout << "\n### Evaluation-path throughput (1 vs " << threads
+              << " threads)\n";
+    const data::Task task = data::FindTask("TA10").value();
+    const eval::RunnerConfig config = bench::DefaultRunnerConfig(9100);
+    const auto env = eval::TaskEnvironment::Build(task, config);
+    const auto trained = eval::TrainEventHit(env, config);
+    eventhit::core::EventHitStrategyOptions options;
+    options.use_cclassify = true;
+    options.use_cregress = true;
+    const eventhit::core::EventHitStrategy strategy(
+        trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+        options);
+    const int reps = bench::FastMode() ? 3 : 5;
+    const auto serial = bench::TimeEvaluateStrategy(
+        strategy, env.test_records(), env.horizon(), 1, reps, config.seed);
+    const auto parallel = bench::TimeEvaluateStrategy(
+        strategy, env.test_records(), env.horizon(), threads, reps,
+        config.seed);
+    bench::PrintThroughputComparison("EHCR decide", serial, parallel);
   }
   return 0;
 }

@@ -103,6 +103,12 @@ int64_t Rng::Poisson(double mean) {
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
+uint64_t SplitSeed(uint64_t seed, uint64_t stream_id) {
+  uint64_t sm = seed ^ (stream_id * 0x9E3779B97f4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  const uint64_t first = SplitMix64(sm);
+  return SplitMix64(sm) ^ first;
+}
+
 uint64_t Rng::Fork(uint64_t stream) {
   uint64_t sm = NextUint64() ^ (stream * 0x9E3779B97f4A7C15ULL + 0xD1B54A32D192ED03ULL);
   return SplitMix64(sm);

@@ -73,6 +73,13 @@ class Rng {
 /// SplitMix64 step, exposed for seed derivation in tests.
 uint64_t SplitMix64(uint64_t& state);
 
+/// Derives a child seed from (seed, stream_id) with no shared generator
+/// state: a pure function, so parallel workers can seed their own Rng for
+/// stream `stream_id` and reproduce exactly what a serial loop would draw.
+/// Distinct stream ids yield decorrelated streams (two SplitMix64 rounds
+/// over the golden-ratio-scrambled pair).
+uint64_t SplitSeed(uint64_t seed, uint64_t stream_id);
+
 }  // namespace eventhit
 
 #endif  // EVENTHIT_COMMON_RNG_H_

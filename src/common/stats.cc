@@ -22,16 +22,21 @@ double SampleStdDev(const std::vector<double>& values) {
   return std::sqrt(ss / static_cast<double>(values.size() - 1));
 }
 
-double OrderStatQuantile(std::vector<double> values, double level) {
-  if (values.empty()) return 0.0;
+size_t ConformalQuantileRank(size_t n, double level) {
+  EVENTHIT_CHECK_GE(n, 1u);
   EVENTHIT_CHECK_GE(level, 0.0);
   EVENTHIT_CHECK_LE(level, 1.0);
-  std::sort(values.begin(), values.end());
-  const auto n = static_cast<double>(values.size());
-  auto rank = static_cast<size_t>(std::ceil(level * n));
+  auto rank =
+      static_cast<size_t>(std::ceil(level * static_cast<double>(n + 1)));
   if (rank == 0) rank = 1;
-  if (rank > values.size()) rank = values.size();
-  return values[rank - 1];
+  if (rank > n) rank = n;
+  return rank;
+}
+
+double OrderStatQuantile(std::vector<double> values, double level) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return values[ConformalQuantileRank(values.size(), level) - 1];
 }
 
 double Clamp(double value, double lo, double hi) {

@@ -14,9 +14,18 @@ double Mean(const std::vector<double>& values);
 /// Sample standard deviation (n-1 denominator); 0 for n < 2.
 double SampleStdDev(const std::vector<double>& values);
 
-/// The conformal-style order statistic used throughout the paper:
-/// the ceil(level * n)-th smallest of `values` (1-indexed), clamped to the
-/// sample. This matches Algorithm 2's \hat q = r_(ceil(alpha*|R|)).
+/// 1-indexed rank of the split-conformal quantile for a calibration set of
+/// size n at coverage `level`: ceil(level * (n+1)), clamped to [1, n].
+/// The (n+1) is the finite-sample correction of Theorems 4.2/5.2 — the
+/// test point is exchangeable with the n calibration points, so covering
+/// it with probability >= level requires the ceil(level*(n+1))-th order
+/// statistic, not ceil(level*n) (which undercovers by ~level/(n+1), badly
+/// for small n). Requires n >= 1 and level in [0, 1].
+size_t ConformalQuantileRank(size_t n, double level);
+
+/// The conformal order statistic used throughout the paper: the
+/// ConformalQuantileRank(n, level)-th smallest of `values` (1-indexed),
+/// i.e. \hat q = r_(ceil(level*(|R|+1))) clamped to the sample.
 /// Returns 0 for an empty input.
 double OrderStatQuantile(std::vector<double> values, double level);
 

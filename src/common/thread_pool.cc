@@ -1,0 +1,138 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eventhit {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  EVENTHIT_CHECK_GE(threads, 1);
+  chunk_errors_.resize(static_cast<size_t>(threads));
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int w = 1; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ChunkBounds(size_t n, int chunk, size_t* begin,
+                             size_t* end) const {
+  // Depends only on (n, threads_): chunk boundaries are a pure function of
+  // the range, never of scheduling.
+  const auto t = static_cast<size_t>(threads_);
+  const auto c = static_cast<size_t>(chunk);
+  *begin = n * c / t;
+  *end = n * (c + 1) / t;
+}
+
+void ThreadPool::RunChunk(const Job& job, int chunk) {
+  size_t begin = 0, end = 0;
+  ChunkBounds(job.n, chunk, &begin, &end);
+  if (begin >= end) return;
+  try {
+    (*job.body)(chunk, begin, end);
+  } catch (...) {
+    chunk_errors_[static_cast<size_t>(chunk)] = std::current_exception();
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || job_.epoch > seen_epoch;
+      });
+      if (shutdown_) return;
+      job = job_;
+      seen_epoch = job.epoch;
+    }
+    RunChunk(job, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(int, size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    // Serial fallback: no queueing, no synchronisation, exceptions
+    // propagate natively.
+    body(0, 0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  for (auto& error : chunk_errors_) error = nullptr;
+  Job job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_.body = &body;
+    job_.n = n;
+    job_.epoch = ++epoch_;
+    pending_ = threads_ - 1;
+    job = job_;
+  }
+  work_ready_.notify_all();
+  RunChunk(job, 0);  // The caller executes chunk 0.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  for (auto& error : chunk_errors_) {
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  ParallelForChunked(n, [&body](int /*chunk*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+int ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("EVENTHIT_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ExecutionContext::ExecutionContext(int threads, uint64_t base_seed)
+    : base_seed_(base_seed) {
+  if (threads <= 0) threads = ThreadPool::DefaultThreads();
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+}
+
+uint64_t ExecutionContext::SeedFor(uint64_t stream_id) const {
+  return SplitSeed(base_seed_, stream_id);
+}
+
+void ExecutionContext::ParallelFor(
+    size_t n, const std::function<void(size_t)>& body) const {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(n, body);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) body(i);
+}
+
+}  // namespace eventhit

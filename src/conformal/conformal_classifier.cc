@@ -11,11 +11,14 @@ ConformalBinaryClassifier::ConformalBinaryClassifier(
 }
 
 double ConformalBinaryClassifier::PValue(double score) const {
-  // Count of calibration scores a_n with score <= a_n.
+  // Count of calibration scores a_n with score <= a_n. The +1 counts the
+  // test example itself — it is exchangeable with the calibration set, so
+  // the transductive p-value (Theorem 4.1) is (#{score <= a_n} + 1)/(n+1);
+  // dropping the +1 undercovers by ~1/(n+1), badly for small n.
   const auto it =
       std::lower_bound(sorted_scores_.begin(), sorted_scores_.end(), score);
   const auto at_least = static_cast<double>(sorted_scores_.end() - it);
-  return (at_least) / (static_cast<double>(sorted_scores_.size()) + 1.0);
+  return (at_least + 1.0) / (static_cast<double>(sorted_scores_.size()) + 1.0);
 }
 
 bool ConformalBinaryClassifier::PredictPositive(double score,

@@ -19,13 +19,15 @@ class ConformalBinaryClassifier {
  public:
   /// `positive_scores`: non-conformity scores a_n of the calibration
   /// records whose true label is positive. The set may be empty, in which
-  /// case every p-value is 0/(0+1) = 0 per the paper's formula: positives
-  /// are then predicted only at confidence c = 1 (where the p >= 1-c test
-  /// is vacuously true).
+  /// case every p-value is (0+1)/(0+1) = 1: with no calibration evidence
+  /// nothing can be ruled out, so every example is predicted positive —
+  /// the only decision that preserves the Theorem 4.1 guarantee.
   explicit ConformalBinaryClassifier(std::vector<double> positive_scores);
 
-  /// p-value of a new example with non-conformity `score`:
-  ///   |{n : score <= a_n}| / (|calib positives| + 1).
+  /// Transductive p-value of a new example with non-conformity `score`:
+  ///   (|{n : score <= a_n}| + 1) / (|calib positives| + 1),
+  /// where the +1 counts the test example itself among the scores at least
+  /// as non-conforming as it.
   double PValue(double score) const;
 
   /// Predicts positive iff PValue(score) >= 1 - confidence.

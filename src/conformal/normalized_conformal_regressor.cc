@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/stats.h"
 
 namespace eventhit::conformal {
 
@@ -23,11 +24,10 @@ double NormalizedConformalRegressor::Quantile(double alpha) const {
   EVENTHIT_CHECK_GE(alpha, 0.0);
   EVENTHIT_CHECK_LE(alpha, 1.0);
   if (sorted_ratios_.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted_ratios_.size());
-  auto rank = static_cast<size_t>(std::ceil(alpha * n));
-  if (rank == 0) rank = 1;
-  if (rank > sorted_ratios_.size()) rank = sorted_ratios_.size();
-  return sorted_ratios_[rank - 1];
+  // Finite-sample-corrected rank ceil(alpha * (n+1)) — see
+  // ConformalQuantileRank; ceil(alpha * n) undercovers (Theorem 5.2).
+  return sorted_ratios_[ConformalQuantileRank(sorted_ratios_.size(), alpha) -
+                        1];
 }
 
 PredictionBand NormalizedConformalRegressor::Band(double prediction,

@@ -28,8 +28,9 @@ class NormalizedConformalRegressor {
   NormalizedConformalRegressor(std::vector<double> abs_residuals,
                                std::vector<double> difficulties);
 
-  /// q_hat at coverage alpha: the ceil(alpha*n)-th smallest residual/
-  /// difficulty ratio.
+  /// q_hat at coverage alpha: the ceil(alpha*(n+1))-th smallest residual/
+  /// difficulty ratio (clamped to the sample; finite-sample-corrected as in
+  /// SplitConformalRegressor).
   double Quantile(double alpha) const;
 
   /// [prediction - q*difficulty, prediction + q*difficulty].

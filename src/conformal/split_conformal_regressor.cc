@@ -1,9 +1,9 @@
 #include "conformal/split_conformal_regressor.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "common/check.h"
+#include "common/stats.h"
 
 namespace eventhit::conformal {
 
@@ -18,11 +18,11 @@ double SplitConformalRegressor::Quantile(double alpha) const {
   EVENTHIT_CHECK_GE(alpha, 0.0);
   EVENTHIT_CHECK_LE(alpha, 1.0);
   if (sorted_residuals_.empty()) return 0.0;
-  const auto n = static_cast<double>(sorted_residuals_.size());
-  auto rank = static_cast<size_t>(std::ceil(alpha * n));
-  if (rank == 0) rank = 1;
-  if (rank > sorted_residuals_.size()) rank = sorted_residuals_.size();
-  return sorted_residuals_[rank - 1];
+  // Finite-sample-corrected rank ceil(alpha * (n+1)) — see
+  // ConformalQuantileRank; ceil(alpha * n) undercovers (Theorem 5.2).
+  return sorted_residuals_[ConformalQuantileRank(sorted_residuals_.size(),
+                                                 alpha) -
+                           1];
 }
 
 PredictionBand SplitConformalRegressor::Band(double prediction,

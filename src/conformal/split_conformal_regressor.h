@@ -2,8 +2,11 @@
 //
 // Calibrated from the absolute residuals |y_n - mu_hat(x_n)| of a held-out
 // calibration set, the band [mu_hat(x) - q, mu_hat(x) + q] with q the
-// ceil(alpha * n)-th smallest residual covers the true response with
-// probability at least alpha under exchangeability (Theorem 5.1).
+// ceil(alpha * (n+1))-th smallest residual (clamped to the sample) covers
+// the true response with probability at least alpha under exchangeability
+// (Theorem 5.1). The (n+1) is the finite-sample correction: the test point
+// is exchangeable with the n calibration residuals, so the uncorrected
+// ceil(alpha * n) rank undercovers by ~alpha/(n+1).
 #ifndef EVENTHIT_CONFORMAL_SPLIT_CONFORMAL_REGRESSOR_H_
 #define EVENTHIT_CONFORMAL_SPLIT_CONFORMAL_REGRESSOR_H_
 
@@ -26,8 +29,8 @@ class SplitConformalRegressor {
   /// well-defined behaviour with no calibration evidence).
   explicit SplitConformalRegressor(std::vector<double> abs_residuals);
 
-  /// q_hat at coverage `alpha` in [0, 1]: the ceil(alpha*n)-th smallest
-  /// residual (1-indexed), clamped to the sample.
+  /// q_hat at coverage `alpha` in [0, 1]: the ceil(alpha*(n+1))-th
+  /// smallest residual (1-indexed), clamped to the sample.
   double Quantile(double alpha) const;
 
   /// [prediction - q_hat, prediction + q_hat].

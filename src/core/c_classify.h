@@ -22,9 +22,13 @@ namespace eventhit::core {
 class CClassify {
  public:
   /// Runs `model` over the calibration records and builds one conformal
-  /// classifier per event type from the positive records' scores.
+  /// classifier per event type from the positive records' scores. The
+  /// forward passes run across `ctx.threads()` workers; the per-event
+  /// score lists are assembled serially in record order, so the result is
+  /// identical to a serial calibration.
   CClassify(const EventHitModel& model,
-            const std::vector<data::Record>& calibration);
+            const std::vector<data::Record>& calibration,
+            const ExecutionContext& ctx = ExecutionContext());
 
   /// Builds directly from per-event positive-class non-conformity scores
   /// (tests, or reuse of precomputed model outputs).

@@ -8,19 +8,32 @@
 namespace eventhit::core {
 
 CRegress::CRegress(const EventHitModel& model,
-                   const std::vector<data::Record>& calibration, double tau2)
+                   const std::vector<data::Record>& calibration, double tau2,
+                   const ExecutionContext& ctx)
     : horizon_(model.config().horizon) {
   const size_t k_events = model.config().num_events;
-  std::vector<std::vector<double>> start_residuals(k_events);
-  std::vector<std::vector<double>> end_residuals(k_events);
-  for (const data::Record& record : calibration) {
+  // Parallel map: per-record predicted intervals (forward pass + interval
+  // extraction dominate calibration cost). One slot per (record, event), so
+  // workers never contend and the reduction below sees record order.
+  std::vector<std::vector<sim::Interval>> estimates(calibration.size());
+  ctx.ParallelFor(calibration.size(), [&](size_t i) {
+    const data::Record& record = calibration[i];
     EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
     const EventScores scores = model.Predict(record);
+    estimates[i].resize(k_events);
     for (size_t k = 0; k < k_events; ++k) {
-      const data::EventLabel& label = record.labels[k];
+      if (!record.labels[k].present) continue;
+      estimates[i][k] = ExtractOccurrenceInterval(scores.occupancy[k], tau2);
+    }
+  });
+  // Serial ordered reduction: identical residual order to the serial loop.
+  std::vector<std::vector<double>> start_residuals(k_events);
+  std::vector<std::vector<double>> end_residuals(k_events);
+  for (size_t i = 0; i < calibration.size(); ++i) {
+    for (size_t k = 0; k < k_events; ++k) {
+      const data::EventLabel& label = calibration[i].labels[k];
       if (!label.present) continue;
-      const sim::Interval estimate =
-          ExtractOccurrenceInterval(scores.occupancy[k], tau2);
+      const sim::Interval& estimate = estimates[i][k];
       start_residuals[k].push_back(
           std::fabs(static_cast<double>(estimate.start - label.start)));
       end_residuals[k].push_back(

@@ -24,9 +24,12 @@ namespace eventhit::core {
 class CRegress {
  public:
   /// Runs `model` over the calibration records (Lines 6–12 of Alg. 2).
-  /// `tau2` is the occupancy threshold used to extract intervals.
+  /// `tau2` is the occupancy threshold used to extract intervals. Forward
+  /// passes and interval extraction run across `ctx.threads()` workers;
+  /// residual lists are reduced serially in record order (deterministic).
   CRegress(const EventHitModel& model,
-           const std::vector<data::Record>& calibration, double tau2);
+           const std::vector<data::Record>& calibration, double tau2,
+           const ExecutionContext& ctx = ExecutionContext());
 
   /// Builds directly from per-event (start, end) residual sets.
   CRegress(std::vector<std::vector<double>> start_residuals,

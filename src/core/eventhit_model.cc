@@ -228,4 +228,13 @@ Status EventHitModel::Load(const std::string& path) {
   return nn::LoadParameters(Parameters(), path);
 }
 
+std::vector<EventScores> PredictBatch(const EventHitModel& model,
+                                      const std::vector<data::Record>& records,
+                                      const ExecutionContext& ctx) {
+  std::vector<EventScores> scores(records.size());
+  ctx.ParallelFor(records.size(),
+                  [&](size_t i) { scores[i] = model.Predict(records[i]); });
+  return scores;
+}
+
 }  // namespace eventhit::core

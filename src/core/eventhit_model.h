@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/eventhit_config.h"
 #include "core/prediction.h"
 #include "data/record.h"
@@ -79,6 +80,14 @@ class EventHitModel {
   std::vector<nn::Mlp> event_nets_;
   mutable Rng rng_;  // Dropout masks and shuffling during Train.
 };
+
+/// Runs inference over every record, optionally in parallel. Predict is
+/// const and touches no shared mutable state, so records are scored across
+/// `ctx.threads()` chunks; results land in input order, byte-identical to
+/// the serial loop.
+std::vector<EventScores> PredictBatch(const EventHitModel& model,
+                                      const std::vector<data::Record>& records,
+                                      const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace eventhit::core
 

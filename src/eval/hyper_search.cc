@@ -30,6 +30,29 @@ void SortBestFirst(std::vector<HyperResult>& results) {
             });
 }
 
+// Trains and scores each enumerated candidate, across options.exec's
+// workers when it is parallel. Candidates are fully independent — each
+// owns its model and derives its RNG stream from its config seed — and
+// results[i] is written only by the worker evaluating candidate i, so the
+// pre-sort vector (and hence the sorted output) is byte-identical to the
+// serial loop. Nested evaluation stages run on the inner (serial) context:
+// the pool is not reentrant, and candidate-level parallelism already
+// saturates it.
+std::vector<HyperResult> EvaluateAll(
+    const std::vector<core::EventHitConfig>& candidates,
+    const std::vector<data::Record>& train,
+    const std::vector<data::Record>& validation,
+    const HyperSearchOptions& options) {
+  HyperSearchOptions inner = options;
+  inner.exec = options.exec.Inner();
+  std::vector<HyperResult> results(candidates.size());
+  options.exec.ParallelFor(candidates.size(), [&](size_t i) {
+    results[i] = EvaluateCandidate(candidates[i], train, validation, inner);
+  });
+  SortBestFirst(results);
+  return results;
+}
+
 }  // namespace
 
 HyperResult EvaluateCandidate(const core::EventHitConfig& config,
@@ -48,7 +71,7 @@ HyperResult EvaluateCandidate(const core::EventHitConfig& config,
   const core::EventHitStrategy eho(&model, nullptr, nullptr,
                                    strategy_options);
   result.validation =
-      EvaluateStrategy(eho, validation, config.horizon);
+      EvaluateStrategy(eho, validation, config.horizon, options.exec);
   result.objective =
       result.validation.rec - options.spillage_weight * result.validation.spl;
   return result;
@@ -60,23 +83,21 @@ std::vector<HyperResult> GridSearch(
     const std::vector<data::Record>& validation,
     const HyperSearchOptions& options) {
   EVENTHIT_CHECK_GT(grid.Combinations(), 0u);
-  std::vector<HyperResult> results;
-  results.reserve(grid.Combinations());
+  std::vector<core::EventHitConfig> candidates;
+  candidates.reserve(grid.Combinations());
   for (size_t lstm : grid.lstm_hidden) {
     for (size_t hidden : grid.event_hidden) {
       for (double lr : grid.learning_rate) {
         for (double beta : grid.beta) {
           for (double gamma : grid.gamma) {
-            results.push_back(EvaluateCandidate(
-                ApplyCandidate(base, lstm, hidden, lr, beta, gamma), train,
-                validation, options));
+            candidates.push_back(
+                ApplyCandidate(base, lstm, hidden, lr, beta, gamma));
           }
         }
       }
     }
   }
-  SortBestFirst(results);
-  return results;
+  return EvaluateAll(candidates, train, validation, options);
 }
 
 std::vector<HyperResult> RandomSearch(
@@ -90,17 +111,18 @@ std::vector<HyperResult> RandomSearch(
     return values[static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(values.size()) - 1))];
   };
-  std::vector<HyperResult> results;
-  results.reserve(samples);
+  // All RNG draws happen up front on the calling thread, in sample order,
+  // so the candidate list — and therefore the search — is independent of
+  // the thread count.
+  std::vector<core::EventHitConfig> candidates;
+  candidates.reserve(samples);
   for (size_t i = 0; i < samples; ++i) {
-    results.push_back(EvaluateCandidate(
+    candidates.push_back(
         ApplyCandidate(base, pick(grid.lstm_hidden), pick(grid.event_hidden),
                        pick(grid.learning_rate), pick(grid.beta),
-                       pick(grid.gamma)),
-        train, validation, options));
+                       pick(grid.gamma)));
   }
-  SortBestFirst(results);
-  return results;
+  return EvaluateAll(candidates, train, validation, options);
 }
 
 }  // namespace eventhit::eval

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/eventhit_config.h"
 #include "data/record.h"
 #include "eval/metrics.h"
@@ -42,6 +43,12 @@ struct HyperSearchOptions {
   /// tau1/tau2 of the EHO evaluation.
   double tau1 = 0.5;
   double tau2 = 0.5;
+  /// Parallelism. Candidates are trained/evaluated concurrently, one per
+  /// ParallelFor index, each fully self-contained (own model, own RNG
+  /// stream from its config seed); results land in enumeration order and
+  /// the best-first sort runs serially, so the returned vector is
+  /// byte-identical for any thread count.
+  ExecutionContext exec;
 };
 
 /// One evaluated candidate.

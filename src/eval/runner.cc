@@ -46,7 +46,8 @@ TaskEnvironment TaskEnvironment::Build(const data::Task& task,
 }
 
 TrainedEventHit TrainEventHit(const TaskEnvironment& env,
-                              const RunnerConfig& config, double tau2) {
+                              const RunnerConfig& config, double tau2,
+                              const ExecutionContext& ctx) {
   TrainedEventHit trained;
   core::EventHitConfig model_config = config.model_template;
   model_config.collection_window = env.collection_window();
@@ -58,43 +59,42 @@ TrainedEventHit TrainEventHit(const TaskEnvironment& env,
   trained.model = std::make_unique<core::EventHitModel>(model_config);
   trained.history = trained.model->Train(env.train_records());
   trained.cclassify = std::make_unique<core::CClassify>(
-      *trained.model, env.calib_records());
+      *trained.model, env.calib_records(), ctx);
   trained.cregress = std::make_unique<core::CRegress>(
-      *trained.model, env.calib_records(), tau2);
+      *trained.model, env.calib_records(), tau2, ctx);
 
-  trained.test_scores.reserve(env.test_records().size());
-  for (const data::Record& record : env.test_records()) {
-    trained.test_scores.push_back(trained.model->Predict(record));
-  }
+  trained.test_scores =
+      core::PredictBatch(*trained.model, env.test_records(), ctx);
   return trained;
 }
 
 Metrics EvaluateStrategy(const core::MarshalStrategy& strategy,
-                         const std::vector<data::Record>& test, int horizon) {
-  std::vector<core::MarshalDecision> decisions;
-  decisions.reserve(test.size());
-  for (const data::Record& record : test) {
-    decisions.push_back(strategy.Decide(record));
-  }
+                         const std::vector<data::Record>& test, int horizon,
+                         const ExecutionContext& ctx) {
+  std::vector<core::MarshalDecision> decisions(test.size());
+  ctx.ParallelFor(test.size(), [&](size_t i) {
+    decisions[i] = strategy.Decide(test[i]);
+  });
   return ComputeMetrics(test, decisions, horizon);
 }
 
 Metrics EvaluateFromScores(const core::EventHitStrategy& strategy,
                            const std::vector<core::EventScores>& scores,
                            const std::vector<data::Record>& test,
-                           int horizon) {
+                           int horizon, const ExecutionContext& ctx) {
   EVENTHIT_CHECK_EQ(scores.size(), test.size());
-  return ComputeMetrics(test, DecisionsFromScores(strategy, scores), horizon);
+  return ComputeMetrics(test, DecisionsFromScores(strategy, scores, ctx),
+                        horizon);
 }
 
 std::vector<core::MarshalDecision> DecisionsFromScores(
     const core::EventHitStrategy& strategy,
-    const std::vector<core::EventScores>& scores) {
-  std::vector<core::MarshalDecision> decisions;
-  decisions.reserve(scores.size());
-  for (const core::EventScores& record_scores : scores) {
-    decisions.push_back(strategy.DecideFromScores(record_scores));
-  }
+    const std::vector<core::EventScores>& scores,
+    const ExecutionContext& ctx) {
+  std::vector<core::MarshalDecision> decisions(scores.size());
+  ctx.ParallelFor(scores.size(), [&](size_t i) {
+    decisions[i] = strategy.DecideFromScores(scores[i]);
+  });
   return decisions;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/c_classify.h"
 #include "core/c_regress.h"
 #include "core/eventhit_model.h"
@@ -84,25 +85,33 @@ struct TrainedEventHit {
 
 /// Trains + calibrates EventHit on the environment. `tau2` is the occupancy
 /// threshold used for C-REGRESS calibration (the compared algorithms all
-/// use 0.5).
+/// use 0.5). Training itself is serial (its SGD step order is part of the
+/// model definition); conformal calibration and test-score precomputation
+/// run across `ctx.threads()` workers with deterministic, order-preserving
+/// reductions.
 TrainedEventHit TrainEventHit(const TaskEnvironment& env,
-                              const RunnerConfig& config, double tau2 = 0.5);
+                              const RunnerConfig& config, double tau2 = 0.5,
+                              const ExecutionContext& ctx = ExecutionContext());
 
-/// Evaluates a strategy by calling Decide on every test record.
+/// Evaluates a strategy by calling Decide on every test record. Decisions
+/// are computed across `ctx.threads()` workers into per-record slots, then
+/// scored serially in record order — byte-identical to the serial path.
 Metrics EvaluateStrategy(const core::MarshalStrategy& strategy,
-                         const std::vector<data::Record>& test, int horizon);
+                         const std::vector<data::Record>& test, int horizon,
+                         const ExecutionContext& ctx = ExecutionContext());
 
 /// Evaluates an EventHit strategy from precomputed scores.
 Metrics EvaluateFromScores(const core::EventHitStrategy& strategy,
                            const std::vector<core::EventScores>& scores,
                            const std::vector<data::Record>& test,
-                           int horizon);
+                           int horizon, const ExecutionContext& ctx = ExecutionContext());
 
 /// Collects the per-record decisions of an EventHit strategy (for cost /
 /// timing accounting).
 std::vector<core::MarshalDecision> DecisionsFromScores(
     const core::EventHitStrategy& strategy,
-    const std::vector<core::EventScores>& scores);
+    const std::vector<core::EventScores>& scores,
+    const ExecutionContext& ctx = ExecutionContext());
 
 }  // namespace eventhit::eval
 

@@ -1,14 +1,19 @@
 #include "nn/serialize.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 namespace eventhit::nn {
 namespace {
 
 constexpr uint32_t kMagic = 0x45564849;  // "EVHI"
 constexpr uint32_t kVersion = 1;
+// Upper bound on a stored parameter-name length; real names are tens of
+// bytes, so anything larger is a corrupt stream, not a model file.
+constexpr uint32_t kMaxNameLength = 4096;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -66,10 +71,22 @@ Status LoadParameters(const ParameterRefs& params, const std::string& path) {
   if (count != params.size()) {
     return InvalidArgumentError("parameter count mismatch in " + path);
   }
-  for (Parameter* p : params) {
+  // Two-phase load: every fread and every stored name/shape is validated
+  // into staging buffers first, and the destination parameters are only
+  // touched after the whole file checks out — a truncated or corrupt
+  // checkpoint must not leave a half-overwritten model behind.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t idx = 0; idx < params.size(); ++idx) {
+    const Parameter* p = params[idx];
     uint32_t name_len = 0;
     if (!ReadU32(f, &name_len)) {
       return InvalidArgumentError("truncated name length: " + path);
+    }
+    // Names are short identifiers; a huge length means a corrupt stream,
+    // so reject it before allocating.
+    if (name_len > kMaxNameLength) {
+      return InvalidArgumentError("implausible parameter name length in " +
+                                  path);
     }
     std::string name(name_len, '\0');
     if (std::fread(name.data(), 1, name_len, f) != name_len) {
@@ -86,10 +103,20 @@ Status LoadParameters(const ParameterRefs& params, const std::string& path) {
     if (rows != p->value.rows() || cols != p->value.cols()) {
       return InvalidArgumentError("shape mismatch for " + name);
     }
-    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
-        p->value.size()) {
+    staged[idx].resize(p->value.size());
+    if (std::fread(staged[idx].data(), sizeof(float), staged[idx].size(), f) !=
+        staged[idx].size()) {
       return InvalidArgumentError("truncated data for " + name);
     }
+  }
+  // The stream must end exactly after the last parameter; trailing bytes
+  // mean the file does not describe this parameter set.
+  char extra = 0;
+  if (std::fread(&extra, 1, 1, f) != 0) {
+    return InvalidArgumentError("trailing data after parameters: " + path);
+  }
+  for (size_t idx = 0; idx < params.size(); ++idx) {
+    std::copy(staged[idx].begin(), staged[idx].end(), params[idx]->value.data());
   }
   return OkStatus();
 }

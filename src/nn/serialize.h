@@ -16,7 +16,10 @@ namespace eventhit::nn {
 Status SaveParameters(const ParameterRefs& params, const std::string& path);
 
 /// Loads parameters from `path` into `params`. Names and shapes must match
-/// the registered parameters exactly (same order).
+/// the registered parameters exactly (same order), the file must contain
+/// exactly the expected bytes (truncated or trailing data is rejected),
+/// and the load is atomic: on any error the destination parameters are
+/// left untouched.
 Status LoadParameters(const ParameterRefs& params, const std::string& path);
 
 }  // namespace eventhit::nn

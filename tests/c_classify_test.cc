@@ -17,18 +17,19 @@ TEST(CClassifyTest, PValuesMatchAlgorithmOne) {
   // a = 1-b in {0.1, 0.2, 0.3, 0.4}.
   CClassify cclassify(
       std::vector<std::vector<double>>{{0.1, 0.2, 0.3, 0.4}});
-  // New score b = 0.75 -> a = 0.25 -> two calibration scores >= 0.25 -> 2/5.
+  // New score b = 0.75 -> a = 0.25 -> two calibration scores >= 0.25; the
+  // test point counts itself, so p = (2+1)/(4+1) = 3/5.
   const auto p = cclassify.PValues(ScoresFor({0.75}));
   ASSERT_EQ(p.size(), 1u);
-  EXPECT_DOUBLE_EQ(p[0], 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(p[0], 3.0 / 5.0);
 }
 
 TEST(CClassifyTest, ExistenceDecisionThresholdsPValue) {
   CClassify cclassify(
       std::vector<std::vector<double>>{{0.1, 0.2, 0.3, 0.4}});
-  // p(b=0.75) = 0.4: positive iff 0.4 >= 1-c, i.e. c >= 0.6.
-  EXPECT_FALSE(cclassify.PredictExistence(ScoresFor({0.75}), 0.5)[0]);
-  EXPECT_TRUE(cclassify.PredictExistence(ScoresFor({0.75}), 0.6)[0]);
+  // p(b=0.75) = 0.6: positive iff 0.6 >= 1-c, i.e. c >= 0.4.
+  EXPECT_FALSE(cclassify.PredictExistence(ScoresFor({0.75}), 0.3)[0]);
+  EXPECT_TRUE(cclassify.PredictExistence(ScoresFor({0.75}), 0.4)[0]);
   EXPECT_TRUE(cclassify.PredictExistence(ScoresFor({0.75}), 0.9)[0]);
 }
 
@@ -37,9 +38,9 @@ TEST(CClassifyTest, PerEventIndependence) {
       {0.1, 0.2},          // Event 0: strong calibration scores.
       {0.7, 0.8, 0.9}});   // Event 1: weak calibration scores.
   const auto p = cclassify.PValues(ScoresFor({0.5, 0.5}));
-  // Event 0: a=0.5, none >= 0.5 -> 0/3. Event 1: a=0.5, all >= -> 3/4.
-  EXPECT_DOUBLE_EQ(p[0], 0.0);
-  EXPECT_DOUBLE_EQ(p[1], 3.0 / 4.0);
+  // Event 0: a=0.5, none >= 0.5 -> (0+1)/3. Event 1: all 3 >= -> (3+1)/4.
+  EXPECT_DOUBLE_EQ(p[0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
   EXPECT_EQ(cclassify.CalibrationSize(0), 2u);
   EXPECT_EQ(cclassify.CalibrationSize(1), 3u);
 }

@@ -14,10 +14,11 @@ CRegress MakeFixedCRegress() {
 
 TEST(CRegressTest, QuantilesAreOrderStatistics) {
   const CRegress cregress = MakeFixedCRegress();
-  EXPECT_DOUBLE_EQ(cregress.StartQuantile(0, 0.5), 3.0);  // ceil(0.5*5)=3rd.
+  // Ranks use the finite-sample correction ceil(alpha*(n+1)), clamped.
+  EXPECT_DOUBLE_EQ(cregress.StartQuantile(0, 0.5), 3.0);  // ceil(0.5*6)=3rd.
   EXPECT_DOUBLE_EQ(cregress.EndQuantile(0, 0.5), 6.0);
   EXPECT_DOUBLE_EQ(cregress.StartQuantile(0, 1.0), 5.0);
-  EXPECT_DOUBLE_EQ(cregress.EndQuantile(0, 0.2), 2.0);
+  EXPECT_DOUBLE_EQ(cregress.EndQuantile(0, 0.2), 4.0);  // ceil(0.2*6)=2nd.
 }
 
 TEST(CRegressTest, AdjustWidensAsymmetrically) {
@@ -84,9 +85,10 @@ TEST(CRegressTest, FractionalQuantileCeiled) {
   // Non-integer residual quantiles are ceiled to whole frames so the
   // adjusted interval stays a frame interval.
   const CRegress cregress({{1.5, 2.5}}, {{0.5, 3.5}}, kHorizon);
+  // n=2: rank ceil(0.5*3) = 2 picks the larger residual of each pair.
   const sim::Interval adjusted = cregress.Adjust(0, sim::Interval{20, 30}, 0.5);
-  EXPECT_EQ(adjusted.start, 18);  // 20 - ceil(1.5).
-  EXPECT_EQ(adjusted.end, 31);    // 30 + ceil(0.5).
+  EXPECT_EQ(adjusted.start, 17);  // 20 - ceil(2.5).
+  EXPECT_EQ(adjusted.end, 34);    // 30 + ceil(3.5).
 }
 
 }  // namespace

@@ -8,29 +8,32 @@ namespace eventhit::conformal {
 namespace {
 
 TEST(ConformalClassifierTest, PValueCountsAtLeastAsNonconforming) {
-  // Calibration scores {0.1, 0.2, 0.3, 0.4}; p(score) = #{a_n >= score}/5.
+  // Calibration scores {0.1, 0.2, 0.3, 0.4}; the transductive p-value
+  // counts the test example among the at-least-as-nonconforming scores:
+  // p(score) = (#{a_n >= score} + 1)/5.
   ConformalBinaryClassifier classifier({0.1, 0.2, 0.3, 0.4});
-  EXPECT_DOUBLE_EQ(classifier.PValue(0.05), 4.0 / 5.0);
-  EXPECT_DOUBLE_EQ(classifier.PValue(0.25), 2.0 / 5.0);
-  EXPECT_DOUBLE_EQ(classifier.PValue(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.05), 5.0 / 5.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.25), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.5), 1.0 / 5.0);
   // Ties count (score <= a_n is inclusive).
-  EXPECT_DOUBLE_EQ(classifier.PValue(0.2), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.2), 4.0 / 5.0);
 }
 
-TEST(ConformalClassifierTest, EmptyCalibrationFollowsPaperFormula) {
-  // With no positive calibration records, p = 0/(0+1) = 0: predictions are
-  // positive only at the vacuous confidence c = 1.
+TEST(ConformalClassifierTest, EmptyCalibrationPredictsEverythingPositive) {
+  // With no positive calibration records p = (0+1)/(0+1) = 1: nothing can
+  // be ruled out, so every example is predicted positive at any
+  // confidence — the only decision preserving the Theorem 4.1 guarantee.
   ConformalBinaryClassifier classifier({});
-  EXPECT_DOUBLE_EQ(classifier.PValue(0.9), 0.0);
-  EXPECT_FALSE(classifier.PredictPositive(0.9, 0.5));
+  EXPECT_DOUBLE_EQ(classifier.PValue(0.9), 1.0);
+  EXPECT_TRUE(classifier.PredictPositive(0.9, 0.5));
   EXPECT_TRUE(classifier.PredictPositive(0.9, 1.0));
 }
 
 TEST(ConformalClassifierTest, HigherConfidencePredictsMorePositives) {
   ConformalBinaryClassifier classifier({0.1, 0.2, 0.3, 0.4, 0.5});
-  // p(0.45) = 1/6 ~ 0.167.
-  EXPECT_FALSE(classifier.PredictPositive(0.45, 0.8));
-  EXPECT_TRUE(classifier.PredictPositive(0.45, 0.9));
+  // p(0.45) = (1+1)/6 = 1/3.
+  EXPECT_FALSE(classifier.PredictPositive(0.45, 0.6));
+  EXPECT_TRUE(classifier.PredictPositive(0.45, 0.7));
   // Monotone: positive at c implies positive at any c' > c.
   for (double score : {0.05, 0.25, 0.45, 0.6}) {
     bool was_positive = false;

@@ -152,10 +152,11 @@ TEST_P(QuantilePropertyTest, QuantileIsValidOrderStatistic) {
     const double q = OrderStatQuantile(values, level);
     // Property 1: the quantile is an element of the sample.
     EXPECT_NE(std::find(values.begin(), values.end(), q), values.end());
-    // Property 2: at least ceil(level*n) elements are <= q.
+    // Property 2: at least ConformalQuantileRank(n, level) elements are
+    // <= q (the finite-sample-corrected rank ceil(level*(n+1)), clamped).
     size_t at_most = 0;
     for (double v : values) at_most += v <= q ? 1 : 0;
-    EXPECT_GE(at_most, static_cast<size_t>(std::ceil(level * n)));
+    EXPECT_GE(at_most, ConformalQuantileRank(n, level));
   }
 }
 

@@ -1,5 +1,6 @@
 #include "nn/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -72,6 +73,74 @@ TEST(SerializeTest, CountMismatchRejected) {
   Parameter extra("extra", Matrix::Zeros(1, 1));
   EXPECT_EQ(LoadParameters({&a2, &extra}, path).code(),
             StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedDataRejectedAndDestinationUntouched) {
+  Rng rng(5);
+  Parameter a("a", Matrix::GlorotUniform(2, 2, rng));
+  Parameter b("b", Matrix::GlorotUniform(3, 3, rng));
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveParameters({&a, &b}, path).ok());
+
+  // Chop the file mid-way through the last parameter's float payload.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long full_size = std::ftell(f);
+  std::fclose(f);
+  std::string bytes(static_cast<size_t>(full_size), '\0');
+  f = std::fopen(path.c_str(), "rb");
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  bytes.resize(bytes.size() - 2 * sizeof(float));
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+
+  // Load must fail — and, because loading is atomic, parameter "a" (whose
+  // bytes were intact in the truncated file) must not be overwritten.
+  Parameter a2("a", Matrix::Zeros(2, 2));
+  Parameter b2("b", Matrix::Zeros(3, 3));
+  const Status status = LoadParameters({&a2, &b2}, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  for (size_t i = 0; i < a2.value.size(); ++i) {
+    EXPECT_EQ(a2.value.data()[i], 0.0f);
+  }
+  for (size_t i = 0; i < b2.value.size(); ++i) {
+    EXPECT_EQ(b2.value.data()[i], 0.0f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrailingGarbageRejected) {
+  Rng rng(6);
+  Parameter a("a", Matrix::GlorotUniform(2, 2, rng));
+  const std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(SaveParameters({&a}, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "leftover";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  Parameter a2("a", Matrix::Zeros(2, 2));
+  EXPECT_EQ(LoadParameters({&a2}, path).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ImplausibleNameLengthRejected) {
+  // A header followed by a name length in the megabytes is a corrupt
+  // stream; it must be rejected up front rather than trusted as an
+  // allocation size.
+  const std::string path = TempPath("bad_name_len.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t header[] = {0x45564849u, 1u, 1u, 0x7FFFFFFFu};
+  std::fwrite(header, sizeof(uint32_t), 4, f);
+  std::fclose(f);
+  Parameter a("a", Matrix::Zeros(1, 1));
+  EXPECT_EQ(LoadParameters({&a}, path).code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

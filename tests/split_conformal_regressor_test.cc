@@ -11,9 +11,10 @@ namespace {
 
 TEST(SplitConformalRegressorTest, QuantileIsOrderStatistic) {
   SplitConformalRegressor regressor({4.0, 1.0, 3.0, 2.0, 5.0});
-  EXPECT_DOUBLE_EQ(regressor.Quantile(0.2), 1.0);  // ceil(0.2*5)=1st.
-  EXPECT_DOUBLE_EQ(regressor.Quantile(0.5), 3.0);  // ceil(0.5*5)=3rd.
-  EXPECT_DOUBLE_EQ(regressor.Quantile(0.9), 5.0);  // ceil(0.9*5)=5th.
+  // Ranks use the finite-sample correction ceil(alpha*(n+1)), clamped.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.2), 2.0);  // ceil(0.2*6)=2nd.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.5), 3.0);  // ceil(0.5*6)=3rd.
+  EXPECT_DOUBLE_EQ(regressor.Quantile(0.9), 5.0);  // ceil(0.9*6)=6th -> 5th.
   EXPECT_DOUBLE_EQ(regressor.Quantile(1.0), 5.0);
   EXPECT_DOUBLE_EQ(regressor.Quantile(0.0), 1.0);  // Clamped to rank 1.
 }
@@ -28,7 +29,8 @@ TEST(SplitConformalRegressorTest, EmptyCalibrationGivesZeroWidth) {
 
 TEST(SplitConformalRegressorTest, BandIsSymmetric) {
   SplitConformalRegressor regressor({1.0, 2.0, 3.0});
-  const PredictionBand band = regressor.Band(5.0, 2.0 / 3.0);
+  // q = ceil(0.5 * 4) = 2nd smallest residual = 2.0.
+  const PredictionBand band = regressor.Band(5.0, 0.5);
   EXPECT_DOUBLE_EQ(band.lo, 3.0);
   EXPECT_DOUBLE_EQ(band.hi, 7.0);
 }

@@ -21,12 +21,23 @@ TEST(StatsTest, SampleStdDev) {
               1e-12);
 }
 
-TEST(StatsTest, OrderStatQuantileMatchesPaperDefinition) {
+TEST(StatsTest, ConformalQuantileRankUsesFiniteSampleCorrection) {
+  // Rank is ceil(level * (n+1)) clamped to [1, n] — Theorem 5.2 requires
+  // the n+1, not ceil(level * n).
+  EXPECT_EQ(ConformalQuantileRank(5, 0.5), 3u);   // ceil(3.0)
+  EXPECT_EQ(ConformalQuantileRank(10, 0.5), 6u);  // ceil(5.5); old formula: 5
+  EXPECT_EQ(ConformalQuantileRank(5, 0.2), 2u);   // ceil(1.2); old formula: 1
+  EXPECT_EQ(ConformalQuantileRank(20, 0.9), 19u);  // ceil(18.9)
+  EXPECT_EQ(ConformalQuantileRank(5, 1.0), 5u);   // Clamped to n.
+  EXPECT_EQ(ConformalQuantileRank(5, 0.0), 1u);   // Clamped to rank 1.
+}
+
+TEST(StatsTest, OrderStatQuantileMatchesCorrectedDefinition) {
   const std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
-  // ceil(0.5 * 5) = 3rd smallest.
+  // ceil(0.5 * 6) = 3rd smallest.
   EXPECT_DOUBLE_EQ(OrderStatQuantile(values, 0.5), 3.0);
-  // ceil(0.2 * 5) = 1st smallest.
-  EXPECT_DOUBLE_EQ(OrderStatQuantile(values, 0.2), 1.0);
+  // ceil(0.2 * 6) = 2nd smallest (the old ceil(0.2 * 5) gave the 1st).
+  EXPECT_DOUBLE_EQ(OrderStatQuantile(values, 0.2), 2.0);
   EXPECT_DOUBLE_EQ(OrderStatQuantile(values, 1.0), 5.0);
   // Level 0 clamps to the minimum (rank 1).
   EXPECT_DOUBLE_EQ(OrderStatQuantile(values, 0.0), 1.0);

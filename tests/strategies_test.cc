@@ -83,13 +83,13 @@ TEST_F(StrategiesTest, EhcUsesConformalExistence) {
   options.use_cclassify = true;
   options.confidence = 0.9;
   EventHitStrategy strategy(&model_, &cclassify_, nullptr, options);
-  // b = 0.75 -> a = 0.25 -> p = 2/5 = 0.4 >= 1-0.9: positive even though
-  // a tau1-style threshold at 0.8 would reject it.
+  // b = 0.75 -> a = 0.25 -> p = (2+1)/5 = 0.6 >= 1-0.9: positive even
+  // though a tau1-style threshold at 0.8 would reject it.
   const auto decision =
       strategy.DecideFromScores(MakeScores(0.75, ThetaWithBump(3, 6)));
   EXPECT_TRUE(decision.exists[0]);
-  // At c = 0.5: 0.4 < 0.5 -> negative.
-  strategy.set_confidence(0.5);
+  // At c = 0.3: 0.6 < 1 - 0.3 -> negative.
+  strategy.set_confidence(0.3);
   EXPECT_FALSE(
       strategy.DecideFromScores(MakeScores(0.75, ThetaWithBump(3, 6)))
           .exists[0]);

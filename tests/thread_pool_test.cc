@@ -1,0 +1,305 @@
+// The deterministic parallel substrate: chunked ParallelFor semantics,
+// exception propagation, the serial fallback, seed splitting, and — the
+// property everything else leans on — byte-identical results between the
+// parallel and serial paths of the wired-in eval stages.
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/strategies.h"
+#include "eval/hyper_search.h"
+#include "eval/runner.h"
+
+namespace eventhit {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{1003}}) {
+    std::vector<int> hits(n, 0);
+    // Each body writes only its own slot, so no synchronisation is needed.
+    pool.ParallelFor(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i], 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRangeContiguously) {
+  ThreadPool pool(3);
+  const size_t n = 11;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges(3, {0, 0});
+  pool.ParallelForChunked(n, [&](int chunk, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges[static_cast<size_t>(chunk)] = {begin, end};
+  });
+  // Chunk bounds are a pure function of (n, threads): begin = n*c/t.
+  size_t expected_begin = 0;
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(ranges[static_cast<size_t>(c)].first, expected_begin);
+    EXPECT_EQ(ranges[static_cast<size_t>(c)].first,
+              n * static_cast<size_t>(c) / 3);
+    expected_begin = ranges[static_cast<size_t>(c)].second;
+  }
+  EXPECT_EQ(expected_begin, n);
+}
+
+TEST(ThreadPoolTest, LowestChunkIndexExceptionWins) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.ParallelForChunked(8, [&](int chunk, size_t, size_t) {
+        throw std::runtime_error(std::to_string(chunk));
+      });
+      FAIL() << "expected ParallelForChunked to rethrow";
+    } catch (const std::runtime_error& e) {
+      // Every chunk throws; the caller must always see chunk 0's error,
+      // independent of scheduling.
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFromSingleIndexPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  if (i == 57) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(10, [&](size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  pool.ParallelFor(25, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 25u);
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](size_t) { throw std::logic_error("serial"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  const size_t n = 64;
+  std::vector<int> counts(n, 0);
+  for (int round = 0; round < 300; ++round) {
+    pool.ParallelFor(n, [&](size_t i) { ++counts[i]; });
+  }
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i], 300);
+}
+
+TEST(ExecutionContextTest, DefaultIsSerial) {
+  const ExecutionContext ctx;
+  EXPECT_EQ(ctx.threads(), 1);
+  EXPECT_EQ(ctx.pool(), nullptr);
+  size_t calls = 0;
+  ctx.ParallelFor(7, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 7u);
+}
+
+TEST(ExecutionContextTest, SeedsAreDeterministicPerStream) {
+  const ExecutionContext a(2, 42);
+  const ExecutionContext same(2, 42);
+  const ExecutionContext other(2, 43);
+  EXPECT_EQ(a.SeedFor(0), same.SeedFor(0));
+  EXPECT_EQ(a.SeedFor(9), same.SeedFor(9));
+  EXPECT_NE(a.SeedFor(0), a.SeedFor(1));
+  EXPECT_NE(a.SeedFor(0), other.SeedFor(0));
+  // Inner() drops to one thread but keeps the seed streams aligned.
+  const ExecutionContext inner = a.Inner();
+  EXPECT_EQ(inner.threads(), 1);
+  EXPECT_EQ(inner.SeedFor(3), a.SeedFor(3));
+}
+
+TEST(SplitSeedTest, StreamsAreStableAndDistinct) {
+  EXPECT_EQ(SplitSeed(1, 0), SplitSeed(1, 0));
+  EXPECT_NE(SplitSeed(1, 0), SplitSeed(1, 1));
+  EXPECT_NE(SplitSeed(1, 0), SplitSeed(2, 0));
+  std::set<uint64_t> seen;
+  for (uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(SplitSeed(12345, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace eventhit
+
+namespace eventhit::eval {
+namespace {
+
+constexpr int kWindow = 5;
+constexpr int kHorizon = 20;
+constexpr size_t kDim = 3;
+
+// Same toy problem as the hyper-search tests: channel 0 level drives both
+// existence and location.
+data::Record ToyRecord(double level, Rng& rng) {
+  data::Record record;
+  record.covariates.resize(kWindow * kDim);
+  for (int m = 0; m < kWindow; ++m) {
+    float* row = record.covariates.data() + m * kDim;
+    row[0] = static_cast<float>(level + rng.Gaussian(0, 0.03));
+    row[1] = static_cast<float>(rng.Uniform());
+    row[2] = 0.5f;
+  }
+  data::EventLabel label;
+  if (level > 0.4) {
+    label.present = true;
+    label.start = std::max(1, static_cast<int>((1.0 - level) * kHorizon));
+    label.end = std::min(kHorizon, label.start + 4);
+  }
+  record.labels.push_back(label);
+  return record;
+}
+
+std::vector<data::Record> ToyDataset(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<data::Record> records;
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(ToyRecord(rng.Uniform(), rng));
+  }
+  return records;
+}
+
+core::EventHitConfig BaseConfig() {
+  core::EventHitConfig config;
+  config.collection_window = kWindow;
+  config.horizon = kHorizon;
+  config.feature_dim = kDim;
+  config.num_events = 1;
+  config.lstm_hidden = 8;
+  config.shared_dim = 8;
+  config.event_hidden = 12;
+  config.epochs = 6;
+  return config;
+}
+
+HyperGrid TinyGrid() {
+  HyperGrid grid;
+  grid.lstm_hidden = {8};
+  grid.event_hidden = {12};
+  grid.learning_rate = {3e-3};
+  grid.beta = {1.0, 2.0};
+  grid.gamma = {0.5, 1.0};
+  return grid;
+}
+
+void ExpectIdenticalResults(const std::vector<HyperResult>& serial,
+                            const std::vector<HyperResult>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    // Exact equality, not near-equality: the parallel path must perform
+    // the same arithmetic in the same order as the serial one.
+    EXPECT_EQ(serial[i].objective, parallel[i].objective) << "i=" << i;
+    EXPECT_EQ(serial[i].validation.rec, parallel[i].validation.rec);
+    EXPECT_EQ(serial[i].validation.spl, parallel[i].validation.spl);
+    EXPECT_EQ(serial[i].validation.rec_c, parallel[i].validation.rec_c);
+    EXPECT_EQ(serial[i].validation.relayed_frames,
+              parallel[i].validation.relayed_frames);
+    ASSERT_EQ(serial[i].config.beta.size(), parallel[i].config.beta.size());
+    EXPECT_EQ(serial[i].config.beta[0], parallel[i].config.beta[0]);
+    EXPECT_EQ(serial[i].config.gamma[0], parallel[i].config.gamma[0]);
+  }
+}
+
+TEST(ParallelDeterminismTest, GridSearchMatchesSerialExactly) {
+  const auto train = ToyDataset(100, 21);
+  const auto validation = ToyDataset(60, 22);
+  const auto serial =
+      GridSearch(BaseConfig(), TinyGrid(), train, validation);
+  HyperSearchOptions options;
+  options.exec = ExecutionContext(3, 7);
+  const auto parallel =
+      GridSearch(BaseConfig(), TinyGrid(), train, validation, options);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, RandomSearchMatchesSerialExactly) {
+  const auto train = ToyDataset(100, 23);
+  const auto validation = ToyDataset(60, 24);
+  Rng serial_rng(31);
+  const auto serial = RandomSearch(BaseConfig(), TinyGrid(), 3, train,
+                                   validation, serial_rng);
+  Rng parallel_rng(31);
+  HyperSearchOptions options;
+  options.exec = ExecutionContext(4, 7);
+  const auto parallel = RandomSearch(BaseConfig(), TinyGrid(), 3, train,
+                                     validation, parallel_rng, options);
+  ExpectIdenticalResults(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, TrainAndEvaluateMatchSerialExactly) {
+  const data::Task task = data::FindTask("TA10").value();
+  RunnerConfig config;
+  config.stream_frames_override = 30000;
+  config.train_records = 80;
+  config.calib_records = 120;
+  config.test_records = 100;
+  config.model_template.epochs = 4;
+  config.seed = 99;
+  const TaskEnvironment env = TaskEnvironment::Build(task, config);
+
+  const TrainedEventHit serial = TrainEventHit(env, config);
+  const ExecutionContext ctx(3, config.seed);
+  const TrainedEventHit parallel = TrainEventHit(env, config, 0.5, ctx);
+
+  // Per-record raw scores from the parallel PredictBatch must be
+  // bit-identical to the serial loop.
+  ASSERT_EQ(serial.test_scores.size(), parallel.test_scores.size());
+  for (size_t i = 0; i < serial.test_scores.size(); ++i) {
+    ASSERT_EQ(serial.test_scores[i].existence.size(),
+              parallel.test_scores[i].existence.size());
+    for (size_t k = 0; k < serial.test_scores[i].existence.size(); ++k) {
+      EXPECT_EQ(serial.test_scores[i].existence[k],
+                parallel.test_scores[i].existence[k]);
+    }
+  }
+
+  // Full EHCR evaluation: parallel conformal calibration + parallel
+  // decision loop must reproduce the serial metrics field for field.
+  core::EventHitStrategyOptions strategy_options;
+  strategy_options.use_cclassify = true;
+  strategy_options.use_cregress = true;
+  const core::EventHitStrategy serial_strategy(
+      serial.model.get(), serial.cclassify.get(), serial.cregress.get(),
+      strategy_options);
+  const core::EventHitStrategy parallel_strategy(
+      parallel.model.get(), parallel.cclassify.get(), parallel.cregress.get(),
+      strategy_options);
+  const Metrics serial_metrics = EvaluateStrategy(
+      serial_strategy, env.test_records(), env.horizon());
+  const Metrics parallel_metrics = EvaluateStrategy(
+      parallel_strategy, env.test_records(), env.horizon(), ctx);
+  EXPECT_EQ(serial_metrics.rec, parallel_metrics.rec);
+  EXPECT_EQ(serial_metrics.spl, parallel_metrics.spl);
+  EXPECT_EQ(serial_metrics.rec_c, parallel_metrics.rec_c);
+  EXPECT_EQ(serial_metrics.rec_r, parallel_metrics.rec_r);
+  EXPECT_EQ(serial_metrics.pre_c, parallel_metrics.pre_c);
+  EXPECT_EQ(serial_metrics.relayed_frames, parallel_metrics.relayed_frames);
+  EXPECT_EQ(serial_metrics.records, parallel_metrics.records);
+}
+
+}  // namespace
+}  // namespace eventhit::eval

@@ -17,6 +17,7 @@
 #include "common/csv_writer.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/strategies.h"
 #include "data/tasks.h"
 #include "eval/curves.h"
@@ -40,10 +41,28 @@ int Usage() {
       "usage: eventhit_cli <stats|evaluate|sweep|hypersearch> [flags]\n"
       "  stats        --dataset=VIRAT|THUMOS|Breakfast  [--seed=N]\n"
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
-      "               [--model-out=PATH]\n"
-      "  sweep        --task=TA1 [--seed=N] [--csv=PATH]\n"
-      "  hypersearch  --task=TA10 [--samples=N] [--seed=N]\n";
+      "               [--model-out=PATH] [--threads=N]\n"
+      "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
+      "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
+      "  --threads=N  worker threads for evaluation/calibration/search\n"
+      "               (default 1; 0 = all hardware threads). Results are\n"
+      "               identical for every N.\n";
   return 2;
+}
+
+// --threads=N: N >= 2 enables the worker pool, 0 resolves to the hardware
+// thread count (or EVENTHIT_THREADS), 1 (the default) stays serial.
+eventhit::Result<eventhit::ExecutionContext> ParseThreads(const Flags& flags,
+                                                          uint64_t seed) {
+  const auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return eventhit::InvalidArgumentError("--threads must be >= 0");
+  }
+  const int resolved = threads.value() == 0
+                           ? eventhit::ThreadPool::DefaultThreads()
+                           : static_cast<int>(threads.value());
+  return eventhit::ExecutionContext(resolved, seed);
 }
 
 eventhit::Result<sim::DatasetId> ParseDataset(const std::string& name) {
@@ -117,6 +136,7 @@ int RunGenerate(const Flags& flags) {
 struct TrainedTask {
   eval::TaskEnvironment env;
   eval::TrainedEventHit trained;
+  eventhit::ExecutionContext exec;
 };
 
 eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
@@ -130,10 +150,14 @@ eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
   const auto seed = flags.GetInt("seed", 42);
   if (!seed.ok()) return seed.status();
   config.seed = static_cast<uint64_t>(seed.value());
-  std::cerr << "building environment + training on " << task_name << "...\n";
+  auto exec = ParseThreads(flags, config.seed);
+  if (!exec.ok()) return exec.status();
+  std::cerr << "building environment + training on " << task_name << " ("
+            << exec.value().threads() << " thread(s))...\n";
   eval::TaskEnvironment env = eval::TaskEnvironment::Build(task.value(), config);
-  eval::TrainedEventHit trained = eval::TrainEventHit(env, config);
-  return TrainedTask{std::move(env), std::move(trained)};
+  eval::TrainedEventHit trained =
+      eval::TrainEventHit(env, config, 0.5, exec.value());
+  return TrainedTask{std::move(env), std::move(trained), exec.value()};
 }
 
 int RunEvaluate(const Flags& flags) {
@@ -142,7 +166,7 @@ int RunEvaluate(const Flags& flags) {
     std::cerr << built.status() << "\n";
     return 1;
   }
-  const auto& [env, trained] = built.value();
+  const auto& [env, trained, exec] = built.value();
   const auto confidence = flags.GetDouble("confidence", 0.9);
   const auto coverage = flags.GetDouble("coverage", 0.5);
   if (!confidence.ok() || !coverage.ok()) {
@@ -171,14 +195,15 @@ int RunEvaluate(const Flags& flags) {
           trained.model.get(), trained.cclassify.get(),
           trained.cregress.get(), options);
       const eval::Metrics metrics = eval::EvaluateFromScores(
-          strategy, trained.test_scores, env.test_records(), env.horizon());
+          strategy, trained.test_scores, env.test_records(), env.horizon(),
+          exec);
       table.AddRow({strategy.name(), Fmt(metrics.rec), Fmt(metrics.spl),
                     Fmt(metrics.rec_c), Fmt(metrics.rec_r)});
     }
   }
   const eventhit::baselines::OptStrategy opt;
   const eval::Metrics opt_metrics =
-      eval::EvaluateStrategy(opt, env.test_records(), env.horizon());
+      eval::EvaluateStrategy(opt, env.test_records(), env.horizon(), exec);
   table.AddRow({"OPT", Fmt(opt_metrics.rec), Fmt(opt_metrics.spl), "1.000",
                 "1.000"});
   table.Print(std::cout);
@@ -191,7 +216,8 @@ int RunSweep(const Flags& flags) {
     std::cerr << built.status() << "\n";
     return 1;
   }
-  const auto& [env, trained] = built.value();
+  const auto& [env, trained, exec] = built.value();
+  (void)exec;  // Sweeps reuse precomputed scores; see eval/curves.
   const auto points = eval::ParetoFrontier(eval::SweepJoint(
       trained, env, eval::LinearGrid(0.05, 1.0, 12),
       eval::LinearGrid(0.05, 0.95, 8)));
@@ -240,11 +266,19 @@ int RunHyperSearch(const Flags& flags) {
   base.epochs = 10;
 
   const auto samples = flags.GetInt("samples", 6).value_or(6);
+  auto exec = ParseThreads(flags, config.seed);
+  if (!exec.ok()) {
+    std::cerr << exec.status() << "\n";
+    return 1;
+  }
+  eval::HyperSearchOptions options;
+  options.exec = exec.value();
   eventhit::Rng rng(config.seed + 1);
-  std::cerr << "random search over " << samples << " candidates...\n";
+  std::cerr << "random search over " << samples << " candidates ("
+            << options.exec.threads() << " thread(s))...\n";
   const auto results = eval::RandomSearch(
       base, eval::HyperGrid{}, static_cast<size_t>(samples),
-      env.train_records(), env.calib_records(), rng);
+      env.train_records(), env.calib_records(), rng, options);
 
   TablePrinter table({"lstm", "hidden", "lr", "beta", "gamma", "REC", "SPL",
                       "objective"});
