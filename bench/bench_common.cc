@@ -1,14 +1,17 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
-
 #include "common/check.h"
 #include "common/csv_writer.h"
 #include "common/table_printer.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 
 namespace eventhit::bench {
 
@@ -26,6 +29,12 @@ bool FastMode() {
 
 int ThreadsFromEnv() { return ThreadPool::DefaultThreads(); }
 
+bool TimingsAgree(const ThroughputResult& result) {
+  const double diff = std::abs(result.span_seconds - result.chrono_seconds);
+  const double larger = std::max(result.span_seconds, result.chrono_seconds);
+  return diff <= 0.002 || (larger > 0.0 && diff / larger <= 0.10);
+}
+
 ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
                                       const std::vector<data::Record>& test,
                                       int horizon, int threads, int reps,
@@ -34,18 +43,34 @@ ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
   const ExecutionContext ctx(threads, seed);
   ThroughputResult result;
   result.threads = ctx.threads();
-  double best_seconds = 0.0;
+  // Private buffer: reps of this leg only, never mixed with the global
+  // pipeline trace or another leg's spans.
+  obs::TraceBuffer buffer(static_cast<size_t>(reps) + 1);
+  std::vector<double> chrono_seconds;
+  chrono_seconds.reserve(static_cast<size_t>(reps));
   for (int rep = 0; rep < reps; ++rep) {
     const auto start = std::chrono::steady_clock::now();
-    result.metrics = eval::EvaluateStrategy(strategy, test, horizon, ctx);
+    {
+      obs::TraceSpan span(&buffer, obs::names::kSpanBenchEvaluateRep,
+                          "bench");
+      result.metrics = eval::EvaluateStrategy(strategy, test, horizon, ctx);
+    }
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
-    if (rep == 0 || elapsed.count() < best_seconds) {
-      best_seconds = elapsed.count();
-    }
+    chrono_seconds.push_back(elapsed.count());
   }
-  if (best_seconds > 0.0) {
-    result.records_per_sec = static_cast<double>(test.size()) / best_seconds;
+  const std::vector<obs::TraceEvent> events = buffer.Events();
+  EVENTHIT_CHECK_EQ(events.size(), chrono_seconds.size());
+  size_t best = 0;
+  for (size_t rep = 1; rep < events.size(); ++rep) {
+    if (events[rep].duration_us < events[best].duration_us) best = rep;
+  }
+  result.span_seconds =
+      static_cast<double>(events[best].duration_us) / 1e6;
+  result.chrono_seconds = chrono_seconds[best];
+  if (result.span_seconds > 0.0) {
+    result.records_per_sec =
+        static_cast<double>(test.size()) / result.span_seconds;
   }
   return result;
 }
@@ -71,6 +96,13 @@ void PrintThroughputComparison(const std::string& name,
   std::cout << "determinism: parallel metrics "
             << (identical ? "identical to" : "DIFFER FROM")
             << " single-thread\n";
+  const bool agree = TimingsAgree(serial) && TimingsAgree(parallel);
+  std::cout << "timing: trace spans "
+            << (agree ? "agree with" : "DISAGREE WITH")
+            << " steady_clock (serial " << Fmt(serial.span_seconds * 1e3, 2)
+            << "ms vs " << Fmt(serial.chrono_seconds * 1e3, 2)
+            << "ms, parallel " << Fmt(parallel.span_seconds * 1e3, 2)
+            << "ms vs " << Fmt(parallel.chrono_seconds * 1e3, 2) << "ms)\n";
 }
 
 eval::RunnerConfig DefaultRunnerConfig(uint64_t seed) {

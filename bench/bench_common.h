@@ -39,11 +39,25 @@ struct ThroughputResult {
   int threads = 1;
   double records_per_sec = 0.0;
   eval::Metrics metrics;  // For the determinism cross-check between legs.
+  /// Best rep measured two ways: from the bench.evaluate_rep trace span
+  /// (the primary measurement) and from a plain steady_clock stopwatch
+  /// around the same rep (the cross-check). They must agree within
+  /// tolerance or the trace plumbing is lying about durations.
+  double span_seconds = 0.0;
+  double chrono_seconds = 0.0;
 };
+
+/// True when the two timings of the best rep agree: within 10% relative
+/// or 2 ms absolute (spans round to whole microseconds and the two clocks
+/// are read a few instructions apart, so exact equality is impossible).
+bool TimingsAgree(const ThroughputResult& result);
 
 /// Times `EvaluateStrategy(strategy, test, horizon)` over `reps`
 /// repetitions at the given thread count and reports sustained
-/// records/second (best rep, to damp scheduler noise).
+/// records/second (best rep, to damp scheduler noise). Each rep runs
+/// under a `bench.evaluate_rep` trace span in a private TraceBuffer; the
+/// reported throughput derives from the span durations, with the chrono
+/// stopwatch kept as an independent cross-check (see ThroughputResult).
 ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
                                       const std::vector<data::Record>& test,
                                       int horizon, int threads, int reps,
@@ -51,7 +65,8 @@ ThroughputResult TimeEvaluateStrategy(const core::MarshalStrategy& strategy,
 
 /// Prints a single-thread vs multi-thread throughput comparison for the
 /// evaluation path and cross-checks that both legs produced identical
-/// metrics (the substrate's determinism contract).
+/// metrics (the substrate's determinism contract) and that span-derived
+/// timings agree with the stopwatch.
 void PrintThroughputComparison(const std::string& name,
                                const ThroughputResult& serial,
                                const ThroughputResult& parallel);

@@ -2,16 +2,30 @@
 // spent in each stage (feature extraction, EventHit inference, CI) for
 // EHCR on TA10 operated at REC ~= 0.9.
 //
+// The stage shares are derived from the telemetry layer: the cost model
+// emits one simulated span per stage per horizon (cloud::EmitHorizonSpans)
+// into a TraceBuffer, and the table below aggregates those spans
+// (AggregateByName("simulated")) — the same arithmetic --trace-out users
+// apply in Perfetto. A direct StageBreakdown computation cross-checks the
+// span-derived proportions to 0.1%.
+//
 // Expected shape: CI dominates (~96%), feature extraction ~4%, EventHit
 // itself ~0.1% — the reason reducing CI invocations is the right target.
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <map>
+#include <string>
 
 #include "bench_common.h"
 #include "cloud/cost_model.h"
 #include "common/table_printer.h"
 #include "eval/curves.h"
 #include "eval/runner.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -21,6 +35,7 @@ namespace bench = ::eventhit::bench;
 namespace eval = ::eventhit::eval;
 namespace cloud = ::eventhit::cloud;
 namespace data = ::eventhit::data;
+namespace obs = ::eventhit::obs;
 
 }  // namespace
 
@@ -75,21 +90,50 @@ int main() {
   const cloud::StageBreakdown breakdown =
       cloud::HorizonTiming(cost_model, cloud::PredictorKind::kEventHit,
                            window, horizon, relayed_per_horizon);
-  const double total = breakdown.TotalSeconds();
+
+  // Derive the figure from the trace: emit one horizon's stages as
+  // simulated spans, then aggregate them back by name.
+  obs::TraceBuffer trace(64);
+  cloud::EmitHorizonSpans(&trace, breakdown, /*start_us=*/0);
+  std::map<std::string, double> span_seconds;
+  double total = 0.0;
+  for (const auto& aggregate : trace.AggregateByName("simulated")) {
+    span_seconds[aggregate.name] =
+        static_cast<double>(aggregate.total_us) / 1e6;
+    total += static_cast<double>(aggregate.total_us) / 1e6;
+  }
+  const double fe = span_seconds[obs::names::kSpanStageFeatureExtraction];
+  const double predictor = span_seconds[obs::names::kSpanStagePredictor];
+  const double ci = span_seconds[obs::names::kSpanStageCi];
 
   std::cout << "operating point: REC=" << Fmt(achieved_rec) << ", "
             << relayed_per_horizon << "/" << horizon
             << " frames relayed per horizon\n\n";
   TablePrinter table({"Stage", "Seconds/horizon", "Proportion"});
-  table.AddRow({"Feature Extraction",
-                Fmt(breakdown.feature_extraction_seconds, 4),
-                Fmt(breakdown.feature_extraction_seconds / total * 100.0, 1) +
-                    "%"});
-  table.AddRow({"EventHit", Fmt(breakdown.predictor_seconds, 4),
-                Fmt(breakdown.predictor_seconds / total * 100.0, 1) + "%"});
-  table.AddRow({"Cloud Infrastructure (CI)", Fmt(breakdown.ci_seconds, 4),
-                Fmt(breakdown.ci_seconds / total * 100.0, 1) + "%"});
+  table.AddRow({"Feature Extraction", Fmt(fe, 4),
+                Fmt(fe / total * 100.0, 1) + "%"});
+  table.AddRow({"EventHit", Fmt(predictor, 4),
+                Fmt(predictor / total * 100.0, 1) + "%"});
+  table.AddRow({"Cloud Infrastructure (CI)", Fmt(ci, 4),
+                Fmt(ci / total * 100.0, 1) + "%"});
   table.Print(std::cout);
-  std::cout << "\npaper reference: FE 4.0%, EventHit 0.1%, CI 95.9%\n";
+
+  // Cross-check: span aggregation must reproduce the direct breakdown's
+  // proportions (spans round each stage to whole microseconds).
+  const double direct_total = breakdown.TotalSeconds();
+  const double max_drift = std::max(
+      {std::abs(fe / total -
+                breakdown.feature_extraction_seconds / direct_total),
+       std::abs(predictor / total -
+                breakdown.predictor_seconds / direct_total),
+       std::abs(ci / total - breakdown.ci_seconds / direct_total)});
+  std::cout << "\ncross-check: span-derived proportions within "
+            << Fmt(max_drift * 100.0, 4)
+            << "% of the direct StageBreakdown\n";
+  if (max_drift > 0.001) {
+    std::cerr << "FAIL: span aggregation drifted from the cost model\n";
+    return 1;
+  }
+  std::cout << "paper reference: FE 4.0%, EventHit 0.1%, CI 95.9%\n";
   return 0;
 }

@@ -1,16 +1,29 @@
 #include "cloud/cloud_service.h"
 
 #include "common/check.h"
+#include "obs/schema.h"
 
 namespace eventhit::cloud {
 
 CloudService::CloudService(const sim::SyntheticVideo* video,
-                           const CloudConfig& config, uint64_t seed)
+                           const CloudConfig& config, uint64_t seed,
+                           obs::MetricsRegistry* metrics)
     : video_(video), config_(config), rng_(seed) {
   EVENTHIT_CHECK(video_ != nullptr);
   EVENTHIT_CHECK_GT(config_.frames_per_second, 0.0);
   EVENTHIT_CHECK_GE(config_.accuracy, 0.0);
   EVENTHIT_CHECK_LE(config_.accuracy, 1.0);
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::Global();
+  requests_metric_ = registry.GetCounter(obs::names::kCloudRequests);
+  frames_metric_ = registry.GetCounter(obs::names::kCloudFramesProcessed);
+  cost_metric_ = registry.GetGauge(obs::names::kCloudInvoiceCostUsd);
+  compute_metric_ =
+      registry.GetGauge(obs::names::kCloudInvoiceComputeSeconds);
+  request_frames_metric_ = registry.GetHistogram(
+      obs::names::kCloudRequestFrames, obs::FrameCountBounds());
+  request_latency_metric_ = registry.GetHistogram(
+      obs::names::kCloudRequestLatencySeconds, obs::LatencySecondsBounds());
 }
 
 std::vector<bool> CloudService::Detect(size_t event_index,
@@ -27,6 +40,10 @@ std::vector<bool> CloudService::Detect(size_t event_index,
   }
   ChargeFrames(interval.length());
   ++invoice_.requests;
+  requests_metric_->Add(1);
+  request_frames_metric_->Observe(static_cast<double>(interval.length()));
+  request_latency_metric_->Observe(static_cast<double>(interval.length()) /
+                                   config_.frames_per_second);
   return detections;
 }
 
@@ -37,6 +54,15 @@ void CloudService::ChargeFrames(int64_t count) {
       static_cast<double>(count) * config_.price_per_frame_usd;
   invoice_.compute_seconds +=
       static_cast<double>(count) / config_.frames_per_second;
+  frames_metric_->Add(count);
+  cost_metric_->Set(invoice_.total_cost_usd);
+  compute_metric_->Set(invoice_.compute_seconds);
+}
+
+void CloudService::ResetInvoice() {
+  invoice_ = Invoice{};
+  cost_metric_->Set(0.0);
+  compute_metric_->Set(0.0);
 }
 
 }  // namespace eventhit::cloud

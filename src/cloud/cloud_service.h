@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "sim/interval.h"
 #include "sim/synthetic_video.h"
 
@@ -41,9 +42,11 @@ struct Invoice {
 /// treats the CI: the most accurate detector available.
 class CloudService {
  public:
-  /// `video` must outlive the service.
+  /// `video` must outlive the service. Telemetry goes to `metrics`
+  /// (docs/TELEMETRY.md, cloud.* names); nullptr selects
+  /// obs::MetricsRegistry::Global().
   CloudService(const sim::SyntheticVideo* video, const CloudConfig& config,
-               uint64_t seed);
+               uint64_t seed, obs::MetricsRegistry* metrics = nullptr);
 
   /// Analyses the frames of `interval` (absolute stream frames) for event
   /// `event_index`. Returns one flag per frame; accrues cost/time.
@@ -54,7 +57,10 @@ class CloudService {
   void ChargeFrames(int64_t count);
 
   const Invoice& invoice() const { return invoice_; }
-  void ResetInvoice() { invoice_ = Invoice{}; }
+
+  /// Clears the invoice (the cloud.invoice.* gauges reset with it; the
+  /// cloud.* counters are cumulative and unaffected).
+  void ResetInvoice();
 
   const CloudConfig& config() const { return config_; }
 
@@ -63,6 +69,14 @@ class CloudService {
   CloudConfig config_;
   Invoice invoice_;
   Rng rng_;
+
+  // Cached telemetry handles (valid for the registry's lifetime).
+  obs::Counter* requests_metric_;
+  obs::Counter* frames_metric_;
+  obs::Gauge* cost_metric_;
+  obs::Gauge* compute_metric_;
+  obs::Histogram* request_frames_metric_;
+  obs::Histogram* request_latency_metric_;
 };
 
 }  // namespace eventhit::cloud

@@ -1,6 +1,9 @@
 #include "cloud/cost_model.h"
 
+#include <cmath>
+
 #include "common/check.h"
+#include "obs/schema.h"
 
 namespace eventhit::cloud {
 
@@ -43,6 +46,30 @@ double EffectiveFps(const StageBreakdown& breakdown, int64_t horizon) {
   const double total = breakdown.TotalSeconds();
   if (total <= 0.0) return 0.0;
   return static_cast<double>(horizon) / total;
+}
+
+int64_t EmitHorizonSpans(obs::TraceBuffer* trace,
+                         const StageBreakdown& breakdown, int64_t start_us) {
+  const auto micros = [](double seconds) {
+    return static_cast<int64_t>(std::llround(seconds * 1e6));
+  };
+  int64_t cursor = start_us;
+  if (breakdown.feature_extraction_seconds > 0.0) {
+    cursor = obs::RecordSimulatedSpan(
+        trace, obs::names::kSpanStageFeatureExtraction, "simulated", cursor,
+        micros(breakdown.feature_extraction_seconds));
+  }
+  if (breakdown.predictor_seconds > 0.0) {
+    cursor = obs::RecordSimulatedSpan(trace, obs::names::kSpanStagePredictor,
+                                      "simulated", cursor,
+                                      micros(breakdown.predictor_seconds));
+  }
+  if (breakdown.ci_seconds > 0.0) {
+    cursor = obs::RecordSimulatedSpan(trace, obs::names::kSpanStageCi,
+                                      "simulated", cursor,
+                                      micros(breakdown.ci_seconds));
+  }
+  return cursor;
 }
 
 }  // namespace eventhit::cloud

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "obs/trace.h"
+
 namespace eventhit::cloud {
 
 /// Throughput of every pipeline stage (frames per second unless noted).
@@ -57,6 +59,16 @@ StageBreakdown HorizonTiming(const PipelineCostModel& model,
 /// Effective end-to-end throughput: horizon frames covered per second of
 /// pipeline time.
 double EffectiveFps(const StageBreakdown& breakdown, int64_t horizon);
+
+/// Emits the three stages of `breakdown` as back-to-back spans on the
+/// simulated timeline (obs::kSimulatedPid) starting at `start_us`:
+/// stage.feature_extraction, stage.predictor, stage.ci (category
+/// "simulated"; zero-duration stages are skipped). Returns the end
+/// timestamp, i.e. the start for the next horizon's spans. Aggregating
+/// these spans (TraceBuffer::AggregateByName("simulated")) reproduces the
+/// Fig. 10 per-stage time shares from the trace itself.
+int64_t EmitHorizonSpans(obs::TraceBuffer* trace,
+                         const StageBreakdown& breakdown, int64_t start_us);
 
 }  // namespace eventhit::cloud
 

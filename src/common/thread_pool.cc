@@ -1,15 +1,54 @@
 #include "common/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 
 namespace eventhit {
 
+namespace {
+
+// Pool telemetry (docs/TELEMETRY.md). Counters are side channels on the
+// coarse chunk granularity — the per-item loop stays untouched, so the
+// parallel-equals-serial byte-identity contract is unaffected and the
+// overhead is a handful of relaxed atomics per ParallelFor call.
+struct PoolMetrics {
+  obs::Counter* calls;
+  obs::Counter* chunks;
+  obs::Counter* items;
+  obs::Counter* busy_micros;
+  obs::Gauge* threads;
+  obs::Histogram* call_items;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      auto* m = new PoolMetrics();
+      m->calls = registry.GetCounter(obs::names::kThreadPoolParallelForCalls);
+      m->chunks = registry.GetCounter(obs::names::kThreadPoolChunksExecuted);
+      m->items = registry.GetCounter(obs::names::kThreadPoolItemsProcessed);
+      m->busy_micros =
+          registry.GetCounter(obs::names::kThreadPoolWorkerBusyMicros);
+      m->threads = registry.GetGauge(obs::names::kThreadPoolThreads);
+      m->call_items = registry.GetHistogram(
+          obs::names::kThreadPoolParallelForItems, obs::ItemCountBounds());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) : threads_(threads) {
   EVENTHIT_CHECK_GE(threads, 1);
+  PoolMetrics::Get().threads->Set(static_cast<double>(threads));
   chunk_errors_.resize(static_cast<size_t>(threads));
   workers_.reserve(static_cast<size_t>(threads - 1));
   for (int w = 1; w < threads; ++w) {
@@ -40,11 +79,19 @@ void ThreadPool::RunChunk(const Job& job, int chunk) {
   size_t begin = 0, end = 0;
   ChunkBounds(job.n, chunk, &begin, &end);
   if (begin >= end) return;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  obs::TraceSpan span(obs::names::kSpanThreadPoolChunk, "threadpool");
+  const auto start = std::chrono::steady_clock::now();
   try {
     (*job.body)(chunk, begin, end);
   } catch (...) {
     chunk_errors_[static_cast<size_t>(chunk)] = std::current_exception();
   }
+  const auto busy = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  metrics.chunks->Add(1);
+  metrics.items->Add(static_cast<int64_t>(end - begin));
+  metrics.busy_micros->Add(busy.count());
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
@@ -79,6 +126,9 @@ void ThreadPool::ParallelForChunked(
     return;
   }
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.calls->Add(1);
+  metrics.call_items->Observe(static_cast<double>(n));
   for (auto& error : chunk_errors_) error = nullptr;
   Job job;
   {

@@ -4,8 +4,35 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
 
 namespace eventhit::core {
+
+namespace {
+
+// Shared drift telemetry (docs/TELEMETRY.md): counters aggregate across
+// every detector instance; the gauge tracks the most recent observation.
+struct DriftMetrics {
+  obs::Counter* observations;
+  obs::Counter* alarms;
+  obs::Gauge* log_martingale;
+
+  static const DriftMetrics& Get() {
+    static const DriftMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      auto* m = new DriftMetrics();
+      m->observations = registry.GetCounter(obs::names::kDriftObservations);
+      m->alarms = registry.GetCounter(obs::names::kDriftAlarms);
+      m->log_martingale =
+          registry.GetGauge(obs::names::kDriftLogMartingale);
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 DriftDetector::DriftDetector(const DriftDetectorOptions& options)
     : options_(options) {
@@ -27,7 +54,13 @@ bool DriftDetector::Observe(double p_value) {
   // below 1 would otherwise need many drifted observations to recover. See
   // the header for the false-alarm analysis of the reflected walk.
   log_martingale_ = std::max(log_martingale_, 0.0);
-  if (log_martingale_ >= options_.log_threshold) detected_ = true;
+  const DriftMetrics& metrics = DriftMetrics::Get();
+  metrics.observations->Add(1);
+  metrics.log_martingale->Set(log_martingale_);
+  if (log_martingale_ >= options_.log_threshold) {
+    if (!detected_) metrics.alarms->Add(1);
+    detected_ = true;
+  }
   return detected_ && log_martingale_ >= options_.log_threshold;
 }
 

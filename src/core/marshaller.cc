@@ -4,11 +4,13 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/schema.h"
 
 namespace eventhit::core {
 
 Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
-                       int horizon, size_t feature_dim, size_t num_events)
+                       int horizon, size_t feature_dim, size_t num_events,
+                       obs::MetricsRegistry* metrics)
     : strategy_(strategy),
       collection_window_(collection_window),
       horizon_(horizon),
@@ -20,6 +22,24 @@ Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
   EVENTHIT_CHECK_GT(feature_dim_, 0u);
   EVENTHIT_CHECK_GT(num_events_, 0u);
   ring_.assign(static_cast<size_t>(collection_window_) * feature_dim_, 0.0f);
+  obs::MetricsRegistry& registry =
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::Global();
+  frames_total_metric_ =
+      registry.GetCounter(obs::names::kMarshallerFramesTotal);
+  frames_relayed_metric_ =
+      registry.GetCounter(obs::names::kMarshallerFramesRelayed);
+  frames_filtered_metric_ =
+      registry.GetCounter(obs::names::kMarshallerFramesFiltered);
+  horizons_metric_ =
+      registry.GetCounter(obs::names::kMarshallerHorizonsPredicted);
+  relay_orders_metric_ =
+      registry.GetCounter(obs::names::kMarshallerRelayOrders);
+  events_present_metric_ =
+      registry.GetCounter(obs::names::kMarshallerEventsPredictedPresent);
+  events_absent_metric_ =
+      registry.GetCounter(obs::names::kMarshallerEventsPredictedAbsent);
+  order_frames_metric_ = registry.GetHistogram(
+      obs::names::kMarshallerRelayOrderFrames, obs::FrameCountBounds());
 }
 
 void Marshaller::set_relay_callback(RelayCallback callback) {
@@ -80,11 +100,14 @@ bool Marshaller::PushFrame(const float* features) {
   record.labels.resize(num_events_);  // Unknown at inference; zeroed.
   last_decision_ = strategy_->Decide(record);
   ++stats_.horizons_predicted;
+  horizons_metric_->Add(1);
 
   // Relay orders in absolute frames; count billed frames as the union.
   std::vector<sim::Interval> relayed;
+  int64_t events_present = 0;
   for (size_t k = 0; k < last_decision_.exists.size(); ++k) {
     if (!last_decision_.exists[k]) continue;
+    ++events_present;
     const sim::Interval& offsets = last_decision_.intervals[k];
     RelayOrder order;
     order.event = k;
@@ -92,8 +115,14 @@ bool Marshaller::PushFrame(const float* features) {
                                  current_frame + offsets.end};
     relayed.push_back(order.frames);
     ++stats_.relay_orders;
+    relay_orders_metric_->Add(1);
+    order_frames_metric_->Observe(static_cast<double>(order.frames.length()));
     if (relay_callback_) relay_callback_(order);
   }
+  events_present_metric_->Add(events_present);
+  events_absent_metric_->Add(
+      static_cast<int64_t>(last_decision_.exists.size()) - events_present);
+  int64_t billed = 0;
   if (!relayed.empty()) {
     std::sort(relayed.begin(), relayed.end(),
               [](const sim::Interval& a, const sim::Interval& b) {
@@ -103,13 +132,22 @@ bool Marshaller::PushFrame(const float* features) {
     for (const sim::Interval& interval : relayed) {
       const int64_t from = std::max(interval.start, cursor + 1);
       if (interval.end >= from) {
-        stats_.frames_relayed += interval.end - from + 1;
+        billed += interval.end - from + 1;
         cursor = interval.end;
       } else {
         cursor = std::max(cursor, interval.end);
       }
     }
+    stats_.frames_relayed += billed;
   }
+  // Frame accounting: the horizon's frames split into the billed union and
+  // the filtered remainder. Widened intervals can spill past the horizon
+  // boundary, so "total" is max(H, billed) rather than H — the invariant
+  // relayed + filtered == total holds unconditionally.
+  const int64_t filtered = std::max<int64_t>(0, horizon_ - billed);
+  frames_relayed_metric_->Add(billed);
+  frames_filtered_metric_->Add(filtered);
+  frames_total_metric_->Add(billed + filtered);
   return true;
 }
 

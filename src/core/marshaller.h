@@ -11,6 +11,7 @@
 
 #include "core/prediction.h"
 #include "nn/matrix.h"
+#include "obs/metrics.h"
 
 namespace eventhit::core {
 
@@ -43,8 +44,15 @@ class Marshaller {
 
   /// `strategy` must outlive the marshaller. `collection_window` = M,
   /// `horizon` = H, `feature_dim` = D of the per-frame feature vectors.
+  /// Telemetry goes to `metrics` (docs/TELEMETRY.md, marshaller.* names);
+  /// nullptr selects obs::MetricsRegistry::Global(). Counters uphold the
+  /// frame-accounting invariant
+  ///   marshaller.frames.relayed + marshaller.frames.filtered
+  ///     == marshaller.frames.total
+  /// at every prediction boundary (see obs/schema.h).
   Marshaller(const MarshalStrategy* strategy, int collection_window,
-             int horizon, size_t feature_dim, size_t num_events);
+             int horizon, size_t feature_dim, size_t num_events,
+             obs::MetricsRegistry* metrics = nullptr);
 
   /// Registers the sink for relay orders (e.g. a CloudService adapter).
   void set_relay_callback(RelayCallback callback);
@@ -77,6 +85,16 @@ class Marshaller {
 
   MarshalDecision last_decision_;
   MarshallerStats stats_;
+
+  // Cached telemetry handles (valid for the registry's lifetime).
+  obs::Counter* frames_total_metric_;
+  obs::Counter* frames_relayed_metric_;
+  obs::Counter* frames_filtered_metric_;
+  obs::Counter* horizons_metric_;
+  obs::Counter* relay_orders_metric_;
+  obs::Counter* events_present_metric_;
+  obs::Counter* events_absent_metric_;
+  obs::Histogram* order_frames_metric_;
 };
 
 }  // namespace eventhit::core

@@ -1,8 +1,40 @@
 #include "core/recalibrator.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
 
 namespace eventhit::core {
+
+namespace {
+
+// Shared recalibration telemetry (docs/TELEMETRY.md); counters aggregate
+// across instances, the window gauge tracks the most recent mutation.
+struct RecalMetrics {
+  obs::Counter* records_added;
+  obs::Counter* rebuilds_cclassify;
+  obs::Counter* rebuilds_cregress;
+  obs::Gauge* window_size;
+
+  static const RecalMetrics& Get() {
+    static const RecalMetrics* metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      auto* m = new RecalMetrics();
+      m->records_added =
+          registry.GetCounter(obs::names::kRecalibratorRecordsAdded);
+      m->rebuilds_cclassify =
+          registry.GetCounter(obs::names::kRecalibratorRebuildsCClassify);
+      m->rebuilds_cregress =
+          registry.GetCounter(obs::names::kRecalibratorRebuildsCRegress);
+      m->window_size =
+          registry.GetGauge(obs::names::kRecalibratorWindowSize);
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Recalibrator::Recalibrator(const EventHitModel* model, size_t capacity,
                            double tau2)
@@ -15,6 +47,9 @@ void Recalibrator::AddLabeledRecord(data::Record record) {
   EVENTHIT_CHECK_EQ(record.labels.size(), model_->config().num_events);
   window_.push_back(std::move(record));
   if (window_.size() > capacity_) window_.pop_front();
+  const RecalMetrics& metrics = RecalMetrics::Get();
+  metrics.records_added->Add(1);
+  metrics.window_size->Set(static_cast<double>(window_.size()));
 }
 
 size_t Recalibrator::PositiveCount(size_t k) const {
@@ -27,15 +62,20 @@ size_t Recalibrator::PositiveCount(size_t k) const {
 }
 
 std::unique_ptr<CClassify> Recalibrator::BuildCClassify() const {
+  RecalMetrics::Get().rebuilds_cclassify->Add(1);
   const std::vector<data::Record> records(window_.begin(), window_.end());
   return std::make_unique<CClassify>(*model_, records);
 }
 
 std::unique_ptr<CRegress> Recalibrator::BuildCRegress() const {
+  RecalMetrics::Get().rebuilds_cregress->Add(1);
   const std::vector<data::Record> records(window_.begin(), window_.end());
   return std::make_unique<CRegress>(*model_, records, tau2_);
 }
 
-void Recalibrator::Clear() { window_.clear(); }
+void Recalibrator::Clear() {
+  window_.clear();
+  RecalMetrics::Get().window_size->Set(0.0);
+}
 
 }  // namespace eventhit::core

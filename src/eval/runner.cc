@@ -1,12 +1,15 @@
 #include "eval/runner.h"
 
 #include "common/check.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 #include "sim/datasets.h"
 
 namespace eventhit::eval {
 
 TaskEnvironment TaskEnvironment::Build(const data::Task& task,
                                        const RunnerConfig& config) {
+  obs::TraceSpan span(obs::names::kSpanRunnerBuildEnv);
   TaskEnvironment env;
   env.task_ = task;
   sim::DatasetSpec spec = sim::MakeDatasetSpec(task.dataset);
@@ -57,20 +60,29 @@ TrainedEventHit TrainEventHit(const TaskEnvironment& env,
   model_config.seed = config.seed ^ 0x9E3779B97F4A7C15ULL;
 
   trained.model = std::make_unique<core::EventHitModel>(model_config);
-  trained.history = trained.model->Train(env.train_records());
-  trained.cclassify = std::make_unique<core::CClassify>(
-      *trained.model, env.calib_records(), ctx);
-  trained.cregress = std::make_unique<core::CRegress>(
-      *trained.model, env.calib_records(), tau2, ctx);
-
-  trained.test_scores =
-      core::PredictBatch(*trained.model, env.test_records(), ctx);
+  {
+    obs::TraceSpan span(obs::names::kSpanRunnerTrain);
+    trained.history = trained.model->Train(env.train_records());
+  }
+  {
+    obs::TraceSpan span(obs::names::kSpanRunnerCalibrate);
+    trained.cclassify = std::make_unique<core::CClassify>(
+        *trained.model, env.calib_records(), ctx);
+    trained.cregress = std::make_unique<core::CRegress>(
+        *trained.model, env.calib_records(), tau2, ctx);
+  }
+  {
+    obs::TraceSpan span(obs::names::kSpanRunnerPredictBatch);
+    trained.test_scores =
+        core::PredictBatch(*trained.model, env.test_records(), ctx);
+  }
   return trained;
 }
 
 Metrics EvaluateStrategy(const core::MarshalStrategy& strategy,
                          const std::vector<data::Record>& test, int horizon,
                          const ExecutionContext& ctx) {
+  obs::TraceSpan span(obs::names::kSpanRunnerDecideBatch);
   std::vector<core::MarshalDecision> decisions(test.size());
   ctx.ParallelFor(test.size(), [&](size_t i) {
     decisions[i] = strategy.Decide(test[i]);
@@ -91,6 +103,7 @@ std::vector<core::MarshalDecision> DecisionsFromScores(
     const core::EventHitStrategy& strategy,
     const std::vector<core::EventScores>& scores,
     const ExecutionContext& ctx) {
+  obs::TraceSpan span(obs::names::kSpanRunnerDecideBatch);
   std::vector<core::MarshalDecision> decisions(scores.size());
   ctx.ParallelFor(scores.size(), [&](size_t i) {
     decisions[i] = strategy.DecideFromScores(scores[i]);

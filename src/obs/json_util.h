@@ -1,0 +1,19 @@
+// Minimal JSON string escaping shared by the trace and metrics exporters.
+#ifndef EVENTHIT_OBS_JSON_UTIL_H_
+#define EVENTHIT_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace eventhit::obs {
+
+/// Escapes `value` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& value);
+
+/// Formats a double as a JSON number (finite values only; non-finite
+/// values render as 0 since JSON has no Infinity/NaN literals).
+std::string JsonNumber(double value);
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_JSON_UTIL_H_

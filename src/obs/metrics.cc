@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eventhit::obs {
+
+int ThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+namespace {
+
+[[noreturn]] void DieMetricKindMismatch(const std::string& name) {
+  std::fprintf(stderr,
+               "MetricsRegistry: '%s' already registered as a different "
+               "kind (or with different histogram bounds)\n",
+               name.c_str());
+  std::abort();
+}
+
+// Relaxed CAS-min/max on an atomic<double> (bitwise compare is fine: we
+// never store NaN and -0.0 vs 0.0 only retries once).
+void AtomicMin(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* slot, double delta) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (!slot->compare_exchange_weak(current, current + delta,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::CounterShard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) { AtomicAdd(&value_, delta); }
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bucket_shards_.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    bucket_shards_.push_back(
+        std::make_unique<internal::CounterShard[]>(kMetricShards));
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value (bounds are inclusive); no such bound -> overflow.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  const int shard = ThreadIndex() & (kMetricShards - 1);
+  bucket_shards_[bucket][shard].value.fetch_add(1, std::memory_order_relaxed);
+  internal::SumShard& sums = sum_shards_[shard];
+  sums.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sums.sum, value);
+  AtomicMin(&sums.min, value);
+  AtomicMax(&sums.max, value);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.counter.reset(new Counter(name));
+    it = metrics_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kCounter) {
+    DieMetricKindMismatch(name);
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.gauge.reset(new Gauge(name));
+    it = metrics_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kGauge) {
+    DieMetricKindMismatch(name);
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.histogram.reset(new Histogram(name, std::move(bounds)));
+    it = metrics_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != Kind::kHistogram ||
+             it->second.histogram->bounds() != bounds) {
+    std::sort(bounds.begin(), bounds.end());
+    if (it->second.kind != Kind::kHistogram ||
+        it->second.histogram->bounds() != bounds) {
+      DieMetricKindMismatch(name);
+    }
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snapshot.counters.push_back({name, entry.counter->Value()});
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.push_back({name, entry.gauge->Value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& histogram = *entry.histogram;
+        HistogramSnapshot h;
+        h.name = name;
+        h.bounds = histogram.bounds_;
+        h.bucket_counts.resize(histogram.bounds_.size() + 1, 0);
+        for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+          for (int s = 0; s < kMetricShards; ++s) {
+            h.bucket_counts[b] += histogram.bucket_shards_[b][s].value.load(
+                std::memory_order_relaxed);
+          }
+        }
+        bool any = false;
+        for (int s = 0; s < kMetricShards; ++s) {
+          const internal::SumShard& sums = histogram.sum_shards_[s];
+          const int64_t count = sums.count.load(std::memory_order_relaxed);
+          if (count == 0) continue;
+          h.count += count;
+          h.sum += sums.sum.load(std::memory_order_relaxed);
+          const double lo = sums.min.load(std::memory_order_relaxed);
+          const double hi = sums.max.load(std::memory_order_relaxed);
+          h.min = any ? std::min(h.min, lo) : lo;
+          h.max = any ? std::max(h.max, hi) : hi;
+          any = true;
+        }
+        snapshot.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snapshot;  // std::map iteration order is already by name.
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(metrics_.size());
+  for (const auto& [name, entry] : metrics_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        for (internal::CounterShard& shard : entry.counter->shards_) {
+          shard.value.store(0, std::memory_order_relaxed);
+        }
+        break;
+      case Kind::kGauge:
+        entry.gauge->Set(0.0);
+        break;
+      case Kind::kHistogram:
+        for (auto& bucket : entry.histogram->bucket_shards_) {
+          for (int s = 0; s < kMetricShards; ++s) {
+            bucket[s].value.store(0, std::memory_order_relaxed);
+          }
+        }
+        for (internal::SumShard& sums : entry.histogram->sum_shards_) {
+          sums.count.store(0, std::memory_order_relaxed);
+          sums.sum.store(0.0, std::memory_order_relaxed);
+          sums.min.store(std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+          sums.max.store(-std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
+        }
+        break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace eventhit::obs

@@ -1,0 +1,191 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms for pipeline observability (docs/TELEMETRY.md).
+//
+// The hot path is lock-free: every metric keeps kMetricShards cache-line
+// padded atomic slots and each thread writes (relaxed) to the slot picked
+// by its stable thread index, so concurrent increments never contend on
+// one cache line. Shards are folded only when a snapshot is taken. Metrics
+// are side channels — they never feed back into computation, so the
+// parallel-equals-serial determinism contract (DESIGN.md §5c) is
+// untouched: folded totals are sums, which commute.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+// meant for setup code; hot loops cache the returned pointer, which stays
+// valid for the registry's lifetime.
+#ifndef EVENTHIT_OBS_METRICS_H_
+#define EVENTHIT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eventhit::obs {
+
+/// Number of per-metric shards (power of two). 16 covers typical worker
+/// counts; threads beyond that share slots, which stays correct (atomic)
+/// and merely adds contention.
+inline constexpr int kMetricShards = 16;
+
+/// Stable dense index of the calling thread (assigned on first use),
+/// shared by the metric shard selection and trace-event thread ids.
+int ThreadIndex();
+
+namespace internal {
+
+struct alignas(64) CounterShard {
+  std::atomic<int64_t> value{0};
+};
+
+struct alignas(64) SumShard {
+  std::atomic<int64_t> count{0};
+  // Sum/min/max as raw double bits updated by CAS (atomic<double> CAS works
+  // on the bit pattern; all stores here are relaxed). min/max start at
+  // +/-infinity so the first observation always wins; shards with
+  // count == 0 are skipped when folding.
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace internal
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  /// Adds `delta` (>= 0 by convention; not enforced on the hot path).
+  void Add(int64_t delta = 1) {
+    shards_[ThreadIndex() & (kMetricShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Folds all shards. Linearizes against concurrent Add only per shard —
+  /// callers snapshot between phases, not mid-increment.
+  int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  internal::CounterShard shards_[kMetricShards];
+};
+
+/// Last-write-wins floating-point level (window sizes, knob settings, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets; one implicit overflow bucket catches the rest. Also
+/// tracks count / sum / min / max.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  std::string name_;
+  std::vector<double> bounds_;  // Sorted ascending.
+  // bucket_shards_[bucket] holds the sharded count of that bucket; bucket
+  // bounds_.size() is the overflow bucket.
+  std::vector<std::unique_ptr<internal::CounterShard[]>> bucket_shards_;
+  internal::SumShard sum_shards_[kMetricShards];
+};
+
+/// Point-in-time copies of every metric, sorted by name.
+struct CounterSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;         // Finite-bucket upper edges.
+  std::vector<int64_t> bucket_counts; // bounds.size() + 1 entries.
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0.
+  double max = 0.0;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Owner of all metrics. One process-wide instance (`Global()`) backs the
+/// default pipeline instrumentation; tests build private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the metric registered under `name`, creating it on first use.
+  /// Process-fatal if `name` is already registered as a different kind (or,
+  /// for histograms, with different bounds).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Folds every metric into a by-name-sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Every registered metric name, sorted (for schema-sync checks).
+  std::vector<std::string> Names() const;
+
+  /// Zeroes all values; registered metrics (and cached pointers) survive.
+  void Reset();
+
+  /// The process-wide registry used by default instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;  // Guarded by mu_.
+};
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_METRICS_H_

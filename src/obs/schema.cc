@@ -1,0 +1,72 @@
+#include "obs/schema.h"
+
+#include <algorithm>
+
+namespace eventhit::obs {
+
+std::vector<std::string> AllMetricNames() {
+  std::vector<std::string> all = {
+      names::kMarshallerFramesTotal,
+      names::kMarshallerFramesRelayed,
+      names::kMarshallerFramesFiltered,
+      names::kMarshallerHorizonsPredicted,
+      names::kMarshallerRelayOrders,
+      names::kMarshallerEventsPredictedPresent,
+      names::kMarshallerEventsPredictedAbsent,
+      names::kCloudRequests,
+      names::kCloudFramesProcessed,
+      names::kDriftObservations,
+      names::kDriftAlarms,
+      names::kRecalibratorRecordsAdded,
+      names::kRecalibratorRebuildsCClassify,
+      names::kRecalibratorRebuildsCRegress,
+      names::kThreadPoolParallelForCalls,
+      names::kThreadPoolChunksExecuted,
+      names::kThreadPoolItemsProcessed,
+      names::kThreadPoolWorkerBusyMicros,
+      names::kCloudInvoiceCostUsd,
+      names::kCloudInvoiceComputeSeconds,
+      names::kDriftLogMartingale,
+      names::kRecalibratorWindowSize,
+      names::kThreadPoolThreads,
+      names::kPipelineRelayedFramesPerHorizon,
+      names::kMarshallerRelayOrderFrames,
+      names::kCloudRequestFrames,
+      names::kCloudRequestLatencySeconds,
+      names::kThreadPoolParallelForItems,
+  };
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<std::string> AllSpanNames() {
+  std::vector<std::string> all = {
+      names::kSpanRunnerBuildEnv,
+      names::kSpanRunnerTrain,
+      names::kSpanRunnerCalibrate,
+      names::kSpanRunnerPredictBatch,
+      names::kSpanRunnerDecideBatch,
+      names::kSpanCliGenerateStream,
+      names::kSpanBenchEvaluateRep,
+      names::kSpanThreadPoolChunk,
+      names::kSpanStageFeatureExtraction,
+      names::kSpanStagePredictor,
+      names::kSpanStageCi,
+  };
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<double> FrameCountBounds() {
+  return {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+}
+
+std::vector<double> LatencySecondsBounds() {
+  return {0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0};
+}
+
+std::vector<double> ItemCountBounds() {
+  return {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+}  // namespace eventhit::obs

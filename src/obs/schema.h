@@ -1,0 +1,127 @@
+// Canonical telemetry schema: every metric and span name the pipeline can
+// register, in one place. Instrumentation sites reference these constants
+// (never string literals), and the schema-sync test cross-checks this list
+// against docs/TELEMETRY.md — adding a metric without documenting it fails
+// the build's test suite.
+#ifndef EVENTHIT_OBS_SCHEMA_H_
+#define EVENTHIT_OBS_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+namespace eventhit::obs::names {
+
+// --- Counters ---------------------------------------------------------
+
+// Frame accounting of the streaming marshaller. The invariant
+//   marshaller.frames.relayed + marshaller.frames.filtered
+//     == marshaller.frames.total
+// holds at every prediction boundary: each predicted horizon contributes
+// the billed relay union to relayed, the unrelayed remainder of the
+// horizon to filtered, and their sum — max(H, billed), since widened
+// intervals may spill past the horizon boundary — to total.
+inline constexpr char kMarshallerFramesTotal[] = "marshaller.frames.total";
+inline constexpr char kMarshallerFramesRelayed[] =
+    "marshaller.frames.relayed";
+inline constexpr char kMarshallerFramesFiltered[] =
+    "marshaller.frames.filtered";
+inline constexpr char kMarshallerHorizonsPredicted[] =
+    "marshaller.horizons.predicted";
+inline constexpr char kMarshallerRelayOrders[] = "marshaller.relay.orders";
+inline constexpr char kMarshallerEventsPredictedPresent[] =
+    "marshaller.events.predicted_present";
+inline constexpr char kMarshallerEventsPredictedAbsent[] =
+    "marshaller.events.predicted_absent";
+
+// Cloud-service usage (mirrors the Invoice).
+inline constexpr char kCloudRequests[] = "cloud.requests";
+inline constexpr char kCloudFramesProcessed[] = "cloud.frames.processed";
+
+// Drift detection / recalibration.
+inline constexpr char kDriftObservations[] = "drift.observations";
+inline constexpr char kDriftAlarms[] = "drift.alarms";
+inline constexpr char kRecalibratorRecordsAdded[] =
+    "recalibrator.records.added";
+inline constexpr char kRecalibratorRebuildsCClassify[] =
+    "recalibrator.rebuilds.cclassify";
+inline constexpr char kRecalibratorRebuildsCRegress[] =
+    "recalibrator.rebuilds.cregress";
+
+// Thread-pool substrate (pooled path only; threads == 1 records nothing).
+inline constexpr char kThreadPoolParallelForCalls[] =
+    "threadpool.parallel_for.calls";
+inline constexpr char kThreadPoolChunksExecuted[] =
+    "threadpool.chunks.executed";
+inline constexpr char kThreadPoolItemsProcessed[] =
+    "threadpool.items.processed";
+inline constexpr char kThreadPoolWorkerBusyMicros[] =
+    "threadpool.worker.busy_micros";
+
+// --- Gauges -----------------------------------------------------------
+
+inline constexpr char kCloudInvoiceCostUsd[] = "cloud.invoice.cost_usd";
+inline constexpr char kCloudInvoiceComputeSeconds[] =
+    "cloud.invoice.compute_seconds";
+inline constexpr char kDriftLogMartingale[] = "drift.log_martingale";
+inline constexpr char kRecalibratorWindowSize[] = "recalibrator.window.size";
+inline constexpr char kThreadPoolThreads[] = "threadpool.threads";
+inline constexpr char kPipelineRelayedFramesPerHorizon[] =
+    "pipeline.relayed_frames_per_horizon";
+
+// --- Histograms -------------------------------------------------------
+
+inline constexpr char kMarshallerRelayOrderFrames[] =
+    "marshaller.relay.order_frames";
+inline constexpr char kCloudRequestFrames[] = "cloud.request.frames";
+inline constexpr char kCloudRequestLatencySeconds[] =
+    "cloud.request.latency_seconds";
+inline constexpr char kThreadPoolParallelForItems[] =
+    "threadpool.parallel_for.items";
+
+// --- Span names (wall timeline, category "stage") ---------------------
+
+inline constexpr char kSpanRunnerBuildEnv[] = "runner.build_env";
+inline constexpr char kSpanRunnerTrain[] = "runner.train";
+inline constexpr char kSpanRunnerCalibrate[] = "runner.calibrate";
+inline constexpr char kSpanRunnerPredictBatch[] = "runner.predict_batch";
+inline constexpr char kSpanRunnerDecideBatch[] = "runner.decide_batch";
+inline constexpr char kSpanCliGenerateStream[] = "cli.generate_stream";
+inline constexpr char kSpanBenchEvaluateRep[] = "bench.evaluate_rep";
+
+// --- Span names (wall timeline, category "threadpool") ----------------
+
+inline constexpr char kSpanThreadPoolChunk[] = "threadpool.chunk";
+
+// --- Span names (simulated timeline, category "simulated") ------------
+// The cost-model stages of one horizon (cloud/cost_model.h); aggregating
+// these reproduces Fig. 10's per-stage proportions.
+
+inline constexpr char kSpanStageFeatureExtraction[] =
+    "stage.feature_extraction";
+inline constexpr char kSpanStagePredictor[] = "stage.predictor";
+inline constexpr char kSpanStageCi[] = "stage.ci";
+
+}  // namespace eventhit::obs::names
+
+namespace eventhit::obs {
+
+/// Every metric name the pipeline can register, sorted. The schema-sync
+/// test enforces (a) each appears in docs/TELEMETRY.md and (b) every name
+/// actually registered at runtime is on this list.
+std::vector<std::string> AllMetricNames();
+
+/// Every span name the pipeline can emit, sorted; same doc contract.
+std::vector<std::string> AllSpanNames();
+
+/// Standard bucket bounds shared by frame-count histograms.
+std::vector<double> FrameCountBounds();
+
+/// Standard bucket bounds for simulated request latencies (seconds).
+std::vector<double> LatencySecondsBounds();
+
+/// Standard bucket bounds for ParallelFor item counts.
+std::vector<double> ItemCountBounds();
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_SCHEMA_H_

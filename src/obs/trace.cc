@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+
+namespace eventhit::obs {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_ % capacity_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_recorded_;
+}
+
+int64_t TraceBuffer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    events = ring_;
+  } else {
+    // Full ring: the oldest event sits at the write cursor.
+    for (size_t i = 0; i < capacity_; ++i) {
+      events.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return events;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_ - static_cast<int64_t>(ring_.size());
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_recorded_ = 0;
+}
+
+std::vector<TraceBuffer::SpanAggregate> TraceBuffer::AggregateByName(
+    const std::string& category) const {
+  const std::vector<TraceEvent> events = Events();
+  std::map<std::string, SpanAggregate> by_name;
+  for (const TraceEvent& event : events) {
+    if (!category.empty() && event.category != category) continue;
+    SpanAggregate& aggregate = by_name[event.name];
+    aggregate.name = event.name;
+    ++aggregate.count;
+    aggregate.total_us += event.duration_us;
+  }
+  std::vector<SpanAggregate> aggregates;
+  aggregates.reserve(by_name.size());
+  for (auto& [name, aggregate] : by_name) {
+    aggregates.push_back(std::move(aggregate));
+  }
+  return aggregates;
+}
+
+std::string TraceBuffer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  json +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"wall\"}},";
+  json +=
+      "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"simulated\"}}";
+  for (const TraceEvent& event : events) {
+    json += ",{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
+            JsonEscape(event.category) + "\",\"ph\":\"X\",\"ts\":" +
+            std::to_string(event.start_us) +
+            ",\"dur\":" + std::to_string(event.duration_us) +
+            ",\"pid\":" + std::to_string(event.pid) +
+            ",\"tid\":" + std::to_string(event.tid) + "}";
+  }
+  json += "]}";
+  return json;
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceSpan::TraceSpan(TraceBuffer* buffer, std::string name,
+                     std::string category)
+    : buffer_(buffer), name_(std::move(name)), category_(std::move(category)) {
+  if (buffer_ != nullptr) {
+    start_us_ = buffer_->NowMicros();
+  } else {
+    ended_ = true;
+  }
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category)
+    : TraceSpan(&TraceBuffer::Global(), std::move(name),
+                std::move(category)) {}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  ended_ = true;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.start_us = start_us_;
+  event.duration_us = buffer_->NowMicros() - start_us_;
+  event.pid = kWallPid;
+  event.tid = ThreadIndex();
+  buffer_->Record(std::move(event));
+}
+
+int64_t RecordSimulatedSpan(TraceBuffer* buffer, const std::string& name,
+                            const std::string& category, int64_t start_us,
+                            int64_t duration_us) {
+  if (buffer == nullptr) return start_us + duration_us;
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.pid = kSimulatedPid;
+  event.tid = 0;
+  buffer->Record(std::move(event));
+  return start_us + duration_us;
+}
+
+}  // namespace eventhit::obs

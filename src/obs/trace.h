@@ -1,0 +1,135 @@
+// Trace spans: RAII scoped timers feeding a bounded in-memory ring buffer
+// that exports Chrome trace-event JSON (loadable in chrome://tracing and
+// Perfetto). Schema in docs/TELEMETRY.md.
+//
+// Two timelines share one buffer, distinguished by pid:
+//   pid 1 ("wall")      — real measured durations from TraceSpan.
+//   pid 2 ("simulated") — synthetic spans on the pipeline cost model's
+//                         clock (cloud/cost_model's per-horizon stage
+//                         timing), so figure accounting can be derived
+//                         from span aggregation instead of bespoke sums.
+//
+// Recording takes a short mutex; spans wrap pipeline *stages* (training,
+// calibration, a ParallelFor chunk), never per-frame work, so the cost is
+// off the hot path by construction.
+#ifndef EVENTHIT_OBS_TRACE_H_
+#define EVENTHIT_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eventhit::obs {
+
+/// Process ids separating the two timelines in the exported trace.
+inline constexpr int32_t kWallPid = 1;
+inline constexpr int32_t kSimulatedPid = 2;
+
+/// One completed span ("ph":"X" in the trace-event format).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t start_us = 0;     // Microseconds since the buffer's epoch.
+  int64_t duration_us = 0;
+  int32_t pid = kWallPid;
+  int32_t tid = 0;          // Stable thread index (ThreadIndex()).
+};
+
+/// Bounded MPMC ring of completed spans. At capacity the oldest events are
+/// overwritten and `dropped()` counts the loss — telemetry must never grow
+/// without bound inside a long-running pipeline.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 16384);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Appends one completed event.
+  void Record(TraceEvent event);
+
+  /// Microseconds elapsed since this buffer's construction (the trace
+  /// epoch); the timestamp base for wall-clock spans.
+  int64_t NowMicros() const;
+
+  /// All retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int64_t dropped() const;
+
+  /// Discards every event (the drop counter resets too).
+  void Clear();
+
+  /// Total duration and count per span name, sorted by name. When
+  /// `category` is non-empty only events of that category aggregate —
+  /// e.g. "simulated" derives Fig. 10 stage shares from the cost-model
+  /// timeline without wall-clock spans polluting the denominator.
+  struct SpanAggregate {
+    std::string name;
+    int64_t count = 0;
+    int64_t total_us = 0;
+  };
+  std::vector<SpanAggregate> AggregateByName(
+      const std::string& category = "") const;
+
+  /// Serialises to Chrome trace-event JSON: an object with a
+  /// "traceEvents" array of "ph":"X" duration events plus process-name
+  /// metadata for the two timelines. File output lives in obs/export.h
+  /// (WriteTraceJson), keeping this library dependency-free.
+  std::string ToChromeJson() const;
+
+  /// The process-wide buffer used by default instrumentation.
+  static TraceBuffer& Global();
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // Guarded by mu_.
+  size_t next_ = 0;               // Ring write cursor; guarded by mu_.
+  int64_t total_recorded_ = 0;    // Guarded by mu_.
+};
+
+/// RAII scoped timer: measures from construction to End()/destruction and
+/// records one wall-timeline event into the buffer.
+///
+///   { obs::TraceSpan span("runner.train"); model.Train(records); }
+class TraceSpan {
+ public:
+  /// Records into `buffer` (nullptr disables the span entirely).
+  TraceSpan(TraceBuffer* buffer, std::string name,
+            std::string category = "stage");
+
+  /// Records into TraceBuffer::Global().
+  explicit TraceSpan(std::string name, std::string category = "stage");
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Ends the span early (idempotent).
+  void End();
+
+ private:
+  TraceBuffer* buffer_;
+  std::string name_;
+  std::string category_;
+  int64_t start_us_ = 0;
+  bool ended_ = false;
+};
+
+/// Appends a synthetic span on the simulated timeline (pid 2) starting at
+/// `start_us` on the cost model's clock. Returns start_us + duration_us,
+/// i.e. the start of the next back-to-back simulated span.
+int64_t RecordSimulatedSpan(TraceBuffer* buffer, const std::string& name,
+                            const std::string& category, int64_t start_us,
+                            int64_t duration_us);
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_TRACE_H_

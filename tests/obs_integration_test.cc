@@ -1,0 +1,143 @@
+// End-to-end check of the pipeline instrumentation: drives a Marshaller
+// (and a CloudService relay sink) against a private MetricsRegistry and
+// asserts the frame-accounting invariant documented in docs/TELEMETRY.md:
+//   marshaller.frames.relayed + marshaller.frames.filtered
+//     == marshaller.frames.total
+// plus consistency between the telemetry and the component's own stats.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.h"
+#include "core/marshaller.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "sim/datasets.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit {
+namespace {
+
+constexpr int kWindow = 4;
+constexpr int kHorizon = 10;
+constexpr size_t kFeatureDim = 2;
+
+// Alternates between a present prediction (with an interval that spills
+// past the horizon boundary every other time) and an absent one, so the
+// run exercises relay, filtering and the max(H, billed) spill case.
+class AlternatingStrategy : public core::MarshalStrategy {
+ public:
+  std::string name() const override { return "alternating"; }
+
+  core::MarshalDecision Decide(const data::Record&) const override {
+    ++calls;
+    core::MarshalDecision decision;
+    if (calls % 3 == 0) {
+      decision.exists = {false};
+      decision.intervals = {sim::Interval::Empty()};
+    } else if (calls % 3 == 1) {
+      decision.exists = {true};
+      decision.intervals = {sim::Interval{2, 5}};
+    } else {
+      // Wider than the horizon: billed = 12 > H = 10 (the spill case).
+      decision.exists = {true};
+      decision.intervals = {sim::Interval{1, 12}};
+    }
+    return decision;
+  }
+
+  mutable int calls = 0;
+};
+
+std::map<std::string, int64_t> CounterMap(obs::MetricsRegistry& registry) {
+  std::map<std::string, int64_t> counters;
+  for (const auto& counter : registry.Snapshot().counters) {
+    counters[counter.name] = counter.value;
+  }
+  return counters;
+}
+
+TEST(ObsIntegrationTest, FrameAccountingInvariantHolds) {
+  obs::MetricsRegistry registry;
+  AlternatingStrategy strategy;
+  core::Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1,
+                              &registry);
+  const std::vector<float> frame(kFeatureDim, 0.5f);
+  for (int64_t f = 0; f < 200; ++f) {
+    marshaller.PushFrame(frame.data());
+    // The invariant holds at *every* prediction boundary, not just at the
+    // end of the stream.
+    const auto counters = CounterMap(registry);
+    EXPECT_EQ(counters.at(obs::names::kMarshallerFramesRelayed) +
+                  counters.at(obs::names::kMarshallerFramesFiltered),
+              counters.at(obs::names::kMarshallerFramesTotal));
+  }
+
+  const auto counters = CounterMap(registry);
+  EXPECT_GT(counters.at(obs::names::kMarshallerFramesRelayed), 0);
+  EXPECT_GT(counters.at(obs::names::kMarshallerFramesFiltered), 0);
+  // Telemetry agrees with the component's own session stats.
+  const core::MarshallerStats& stats = marshaller.stats();
+  EXPECT_EQ(counters.at(obs::names::kMarshallerFramesRelayed),
+            stats.frames_relayed);
+  EXPECT_EQ(counters.at(obs::names::kMarshallerHorizonsPredicted),
+            stats.horizons_predicted);
+  EXPECT_EQ(counters.at(obs::names::kMarshallerRelayOrders),
+            stats.relay_orders);
+  EXPECT_EQ(counters.at(obs::names::kMarshallerEventsPredictedPresent) +
+                counters.at(obs::names::kMarshallerEventsPredictedAbsent),
+            stats.horizons_predicted);
+  // Every horizon contributes at least H frames to the total (spilled
+  // horizons contribute more).
+  EXPECT_GE(counters.at(obs::names::kMarshallerFramesTotal),
+            stats.horizons_predicted * kHorizon);
+}
+
+TEST(ObsIntegrationTest, CloudMetricsMirrorInvoice) {
+  obs::MetricsRegistry registry;
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(
+      sim::MakeDatasetSpec(sim::DatasetId::kVirat), /*seed=*/7);
+  cloud::CloudConfig config;
+  cloud::CloudService service(&video, config, /*seed=*/11, &registry);
+
+  AlternatingStrategy strategy;
+  core::Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1,
+                              &registry);
+  marshaller.set_relay_callback([&](const core::RelayOrder& order) {
+    service.Detect(order.event, order.frames);
+  });
+  const std::vector<float> frame(kFeatureDim, 0.5f);
+  for (int64_t f = 0; f < 100; ++f) {
+    marshaller.PushFrame(frame.data());
+  }
+
+  const auto counters = CounterMap(registry);
+  const cloud::Invoice& invoice = service.invoice();
+  EXPECT_GT(invoice.requests, 0);
+  EXPECT_EQ(counters.at(obs::names::kCloudRequests), invoice.requests);
+  EXPECT_EQ(counters.at(obs::names::kCloudFramesProcessed),
+            invoice.frames_processed);
+  // Each relay order became exactly one cloud request.
+  EXPECT_EQ(counters.at(obs::names::kMarshallerRelayOrders),
+            invoice.requests);
+  // The billed union equals the frames the cloud actually processed
+  // (single event: union == per-order sum).
+  EXPECT_EQ(counters.at(obs::names::kMarshallerFramesRelayed),
+            invoice.frames_processed);
+
+  for (const auto& gauge : registry.Snapshot().gauges) {
+    if (gauge.name == obs::names::kCloudInvoiceCostUsd) {
+      EXPECT_DOUBLE_EQ(gauge.value, invoice.total_cost_usd);
+    }
+    if (gauge.name == obs::names::kCloudInvoiceComputeSeconds) {
+      EXPECT_DOUBLE_EQ(gauge.value, invoice.compute_seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eventhit

@@ -1,0 +1,120 @@
+// Keeps docs/TELEMETRY.md and the canonical schema (obs/schema.h) in
+// lockstep: every metric/span name the code can emit must be documented,
+// every name the operator guide's tables document must exist in the
+// schema, and everything actually registered at runtime must be on the
+// schema list. Adding an instrumentation site without updating both
+// obs/schema.h and docs/TELEMETRY.md fails here.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.h"
+#include "cloud/cost_model.h"
+#include "common/thread_pool.h"
+#include "core/drift_detector.h"
+#include "core/marshaller.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "sim/datasets.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit::obs {
+namespace {
+
+std::string ReadTelemetryDoc() {
+  const std::string path =
+      std::string(EVENTHIT_SOURCE_DIR) + "/docs/TELEMETRY.md";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ObsSchemaSyncTest, EverySchemaNameIsDocumented) {
+  const std::string doc = ReadTelemetryDoc();
+  for (const auto& list : {AllMetricNames(), AllSpanNames()}) {
+    for (const std::string& name : list) {
+      EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+          << "'" << name
+          << "' is in obs/schema.h but not documented in docs/TELEMETRY.md";
+    }
+  }
+}
+
+// Every first-column `backticked` entry of a doc table row must be a
+// schema name — the tables cannot drift ahead of (or away from) the code.
+TEST(ObsSchemaSyncTest, EveryDocumentedTableNameIsInSchema) {
+  const std::string doc = ReadTelemetryDoc();
+  std::set<std::string> schema;
+  for (const auto& list : {AllMetricNames(), AllSpanNames()}) {
+    schema.insert(list.begin(), list.end());
+  }
+  std::istringstream lines(doc);
+  std::string line;
+  int documented = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `", 0) != 0) continue;
+    const size_t start = 3;
+    const size_t end = line.find('`', start);
+    ASSERT_NE(end, std::string::npos) << "unterminated name in: " << line;
+    const std::string name = line.substr(start, end - start);
+    EXPECT_TRUE(schema.count(name) > 0)
+        << "'" << name
+        << "' is documented in docs/TELEMETRY.md but missing from "
+           "obs/schema.h";
+    ++documented;
+  }
+  // The doc must actually use the tables this test parses.
+  EXPECT_GE(documented,
+            static_cast<int>(AllMetricNames().size() +
+                             AllSpanNames().size()));
+}
+
+// Instantiates every instrumented component against the global registry,
+// then checks that nothing registered a name outside the schema.
+TEST(ObsSchemaSyncTest, RuntimeRegistrationsStayWithinSchema) {
+  {
+    ThreadPool pool(2);
+    pool.ParallelFor(8, [](size_t) {});
+  }
+  class NullStrategy : public core::MarshalStrategy {
+   public:
+    std::string name() const override { return "null"; }
+    core::MarshalDecision Decide(const data::Record&) const override {
+      core::MarshalDecision decision;
+      decision.exists = {false};
+      decision.intervals = {sim::Interval::Empty()};
+      return decision;
+    }
+  };
+  NullStrategy strategy;
+  core::Marshaller marshaller(&strategy, 2, 4, 1, 1);
+  const float frame = 0.0f;
+  for (int f = 0; f < 8; ++f) marshaller.PushFrame(&frame);
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(
+      sim::MakeDatasetSpec(sim::DatasetId::kVirat), /*seed=*/5);
+  cloud::CloudService service(&video, cloud::CloudConfig{}, /*seed=*/5);
+  service.Detect(0, sim::Interval{0, 3});
+  core::DriftDetector drift;
+  drift.Observe(0.5);
+  MetricsRegistry::Global()
+      .GetGauge(names::kPipelineRelayedFramesPerHorizon)
+      ->Set(1.0);
+
+  const std::vector<std::string> schema = AllMetricNames();
+  for (const std::string& name : MetricsRegistry::Global().Names()) {
+    EXPECT_TRUE(std::binary_search(schema.begin(), schema.end(), name))
+        << "runtime-registered metric '" << name
+        << "' is not part of the canonical schema (obs/schema.h)";
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::obs

@@ -1,0 +1,301 @@
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cost_model.h"
+#include "common/thread_pool.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
+
+namespace eventhit::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Add();
+  counter->Add(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(CounterTest, GetReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(b->Value(), 7);
+}
+
+TEST(CounterTest, KindMismatchDies) {
+  MetricsRegistry registry;
+  registry.GetCounter("test.metric");
+  EXPECT_DEATH(registry.GetGauge("test.metric"), "kind");
+}
+
+TEST(GaugeTest, SetAddValue) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 1.5);
+  gauge->Set(10.0);  // Last write wins over accumulated state.
+  EXPECT_DOUBLE_EQ(gauge->Value(), 10.0);
+}
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram* histogram =
+      registry.GetHistogram("test.histogram", {1.0, 10.0, 100.0});
+  histogram->Observe(0.5);    // Bucket 0 (<= 1).
+  histogram->Observe(1.0);    // Bucket 0: bounds are inclusive.
+  histogram->Observe(10.0);   // Bucket 1.
+  histogram->Observe(10.01);  // Bucket 2.
+  histogram->Observe(1000.0); // Overflow bucket.
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0];
+  EXPECT_EQ(h.bucket_counts, (std::vector<int64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count, 5);
+  EXPECT_DOUBLE_EQ(h.sum, 1021.51);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 1000.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1021.51 / 5);
+}
+
+TEST(HistogramTest, MinMaxCorrectForNegativeObservations) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.histogram", {0.0});
+  histogram->Observe(-3.0);
+  histogram->Observe(-1.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].min, -3.0);
+  EXPECT_DOUBLE_EQ(snapshot.histograms[0].max, -1.0);
+}
+
+TEST(HistogramTest, EmptyHistogramSnapshotsToZeros) {
+  MetricsRegistry registry;
+  registry.GetHistogram("test.histogram", {1.0});
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot& h = snapshot.histograms[0];
+  EXPECT_EQ(h.count, 0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(RegistryTest, SnapshotSortedByNameAndReset) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetGauge("gauge")->Set(3.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "zebra");
+  EXPECT_EQ(registry.Names(),
+            (std::vector<std::string>{"alpha", "gauge", "zebra"}));
+
+  registry.Reset();
+  snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters[0].value, 0);
+  EXPECT_EQ(snapshot.counters[1].value, 0);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 0.0);
+  // Cached pointers stay valid after Reset.
+  registry.GetCounter("alpha")->Add(5);
+  EXPECT_EQ(registry.GetCounter("alpha")->Value(), 5);
+}
+
+// The lock-free fast path must not lose increments under real thread-pool
+// concurrency: N threads x M adds folds to exactly N*M.
+TEST(RegistryTest, ConcurrentIncrementsFoldExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.concurrent");
+  Histogram* histogram =
+      registry.GetHistogram("test.concurrent_hist", {100.0, 1000.0});
+  ThreadPool pool(4);
+  constexpr int kItems = 10000;
+  pool.ParallelFor(kItems, [&](size_t i) {
+    counter->Add(1);
+    histogram->Observe(static_cast<double>(i % 7));
+  });
+  EXPECT_EQ(counter->Value(), kItems);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name != "test.concurrent_hist") continue;
+    EXPECT_EQ(h.count, kItems);
+    EXPECT_DOUBLE_EQ(h.min, 0.0);
+    EXPECT_DOUBLE_EQ(h.max, 6.0);
+  }
+}
+
+TEST(TraceBufferTest, RecordsSpansOldestFirst) {
+  TraceBuffer buffer(8);
+  {
+    TraceSpan first(&buffer, "first");
+    TraceSpan second(&buffer, "second");
+  }  // `second` destructs (ends) before `first`.
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "second");
+  EXPECT_EQ(events[1].name, "first");
+  EXPECT_GE(events[0].duration_us, 0);
+  EXPECT_EQ(events[0].pid, kWallPid);
+}
+
+TEST(TraceBufferTest, EndIsIdempotent) {
+  TraceBuffer buffer(8);
+  TraceSpan span(&buffer, "once");
+  span.End();
+  span.End();
+  EXPECT_EQ(buffer.Events().size(), 1u);
+}
+
+TEST(TraceBufferTest, RingOverwritesOldestAndCountsDrops) {
+  TraceBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&buffer, "span" + std::to_string(i));
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2);
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "span2");
+  EXPECT_EQ(events[2].name, "span4");
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.dropped(), 0);
+}
+
+TEST(TraceBufferTest, AggregateByNameFiltersCategory) {
+  TraceBuffer buffer(16);
+  RecordSimulatedSpan(&buffer, "stage.a", "simulated", 0, 100);
+  RecordSimulatedSpan(&buffer, "stage.a", "simulated", 100, 50);
+  RecordSimulatedSpan(&buffer, "stage.b", "simulated", 150, 25);
+  { TraceSpan wall(&buffer, "wall.only"); }
+  const auto simulated = buffer.AggregateByName("simulated");
+  ASSERT_EQ(simulated.size(), 2u);
+  EXPECT_EQ(simulated[0].name, "stage.a");
+  EXPECT_EQ(simulated[0].count, 2);
+  EXPECT_EQ(simulated[0].total_us, 150);
+  EXPECT_EQ(simulated[1].name, "stage.b");
+  EXPECT_EQ(simulated[1].total_us, 25);
+  EXPECT_EQ(buffer.AggregateByName().size(), 3u);
+}
+
+TEST(TraceBufferTest, NullBufferDisablesSpan) {
+  TraceSpan span(nullptr, "nowhere");
+  span.End();  // Must not crash.
+}
+
+// Minimal structural validation of the Chrome trace JSON without a JSON
+// parser: balanced braces/brackets and the required keys and phases.
+TEST(TraceBufferTest, ChromeJsonIsWellFormed) {
+  TraceBuffer buffer(16);
+  { TraceSpan span(&buffer, "quoted\"name\\"); }
+  RecordSimulatedSpan(&buffer, "stage.ci", "simulated", 0, 42);
+  const std::string json = buffer.ToChromeJson();
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // Skip the escaped character.
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("quoted\\\"name\\\\"), std::string::npos);
+}
+
+TEST(TraceBufferTest, EmitHorizonSpansAreBackToBackInOrder) {
+  TraceBuffer buffer(16);
+  cloud::StageBreakdown breakdown;
+  breakdown.feature_extraction_seconds = 0.5;
+  breakdown.predictor_seconds = 0.001;
+  breakdown.ci_seconds = 2.0;
+  const int64_t end =
+      cloud::EmitHorizonSpans(&buffer, breakdown, /*start_us=*/1000);
+  EXPECT_EQ(end, 1000 + 500000 + 1000 + 2000000);
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, names::kSpanStageFeatureExtraction);
+  EXPECT_EQ(events[1].name, names::kSpanStagePredictor);
+  EXPECT_EQ(events[2].name, names::kSpanStageCi);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].start_us,
+              events[i - 1].start_us + events[i - 1].duration_us);
+    EXPECT_EQ(events[i].pid, kSimulatedPid);
+  }
+}
+
+TEST(TraceBufferTest, EmitHorizonSpansSkipsZeroStages) {
+  TraceBuffer buffer(16);
+  cloud::StageBreakdown breakdown;
+  breakdown.ci_seconds = 1.0;  // Oracle-style pipeline: CI only.
+  cloud::EmitHorizonSpans(&buffer, breakdown, 0);
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, names::kSpanStageCi);
+}
+
+TEST(ExportTest, MetricsJsonRoundTripsStructure) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one")->Add(3);
+  registry.GetGauge("g.one")->Set(1.5);
+  registry.GetHistogram("h.one", {1.0, 2.0})->Observe(1.5);
+  const std::string json = MetricsToJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c.one\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"g.one\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_counts\":[0,1,0]"), std::string::npos);
+}
+
+TEST(ExportTest, CsvHasOneRowPerMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one")->Add(3);
+  registry.GetGauge("g.one")->Set(1.5);
+  const std::string csv = MetricsToCsv(registry.Snapshot());
+  EXPECT_NE(csv.find("kind,name,value,count,sum,min,max"),
+            std::string::npos);
+  EXPECT_NE(csv.find("counter,c.one,3"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.one,1.5"), std::string::npos);
+}
+
+TEST(SchemaTest, NameListsAreSortedAndUnique) {
+  for (const auto& list : {AllMetricNames(), AllSpanNames()}) {
+    ASSERT_FALSE(list.empty());
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1], list[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::obs

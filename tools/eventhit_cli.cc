@@ -10,10 +10,20 @@
 //
 // Every subcommand builds the synthetic environment for the chosen task,
 // so results are reproducible from the seed alone.
+//
+// Telemetry (docs/TELEMETRY.md) works on every subcommand:
+//   --metrics-out=PATH   write the metrics snapshot as JSON
+//   --trace-out=PATH     write trace spans as Chrome trace-event JSON
+//                        (loads in chrome://tracing / Perfetto)
+//   --print-metrics      pretty-print the metrics snapshot on exit
+// `stats` additionally prints a telemetry section by default, and
+// `evaluate` emits the simulated per-stage horizon spans of its EHCR
+// operating point, from which Fig. 10-style shares can be re-derived.
 
 #include <iostream>
 
 #include "baselines/oracle.h"
+#include "cloud/cost_model.h"
 #include "common/csv_writer.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
@@ -23,6 +33,10 @@
 #include "eval/curves.h"
 #include "eval/hyper_search.h"
 #include "eval/runner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 #include "sim/datasets.h"
 #include "sim/video_io.h"
 
@@ -31,6 +45,8 @@ namespace {
 using ::eventhit::Flags;
 using ::eventhit::Fmt;
 using ::eventhit::TablePrinter;
+namespace cloud = ::eventhit::cloud;
+namespace obs = ::eventhit::obs;
 namespace eval = ::eventhit::eval;
 namespace core = ::eventhit::core;
 namespace data = ::eventhit::data;
@@ -46,7 +62,12 @@ int Usage() {
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
-      "               identical for every N.\n";
+      "               identical for every N.\n"
+      "  telemetry (all subcommands; see docs/TELEMETRY.md):\n"
+      "  --metrics-out=PATH  write the metrics snapshot as JSON\n"
+      "  --trace-out=PATH    write Chrome trace-event JSON for\n"
+      "                      chrome://tracing / Perfetto\n"
+      "  --print-metrics     pretty-print the metrics snapshot on exit\n";
   return 2;
 }
 
@@ -75,6 +96,7 @@ eventhit::Result<sim::DatasetId> ParseDataset(const std::string& name) {
 int RunStats(const Flags& flags) {
   const std::string load_path = flags.GetString("load", "");
   sim::SyntheticVideo video = [&] {
+    obs::TraceSpan span(obs::names::kSpanCliGenerateStream);
     if (!load_path.empty()) {
       auto loaded = sim::LoadVideo(load_path);
       if (!loaded.ok()) {
@@ -103,6 +125,21 @@ int RunStats(const Flags& flags) {
             << spec.FeatureDim() << ", M=" << spec.collection_window
             << ", H=" << spec.horizon << ")\n";
   table.Print(std::cout);
+
+  // Telemetry snapshot of this run (spans so far + any counters).
+  std::cout << "\n=== Telemetry snapshot ===\n";
+  obs::PrintMetricsTable(obs::MetricsRegistry::Global().Snapshot(),
+                         std::cout);
+  TablePrinter spans({"Span", "Count", "TotalMs"});
+  for (const auto& aggregate :
+       obs::TraceBuffer::Global().AggregateByName()) {
+    spans.AddRow({aggregate.name, Fmt(aggregate.count),
+                  Fmt(static_cast<double>(aggregate.total_us) / 1000.0, 2)});
+  }
+  if (spans.num_rows() > 0) {
+    std::cout << "\n";
+    spans.Print(std::cout);
+  }
   return 0;
 }
 
@@ -184,6 +221,7 @@ int RunEvaluate(const Flags& flags) {
   }
 
   TablePrinter table({"Strategy", "REC", "SPL", "REC_c", "REC_r"});
+  eval::Metrics ehcr_metrics;
   for (const bool use_cc : {false, true}) {
     for (const bool use_cr : {false, true}) {
       core::EventHitStrategyOptions options;
@@ -197,6 +235,7 @@ int RunEvaluate(const Flags& flags) {
       const eval::Metrics metrics = eval::EvaluateFromScores(
           strategy, trained.test_scores, env.test_records(), env.horizon(),
           exec);
+      if (use_cc && use_cr) ehcr_metrics = metrics;
       table.AddRow({strategy.name(), Fmt(metrics.rec), Fmt(metrics.spl),
                     Fmt(metrics.rec_c), Fmt(metrics.rec_r)});
     }
@@ -207,6 +246,22 @@ int RunEvaluate(const Flags& flags) {
   table.AddRow({"OPT", Fmt(opt_metrics.rec), Fmt(opt_metrics.spl), "1.000",
                 "1.000"});
   table.Print(std::cout);
+
+  // Emit the EHCR operating point onto the simulated timeline: one
+  // stage.feature_extraction / stage.predictor / stage.ci span triple for
+  // an average horizon, so --trace-out re-derives the Fig. 10 shares.
+  if (ehcr_metrics.records > 0) {
+    const int64_t relayed_per_horizon =
+        ehcr_metrics.relayed_frames / ehcr_metrics.records;
+    obs::MetricsRegistry::Global()
+        .GetGauge(obs::names::kPipelineRelayedFramesPerHorizon)
+        ->Set(static_cast<double>(relayed_per_horizon));
+    const cloud::StageBreakdown breakdown = cloud::HorizonTiming(
+        cloud::PipelineCostModel{}, cloud::PredictorKind::kEventHit,
+        env.collection_window(), env.horizon(), relayed_per_horizon);
+    cloud::EmitHorizonSpans(&obs::TraceBuffer::Global(), breakdown,
+                            /*start_us=*/0);
+  }
   return 0;
 }
 
@@ -299,6 +354,40 @@ int RunHyperSearch(const Flags& flags) {
   return 0;
 }
 
+// Writes/prints the telemetry collected by the subcommand. Returns 1 on
+// I/O failure (over the subcommand's own exit code only when it succeeded).
+int FlushTelemetry(const Flags& flags) {
+  int rc = 0;
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const auto status = obs::WriteMetricsJson(
+        obs::MetricsRegistry::Global().Snapshot(), metrics_out);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "metrics written to " << metrics_out << "\n";
+    }
+  }
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    const auto status =
+        obs::WriteTraceJson(obs::TraceBuffer::Global(), trace_out);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "trace written to " << trace_out << "\n";
+    }
+  }
+  if (flags.GetBool("print-metrics", false).value_or(false)) {
+    std::cout << "\n=== Telemetry snapshot ===\n";
+    obs::PrintMetricsTable(obs::MetricsRegistry::Global().Snapshot(),
+                           std::cout);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,10 +398,13 @@ int main(int argc, char** argv) {
     std::cerr << flags.status() << "\n";
     return 2;
   }
-  if (command == "stats") return RunStats(flags.value());
-  if (command == "generate") return RunGenerate(flags.value());
-  if (command == "evaluate") return RunEvaluate(flags.value());
-  if (command == "sweep") return RunSweep(flags.value());
-  if (command == "hypersearch") return RunHyperSearch(flags.value());
-  return Usage();
+  int rc = -1;
+  if (command == "stats") rc = RunStats(flags.value());
+  if (command == "generate") rc = RunGenerate(flags.value());
+  if (command == "evaluate") rc = RunEvaluate(flags.value());
+  if (command == "sweep") rc = RunSweep(flags.value());
+  if (command == "hypersearch") rc = RunHyperSearch(flags.value());
+  if (rc < 0) return Usage();
+  const int telemetry_rc = FlushTelemetry(flags.value());
+  return rc != 0 ? rc : telemetry_rc;
 }
