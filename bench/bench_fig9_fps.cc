@@ -6,13 +6,20 @@
 // COX and VQS fall below ~40-50 FPS, because they relay far more frames to
 // the CI (and VQS additionally runs its model on every horizon frame).
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "baselines/cox_strategy.h"
 #include "baselines/vqs_filter.h"
 #include "bench_common.h"
 #include "cloud/cost_model.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/eventhit_model.h"
 #include "core/strategies.h"
 #include "eval/curves.h"
 #include "eval/runner.h"
@@ -158,6 +165,104 @@ int main() {
         strategy, env.test_records(), env.horizon(), threads, reps,
         config.seed);
     bench::PrintThroughputComparison("EHCR decide", serial, parallel);
+
+    // Raw model-inference throughput: the per-record Predict loop versus
+    // the batched GEMM path (core::PredictBatch), single-threaded and on
+    // the pool. The batched path must score every record identically —
+    // the max abs score difference is part of the emitted baseline so a
+    // regression in either speed or agreement is machine-checkable
+    // (BENCH_fig9_fps.json, gated in CI).
+    std::cout << "\n### Model-inference throughput: per-record vs batched "
+                 "GEMM (batch "
+              << eventhit::core::kDefaultPredictBatch << ")\n";
+    const auto& model = *trained.model;
+    const auto& test = env.test_records();
+    const auto n = static_cast<double>(test.size());
+
+    auto best_seconds = [&](auto&& body) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        body();
+        const double elapsed = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+        best = std::min(best, elapsed);
+      }
+      return best;
+    };
+
+    std::vector<eventhit::core::EventScores> per_record(test.size());
+    const double per_record_s = best_seconds([&] {
+      for (size_t i = 0; i < test.size(); ++i) {
+        per_record[i] = model.Predict(test[i]);
+      }
+    });
+    std::vector<eventhit::core::EventScores> batched;
+    const double batched_s = best_seconds([&] {
+      batched = eventhit::core::PredictBatch(model, test);
+    });
+    std::vector<eventhit::core::EventScores> batched_parallel;
+    const eventhit::ExecutionContext pooled_ctx(threads, config.seed);
+    const double batched_parallel_s = best_seconds([&] {
+      batched_parallel = eventhit::core::PredictBatch(model, test, pooled_ctx);
+    });
+
+    // Blanket agreement check across every score of every record; the
+    // documented bound is 1e-5, the implementation promise is bit-exact.
+    double max_abs_diff = 0.0;
+    for (size_t i = 0; i < test.size(); ++i) {
+      for (size_t k = 0; k < per_record[i].existence.size(); ++k) {
+        max_abs_diff = std::max(
+            max_abs_diff, std::fabs(per_record[i].existence[k] -
+                                    batched[i].existence[k]));
+        max_abs_diff = std::max(
+            max_abs_diff, std::fabs(per_record[i].existence[k] -
+                                    batched_parallel[i].existence[k]));
+        for (size_t v = 0; v < per_record[i].occupancy[k].size(); ++v) {
+          max_abs_diff = std::max(
+              max_abs_diff,
+              static_cast<double>(std::fabs(per_record[i].occupancy[k][v] -
+                                            batched[i].occupancy[k][v])));
+          max_abs_diff = std::max(
+              max_abs_diff, static_cast<double>(std::fabs(
+                                per_record[i].occupancy[k][v] -
+                                batched_parallel[i].occupancy[k][v])));
+        }
+      }
+    }
+
+    const double per_record_fps = n / per_record_s;
+    const double batched_fps = n / batched_s;
+    const double batched_parallel_fps = n / batched_parallel_s;
+    TablePrinter fps_table({"Path", "Records/s", "Speedup"});
+    fps_table.AddRow({"Per-record Predict", Fmt(per_record_fps, 0), "1.0x"});
+    fps_table.AddRow({"Batched (1 thread)", Fmt(batched_fps, 0),
+                      Fmt(batched_fps / per_record_fps, 2) + "x"});
+    fps_table.AddRow({"Batched (" + Fmt(static_cast<int64_t>(threads)) +
+                          " threads)",
+                      Fmt(batched_parallel_fps, 0),
+                      Fmt(batched_parallel_fps / per_record_fps, 2) + "x"});
+    fps_table.Print(std::cout);
+    std::cout << "max |batched - per-record| score diff: " << max_abs_diff
+              << "\n";
+
+    // Machine-readable baseline for CI and for tracking in-repo.
+    std::ofstream json("BENCH_fig9_fps.json");
+    json << "{\n"
+         << "  \"records\": " << test.size() << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"batch_size\": " << eventhit::core::kDefaultPredictBatch
+         << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"per_record_fps\": " << per_record_fps << ",\n"
+         << "  \"batched_fps\": " << batched_fps << ",\n"
+         << "  \"batched_parallel_fps\": " << batched_parallel_fps << ",\n"
+         << "  \"speedup_1t\": " << batched_fps / per_record_fps << ",\n"
+         << "  \"scores_max_abs_diff\": " << max_abs_diff << ",\n"
+         << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
+         << "\n}\n";
+    std::cout << "wrote BENCH_fig9_fps.json\n";
   }
   return 0;
 }

@@ -7,8 +7,12 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "nn/gemm.h"
+#include "nn/matrix.h"
+#include "nn/workspace.h"
 #include "core/c_classify.h"
 #include "core/c_regress.h"
 #include "core/eventhit_model.h"
@@ -48,6 +52,66 @@ data::Record RandomRecord(const core::EventHitConfig& config, Rng& rng) {
   return record;
 }
 
+// The batched-GEMM story in one pair of benches: the same 4*Hd x D weight
+// panel applied to a batch of B columns, once as B independent MatVecs
+// (per-record path: the weights stream from memory B times) and once as a
+// single blocked Gemm (weights loaded once per register tile). The ratio is
+// the arithmetic-intensity win the batched inference path is built on.
+void BM_MatVecBatchLoop(benchmark::State& state) {
+  const size_t rows = 96, cols = 24;
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(20);
+  eventhit::nn::Matrix w =
+      eventhit::nn::Matrix::GlorotUniform(rows, cols, rng);
+  std::vector<float> x(cols * batch), y(rows * batch);
+  for (auto& v : x) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      eventhit::nn::MatVec(w, x.data() + b * cols, y.data() + b * rows);
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MatVecBatchLoop)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t rows = 96, cols = 24;
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(21);
+  eventhit::nn::Matrix w =
+      eventhit::nn::Matrix::GlorotUniform(rows, cols, rng);
+  std::vector<float> x(cols * batch), y(rows * batch, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0f);
+    eventhit::nn::Gemm(rows, batch, cols, w.data(), cols, x.data(), batch,
+                       y.data(), batch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_Gemm)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GemmTN(benchmark::State& state) {
+  const size_t rows = 96, cols = 24;
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(22);
+  // A stored contraction-major (cols x rows), as a gradient kernel would.
+  eventhit::nn::Matrix w =
+      eventhit::nn::Matrix::GlorotUniform(cols, rows, rng);
+  std::vector<float> x(cols * batch), y(rows * batch, 0.0f);
+  for (auto& v : x) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0f);
+    eventhit::nn::GemmTN(rows, batch, cols, w.data(), rows, x.data(), batch,
+                         y.data(), batch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_GemmTN)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_LstmForward(benchmark::State& state) {
   Rng rng(1);
   eventhit::nn::Lstm lstm("l", 16, 24, rng);
@@ -72,6 +136,42 @@ void BM_LstmForwardBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmForwardBackward);
 
+void BM_LstmForwardLoop(benchmark::State& state) {
+  const size_t steps = 25, dim = 16, hidden = 24;
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  eventhit::nn::Lstm lstm("l", dim, hidden, rng);
+  std::vector<float> inputs(batch * steps * dim);
+  for (auto& v : inputs) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    for (size_t b = 0; b < batch; ++b) {
+      benchmark::DoNotOptimize(
+          lstm.Forward(inputs.data() + b * steps * dim, steps));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_LstmForwardLoop)->Arg(8)->Arg(32);
+
+void BM_LstmForwardBatch(benchmark::State& state) {
+  const size_t steps = 25, dim = 16, hidden = 24;
+  const auto batch = static_cast<size_t>(state.range(0));
+  Rng rng(23);
+  eventhit::nn::Lstm lstm("l", dim, hidden, rng);
+  // Batch-minor packing, as PredictBatched gathers it.
+  std::vector<float> inputs(steps * dim * batch);
+  for (auto& v : inputs) v = static_cast<float>(rng.Uniform());
+  std::vector<float> h(hidden * batch);
+  eventhit::nn::Workspace ws;
+  for (auto _ : state) {
+    ws.Reset();
+    lstm.ForwardBatch(inputs.data(), steps, batch, h.data(), ws);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_LstmForwardBatch)->Arg(8)->Arg(32);
+
 void BM_EventHitInference(benchmark::State& state) {
   core::EventHitConfig config = ThumosModelConfig();
   config.num_events = static_cast<size_t>(state.range(0));
@@ -83,6 +183,27 @@ void BM_EventHitInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EventHitInference)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_EventHitPredictBatch(benchmark::State& state) {
+  // End-to-end batched inference (gather + LSTM + trunk + heads) at the
+  // default batch size; compare items/s against BM_EventHitInference.
+  const core::EventHitConfig config = ThumosModelConfig();
+  core::EventHitModel model(config);
+  Rng rng(3);
+  std::vector<data::Record> records;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    records.push_back(RandomRecord(config, rng));
+  }
+  std::vector<core::EventScores> scores(records.size());
+  eventhit::nn::Workspace ws;
+  for (auto _ : state) {
+    model.PredictBatched(records.data(), records.size(), scores.data(), ws);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records.size()));
+}
+BENCHMARK(BM_EventHitPredictBatch)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_EventHitTrainEpoch(benchmark::State& state) {
   core::EventHitConfig config = ThumosModelConfig();
@@ -191,13 +312,17 @@ BENCHMARK(BM_StreamGeneration)->Arg(20000)->Arg(100000)
 
 void PrintResourceDetails() {
   // §VI.H: training time, parameters, memory (weights + Adam moments).
-  std::cout << "\n=== §VI.H resource details (THUMOS-shaped model) ===\n";
+  // A full 1000-record training run dominates a smoke pass, so FastMode
+  // shrinks it (the timing row is then only indicative).
+  const int num_records = eventhit::bench::FastMode() ? 100 : 1000;
+  std::cout << "\n=== §VI.H resource details (THUMOS-shaped model, "
+            << num_records << " records) ===\n";
   eventhit::TablePrinter table({"Quantity", "Value"});
   core::EventHitConfig config = ThumosModelConfig();
   core::EventHitModel model(config);
   Rng rng(12);
   std::vector<data::Record> records;
-  for (int i = 0; i < 1000; ++i) {
+  for (int i = 0; i < num_records; ++i) {
     data::Record record = RandomRecord(config, rng);
     if (rng.Bernoulli(0.5)) {
       record.labels[0].present = true;
@@ -214,7 +339,9 @@ void PrintResourceDetails() {
   const size_t params = model.ParameterCount();
   table.AddRow({"Trainable parameters", eventhit::Fmt(
                                             static_cast<int64_t>(params))});
-  table.AddRow({"Training time (1000 records, 18 epochs)",
+  table.AddRow({"Training time (" +
+                    eventhit::Fmt(static_cast<int64_t>(num_records)) +
+                    " records)",
                 eventhit::Fmt(elapsed, 2) + " s"});
   // value + grad + 2 Adam moments, 4 bytes each.
   table.AddRow({"Approx. training memory (weights+opt)",

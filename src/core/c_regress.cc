@@ -12,14 +12,18 @@ CRegress::CRegress(const EventHitModel& model,
                    const ExecutionContext& ctx)
     : horizon_(model.config().horizon) {
   const size_t k_events = model.config().num_events;
-  // Parallel map: per-record predicted intervals (forward pass + interval
-  // extraction dominate calibration cost). One slot per (record, event), so
-  // workers never contend and the reduction below sees record order.
+  // Forward passes go through the batched GEMM path (bit-identical to
+  // per-record Predict, so the calibrated residuals are unchanged); the
+  // interval extraction stays a parallel per-record map. One slot per
+  // (record, event), so workers never contend and the reduction below sees
+  // record order.
+  const std::vector<EventScores> all_scores =
+      PredictBatch(model, calibration, ctx);
   std::vector<std::vector<sim::Interval>> estimates(calibration.size());
   ctx.ParallelFor(calibration.size(), [&](size_t i) {
     const data::Record& record = calibration[i];
     EVENTHIT_CHECK_EQ(record.labels.size(), k_events);
-    const EventScores scores = model.Predict(record);
+    const EventScores& scores = all_scores[i];
     estimates[i].resize(k_events);
     for (size_t k = 0; k < k_events; ++k) {
       if (!record.labels[k].present) continue;

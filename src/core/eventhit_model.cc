@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "common/check.h"
 #include "nn/activations.h"
 #include "nn/loss.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
 
 namespace eventhit::core {
 namespace {
@@ -50,9 +54,16 @@ nn::ParameterRefs EventHitModel::Parameters() {
   return params;
 }
 
+nn::ConstParameterRefs EventHitModel::Parameters() const {
+  nn::ConstParameterRefs params;
+  lstm_.CollectParameters(params);
+  shared_fc_.CollectParameters(params);
+  for (const nn::Mlp& net : event_nets_) net.CollectParameters(params);
+  return params;
+}
+
 size_t EventHitModel::ParameterCount() const {
-  auto* self = const_cast<EventHitModel*>(this);
-  return nn::ParameterCount(self->Parameters());
+  return nn::ParameterCount(Parameters());
 }
 
 void EventHitModel::TrunkForward(const float* covariates, nn::Vec& z,
@@ -92,6 +103,70 @@ EventScores EventHitModel::Predict(const data::Record& record) const {
                     static_cast<size_t>(config_.collection_window) *
                         config_.feature_dim);
   return PredictCovariates(record.covariates.data());
+}
+
+void EventHitModel::PredictBatched(const data::Record* records, size_t count,
+                                   EventScores* out,
+                                   nn::Workspace& ws) const {
+  EVENTHIT_CHECK_GT(count, 0u);
+  const auto steps = static_cast<size_t>(config_.collection_window);
+  const size_t d = config_.feature_dim;
+  for (size_t b = 0; b < count; ++b) {
+    EVENTHIT_CHECK_EQ(records[b].covariates.size(), steps * d);
+  }
+  ws.Reset();
+
+  // Gather covariates batch-minor: element (t, feature j, record b) at
+  // x[(t*d + j)*count + b], so every downstream op streams unit-stride
+  // over the batch.
+  float* x = ws.Alloc(steps * d * count);
+  for (size_t b = 0; b < count; ++b) {
+    const float* cov = records[b].covariates.data();
+    for (size_t td = 0; td < steps * d; ++td) x[td * count + b] = cov[td];
+  }
+
+  const size_t hd = lstm_.hidden_dim();
+  float* h = ws.Alloc(hd * count);
+  lstm_.ForwardBatch(x, steps, count, h, ws);
+
+  const size_t z_rows = shared_fc_.out_dim();
+  float* z = ws.Alloc(z_rows * count);
+  shared_fc_.ForwardBatch(h, count, z);
+  nn::TanhInPlace(z, z_rows * count);
+
+  // u = z ++ x_last per record (Fig. 3), still batch-minor.
+  const size_t u_rows = z_rows + d;
+  float* u = ws.Alloc(u_rows * count);
+  std::memcpy(u, z, z_rows * count * sizeof(float));
+  const size_t last_offset = (steps - 1) * d;
+  for (size_t j = 0; j < d; ++j) {
+    float* row = u + (z_rows + j) * count;
+    for (size_t b = 0; b < count; ++b) {
+      row[b] = records[b].covariates[last_offset + j];
+    }
+  }
+
+  const auto horizon = static_cast<size_t>(config_.horizon);
+  const size_t out_dim = 1 + horizon;
+  float* logits = ws.Alloc(out_dim * count);
+  for (size_t b = 0; b < count; ++b) {
+    out[b].existence.resize(config_.num_events);
+    out[b].occupancy.resize(config_.num_events);
+  }
+  for (size_t k = 0; k < config_.num_events; ++k) {
+    event_nets_[k].ForwardBatch(u, count, logits, ws);
+    // One vectorized sigmoid pass over the whole [out_dim x count] block
+    // (same per-element function as the scalar path), then a plain scatter.
+    nn::SigmoidInPlace(logits, out_dim * count);
+    for (size_t b = 0; b < count; ++b) {
+      out[b].existence[k] = logits[b];
+      auto& theta = out[b].occupancy[k];
+      theta.resize(horizon);
+      for (size_t v = 0; v < horizon; ++v) {
+        theta[v] = logits[(1 + v) * count + b];
+      }
+    }
+  }
 }
 
 std::pair<double, double> EventHitModel::TrainStep(const data::Record& record,
@@ -220,8 +295,7 @@ std::vector<TrainEpochStats> EventHitModel::Train(
 }
 
 Status EventHitModel::Save(const std::string& path) const {
-  auto* self = const_cast<EventHitModel*>(this);
-  return nn::SaveParameters(self->Parameters(), path);
+  return nn::SaveParameters(Parameters(), path);
 }
 
 Status EventHitModel::Load(const std::string& path) {
@@ -230,10 +304,41 @@ Status EventHitModel::Load(const std::string& path) {
 
 std::vector<EventScores> PredictBatch(const EventHitModel& model,
                                       const std::vector<data::Record>& records,
-                                      const ExecutionContext& ctx) {
+                                      const ExecutionContext& ctx,
+                                      size_t batch_size) {
+  EVENTHIT_CHECK_GT(batch_size, 0u);
   std::vector<EventScores> scores(records.size());
-  ctx.ParallelFor(records.size(),
-                  [&](size_t i) { scores[i] = model.Predict(records[i]); });
+  if (records.empty()) return scores;
+  // Registration is mutex-guarded setup; the hot loop reuses the pointer.
+  static obs::Histogram* batch_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          obs::names::kPredictBatchSize, obs::BatchSizeBounds());
+  const size_t num_batches = (records.size() + batch_size - 1) / batch_size;
+  // Each batch writes its own slot range, so chunking over batches keeps
+  // results in input order and byte-identical to the serial loop.
+  auto run_batches = [&](size_t first_batch, size_t end_batch,
+                         nn::Workspace& ws) {
+    for (size_t bi = first_batch; bi < end_batch; ++bi) {
+      const size_t begin = bi * batch_size;
+      const size_t count = std::min(batch_size, records.size() - begin);
+      obs::TraceSpan span(obs::names::kSpanNnGemm);
+      model.PredictBatched(records.data() + begin, count,
+                           scores.data() + begin, ws);
+      batch_hist->Observe(static_cast<double>(count));
+    }
+  };
+  if (ctx.pool() != nullptr) {
+    ctx.pool()->ParallelForChunked(
+        num_batches, [&](int, size_t chunk_begin, size_t chunk_end) {
+          // One arena per worker chunk: warm after its first batch, never
+          // shared across threads (Workspace ownership, DESIGN.md §5e).
+          nn::Workspace ws;
+          run_batches(chunk_begin, chunk_end, ws);
+        });
+  } else {
+    nn::Workspace ws;
+    run_batches(0, num_batches, ws);
+  }
   return scores;
 }
 

@@ -26,6 +26,7 @@
 #include "nn/dropout.h"
 #include "nn/lstm.h"
 #include "nn/mlp.h"
+#include "nn/workspace.h"
 
 namespace eventhit::core {
 
@@ -56,6 +57,18 @@ class EventHitModel {
   /// Inference from a raw covariate pointer (M x D floats).
   EventScores PredictCovariates(const float* covariates) const;
 
+  /// Batched inference: scores `count` records in one pass through the
+  /// GEMM path (nn/gemm.h) — covariates are gathered into a batch-minor
+  /// buffer, the LSTM runs two GEMMs per timestep for the whole batch, the
+  /// per-event MLP heads run one batched forward each, and the logits are
+  /// scattered back into `out[0..count)`. Scratch comes from `ws` (Reset
+  /// per call), so a warm Workspace makes the pass allocation-free apart
+  /// from the EventScores vectors themselves. Per record the results are
+  /// bit-identical to Predict at any batch size (summation-order contract,
+  /// nn/matrix.h).
+  void PredictBatched(const data::Record* records, size_t count,
+                      EventScores* out, nn::Workspace& ws) const;
+
   /// Number of trainable scalars.
   size_t ParameterCount() const;
 
@@ -72,6 +85,7 @@ class EventHitModel {
   std::pair<double, double> TrainStep(const data::Record& record, Rng& rng);
 
   nn::ParameterRefs Parameters();
+  nn::ConstParameterRefs Parameters() const;
 
   EventHitConfig config_;
   nn::Lstm lstm_;
@@ -81,13 +95,23 @@ class EventHitModel {
   mutable Rng rng_;  // Dropout masks and shuffling during Train.
 };
 
-/// Runs inference over every record, optionally in parallel. Predict is
-/// const and touches no shared mutable state, so records are scored across
-/// `ctx.threads()` chunks; results land in input order, byte-identical to
-/// the serial loop.
+/// Default batch size for PredictBatch (the `--predict-batch` CLI flag and
+/// RunnerConfig::predict_batch override it). Large enough that the GEMM
+/// path amortises weight streaming across the batch, small enough that the
+/// per-thread scratch stays L2-resident for the paper's model shapes.
+inline constexpr size_t kDefaultPredictBatch = 32;
+
+/// Runs inference over every record through the batched GEMM path: records
+/// are chunked into batches of `batch_size` and scored with
+/// EventHitModel::PredictBatched, parallelized across chunks when `ctx` is
+/// pooled (one Workspace per worker chunk). Results land in input order and
+/// are bit-identical to the per-record serial loop at any batch size and
+/// thread count (summation-order contract, nn/matrix.h). Instrumented with
+/// the `predict.batch_size` histogram and one `nn.gemm` span per batch.
 std::vector<EventScores> PredictBatch(const EventHitModel& model,
                                       const std::vector<data::Record>& records,
-                                      const ExecutionContext& ctx = ExecutionContext());
+                                      const ExecutionContext& ctx = ExecutionContext(),
+                                      size_t batch_size = kDefaultPredictBatch);
 
 }  // namespace eventhit::core
 

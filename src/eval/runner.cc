@@ -73,8 +73,9 @@ TrainedEventHit TrainEventHit(const TaskEnvironment& env,
   }
   {
     obs::TraceSpan span(obs::names::kSpanRunnerPredictBatch);
-    trained.test_scores =
-        core::PredictBatch(*trained.model, env.test_records(), ctx);
+    trained.test_scores = core::PredictBatch(*trained.model,
+                                             env.test_records(), ctx,
+                                             config.predict_batch);
   }
   return trained;
 }

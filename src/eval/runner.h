@@ -40,6 +40,11 @@ struct RunnerConfig {
   int64_t stream_frames_override = 0;
   /// Architecture + optimisation template (shape fields are overwritten).
   core::EventHitConfig model_template;
+  /// Records per batch for the batched GEMM inference path (test-score
+  /// precomputation; `--predict-batch` in the CLI). Scores are
+  /// bit-identical at any batch size — this only trades throughput against
+  /// per-thread scratch size.
+  size_t predict_batch = core::kDefaultPredictBatch;
   /// Master seed; vary per trial.
   uint64_t seed = 42;
 };

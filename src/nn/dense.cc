@@ -1,6 +1,7 @@
 #include "nn/dense.h"
 
 #include "common/check.h"
+#include "nn/gemm.h"
 
 namespace eventhit::nn {
 
@@ -18,6 +19,18 @@ void Dense::Forward(const float* x, Vec& y) const {
   for (size_t i = 0; i < y.size(); ++i) y[i] += b[i];
 }
 
+void Dense::ForwardBatch(const float* x, size_t batch, float* y) const {
+  EVENTHIT_CHECK_GT(batch, 0u);
+  const size_t out = out_dim();
+  GemmZero(out, batch, in_dim(), weight_.value.data(), in_dim(), x, batch, y,
+           batch);
+  const float* b = bias_.value.data();
+  for (size_t i = 0; i < out; ++i) {
+    float* row = y + i * batch;
+    for (size_t j = 0; j < batch; ++j) row[j] += b[i];
+  }
+}
+
 void Dense::Backward(const float* x, const float* dy, float* dx) {
   OuterAccum(weight_.grad, dy, x);
   float* db = bias_.grad.data();
@@ -28,6 +41,11 @@ void Dense::Backward(const float* x, const float* dy, float* dx) {
 }
 
 void Dense::CollectParameters(ParameterRefs& out) {
+  out.push_back(&weight_);
+  out.push_back(&bias_);
+}
+
+void Dense::CollectParameters(ConstParameterRefs& out) const {
   out.push_back(&weight_);
   out.push_back(&bias_);
 }

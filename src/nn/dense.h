@@ -26,6 +26,13 @@ class Dense {
   /// y = W x + b. `x` has in_dim() elements; `y` is resized to out_dim().
   void Forward(const float* x, Vec& y) const;
 
+  /// Batched forward over `batch` columns stored batch-minor: `x` is
+  /// [in_dim() x batch] with the batch contiguous per feature row, `y` is
+  /// [out_dim() x batch] and is fully overwritten. One GEMM instead of
+  /// `batch` MatVecs; per column the arithmetic (and its summation order —
+  /// see matrix.h) is identical to Forward, so results match bit-for-bit.
+  void ForwardBatch(const float* x, size_t batch, float* y) const;
+
   /// Given the input `x` used in Forward and the upstream gradient `dy`,
   /// accumulates dW, db and adds W^T dy into `dx` (which must be sized
   /// in_dim(); pass nullptr to skip input-gradient computation).
@@ -33,6 +40,7 @@ class Dense {
 
   /// Registers this layer's parameters into `out`.
   void CollectParameters(ParameterRefs& out);
+  void CollectParameters(ConstParameterRefs& out) const;
 
   const Parameter& weight() const { return weight_; }
   const Parameter& bias() const { return bias_; }

@@ -1,9 +1,12 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "nn/activations.h"
+#include "nn/gemm.h"
 
 namespace eventhit::nn {
 
@@ -22,7 +25,9 @@ Lstm::Lstm(std::string name, size_t input_dim, size_t hidden_dim, Rng& rng)
 void Lstm::StepForward(const float* x, const float* h_prev,
                        const float* c_prev, StepCache& cache) const {
   const size_t hd = hidden_dim();
-  cache.gates.assign(4 * hd, 0.0f);
+  // resize, not assign: MatVec overwrites every element, so zero-filling a
+  // warm buffer each step was pure churn.
+  cache.gates.resize(4 * hd);
   float* pre = cache.gates.data();
   MatVec(wx_.value, x, pre);
   MatVecAccum(wh_.value, h_prev, pre);
@@ -43,7 +48,7 @@ void Lstm::StepForward(const float* x, const float* h_prev,
   cache.hidden.resize(hd);
   for (size_t j = 0; j < hd; ++j) {
     cache.cell[j] = gate_f[j] * c_prev[j] + gate_i[j] * gate_g[j];
-    cache.tanh_c[j] = std::tanh(cache.cell[j]);
+    cache.tanh_c[j] = TanhScalar(cache.cell[j]);
     cache.hidden[j] = gate_o[j] * cache.tanh_c[j];
   }
 }
@@ -69,15 +74,83 @@ Vec Lstm::Forward(const float* inputs, size_t steps) const {
   EVENTHIT_CHECK_GT(steps, 0u);
   const size_t hd = hidden_dim();
   const size_t d = input_dim();
-  Vec h(hd, 0.0f);
-  Vec c(hd, 0.0f);
-  StepCache scratch;
+  // Two step caches ping-ponged by pointer swap: after the first two steps
+  // every buffer is warm, so the loop neither allocates nor copies state
+  // vectors. (The caches are locals, not members, because Forward is const
+  // and runs concurrently from PredictBatch workers.)
+  const Vec zeros(hd, 0.0f);
+  StepCache buffers[2];
+  StepCache* prev = &buffers[0];
+  StepCache* cur = &buffers[1];
   for (size_t t = 0; t < steps; ++t) {
-    StepForward(inputs + t * d, h.data(), c.data(), scratch);
-    h = scratch.hidden;
-    c = scratch.cell;
+    const float* h_prev = t == 0 ? zeros.data() : prev->hidden.data();
+    const float* c_prev = t == 0 ? zeros.data() : prev->cell.data();
+    StepForward(inputs + t * d, h_prev, c_prev, *cur);
+    std::swap(prev, cur);
   }
-  return h;
+  return std::move(prev->hidden);
+}
+
+void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                        float* h_out, Workspace& ws) const {
+  EVENTHIT_CHECK_GT(steps, 0u);
+  EVENTHIT_CHECK_GT(batch, 0u);
+  const size_t hd = hidden_dim();
+  const size_t d = input_dim();
+  const size_t gate_rows = 4 * hd;
+
+  // All scratch is [rows x batch], batch-minor. `gates` carries the packed
+  // pre-activations then (in place) the activated gates; `rec` holds the
+  // recurrent term separately so the combination below can replay the
+  // scalar path's operation order: (Wx·x) + (Wh·h) summed per element,
+  // then + bias (see StepForward and the matrix.h contract).
+  float* gates = ws.Alloc(gate_rows * batch);
+  float* rec = ws.Alloc(gate_rows * batch);
+  float* h_prev = ws.Alloc(hd * batch);
+  float* c_prev = ws.Alloc(hd * batch);
+  float* h_cur = ws.Alloc(hd * batch);
+  float* c_cur = ws.Alloc(hd * batch);
+  std::memset(h_prev, 0, hd * batch * sizeof(float));
+  std::memset(c_prev, 0, hd * batch * sizeof(float));
+
+  const float* bias = bias_.value.data();
+  for (size_t t = 0; t < steps; ++t) {
+    const float* x_t = inputs + t * d * batch;
+    GemmZero(gate_rows, batch, d, wx_.value.data(), d, x_t, batch, gates,
+             batch);
+    GemmZero(gate_rows, batch, hd, wh_.value.data(), hd, h_prev, batch, rec,
+             batch);
+    for (size_t j = 0; j < gate_rows; ++j) {
+      float* grow = gates + j * batch;
+      const float* rrow = rec + j * batch;
+      const float bj = bias[j];
+      for (size_t b = 0; b < batch; ++b) grow[b] = (grow[b] + rrow[b]) + bj;
+    }
+
+    // Gate layout [i, f, g, o]: i and f are adjacent, so one sigmoid pass
+    // covers both contiguous row blocks.
+    SigmoidInPlace(gates, 2 * hd * batch);
+    TanhInPlace(gates + 2 * hd * batch, hd * batch);
+    SigmoidInPlace(gates + 3 * hd * batch, hd * batch);
+
+    const float* gate_i = gates;
+    const float* gate_f = gates + hd * batch;
+    const float* gate_g = gates + 2 * hd * batch;
+    const float* gate_o = gates + 3 * hd * batch;
+    for (size_t idx = 0; idx < hd * batch; ++idx) {
+      c_cur[idx] = gate_f[idx] * c_prev[idx] + gate_i[idx] * gate_g[idx];
+      h_cur[idx] = c_cur[idx];
+    }
+    // tanh(c) via the vectorized kernel, then the output gate — same
+    // per-element operations as StepForward, so still bit-identical.
+    TanhInPlace(h_cur, hd * batch);
+    for (size_t idx = 0; idx < hd * batch; ++idx) {
+      h_cur[idx] *= gate_o[idx];
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(c_prev, c_cur);
+  }
+  std::memcpy(h_out, h_prev, hd * batch * sizeof(float));
 }
 
 void Lstm::Backward(const float* dh_final, float* dinputs) {
@@ -130,6 +203,12 @@ void Lstm::Backward(const float* dh_final, float* dinputs) {
 }
 
 void Lstm::CollectParameters(ParameterRefs& out) {
+  out.push_back(&wx_);
+  out.push_back(&wh_);
+  out.push_back(&bias_);
+}
+
+void Lstm::CollectParameters(ConstParameterRefs& out) const {
   out.push_back(&wx_);
   out.push_back(&wh_);
   out.push_back(&bias_);

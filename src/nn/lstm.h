@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "nn/matrix.h"
 #include "nn/parameter.h"
+#include "nn/workspace.h"
 
 namespace eventhit::nn {
 
@@ -34,6 +35,19 @@ class Lstm {
   /// Inference-only forward; no cache, ping-pong buffers. Returns h_M.
   Vec Forward(const float* inputs, size_t steps) const;
 
+  /// Batched inference over `batch` independent sequences, stored
+  /// batch-minor and time-major: element (t, feature j, sequence b) lives
+  /// at inputs[(t * input_dim() + j) * batch + b]. Writes the final hidden
+  /// states into `h_out` as [hidden_dim() x batch] (same batch-minor
+  /// layout). Each timestep computes all four gates for the whole batch
+  /// with two GEMMs (Wx·X_t and Wh·H_{t-1}) instead of 2·batch MatVecs;
+  /// scratch comes from `ws` (valid until its next Reset), so a warm
+  /// Workspace makes the pass allocation-free. Per sequence the arithmetic
+  /// replays Forward's summation order exactly (matrix.h), so results are
+  /// bit-identical to the per-record path at any batch size.
+  void ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                    float* h_out, Workspace& ws) const;
+
   /// BPTT from the gradient of the final hidden state. Must follow a
   /// ForwardCached call; accumulates parameter gradients. If `dinputs` is
   /// non-null it must hold steps*input_dim floats and receives +=
@@ -41,6 +55,7 @@ class Lstm {
   void Backward(const float* dh_final, float* dinputs = nullptr);
 
   void CollectParameters(ParameterRefs& out);
+  void CollectParameters(ConstParameterRefs& out) const;
 
   const Parameter& wx() const { return wx_; }
   const Parameter& wh() const { return wh_; }

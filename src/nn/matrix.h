@@ -60,10 +60,21 @@ class Matrix {
   std::vector<float> data_;
 };
 
+// Summation-order contract (shared with nn/gemm.h): every inner product in
+// these kernels accumulates in `float`, adding column terms in ascending
+// order from zero, and any pre-existing destination value is added in one
+// final operation (y[r] += acc). The build never enables -ffast-math, so
+// the compiler may not reassociate these sums — which makes the order part
+// of the kernels' observable behaviour. The batched GEMM path replays the
+// exact same order per output element, so batched and per-record inference
+// agree bit-for-bit and conformal calibration scores are stable under
+// batching.
+
 /// y = W * x. `x` must have W.cols() elements, `y` W.rows().
 void MatVec(const Matrix& w, const float* x, float* y);
 
-/// y += W * x.
+/// y += W * x (inner products formed separately, then added once; see the
+/// summation-order contract above).
 void MatVecAccum(const Matrix& w, const float* x, float* y);
 
 /// dx += W^T * dy. `dy` has W.rows() elements, `dx` W.cols().

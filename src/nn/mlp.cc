@@ -43,6 +43,21 @@ void Mlp::Forward(const float* x, Vec& logits) const {
   }
 }
 
+void Mlp::ForwardBatch(const float* x, size_t batch, float* logits,
+                       Workspace& ws) const {
+  const float* current = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    const size_t out = layers_[i].out_dim();
+    float* buffer = last ? logits : ws.Alloc(out * batch);
+    layers_[i].ForwardBatch(current, batch, buffer);
+    if (!last) {
+      TanhInPlace(buffer, out * batch);
+      current = buffer;
+    }
+  }
+}
+
 void Mlp::Backward(const float* x, const float* dlogits, float* dx) {
   // Walk backwards; the gradient w.r.t. each hidden activation is computed
   // into a scratch buffer, then passed through the tanh derivative.
@@ -66,6 +81,10 @@ void Mlp::Backward(const float* x, const float* dlogits, float* dx) {
 
 void Mlp::CollectParameters(ParameterRefs& out) {
   for (Dense& layer : layers_) layer.CollectParameters(out);
+}
+
+void Mlp::CollectParameters(ConstParameterRefs& out) const {
+  for (const Dense& layer : layers_) layer.CollectParameters(out);
 }
 
 }  // namespace eventhit::nn

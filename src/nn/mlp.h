@@ -10,6 +10,7 @@
 #include "nn/dense.h"
 #include "nn/matrix.h"
 #include "nn/parameter.h"
+#include "nn/workspace.h"
 
 namespace eventhit::nn {
 
@@ -30,12 +31,21 @@ class Mlp {
   /// Inference-only forward (no cache mutation).
   void Forward(const float* x, Vec& logits) const;
 
+  /// Batched inference over `batch` columns stored batch-minor: `x` is
+  /// [in_dim() x batch], `logits` [out_dim() x batch], fully overwritten.
+  /// Hidden activations come from `ws` (valid until its next Reset), so a
+  /// warm Workspace makes the whole pass allocation-free. Per column the
+  /// results are bit-identical to Forward.
+  void ForwardBatch(const float* x, size_t batch, float* logits,
+                    Workspace& ws) const;
+
   /// Backward from dlogits; accumulates parameter gradients. `dx` (size
   /// in_dim()) receives += input gradients when non-null. Must follow
   /// ForwardCached with the same `x`.
   void Backward(const float* x, const float* dlogits, float* dx);
 
   void CollectParameters(ParameterRefs& out);
+  void CollectParameters(ConstParameterRefs& out) const;
 
   const std::vector<Dense>& layers() const { return layers_; }
   std::vector<Dense>& mutable_layers() { return layers_; }

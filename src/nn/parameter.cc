@@ -26,10 +26,14 @@ double ClipGradientNorm(const ParameterRefs& params, double max_norm) {
   return norm;
 }
 
-size_t ParameterCount(const ParameterRefs& params) {
+size_t ParameterCount(const ConstParameterRefs& params) {
   size_t count = 0;
   for (const Parameter* p : params) count += p->value.size();
   return count;
+}
+
+size_t ParameterCount(const ParameterRefs& params) {
+  return ParameterCount(ConstParameterRefs(params.begin(), params.end()));
 }
 
 }  // namespace eventhit::nn

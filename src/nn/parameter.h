@@ -28,6 +28,10 @@ struct Parameter {
 /// Non-owning list of parameters assembled from all layers of a model.
 using ParameterRefs = std::vector<Parameter*>;
 
+/// Read-only variant, assembled by the const CollectParameters overloads so
+/// inspection paths (ParameterCount, Save) need no const_cast.
+using ConstParameterRefs = std::vector<const Parameter*>;
+
 /// Sets every gradient in `params` to zero.
 void ZeroGradients(const ParameterRefs& params);
 
@@ -39,6 +43,7 @@ void ScaleGradients(const ParameterRefs& params, float scale);
 double ClipGradientNorm(const ParameterRefs& params, double max_norm);
 
 /// Total number of scalar weights across `params`.
+size_t ParameterCount(const ConstParameterRefs& params);
 size_t ParameterCount(const ParameterRefs& params);
 
 }  // namespace eventhit::nn

@@ -32,7 +32,8 @@ bool ReadU32(std::FILE* f, uint32_t* v) {
 
 }  // namespace
 
-Status SaveParameters(const ParameterRefs& params, const std::string& path) {
+Status SaveParameters(const ConstParameterRefs& params,
+                      const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "wb"));
   if (file == nullptr) {
     return InvalidArgumentError("cannot open for writing: " + path);

@@ -12,8 +12,11 @@
 namespace eventhit::nn {
 
 /// Writes all parameters (name, shape, float data) to `path`. The format is
-/// a little-endian stream with a magic header; see serialize.cc.
-Status SaveParameters(const ParameterRefs& params, const std::string& path);
+/// a little-endian stream with a magic header; see serialize.cc. Saving
+/// only reads the parameters, so it takes const refs (a non-const
+/// `Parameter*` converts implicitly).
+Status SaveParameters(const ConstParameterRefs& params,
+                      const std::string& path);
 
 /// Loads parameters from `path` into `params`. Names and shapes must match
 /// the registered parameters exactly (same order), the file must contain

@@ -34,6 +34,7 @@ std::vector<std::string> AllMetricNames() {
       names::kCloudRequestFrames,
       names::kCloudRequestLatencySeconds,
       names::kThreadPoolParallelForItems,
+      names::kPredictBatchSize,
   };
   std::sort(all.begin(), all.end());
   return all;
@@ -48,6 +49,7 @@ std::vector<std::string> AllSpanNames() {
       names::kSpanRunnerDecideBatch,
       names::kSpanCliGenerateStream,
       names::kSpanBenchEvaluateRep,
+      names::kSpanNnGemm,
       names::kSpanThreadPoolChunk,
       names::kSpanStageFeatureExtraction,
       names::kSpanStagePredictor,
@@ -67,6 +69,10 @@ std::vector<double> LatencySecondsBounds() {
 
 std::vector<double> ItemCountBounds() {
   return {1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0};
+}
+
+std::vector<double> BatchSizeBounds() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0};
 }
 
 }  // namespace eventhit::obs

@@ -78,6 +78,10 @@ inline constexpr char kCloudRequestLatencySeconds[] =
 inline constexpr char kThreadPoolParallelForItems[] =
     "threadpool.parallel_for.items";
 
+// Batched-inference path: records per PredictBatch batch (the ragged tail
+// batch makes this a distribution, not a constant).
+inline constexpr char kPredictBatchSize[] = "predict.batch_size";
+
 // --- Span names (wall timeline, category "stage") ---------------------
 
 inline constexpr char kSpanRunnerBuildEnv[] = "runner.build_env";
@@ -87,6 +91,7 @@ inline constexpr char kSpanRunnerPredictBatch[] = "runner.predict_batch";
 inline constexpr char kSpanRunnerDecideBatch[] = "runner.decide_batch";
 inline constexpr char kSpanCliGenerateStream[] = "cli.generate_stream";
 inline constexpr char kSpanBenchEvaluateRep[] = "bench.evaluate_rep";
+inline constexpr char kSpanNnGemm[] = "nn.gemm";
 
 // --- Span names (wall timeline, category "threadpool") ----------------
 
@@ -121,6 +126,9 @@ std::vector<double> LatencySecondsBounds();
 
 /// Standard bucket bounds for ParallelFor item counts.
 std::vector<double> ItemCountBounds();
+
+/// Power-of-two bucket bounds for prediction batch sizes.
+std::vector<double> BatchSizeBounds();
 
 }  // namespace eventhit::obs
 

@@ -169,6 +169,75 @@ TEST(EventHitModelTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(EventHitModelTest, BatchedPredictionMatchesPerRecord) {
+  // The documented agreement bound is 1e-5, but the implementation promises
+  // more: batched and per-record scores are bit-identical (summation-order
+  // contract, nn/matrix.h). Pin the stronger property.
+  EventHitModel model(SmallConfig(2));
+  Rng rng(33);
+  std::vector<data::Record> records;
+  for (int i = 0; i < 37; ++i) {  // 37 % 8 != 0: exercises the ragged tail.
+    data::Record record = MakeToyRecord(rng.Uniform(), rng);
+    record.labels.push_back(record.labels[0]);
+    records.push_back(std::move(record));
+  }
+  const auto batched = PredictBatch(model, records, ExecutionContext(), 8);
+  ASSERT_EQ(batched.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const EventScores single = model.Predict(records[i]);
+    ASSERT_EQ(batched[i].existence.size(), single.existence.size());
+    for (size_t k = 0; k < single.existence.size(); ++k) {
+      EXPECT_NEAR(batched[i].existence[k], single.existence[k], 1e-5);
+      EXPECT_DOUBLE_EQ(batched[i].existence[k], single.existence[k]);
+      ASSERT_EQ(batched[i].occupancy[k].size(), single.occupancy[k].size());
+      for (size_t v = 0; v < single.occupancy[k].size(); ++v) {
+        EXPECT_NEAR(batched[i].occupancy[k][v], single.occupancy[k][v], 1e-5);
+        EXPECT_EQ(batched[i].occupancy[k][v], single.occupancy[k][v]);
+      }
+    }
+  }
+}
+
+TEST(EventHitModelTest, BatchSizeDoesNotChangeScores) {
+  EventHitModel model(SmallConfig());
+  Rng rng(35);
+  std::vector<data::Record> records;
+  for (int i = 0; i < 23; ++i) {
+    records.push_back(MakeToyRecord(rng.Uniform(), rng));
+  }
+  const auto b1 = PredictBatch(model, records, ExecutionContext(), 1);
+  const auto b5 = PredictBatch(model, records, ExecutionContext(), 5);
+  const auto b32 = PredictBatch(model, records, ExecutionContext(), 32);
+  ASSERT_EQ(b1.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(b1[i].existence[0], b5[i].existence[0]) << "record " << i;
+    EXPECT_EQ(b1[i].existence[0], b32[i].existence[0]) << "record " << i;
+    EXPECT_EQ(b1[i].occupancy[0], b5[i].occupancy[0]) << "record " << i;
+    EXPECT_EQ(b1[i].occupancy[0], b32[i].occupancy[0]) << "record " << i;
+  }
+}
+
+TEST(EventHitModelTest, ParallelPredictBatchMatchesSerial) {
+  EventHitModel model(SmallConfig());
+  Rng rng(37);
+  std::vector<data::Record> records;
+  for (int i = 0; i < 41; ++i) {
+    records.push_back(MakeToyRecord(rng.Uniform(), rng));
+  }
+  const auto serial = PredictBatch(model, records, ExecutionContext(), 8);
+  const auto pooled = PredictBatch(model, records, ExecutionContext(3, 7), 8);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].existence[0], pooled[i].existence[0]) << "record " << i;
+    EXPECT_EQ(serial[i].occupancy[0], pooled[i].occupancy[0]) << "record " << i;
+  }
+}
+
+TEST(EventHitModelTest, PredictBatchEmptyInput) {
+  EventHitModel model(SmallConfig());
+  EXPECT_TRUE(PredictBatch(model, {}).empty());
+}
+
 TEST(EventHitModelTest, PerEventLossWeightsAccepted) {
   EventHitConfig config = SmallConfig(2);
   config.beta = {1.0, 0.5};

@@ -1,11 +1,13 @@
 #include "nn/lstm.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "gradient_check.h"
+#include "nn/workspace.h"
 
 namespace eventhit::nn {
 namespace {
@@ -121,6 +123,104 @@ TEST(LstmTest, InputGradientsMatchFiniteDifferences) {
     seq[i] = saved;
     EXPECT_NEAR(dinputs[i], (up - down) / (2 * eps), 2e-2) << "input " << i;
   }
+}
+
+// Packs `batch` time-major sequences (each steps x dim) into the
+// batch-minor layout ForwardBatch expects.
+Vec PackBatchMinor(const std::vector<Vec>& seqs, size_t steps, size_t dim) {
+  const size_t batch = seqs.size();
+  Vec packed(steps * dim * batch);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t j = 0; j < dim; ++j) {
+        packed[(t * dim + j) * batch + b] = seqs[b][t * dim + j];
+      }
+    }
+  }
+  return packed;
+}
+
+TEST(LstmTest, ForwardBatchOfOneIsBitIdenticalToForward) {
+  Rng rng(20);
+  Lstm lstm("l", 3, 6, rng);
+  Rng data_rng(21);
+  const Vec seq = RandomSequence(5, 3, data_rng);
+  const Vec h_scalar = lstm.Forward(seq.data(), 5);
+
+  Workspace ws;
+  Vec h_batch(6);
+  lstm.ForwardBatch(seq.data(), 5, 1, h_batch.data(), ws);
+  // Exact equality, not tolerance: batch=1 must replay the scalar path's
+  // float operations in the same order (the gemm.h contract).
+  EXPECT_EQ(h_scalar, h_batch);
+}
+
+TEST(LstmTest, ForwardBatchMatchesPerSequenceForward) {
+  const size_t steps = 7, dim = 4, hidden = 5, batch = 9;
+  Rng rng(22);
+  Lstm lstm("l", dim, hidden, rng);
+  Rng data_rng(23);
+  std::vector<Vec> seqs;
+  for (size_t b = 0; b < batch; ++b) {
+    seqs.push_back(RandomSequence(steps, dim, data_rng));
+  }
+  const Vec packed = PackBatchMinor(seqs, steps, dim);
+
+  Workspace ws;
+  Vec h_batch(hidden * batch);
+  lstm.ForwardBatch(packed.data(), steps, batch, h_batch.data(), ws);
+
+  for (size_t b = 0; b < batch; ++b) {
+    const Vec h = lstm.Forward(seqs[b].data(), steps);
+    for (size_t j = 0; j < hidden; ++j) {
+      EXPECT_EQ(h[j], h_batch[j * batch + b]) << "seq " << b << " dim " << j;
+    }
+  }
+}
+
+TEST(LstmTest, ForwardBatchSingleStep) {
+  Rng rng(24);
+  Lstm lstm("l", 2, 4, rng);
+  Rng data_rng(25);
+  std::vector<Vec> seqs = {RandomSequence(1, 2, data_rng),
+                           RandomSequence(1, 2, data_rng),
+                           RandomSequence(1, 2, data_rng)};
+  const Vec packed = PackBatchMinor(seqs, 1, 2);
+  Workspace ws;
+  Vec h_batch(4 * 3);
+  lstm.ForwardBatch(packed.data(), 1, 3, h_batch.data(), ws);
+  for (size_t b = 0; b < 3; ++b) {
+    const Vec h = lstm.Forward(seqs[b].data(), 1);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(h[j], h_batch[j * 3 + b]) << "seq " << b << " dim " << j;
+    }
+  }
+}
+
+TEST(LstmTest, ForwardBatchDeterministicWithWarmWorkspace) {
+  // Re-running on a warm (Reset) Workspace must give identical results —
+  // scratch reuse may not leak state between batches.
+  const size_t steps = 4, dim = 3, hidden = 6, batch = 5;
+  Rng rng(26);
+  Lstm lstm("l", dim, hidden, rng);
+  Rng data_rng(27);
+  std::vector<Vec> seqs;
+  for (size_t b = 0; b < batch; ++b) {
+    seqs.push_back(RandomSequence(steps, dim, data_rng));
+  }
+  const Vec packed = PackBatchMinor(seqs, steps, dim);
+
+  Workspace ws;
+  Vec h1(hidden * batch), h2(hidden * batch);
+  lstm.ForwardBatch(packed.data(), steps, batch, h1.data(), ws);
+  ws.Reset();
+  lstm.ForwardBatch(packed.data(), steps, batch, h2.data(), ws);
+  EXPECT_EQ(h1, h2);
+  const size_t capacity_after_two = ws.capacity();
+  ws.Reset();
+  lstm.ForwardBatch(packed.data(), steps, batch, h1.data(), ws);
+  // Steady state: capacity has stopped growing (allocation-free reuse).
+  EXPECT_EQ(ws.capacity(), capacity_after_two);
 }
 
 TEST(LstmTest, LongerSequencePropagatesEarlySignal) {

@@ -57,12 +57,15 @@ int Usage() {
       "usage: eventhit_cli <stats|evaluate|sweep|hypersearch> [flags]\n"
       "  stats        --dataset=VIRAT|THUMOS|Breakfast  [--seed=N]\n"
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
-      "               [--model-out=PATH] [--threads=N]\n"
+      "               [--model-out=PATH] [--threads=N] [--predict-batch=B]\n"
       "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
       "               identical for every N.\n"
+      "  --predict-batch=B  records per batch for the batched GEMM\n"
+      "               inference path (default 32; scores are identical\n"
+      "               for every B >= 1)\n"
       "  telemetry (all subcommands; see docs/TELEMETRY.md):\n"
       "  --metrics-out=PATH  write the metrics snapshot as JSON\n"
       "  --trace-out=PATH    write Chrome trace-event JSON for\n"
@@ -187,6 +190,14 @@ eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
   const auto seed = flags.GetInt("seed", 42);
   if (!seed.ok()) return seed.status();
   config.seed = static_cast<uint64_t>(seed.value());
+  const auto predict_batch =
+      flags.GetInt("predict-batch",
+                   static_cast<int64_t>(core::kDefaultPredictBatch));
+  if (!predict_batch.ok()) return predict_batch.status();
+  if (predict_batch.value() < 1) {
+    return eventhit::InvalidArgumentError("--predict-batch must be >= 1");
+  }
+  config.predict_batch = static_cast<size_t>(predict_batch.value());
   auto exec = ParseThreads(flags, config.seed);
   if (!exec.ok()) return exec.status();
   std::cerr << "building environment + training on " << task_name << " ("
