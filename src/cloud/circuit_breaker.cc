@@ -1,0 +1,76 @@
+#include "cloud/circuit_breaker.h"
+
+#include "common/check.h"
+
+namespace eventhit::cloud {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerConfig& config)
+    : config_(config) {
+  EVENTHIT_CHECK_GE(config_.failure_threshold, 1);
+  EVENTHIT_CHECK_GE(config_.open_seconds, 0.0);
+  EVENTHIT_CHECK_GE(config_.half_open_successes, 1);
+}
+
+void CircuitBreaker::Transition(BreakerState next, double now_seconds) {
+  if (next == state_) return;
+  state_ = next;
+  ++transitions_;
+  if (next == BreakerState::kOpen) {
+    ++opens_;
+    last_open_seconds_ = now_seconds;
+  }
+  if (next == BreakerState::kHalfOpen) half_open_successes_ = 0;
+  if (next == BreakerState::kClosed) consecutive_failures_ = 0;
+}
+
+bool CircuitBreaker::AllowRequest(double now_seconds) {
+  if (state_ == BreakerState::kOpen &&
+      now_seconds >= last_open_seconds_ + config_.open_seconds) {
+    Transition(BreakerState::kHalfOpen, now_seconds);
+  }
+  return state_ != BreakerState::kOpen;
+}
+
+void CircuitBreaker::RecordSuccess(double now_seconds) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= config_.half_open_successes) {
+        Transition(BreakerState::kClosed, now_seconds);
+      }
+      break;
+    case BreakerState::kOpen:
+      // Success cannot be reported while open (no attempts are allowed);
+      // tolerate it as a no-op for robustness.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(double now_seconds) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        Transition(BreakerState::kOpen, now_seconds);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // A failed probe re-opens immediately and restarts the cool-down.
+      Transition(BreakerState::kOpen, now_seconds);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+}  // namespace eventhit::cloud

@@ -1,0 +1,65 @@
+// Three-state circuit breaker for the resilient cloud relay: trips open
+// after a run of consecutive failures, cools down on the simulated clock,
+// half-opens to probe the service, and closes again after enough probe
+// successes. Pure state machine over an explicit `now_seconds` — no wall
+// clock, so chaos replays are deterministic.
+#ifndef EVENTHIT_CLOUD_CIRCUIT_BREAKER_H_
+#define EVENTHIT_CLOUD_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eventhit::cloud {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Human-readable state name ("closed" / "open" / "half_open").
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures (while closed) that trip the breaker.
+  int failure_threshold = 5;
+  /// Cool-down on the simulated clock before half-opening.
+  double open_seconds = 5.0;
+  /// Probe successes (while half-open) required to close again.
+  int half_open_successes = 2;
+};
+
+/// The breaker. Callers ask AllowRequest(now) before each attempt and
+/// report the outcome via RecordSuccess/RecordFailure(now); `now` must be
+/// monotonically non-decreasing across calls.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerConfig& config);
+
+  /// True when an attempt may be issued at `now_seconds`. An open breaker
+  /// whose cool-down has elapsed transitions to half-open (and allows the
+  /// probe) inside this call.
+  bool AllowRequest(double now_seconds);
+
+  void RecordSuccess(double now_seconds);
+  void RecordFailure(double now_seconds);
+
+  BreakerState state() const { return state_; }
+  /// Total state transitions since construction.
+  int64_t transitions() const { return transitions_; }
+  /// Times the breaker tripped (entered kOpen).
+  int64_t opens() const { return opens_; }
+  /// Simulated time of the last transition into kOpen.
+  double last_open_seconds() const { return last_open_seconds_; }
+
+ private:
+  void Transition(BreakerState next, double now_seconds);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  double last_open_seconds_ = 0.0;
+  int64_t transitions_ = 0;
+  int64_t opens_ = 0;
+};
+
+}  // namespace eventhit::cloud
+
+#endif  // EVENTHIT_CLOUD_CIRCUIT_BREAKER_H_

@@ -1,0 +1,46 @@
+#include "cloud/retry_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eventhit::cloud {
+
+namespace {
+
+// Domain separation from other SplitSeed consumers of the relay seed.
+constexpr uint64_t kBackoffStream = 0xBAC0'FF5E'ED11'7E12ull;
+
+}  // namespace
+
+RetryPolicy::RetryPolicy(const RetryPolicyConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  EVENTHIT_CHECK_GE(config_.max_attempts, 1);
+  EVENTHIT_CHECK_GE(config_.initial_backoff_seconds, 0.0);
+  EVENTHIT_CHECK_GE(config_.backoff_multiplier, 1.0);
+  EVENTHIT_CHECK_GE(config_.max_backoff_seconds,
+                    config_.initial_backoff_seconds);
+  EVENTHIT_CHECK_GE(config_.jitter_fraction, 0.0);
+  EVENTHIT_CHECK_LE(config_.jitter_fraction, 1.0);
+}
+
+double RetryPolicy::BackoffSeconds(int64_t request_id, int attempt) const {
+  EVENTHIT_CHECK_GE(attempt, 1);
+  double base = config_.initial_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) {
+    base *= config_.backoff_multiplier;
+    if (base >= config_.max_backoff_seconds) break;
+  }
+  base = std::min(base, config_.max_backoff_seconds);
+  if (config_.jitter_fraction <= 0.0 || base <= 0.0) return base;
+  // One draw per (request, attempt): decorrelated across both axes and
+  // independent of how many other requests retried before this one.
+  Rng rng(SplitSeed(seed_ ^ kBackoffStream,
+                    static_cast<uint64_t>(request_id) * 64u +
+                        static_cast<uint64_t>(attempt)));
+  return base * rng.Uniform(1.0 - config_.jitter_fraction,
+                            1.0 + config_.jitter_fraction);
+}
+
+}  // namespace eventhit::cloud

@@ -1,0 +1,47 @@
+// Capped exponential backoff with seeded jitter for the resilient cloud
+// relay. Backoff durations are pure functions of (seed, request id,
+// attempt), so retry timing — and therefore the whole chaos replay — is
+// reproducible from the seed alone (DESIGN.md §5f determinism contract).
+#ifndef EVENTHIT_CLOUD_RETRY_POLICY_H_
+#define EVENTHIT_CLOUD_RETRY_POLICY_H_
+
+#include <cstdint>
+
+namespace eventhit::cloud {
+
+/// Knobs of the exponential-backoff schedule.
+struct RetryPolicyConfig {
+  /// Total attempts per request, including the first (>= 1).
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  double initial_backoff_seconds = 0.1;
+  /// Growth factor per additional retry (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Upper clamp applied before jitter.
+  double max_backoff_seconds = 5.0;
+  /// Uniform jitter half-width as a fraction of the capped base: the
+  /// backoff is drawn from base * [1 - f, 1 + f). 0 disables jitter.
+  double jitter_fraction = 0.2;
+};
+
+/// Stateless backoff calculator; thread-safe by construction.
+class RetryPolicy {
+ public:
+  RetryPolicy(const RetryPolicyConfig& config, uint64_t seed);
+
+  /// Simulated seconds to wait before retry number `attempt` (1-based: 1
+  /// precedes the second attempt) of request `request_id`. Pure function
+  /// of (seed, request_id, attempt).
+  double BackoffSeconds(int64_t request_id, int attempt) const;
+
+  int max_attempts() const { return config_.max_attempts; }
+  const RetryPolicyConfig& config() const { return config_; }
+
+ private:
+  RetryPolicyConfig config_;
+  uint64_t seed_;
+};
+
+}  // namespace eventhit::cloud
+
+#endif  // EVENTHIT_CLOUD_RETRY_POLICY_H_

@@ -109,6 +109,11 @@ bool Marshaller::PushFrame(const float* features) {
     if (!last_decision_.exists[k]) continue;
     ++events_present;
     const sim::Interval& offsets = last_decision_.intervals[k];
+    // A present prediction with an empty interval relays nothing: no
+    // order is issued (the cloud service rejects empty requests) and the
+    // whole horizon stays in the filtered bucket, so the accounting
+    // invariant holds on the zero-relay edge too.
+    if (offsets.empty()) continue;
     RelayOrder order;
     order.event = k;
     order.frames = sim::Interval{current_frame + offsets.start,

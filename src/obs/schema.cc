@@ -15,6 +15,24 @@ std::vector<std::string> AllMetricNames() {
       names::kMarshallerEventsPredictedAbsent,
       names::kCloudRequests,
       names::kCloudFramesProcessed,
+      names::kRelayOrdersSubmitted,
+      names::kRelayOrdersDelivered,
+      names::kRelayOrdersDropped,
+      names::kRelayOrdersReplayed,
+      names::kRelayFramesSubmitted,
+      names::kRelayFramesDelivered,
+      names::kRelayFramesDropped,
+      names::kRelayFramesBuffered,
+      names::kRelayAttemptsTotal,
+      names::kRelayAttemptsRetries,
+      names::kRelayFaultErrors,
+      names::kRelayFaultLatencySpikes,
+      names::kBreakerTransitions,
+      names::kBreakerOpens,
+      names::kBreakerState,
+      names::kRelayQueueDepth,
+      names::kRelayRequestAttempts,
+      names::kRelayBackoffSeconds,
       names::kDriftObservations,
       names::kDriftAlarms,
       names::kRecalibratorRecordsAdded,
@@ -54,6 +72,7 @@ std::vector<std::string> AllSpanNames() {
       names::kSpanStageFeatureExtraction,
       names::kSpanStagePredictor,
       names::kSpanStageCi,
+      names::kSpanRelayOutage,
   };
   std::sort(all.begin(), all.end());
   return all;
@@ -73,6 +92,10 @@ std::vector<double> ItemCountBounds() {
 
 std::vector<double> BatchSizeBounds() {
   return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0};
+}
+
+std::vector<double> AttemptCountBounds() {
+  return {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0};
 }
 
 }  // namespace eventhit::obs

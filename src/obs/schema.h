@@ -37,6 +37,29 @@ inline constexpr char kMarshallerEventsPredictedAbsent[] =
 inline constexpr char kCloudRequests[] = "cloud.requests";
 inline constexpr char kCloudFramesProcessed[] = "cloud.frames.processed";
 
+// Resilient cloud relay (cloud/relay.h). Frame accounting upholds
+//   relay.frames.delivered + relay.frames.dropped + <pending in queue>
+//     == relay.frames.submitted
+// at every breaker state transition; once the relay is flushed the queue
+// is empty and delivered + dropped == submitted exactly.
+inline constexpr char kRelayOrdersSubmitted[] = "relay.orders.submitted";
+inline constexpr char kRelayOrdersDelivered[] = "relay.orders.delivered";
+inline constexpr char kRelayOrdersDropped[] = "relay.orders.dropped";
+inline constexpr char kRelayOrdersReplayed[] = "relay.orders.replayed";
+inline constexpr char kRelayFramesSubmitted[] = "relay.frames.submitted";
+inline constexpr char kRelayFramesDelivered[] = "relay.frames.delivered";
+inline constexpr char kRelayFramesDropped[] = "relay.frames.dropped";
+inline constexpr char kRelayFramesBuffered[] = "relay.frames.buffered";
+inline constexpr char kRelayAttemptsTotal[] = "relay.attempts.total";
+inline constexpr char kRelayAttemptsRetries[] = "relay.attempts.retries";
+inline constexpr char kRelayFaultErrors[] = "relay.faults.errors";
+inline constexpr char kRelayFaultLatencySpikes[] =
+    "relay.faults.latency_spikes";
+
+// Circuit breaker guarding the relay (cloud/circuit_breaker.h).
+inline constexpr char kBreakerTransitions[] = "breaker.transitions";
+inline constexpr char kBreakerOpens[] = "breaker.opens";
+
 // Drift detection / recalibration.
 inline constexpr char kDriftObservations[] = "drift.observations";
 inline constexpr char kDriftAlarms[] = "drift.alarms";
@@ -59,6 +82,8 @@ inline constexpr char kThreadPoolWorkerBusyMicros[] =
 
 // --- Gauges -----------------------------------------------------------
 
+inline constexpr char kBreakerState[] = "breaker.state";
+inline constexpr char kRelayQueueDepth[] = "relay.queue.depth";
 inline constexpr char kCloudInvoiceCostUsd[] = "cloud.invoice.cost_usd";
 inline constexpr char kCloudInvoiceComputeSeconds[] =
     "cloud.invoice.compute_seconds";
@@ -81,6 +106,11 @@ inline constexpr char kThreadPoolParallelForItems[] =
 // Batched-inference path: records per PredictBatch batch (the ragged tail
 // batch makes this a distribution, not a constant).
 inline constexpr char kPredictBatchSize[] = "predict.batch_size";
+
+// Resilient relay request shape: attempts consumed per request and the
+// simulated backoff slept before each retry.
+inline constexpr char kRelayRequestAttempts[] = "relay.request.attempts";
+inline constexpr char kRelayBackoffSeconds[] = "relay.backoff_seconds";
 
 // --- Span names (wall timeline, category "stage") ---------------------
 
@@ -106,6 +136,11 @@ inline constexpr char kSpanStageFeatureExtraction[] =
 inline constexpr char kSpanStagePredictor[] = "stage.predictor";
 inline constexpr char kSpanStageCi[] = "stage.ci";
 
+// One relay outage: from the breaker tripping open to the close that ends
+// it, on the simulated clock — Chrome-trace export shows outages as solid
+// blocks on the simulated track.
+inline constexpr char kSpanRelayOutage[] = "relay.outage";
+
 }  // namespace eventhit::obs::names
 
 namespace eventhit::obs {
@@ -129,6 +164,9 @@ std::vector<double> ItemCountBounds();
 
 /// Power-of-two bucket bounds for prediction batch sizes.
 std::vector<double> BatchSizeBounds();
+
+/// Bucket bounds for per-request relay attempt counts.
+std::vector<double> AttemptCountBounds();
 
 }  // namespace eventhit::obs
 

@@ -1,0 +1,102 @@
+#include "sim/fault_injector.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace eventhit::sim {
+
+namespace {
+
+// Domain-separation constant decorrelating fault draws from every other
+// SplitSeed consumer sharing the base seed.
+constexpr uint64_t kFaultStream = 0xFA17'1D3C'70F5'11D0ull;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultProfile& profile)
+    : profile_(profile) {
+  EVENTHIT_CHECK_GE(profile_.error_rate, 0.0);
+  EVENTHIT_CHECK_LE(profile_.error_rate, 1.0);
+  EVENTHIT_CHECK_GE(profile_.latency_spike_rate, 0.0);
+  EVENTHIT_CHECK_LE(profile_.latency_spike_rate, 1.0);
+  EVENTHIT_CHECK_GE(profile_.latency_spike_seconds, 0.0);
+  EVENTHIT_CHECK_GE(profile_.blackout_period_frames, 0);
+  EVENTHIT_CHECK_GE(profile_.blackout_length_frames, 0);
+  EVENTHIT_CHECK_GE(profile_.blackout_offset_frames, 0);
+  if (profile_.blackout_period_frames > 0) {
+    EVENTHIT_CHECK_LE(profile_.blackout_length_frames,
+                      profile_.blackout_period_frames);
+  }
+}
+
+bool FaultInjector::InBlackout(int64_t now_frame) const {
+  if (profile_.blackout_period_frames <= 0 ||
+      profile_.blackout_length_frames <= 0) {
+    return false;
+  }
+  const int64_t shifted = now_frame - profile_.blackout_offset_frames;
+  if (shifted < 0) return false;
+  return shifted % profile_.blackout_period_frames <
+         profile_.blackout_length_frames;
+}
+
+int64_t FaultInjector::BlackoutEndFrame(int64_t now_frame) const {
+  if (!InBlackout(now_frame)) return now_frame;
+  const int64_t shifted = now_frame - profile_.blackout_offset_frames;
+  const int64_t window_start =
+      shifted - shifted % profile_.blackout_period_frames;
+  return profile_.blackout_offset_frames + window_start +
+         profile_.blackout_length_frames;
+}
+
+FaultDecision FaultInjector::Evaluate(int64_t attempt_index,
+                                      int64_t now_frame) const {
+  FaultDecision decision;
+  if (InBlackout(now_frame)) {
+    decision.fail = true;
+    decision.blackout = true;
+    return decision;
+  }
+  if (profile_.error_rate <= 0.0 && profile_.latency_spike_rate <= 0.0) {
+    return decision;
+  }
+  Rng rng(SplitSeed(profile_.seed ^ kFaultStream,
+                    static_cast<uint64_t>(attempt_index)));
+  if (profile_.error_rate > 0.0 && rng.Bernoulli(profile_.error_rate)) {
+    decision.fail = true;
+    return decision;
+  }
+  if (profile_.latency_spike_rate > 0.0 &&
+      rng.Bernoulli(profile_.latency_spike_rate)) {
+    decision.extra_latency_seconds = profile_.latency_spike_seconds;
+  }
+  return decision;
+}
+
+Result<FaultProfile> MakeFaultProfile(const std::string& name,
+                                      uint64_t seed) {
+  FaultProfile profile;
+  profile.seed = seed;
+  if (name == "none" || name.empty()) return profile;
+  if (name == "flaky") {
+    profile.error_rate = 0.3;
+    return profile;
+  }
+  if (name == "latency") {
+    profile.latency_spike_rate = 0.3;
+    profile.latency_spike_seconds = 8.0;
+    return profile;
+  }
+  if (name == "blackout") {
+    // 60 s of dead air every 200 s at the 30 FPS stream rate.
+    profile.blackout_period_frames = 6000;
+    profile.blackout_length_frames = 1800;
+    profile.blackout_offset_frames = 900;
+    return profile;
+  }
+  return InvalidArgumentError(
+      "unknown fault profile: " + name +
+      " (expected none|flaky|latency|blackout)");
+}
+
+}  // namespace eventhit::sim

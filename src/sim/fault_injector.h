@@ -1,0 +1,84 @@
+// Deterministic fault injection at the cloud-service boundary: a seeded
+// schedule of transient error bursts, latency spikes and blackout windows
+// that the resilient relay (cloud/relay.h) consults before every request
+// attempt. Decisions are pure functions of (profile, attempt index, stream
+// frame), so a replayed schedule is byte-identical regardless of call
+// order or thread count — the chaos-test determinism contract.
+#ifndef EVENTHIT_SIM_FAULT_INJECTOR_H_
+#define EVENTHIT_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace eventhit::sim {
+
+/// One seeded fault schedule. Error and latency draws are per-attempt
+/// Bernoulli trials; blackouts are periodic windows on the stream-frame
+/// axis during which every attempt fails regardless of the draws.
+struct FaultProfile {
+  /// Per-attempt probability of a transient failure (dropped RPC).
+  double error_rate = 0.0;
+  /// Per-attempt probability of a latency spike on an otherwise
+  /// successful attempt.
+  double latency_spike_rate = 0.0;
+  /// Simulated seconds added to an attempt's latency by a spike.
+  double latency_spike_seconds = 0.0;
+  /// Blackout windows recur every `blackout_period_frames` stream frames
+  /// (0 disables them): frames [offset + k*period, offset + k*period +
+  /// length) are dead air.
+  int64_t blackout_period_frames = 0;
+  int64_t blackout_length_frames = 0;
+  int64_t blackout_offset_frames = 0;
+  /// Seed of the per-attempt draws. Same seed, same schedule.
+  uint64_t seed = 0;
+
+  bool active() const {
+    return error_rate > 0.0 || latency_spike_rate > 0.0 ||
+           blackout_period_frames > 0;
+  }
+};
+
+/// Outcome of one injected attempt.
+struct FaultDecision {
+  bool fail = false;          // Attempt fails with a transient error.
+  bool blackout = false;      // Failure came from a blackout window.
+  double extra_latency_seconds = 0.0;  // Spike on a surviving attempt.
+};
+
+/// Stateless evaluator of a FaultProfile. Thread-safe: Evaluate derives a
+/// fresh Rng from (seed, attempt_index) on every call.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultProfile& profile);
+
+  /// Fault decision for global attempt number `attempt_index` issued at
+  /// stream frame `now_frame`. Pure function of its arguments and the
+  /// profile.
+  FaultDecision Evaluate(int64_t attempt_index, int64_t now_frame) const;
+
+  /// True iff `now_frame` falls inside a blackout window.
+  bool InBlackout(int64_t now_frame) const;
+
+  /// End frame (exclusive) of the blackout containing `now_frame`, or
+  /// `now_frame` itself when not in one — the earliest frame at which a
+  /// buffered replay can succeed again.
+  int64_t BlackoutEndFrame(int64_t now_frame) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  FaultProfile profile_;
+};
+
+/// Named chaos profiles shared by the CLI (`--fault-profile=`) and the
+/// committed golden regression schedules: "none", "flaky" (30% transient
+/// errors), "latency" (30% spikes of 8 s) and "blackout" (60 s outage
+/// every 200 s at 30 FPS). Unknown names are an InvalidArgument error.
+Result<FaultProfile> MakeFaultProfile(const std::string& name,
+                                      uint64_t seed);
+
+}  // namespace eventhit::sim
+
+#endif  // EVENTHIT_SIM_FAULT_INJECTOR_H_

@@ -1,0 +1,89 @@
+#include "cloud/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::cloud {
+namespace {
+
+CircuitBreakerConfig SmallConfig() {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_seconds = 10.0;
+  config.half_open_successes = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(SmallConfig());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  EXPECT_EQ(breaker.transitions(), 0);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(3.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1);
+  EXPECT_EQ(breaker.last_open_seconds(), 3.0);
+  EXPECT_FALSE(breaker.AllowRequest(3.5));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureRun) {
+  CircuitBreaker breaker(SmallConfig());
+  breaker.RecordFailure(1.0);
+  breaker.RecordFailure(2.0);
+  breaker.RecordSuccess(3.0);  // Run broken; counter restarts.
+  breaker.RecordFailure(4.0);
+  breaker.RecordFailure(5.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure(6.0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCoolDown) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(1.0);
+  EXPECT_FALSE(breaker.AllowRequest(10.9));  // Cool-down not elapsed.
+  EXPECT_TRUE(breaker.AllowRequest(11.0));   // 1.0 + 10.0 elapsed.
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(1.0);
+  ASSERT_TRUE(breaker.AllowRequest(11.0));
+  breaker.RecordSuccess(11.5);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  ASSERT_TRUE(breaker.AllowRequest(12.0));
+  breaker.RecordSuccess(12.5);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // closed -> open -> half-open -> closed.
+  EXPECT_EQ(breaker.transitions(), 3);
+  EXPECT_EQ(breaker.opens(), 1);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  CircuitBreaker breaker(SmallConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(1.0);
+  ASSERT_TRUE(breaker.AllowRequest(11.0));
+  breaker.RecordFailure(11.5);  // One failed probe re-trips the breaker.
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2);
+  EXPECT_EQ(breaker.last_open_seconds(), 11.5);
+  // The new cool-down is anchored at the re-open time.
+  EXPECT_FALSE(breaker.AllowRequest(12.0));
+  EXPECT_TRUE(breaker.AllowRequest(21.5));
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(BreakerStateName(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kOpen), "open");
+  EXPECT_STREQ(BreakerStateName(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace eventhit::cloud

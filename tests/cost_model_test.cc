@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "cloud/cloud_service.h"
+#include "cloud/relay.h"
+#include "obs/metrics.h"
+#include "sim/datasets.h"
+#include "sim/fault_injector.h"
+
 namespace eventhit::cloud {
 namespace {
 
@@ -71,6 +77,43 @@ TEST(CostModelTest, CiDominatesTypicalEventHitPipeline) {
       HorizonTiming(model, PredictorKind::kEventHit, 10, 200, 40);
   const double ci_fraction = breakdown.ci_seconds / breakdown.TotalSeconds();
   EXPECT_GT(ci_fraction, 0.9);
+}
+
+// A request that fails and is then retried must be invoiced at most once:
+// failed attempts are dropped RPCs that never reach the billing meter, and
+// only the final successful delivery charges the interval.
+TEST(CostModelTest, RetriedRequestsAreInvoicedAtMostOnce) {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = 30000;
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(spec, 51);
+  CloudConfig cloud_config;
+  cloud_config.price_per_frame_usd = 0.001;
+  CloudService service(&video, cloud_config, 1);
+
+  sim::FaultProfile profile;  // Flaky link: plenty of retried requests.
+  profile.error_rate = 0.4;
+  profile.seed = 9;
+  const sim::FaultInjector injector(profile);
+  obs::MetricsRegistry metrics;
+  CloudRelay relay(&service, RelayConfig{}, /*seed=*/9, &injector, &metrics);
+
+  for (int64_t i = 0; i < 200; ++i) {
+    relay.Submit(0, sim::Interval{i * 100, i * 100 + 49}, i * 100);
+  }
+  relay.Flush(30000);
+
+  const RelayStats& stats = relay.stats();
+  ASSERT_GT(stats.retries, 0);         // The fault schedule actually bit.
+  ASSERT_GT(stats.orders_delivered, 0);
+  // At-most-once billing: the invoice covers exactly the delivered
+  // intervals — never a failed attempt, never a retry twice.
+  EXPECT_EQ(service.invoice().frames_processed, stats.frames_delivered);
+  EXPECT_EQ(service.invoice().requests, stats.orders_delivered);
+  EXPECT_NEAR(service.invoice().total_cost_usd,
+              0.001 * static_cast<double>(stats.frames_delivered), 1e-9);
+  // Dropped requests (retry budget exhausted or breaker open) cost zero.
+  EXPECT_EQ(stats.frames_delivered + stats.frames_dropped,
+            stats.frames_submitted);
 }
 
 TEST(CostModelTest, InvalidArgumentsDie) {

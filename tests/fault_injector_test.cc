@@ -1,0 +1,126 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace eventhit::sim {
+namespace {
+
+FaultProfile FlakyProfile(double rate, uint64_t seed) {
+  FaultProfile profile;
+  profile.error_rate = rate;
+  profile.seed = seed;
+  return profile;
+}
+
+TEST(FaultInjectorTest, InactiveProfileNeverFails) {
+  const FaultInjector injector{FaultProfile{}};
+  EXPECT_FALSE(injector.profile().active());
+  for (int64_t attempt = 0; attempt < 1000; ++attempt) {
+    const FaultDecision decision = injector.Evaluate(attempt, attempt * 7);
+    EXPECT_FALSE(decision.fail);
+    EXPECT_FALSE(decision.blackout);
+    EXPECT_EQ(decision.extra_latency_seconds, 0.0);
+  }
+}
+
+TEST(FaultInjectorTest, ErrorRateMatchesBernoulliDraws) {
+  const FaultInjector injector{FlakyProfile(0.3, 7)};
+  int64_t failures = 0;
+  for (int64_t attempt = 0; attempt < 10000; ++attempt) {
+    if (injector.Evaluate(attempt, 0).fail) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / 10000.0, 0.3, 0.02);
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfArguments) {
+  const FaultInjector a{FlakyProfile(0.5, 11)};
+  const FaultInjector b{FlakyProfile(0.5, 11)};
+  // Same (attempt, frame) gives the same decision regardless of the order
+  // the attempts are evaluated in — the determinism contract that makes
+  // chaos replays byte-identical across thread counts.
+  for (int64_t attempt = 99; attempt >= 0; --attempt) {
+    const FaultDecision forward = a.Evaluate(attempt, 5);
+    const FaultDecision backward = b.Evaluate(attempt, 5);
+    EXPECT_EQ(forward.fail, backward.fail);
+    EXPECT_EQ(forward.extra_latency_seconds, backward.extra_latency_seconds);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  const FaultInjector a{FlakyProfile(0.5, 1)};
+  const FaultInjector b{FlakyProfile(0.5, 2)};
+  int differences = 0;
+  for (int64_t attempt = 0; attempt < 200; ++attempt) {
+    if (a.Evaluate(attempt, 0).fail != b.Evaluate(attempt, 0).fail) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, LatencySpikesOnlyOnSurvivingAttempts) {
+  FaultProfile profile;
+  profile.error_rate = 0.5;
+  profile.latency_spike_rate = 0.5;
+  profile.latency_spike_seconds = 8.0;
+  profile.seed = 3;
+  const FaultInjector injector{profile};
+  int64_t spikes = 0;
+  for (int64_t attempt = 0; attempt < 5000; ++attempt) {
+    const FaultDecision decision = injector.Evaluate(attempt, 0);
+    if (decision.fail) {
+      EXPECT_EQ(decision.extra_latency_seconds, 0.0);
+    } else if (decision.extra_latency_seconds > 0.0) {
+      EXPECT_EQ(decision.extra_latency_seconds, 8.0);
+      ++spikes;
+    }
+  }
+  // ~50% of the ~50% surviving attempts spike.
+  EXPECT_NEAR(static_cast<double>(spikes) / 5000.0, 0.25, 0.03);
+}
+
+TEST(FaultInjectorTest, BlackoutWindowsArePeriodic) {
+  FaultProfile profile;
+  profile.blackout_period_frames = 100;
+  profile.blackout_length_frames = 30;
+  profile.blackout_offset_frames = 10;
+  const FaultInjector injector{profile};
+  EXPECT_TRUE(profile.active());
+  for (int64_t frame = 0; frame < 500; ++frame) {
+    const int64_t phase = ((frame - 10) % 100 + 100) % 100;
+    const bool expect_dead = frame >= 10 && phase < 30;
+    EXPECT_EQ(injector.InBlackout(frame), expect_dead) << "frame " << frame;
+    const FaultDecision decision = injector.Evaluate(frame, frame);
+    EXPECT_EQ(decision.fail, expect_dead);
+    EXPECT_EQ(decision.blackout, expect_dead);
+  }
+}
+
+TEST(FaultInjectorTest, BlackoutEndFrame) {
+  FaultProfile profile;
+  profile.blackout_period_frames = 100;
+  profile.blackout_length_frames = 30;
+  profile.blackout_offset_frames = 10;
+  const FaultInjector injector{profile};
+  EXPECT_EQ(injector.BlackoutEndFrame(10), 40);
+  EXPECT_EQ(injector.BlackoutEndFrame(39), 40);
+  EXPECT_EQ(injector.BlackoutEndFrame(40), 40);   // Not in a blackout.
+  EXPECT_EQ(injector.BlackoutEndFrame(110), 140);
+  EXPECT_EQ(injector.BlackoutEndFrame(5), 5);     // Before the first one.
+}
+
+TEST(FaultInjectorTest, NamedProfiles) {
+  for (const char* name : {"flaky", "latency", "blackout"}) {
+    const auto profile = MakeFaultProfile(name, 42);
+    ASSERT_TRUE(profile.ok()) << name;
+    EXPECT_TRUE(profile.value().active()) << name;
+    EXPECT_EQ(profile.value().seed, 42u);
+  }
+  const auto none = MakeFaultProfile("none", 42);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().active());
+  EXPECT_FALSE(MakeFaultProfile("bogus", 42).ok());
+}
+
+}  // namespace
+}  // namespace eventhit::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+#include "obs/schema.h"
+
 namespace eventhit::core {
 namespace {
 
@@ -122,6 +125,52 @@ TEST(MarshallerTest, UnionBillingAcrossEvents) {
   // [1,6] U [4,9] = 9 frames, not 12.
   EXPECT_EQ(marshaller.stats().frames_relayed, 9);
   EXPECT_EQ(marshaller.stats().relay_orders, 2);
+}
+
+// A strategy that predicts "present" but hands back an empty interval —
+// the zero-relay edge: nothing may be ordered from the cloud, and the
+// whole horizon must land in the filtered bucket.
+class PresentButEmptyStrategy : public MarshalStrategy {
+ public:
+  std::string name() const override { return "present_empty"; }
+  MarshalDecision Decide(const data::Record&) const override {
+    MarshalDecision decision;
+    decision.exists = {true};
+    decision.intervals = {sim::Interval::Empty()};
+    return decision;
+  }
+};
+
+TEST(MarshallerTest, PresentPredictionWithEmptyIntervalRelaysNothing) {
+  PresentButEmptyStrategy strategy;
+  obs::MetricsRegistry metrics;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1,
+                        &metrics);
+  int callbacks = 0;
+  marshaller.set_relay_callback([&](const RelayOrder&) { ++callbacks; });
+  for (int64_t f = 0; f <= 3; ++f) {
+    marshaller.PushFrame(FrameOf(0.0f).data());
+  }
+  // No order is issued (the cloud service rejects empty requests)...
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(marshaller.stats().relay_orders, 0);
+  EXPECT_EQ(marshaller.stats().frames_relayed, 0);
+  // ...and the obs counters keep the accounting identity
+  // relayed + filtered == total with the whole horizon filtered.
+  const int64_t relayed =
+      metrics.GetCounter(obs::names::kMarshallerFramesRelayed)->Value();
+  const int64_t filtered =
+      metrics.GetCounter(obs::names::kMarshallerFramesFiltered)->Value();
+  const int64_t total =
+      metrics.GetCounter(obs::names::kMarshallerFramesTotal)->Value();
+  EXPECT_EQ(relayed, 0);
+  EXPECT_EQ(filtered, kHorizon);
+  EXPECT_EQ(total, relayed + filtered);
+  // The event still counts as predicted-present.
+  EXPECT_EQ(
+      metrics.GetCounter(obs::names::kMarshallerEventsPredictedPresent)
+          ->Value(),
+      1);
 }
 
 TEST(MarshallerTest, NextPredictionFrameAdvances) {

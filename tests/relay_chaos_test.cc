@@ -1,0 +1,410 @@
+// Deterministic chaos harness for the resilient cloud relay: replays
+// seeded fault schedules (error bursts, latency spikes, blackout windows)
+// against a ground-truth order schedule and asserts the invariants of
+// DESIGN.md §5f — exact frame accounting at every breaker transition,
+// byte-identical replays from the same seed, zero-overhead pass-through
+// parity, and bounded, monotone recall degradation under outages.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_service.h"
+#include "cloud/relay.h"
+#include "obs/metrics.h"
+#include "sim/datasets.h"
+#include "sim/fault_injector.h"
+
+namespace eventhit::cloud {
+namespace {
+
+constexpr uint64_t kVideoSeed = 51;
+constexpr uint64_t kRelaySeed = 1234;
+constexpr int64_t kMaxOrderFrames = 60;  // 2 s of cloud latency at 30 FPS.
+
+sim::SyntheticVideo SmallVideo() {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  // Long enough for a few hundred orders, so duty-cycle bounds on the
+  // degradation tests are not dominated by small-sample noise.
+  spec.num_frames = 120000;
+  return sim::SyntheticVideo::Generate(spec, kVideoSeed);
+}
+
+struct OracleOrder {
+  size_t event = 0;
+  sim::Interval frames;
+};
+
+// Oracle order schedule: every ground-truth occurrence of every event
+// type, chunked into kMaxOrderFrames pieces and submitted the moment the
+// chunk starts. With accuracy = 1.0 every delivered frame is a true
+// detection, so delivered fraction == recall of the schedule.
+std::vector<OracleOrder> OracleOrders(const sim::SyntheticVideo& video) {
+  std::vector<OracleOrder> orders;
+  for (size_t k = 0; k < video.timeline().num_event_types(); ++k) {
+    for (const sim::Interval& occurrence : video.timeline().occurrences(k)) {
+      for (int64_t start = occurrence.start; start <= occurrence.end;
+           start += kMaxOrderFrames) {
+        const sim::Interval piece{
+            start, std::min(occurrence.end, start + kMaxOrderFrames - 1)};
+        if (piece.end < video.num_frames()) orders.push_back({k, piece});
+      }
+    }
+  }
+  std::sort(orders.begin(), orders.end(),
+            [](const OracleOrder& a, const OracleOrder& b) {
+              return a.frames.start < b.frames.start;
+            });
+  return orders;
+}
+
+struct ScheduleRun {
+  RelayStats stats;
+  std::vector<bool> detections;  // Concatenated delivery payloads.
+  std::vector<int64_t> delivered_requests;
+  int64_t breaker_opens = 0;
+  int64_t breaker_transitions = 0;
+  int64_t invoice_frames = 0;
+  int64_t invoice_requests = 0;
+  double invoice_cost_usd = 0.0;
+  double delivered_fraction = 1.0;
+};
+
+// Streams the oracle schedule through a fresh relay under `profile`.
+// Everything is seeded, so two calls with the same arguments must be
+// byte-identical.
+ScheduleRun RunSchedule(const sim::SyntheticVideo& video,
+                        const sim::FaultProfile& profile,
+                        const RelayConfig& config,
+                        bool check_invariant_at_transitions = true) {
+  CloudConfig cloud_config;
+  cloud_config.accuracy = 1.0;
+  CloudService service(&video, cloud_config, kVideoSeed + 1);
+  const sim::FaultInjector injector(profile);
+  obs::MetricsRegistry metrics;  // Private: keep the global registry clean.
+  CloudRelay relay(&service, config, kRelaySeed, &injector, &metrics);
+
+  ScheduleRun run;
+  relay.set_delivery_callback([&](const RelayDelivery& delivery) {
+    run.delivered_requests.push_back(delivery.request_id);
+    run.detections.insert(run.detections.end(), delivery.detections.begin(),
+                          delivery.detections.end());
+  });
+  if (check_invariant_at_transitions) {
+    relay.set_breaker_transition_callback(
+        [&](BreakerState, BreakerState, double) {
+          const RelayStats& s = relay.stats();
+          ASSERT_EQ(s.frames_delivered + s.frames_dropped + s.frames_pending +
+                        s.frames_in_flight,
+                    s.frames_submitted);
+          ++run.breaker_transitions;
+        });
+  }
+
+  for (const OracleOrder& order : OracleOrders(video)) {
+    relay.AdvanceTo(order.frames.start);
+    relay.Submit(order.event, order.frames, order.frames.start);
+  }
+  relay.Flush(video.num_frames());
+
+  run.stats = relay.stats();
+  run.breaker_opens = relay.breaker().opens();
+  if (!check_invariant_at_transitions) {
+    run.breaker_transitions = relay.breaker().transitions();
+  }
+  run.invoice_frames = service.invoice().frames_processed;
+  run.invoice_requests = service.invoice().requests;
+  run.invoice_cost_usd = service.invoice().total_cost_usd;
+  run.delivered_fraction =
+      static_cast<double>(run.stats.frames_delivered) /
+      static_cast<double>(run.stats.frames_submitted);
+  return run;
+}
+
+void ExpectIdenticalRuns(const ScheduleRun& a, const ScheduleRun& b) {
+  EXPECT_EQ(a.stats.orders_submitted, b.stats.orders_submitted);
+  EXPECT_EQ(a.stats.orders_delivered, b.stats.orders_delivered);
+  EXPECT_EQ(a.stats.orders_replayed, b.stats.orders_replayed);
+  EXPECT_EQ(a.stats.orders_dropped, b.stats.orders_dropped);
+  EXPECT_EQ(a.stats.frames_submitted, b.stats.frames_submitted);
+  EXPECT_EQ(a.stats.frames_delivered, b.stats.frames_delivered);
+  EXPECT_EQ(a.stats.frames_dropped, b.stats.frames_dropped);
+  EXPECT_EQ(a.stats.attempts, b.stats.attempts);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.failed_attempts, b.stats.failed_attempts);
+  EXPECT_EQ(a.stats.injected_errors, b.stats.injected_errors);
+  EXPECT_EQ(a.stats.injected_latency_spikes, b.stats.injected_latency_spikes);
+  EXPECT_EQ(a.breaker_opens, b.breaker_opens);
+  EXPECT_EQ(a.delivered_requests, b.delivered_requests);
+  EXPECT_EQ(a.detections, b.detections);  // Byte-identical payloads.
+  EXPECT_EQ(a.invoice_frames, b.invoice_frames);
+  EXPECT_EQ(a.invoice_requests, b.invoice_requests);
+  EXPECT_EQ(a.invoice_cost_usd, b.invoice_cost_usd);
+}
+
+sim::FaultProfile NamedProfile(const char* name) {
+  const auto profile = sim::MakeFaultProfile(name, kRelaySeed);
+  EXPECT_TRUE(profile.ok());
+  return profile.value();
+}
+
+RelayConfig DropConfig() {
+  RelayConfig config;
+  config.degraded_mode = DegradedMode::kDropWithAccounting;
+  // Spiked attempts (8 s) are cancelled at the timeout and retried; the
+  // clipped orders cost at most 2 s, so clean attempts always fit.
+  config.attempt_timeout_seconds = 4.0;
+  return config;
+}
+
+// --- Acceptance: fault injection disabled -> bit-identical behaviour. ---
+
+TEST(RelayChaosTest, PassThroughParityIsBitIdentical) {
+  const sim::SyntheticVideo video = SmallVideo();
+  const std::vector<OracleOrder> orders = OracleOrders(video);
+  ASSERT_GT(orders.size(), 100u);
+
+  // Reference: the pre-relay pipeline calling the service directly.
+  CloudConfig cloud_config;
+  cloud_config.accuracy = 1.0;
+  CloudService direct(&video, cloud_config, kVideoSeed + 1);
+  std::vector<bool> direct_detections;
+  for (const OracleOrder& order : orders) {
+    const auto result = direct.Detect(order.event, order.frames);
+    direct_detections.insert(direct_detections.end(), result.begin(),
+                             result.end());
+  }
+
+  // Same schedule through the relay with an inactive profile: the fast
+  // path must issue the exact same Detect call sequence, so the service's
+  // internal RNG consumption — and thus every detection bit — matches.
+  const ScheduleRun relayed =
+      RunSchedule(video, sim::FaultProfile{}, DropConfig());
+  EXPECT_EQ(relayed.detections, direct_detections);
+  EXPECT_EQ(relayed.invoice_frames, direct.invoice().frames_processed);
+  EXPECT_EQ(relayed.invoice_requests, direct.invoice().requests);
+  EXPECT_EQ(relayed.invoice_cost_usd, direct.invoice().total_cost_usd);
+  EXPECT_EQ(relayed.stats.frames_delivered, relayed.stats.frames_submitted);
+  EXPECT_EQ(relayed.stats.retries, 0);
+  EXPECT_EQ(relayed.breaker_opens, 0);
+  EXPECT_EQ(relayed.breaker_transitions, 0);
+}
+
+// --- Acceptance: committed blackout schedule replays deterministically. ---
+
+TEST(RelayChaosTest, BlackoutReplayIsByteIdentical) {
+  const sim::SyntheticVideo video = SmallVideo();
+  RelayConfig config = DropConfig();
+  config.degraded_mode = DegradedMode::kBufferAndReplay;
+  config.replay_horizon_frames = 600;
+  const sim::FaultProfile profile = NamedProfile("blackout");
+  const ScheduleRun first = RunSchedule(video, profile, config);
+  const ScheduleRun second = RunSchedule(video, profile, config);
+  ExpectIdenticalRuns(first, second);
+  // The schedule actually exercised the failure machinery.
+  EXPECT_GT(first.breaker_opens, 0);
+  EXPECT_GT(first.stats.orders_dropped, 0);
+}
+
+TEST(RelayChaosTest, FlakyReplayIsByteIdentical) {
+  const sim::SyntheticVideo video = SmallVideo();
+  const ScheduleRun first =
+      RunSchedule(video, NamedProfile("flaky"), DropConfig());
+  const ScheduleRun second =
+      RunSchedule(video, NamedProfile("flaky"), DropConfig());
+  ExpectIdenticalRuns(first, second);
+  EXPECT_GT(first.stats.retries, 0);
+}
+
+TEST(RelayChaosTest, DifferentFaultSeedsDiverge) {
+  const sim::SyntheticVideo video = SmallVideo();
+  sim::FaultProfile a = NamedProfile("flaky");
+  sim::FaultProfile b = a;
+  b.seed = a.seed + 1;
+  const ScheduleRun run_a = RunSchedule(video, a, DropConfig());
+  const ScheduleRun run_b = RunSchedule(video, b, DropConfig());
+  EXPECT_NE(run_a.stats.injected_errors, run_b.stats.injected_errors);
+}
+
+// --- Invariant: exact accounting at every breaker transition. ---
+
+TEST(RelayChaosTest, AccountingIdentityHoldsAtEveryTransition) {
+  const sim::SyntheticVideo video = SmallVideo();
+  // RunSchedule asserts the identity inside the transition callback; this
+  // test additionally demands the blackout schedule fired transitions in
+  // both degradation modes.
+  RelayConfig drop = DropConfig();
+  const ScheduleRun dropped =
+      RunSchedule(video, NamedProfile("blackout"), drop);
+  EXPECT_GT(dropped.breaker_transitions, 0);
+
+  RelayConfig buffered = DropConfig();
+  buffered.degraded_mode = DegradedMode::kBufferAndReplay;
+  buffered.replay_horizon_frames = 600;
+  const ScheduleRun replayed =
+      RunSchedule(video, NamedProfile("blackout"), buffered);
+  EXPECT_GT(replayed.breaker_transitions, 0);
+  // Settled identity after Flush (in-flight and pending drained).
+  EXPECT_EQ(replayed.stats.frames_in_flight, 0);
+  EXPECT_EQ(replayed.stats.frames_pending, 0);
+  EXPECT_EQ(replayed.stats.frames_delivered + replayed.stats.frames_dropped,
+            replayed.stats.frames_submitted);
+}
+
+// --- Degradation: bounded and monotone in outage length. ---
+
+TEST(RelayChaosTest, RecallDegradationIsBoundedAndMonotone) {
+  const sim::SyntheticVideo video = SmallVideo();
+  sim::FaultProfile profile;  // Pure blackout: no random draws at all.
+  profile.blackout_period_frames = 6000;
+  profile.blackout_offset_frames = 900;
+  profile.seed = kRelaySeed;
+  double previous_fraction = 1.0;
+  for (const int64_t length : {0, 300, 900, 1800, 3000}) {
+    profile.blackout_length_frames = length;
+    const ScheduleRun run = RunSchedule(video, profile, DropConfig());
+    if (length == 0) {
+      EXPECT_EQ(run.delivered_fraction, 1.0);
+    }
+    // Monotone: a strictly longer outage never delivers more.
+    EXPECT_LE(run.delivered_fraction, previous_fraction + 1e-12)
+        << "length " << length;
+    // Bounded: the loss cannot exceed the outage duty cycle plus the
+    // breaker's cool-down tail (open_seconds after the window ends).
+    const double duty =
+        static_cast<double>(length) / 6000.0 +
+        DropConfig().breaker.open_seconds * 30.0 / 6000.0;
+    EXPECT_GE(run.delivered_fraction, 1.0 - duty - 0.1)
+        << "length " << length;
+    previous_fraction = run.delivered_fraction;
+  }
+}
+
+// --- Golden regression: the three committed chaos profiles. ---
+
+struct GoldenExpectation {
+  const char* profile;
+  double min_delivered;  // Lower bound on delivered fraction (== recall).
+  double max_delivered;  // Upper bound: the profile must actually bite.
+};
+
+TEST(RelayChaosTest, GoldenProfilesStayWithinTolerances) {
+  const sim::SyntheticVideo video = SmallVideo();
+  const GoldenExpectation expectations[] = {
+      // Flaky link: retries recover nearly everything; only a 0.3^4 tail
+      // plus occasional breaker trips leak. Committed value: 0.9949.
+      {"flaky", 0.97, 0.9999},
+      // Latency spikes: cancelled at the attempt timeout and retried, so
+      // losses stay small but nonzero. Committed value: 0.9949.
+      {"latency", 0.96, 0.9999},
+      // Blackout: 60 s dead air every 200 s bounds recall near the duty
+      // cycle; it must bite, and must not collapse. Committed: 0.7051.
+      {"blackout", 0.60, 0.85},
+  };
+  for (const GoldenExpectation& expectation : expectations) {
+    const ScheduleRun run =
+        RunSchedule(video, NamedProfile(expectation.profile), DropConfig());
+    EXPECT_GE(run.delivered_fraction, expectation.min_delivered)
+        << expectation.profile;
+    EXPECT_LE(run.delivered_fraction, expectation.max_delivered)
+        << expectation.profile;
+    // The cost model only ever bills delivered frames.
+    EXPECT_EQ(run.invoice_frames, run.stats.frames_delivered)
+        << expectation.profile;
+  }
+}
+
+// --- Buffer-and-replay mechanics. ---
+
+TEST(RelayChaosTest, BufferedOrderReplaysAfterOutageEnds) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudConfig cloud_config;
+  cloud_config.accuracy = 1.0;
+  CloudService service(&video, cloud_config, 7);
+  sim::FaultProfile profile;  // One-shot blackout over frames [0, 60).
+  profile.blackout_period_frames = 1000000;
+  profile.blackout_length_frames = 60;
+  const sim::FaultInjector injector(profile);
+  RelayConfig config;
+  config.degraded_mode = DegradedMode::kBufferAndReplay;
+  config.replay_horizon_frames = 1200;
+  obs::MetricsRegistry metrics;
+  CloudRelay relay(&service, config, kRelaySeed, &injector, &metrics);
+
+  bool replayed_delivery = false;
+  relay.set_delivery_callback([&](const RelayDelivery& delivery) {
+    replayed_delivery = delivery.replayed;
+  });
+  const RelayResult result = relay.Submit(0, sim::Interval{100, 159}, 10);
+  EXPECT_EQ(result.outcome, RelayOutcome::kBuffered);
+  EXPECT_EQ(relay.queue_depth(), 1u);
+  EXPECT_EQ(relay.stats().frames_pending, 60);
+
+  // Past the blackout and the breaker cool-down the probe succeeds.
+  relay.AdvanceTo(600);
+  EXPECT_EQ(relay.queue_depth(), 0u);
+  EXPECT_TRUE(replayed_delivery);
+  EXPECT_EQ(relay.stats().orders_replayed, 1);
+  EXPECT_EQ(relay.stats().frames_delivered, 60);
+  EXPECT_EQ(relay.stats().frames_pending, 0);
+  relay.Flush(1000);
+}
+
+TEST(RelayChaosTest, BufferedOrderExpiresPastTheHorizon) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudService service(&video, CloudConfig{}, 7);
+  sim::FaultProfile profile;
+  profile.blackout_period_frames = 1000000;
+  profile.blackout_length_frames = 5000;  // Longer than the horizon.
+  const sim::FaultInjector injector(profile);
+  RelayConfig config;
+  config.degraded_mode = DegradedMode::kBufferAndReplay;
+  config.replay_horizon_frames = 300;
+  obs::MetricsRegistry metrics;
+  CloudRelay relay(&service, config, kRelaySeed, &injector, &metrics);
+
+  EXPECT_EQ(relay.Submit(0, sim::Interval{100, 159}, 10).outcome,
+            RelayOutcome::kBuffered);
+  relay.AdvanceTo(400);  // 10 + 300 < 400: stale, dropped unserved.
+  EXPECT_EQ(relay.queue_depth(), 0u);
+  EXPECT_EQ(relay.stats().orders_replayed, 0);
+  EXPECT_EQ(relay.stats().frames_dropped, 60);
+  EXPECT_EQ(service.invoice().frames_processed, 0);
+  relay.Flush(1000);
+}
+
+TEST(RelayChaosTest, QueueOverflowDropsWithAccounting) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudService service(&video, CloudConfig{}, 7);
+  sim::FaultProfile profile;
+  profile.blackout_period_frames = 1000000;
+  profile.blackout_length_frames = 100000;
+  const sim::FaultInjector injector(profile);
+  RelayConfig config;
+  config.degraded_mode = DegradedMode::kBufferAndReplay;
+  config.replay_horizon_frames = 300;
+  config.max_queue_depth = 1;
+  obs::MetricsRegistry metrics;
+  CloudRelay relay(&service, config, kRelaySeed, &injector, &metrics);
+
+  EXPECT_EQ(relay.Submit(0, sim::Interval{100, 109}, 10).outcome,
+            RelayOutcome::kBuffered);
+  EXPECT_EQ(relay.Submit(0, sim::Interval{110, 119}, 11).outcome,
+            RelayOutcome::kDroppedQueueFull);
+  EXPECT_EQ(relay.stats().frames_dropped, 10);
+  EXPECT_EQ(relay.stats().frames_pending, 10);
+  relay.Flush(100000);
+  EXPECT_EQ(relay.stats().frames_dropped, 20);
+}
+
+TEST(RelayChaosTest, EmptySubmissionDies) {
+  const sim::SyntheticVideo video = SmallVideo();
+  CloudService service(&video, CloudConfig{}, 7);
+  obs::MetricsRegistry metrics;
+  CloudRelay relay(&service, RelayConfig{}, kRelaySeed, nullptr, &metrics);
+  EXPECT_DEATH(relay.Submit(0, sim::Interval::Empty(), 0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace eventhit::cloud

@@ -23,8 +23,12 @@
 #include <iostream>
 
 #include "baselines/oracle.h"
+#include "cloud/cloud_service.h"
 #include "cloud/cost_model.h"
+#include "cloud/relay.h"
 #include "common/csv_writer.h"
+#include "core/marshaller.h"
+#include "sim/fault_injector.h"
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
@@ -66,6 +70,13 @@ int Usage() {
       "  --predict-batch=B  records per batch for the batched GEMM\n"
       "               inference path (default 32; scores are identical\n"
       "               for every B >= 1)\n"
+      "  resilience (evaluate only; see DESIGN.md 5f):\n"
+      "  --fault-profile=none|flaky|latency|blackout  replay the test\n"
+      "               slice through the resilient cloud relay under the\n"
+      "               named deterministic fault schedule\n"
+      "  --fault-seed=N      seed of the fault schedule (default 1234)\n"
+      "  --degraded-mode=drop|buffer  outage policy: drop-with-accounting\n"
+      "               or buffer-and-replay within the horizon\n"
       "  telemetry (all subcommands; see docs/TELEMETRY.md):\n"
       "  --metrics-out=PATH  write the metrics snapshot as JSON\n"
       "  --trace-out=PATH    write Chrome trace-event JSON for\n"
@@ -208,6 +219,113 @@ eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
   return TrainedTask{std::move(env), std::move(trained), exec.value()};
 }
 
+// `--fault-profile=NAME`: streams the test slice through the Marshaller
+// and the resilient cloud relay under a deterministic fault schedule, and
+// prints the relay/breaker accounting next to what an ideal (fault-free)
+// link would have delivered. Reproducible from (--seed, --fault-seed).
+int RunFaultReplay(const Flags& flags, const eval::TaskEnvironment& env,
+                   const eval::TrainedEventHit& trained, double confidence,
+                   double coverage) {
+  const std::string profile_name = flags.GetString("fault-profile", "");
+  if (profile_name.empty()) return 0;
+  const auto fault_seed = flags.GetInt("fault-seed", 1234);
+  if (!fault_seed.ok()) {
+    std::cerr << fault_seed.status() << "\n";
+    return 1;
+  }
+  const auto profile = sim::MakeFaultProfile(
+      profile_name, static_cast<uint64_t>(fault_seed.value()));
+  if (!profile.ok()) {
+    std::cerr << profile.status() << "\n";
+    return 1;
+  }
+  const std::string mode_name = flags.GetString("degraded-mode", "drop");
+  if (mode_name != "drop" && mode_name != "buffer") {
+    std::cerr << "--degraded-mode must be drop or buffer\n";
+    return 1;
+  }
+  const sim::FaultInjector injector(profile.value());
+
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = confidence;
+  options.coverage = coverage;
+  const core::EventHitStrategy strategy(
+      trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+      options);
+  const size_t num_events = env.task().event_indices.size();
+  core::Marshaller marshaller(&strategy, env.collection_window(),
+                              env.horizon(), env.video().feature_dim(),
+                              num_events);
+
+  cloud::CloudService service(&env.video(), cloud::CloudConfig{},
+                              static_cast<uint64_t>(fault_seed.value()) + 1);
+  cloud::RelayConfig relay_config;
+  relay_config.degraded_mode = mode_name == "buffer"
+                                   ? cloud::DegradedMode::kBufferAndReplay
+                                   : cloud::DegradedMode::kDropWithAccounting;
+  relay_config.replay_horizon_frames = env.horizon();
+  cloud::CloudRelay relay(&service, relay_config,
+                          static_cast<uint64_t>(fault_seed.value()),
+                          &injector, /*metrics=*/nullptr,
+                          &obs::TraceBuffer::Global());
+
+  int64_t detected_event_frames = 0;
+  relay.set_delivery_callback([&](const cloud::RelayDelivery& delivery) {
+    for (const bool hit : delivery.detections) {
+      detected_event_frames += hit ? 1 : 0;
+    }
+  });
+
+  const int64_t base_frame = env.splits().test.start;
+  const int64_t stream_end = env.splits().test.end - env.horizon();
+  int64_t rel_now = 0;  // Stream clock: frames since the slice start.
+  marshaller.set_relay_callback([&](const core::RelayOrder& order) {
+    const sim::Interval absolute{order.frames.start + base_frame,
+                                 order.frames.end + base_frame};
+    if (absolute.end >= env.video().num_frames()) return;
+    relay.Submit(env.task().event_indices[order.event], absolute, rel_now);
+  });
+  for (int64_t frame = base_frame; frame < stream_end; ++frame) {
+    rel_now = frame - base_frame;
+    if (marshaller.PushFrame(env.video().FrameFeatures(frame))) {
+      relay.AdvanceTo(rel_now);
+    }
+  }
+  relay.Flush(stream_end - base_frame);
+
+  const cloud::RelayStats& stats = relay.stats();
+  std::cout << "\n=== Fault replay (profile=" << profile_name
+            << ", mode=" << mode_name << ") ===\n";
+  TablePrinter table({"Quantity", "Value"});
+  table.AddRow({"orders submitted", Fmt(stats.orders_submitted)});
+  table.AddRow({"orders delivered", Fmt(stats.orders_delivered)});
+  table.AddRow({"orders replayed", Fmt(stats.orders_replayed)});
+  table.AddRow({"orders dropped", Fmt(stats.orders_dropped)});
+  table.AddRow({"frames submitted", Fmt(stats.frames_submitted)});
+  table.AddRow({"frames delivered", Fmt(stats.frames_delivered)});
+  table.AddRow({"frames dropped", Fmt(stats.frames_dropped)});
+  table.AddRow({"attempts / retries",
+                Fmt(stats.attempts) + " / " + Fmt(stats.retries)});
+  table.AddRow({"injected errors", Fmt(stats.injected_errors)});
+  table.AddRow({"injected latency spikes",
+                Fmt(stats.injected_latency_spikes)});
+  table.AddRow({"breaker opens", Fmt(relay.breaker().opens())});
+  table.AddRow({"breaker transitions", Fmt(relay.breaker().transitions())});
+  table.AddRow({"detected event frames", Fmt(detected_event_frames)});
+  table.AddRow({"cloud cost (USD)",
+                Fmt(service.invoice().total_cost_usd, 3)});
+  const double delivered_fraction =
+      stats.frames_submitted > 0
+          ? static_cast<double>(stats.frames_delivered) /
+                static_cast<double>(stats.frames_submitted)
+          : 1.0;
+  table.AddRow({"delivered fraction", Fmt(delivered_fraction, 4)});
+  table.Print(std::cout);
+  return 0;
+}
+
 int RunEvaluate(const Flags& flags) {
   auto built = BuildAndTrain(flags);
   if (!built.ok()) {
@@ -273,7 +391,8 @@ int RunEvaluate(const Flags& flags) {
     cloud::EmitHorizonSpans(&obs::TraceBuffer::Global(), breakdown,
                             /*start_us=*/0);
   }
-  return 0;
+  return RunFaultReplay(flags, env, trained, confidence.value(),
+                        coverage.value());
 }
 
 int RunSweep(const Flags& flags) {
