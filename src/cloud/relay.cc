@@ -20,14 +20,15 @@ int64_t Micros(double seconds) {
 CloudRelay::CloudRelay(CloudService* service, const RelayConfig& config,
                        uint64_t seed, const sim::FaultInjector* faults,
                        obs::MetricsRegistry* metrics,
-                       obs::TraceBuffer* trace)
+                       obs::TraceBuffer* trace, obs::Logger* log)
     : service_(service),
       config_(config),
       retry_(config.retry, seed),
       breaker_(config.breaker),
       faults_(faults),
       pass_through_(faults == nullptr || !faults->profile().active()),
-      trace_(trace) {
+      trace_(trace),
+      log_(log != nullptr ? log : &obs::Logger::Global()) {
   EVENTHIT_CHECK(service_ != nullptr);
   EVENTHIT_CHECK_GT(config_.request_deadline_seconds, 0.0);
   EVENTHIT_CHECK_GE(config_.attempt_timeout_seconds, 0.0);
@@ -108,6 +109,12 @@ void CloudRelay::SyncBreaker(double now_seconds) {
           std::max<int64_t>(1, Micros(now_seconds - outage_start_seconds_)));
     }
   }
+  log_->Log(state == BreakerState::kOpen ? obs::LogLevel::kWarn
+                                         : obs::LogLevel::kInfo,
+            "relay", "breaker_transition",
+            static_cast<int64_t>(std::llround(now_seconds * config_.stream_fps)),
+            {obs::LogStr("from", BreakerStateName(from)),
+             obs::LogStr("to", BreakerStateName(state))});
   if (transition_callback_) transition_callback_(from, state, now_seconds);
 }
 
@@ -141,6 +148,11 @@ void CloudRelay::DropFrames(const PendingOrder& order) {
   stats_.frames_dropped += order.frames.length();
   orders_dropped_metric_->Add(1);
   frames_dropped_metric_->Add(order.frames.length());
+  log_->Log(obs::LogLevel::kWarn, "relay", "order_dropped",
+            order.submit_frame,
+            {obs::LogInt("request_id", order.request_id),
+             obs::LogInt("event_index", static_cast<int64_t>(order.event)),
+             obs::LogInt("frames", order.frames.length())});
 }
 
 RelayOutcome CloudRelay::Degrade(const PendingOrder& order,

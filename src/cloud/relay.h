@@ -23,6 +23,7 @@
 #include "cloud/circuit_breaker.h"
 #include "cloud/cloud_service.h"
 #include "cloud/retry_policy.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/fault_injector.h"
@@ -124,11 +125,12 @@ class CloudRelay {
   /// inactive profile) for pass-through. Telemetry goes to `metrics`
   /// (docs/TELEMETRY.md, relay.* / breaker.* names; nullptr selects the
   /// global registry) and outage spans to `trace` (nullptr disables
-  /// them).
+  /// them). Breaker transitions and drops also emit structured-log
+  /// records to `log` (nullptr selects obs::Logger::Global()).
   CloudRelay(CloudService* service, const RelayConfig& config, uint64_t seed,
              const sim::FaultInjector* faults = nullptr,
              obs::MetricsRegistry* metrics = nullptr,
-             obs::TraceBuffer* trace = nullptr);
+             obs::TraceBuffer* trace = nullptr, obs::Logger* log = nullptr);
 
   /// Sink for deliveries (required to observe replayed detections; the
   /// synchronous result also comes back from Submit).
@@ -186,6 +188,7 @@ class CloudRelay {
   const sim::FaultInjector* faults_;
   bool pass_through_;
   obs::TraceBuffer* trace_;
+  obs::Logger* log_;
 
   DeliveryCallback delivery_callback_;
   BreakerTransitionCallback transition_callback_;

@@ -1,0 +1,247 @@
+#include "common/benchcmp.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace eventhit {
+
+namespace {
+
+// Minimal recursive-descent parser for the subset of JSON the bench
+// binaries emit. Collects numeric leaves under dotted paths.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Status Parse(std::map<std::string, double>* out) {
+    out_ = out;
+    SkipSpace();
+    if (const Status status = ParseObject(""); !status.ok()) return status;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON object");
+    }
+    return OkStatus();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << "bench JSON parse error at offset " << pos_ << ": " << message;
+    return InvalidArgumentError(os.str());
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return OkStatus();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u':
+            // Bench keys are ASCII; keep the escape verbatim.
+            out->append("\\u");
+            break;
+          default: return Error("bad escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseValue(const std::string& path) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(path);
+    if (c == '[') return SkipArray();
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) { pos_ += 4; return OkStatus(); }
+    if (text_.compare(pos_, 5, "false") == 0) { pos_ += 5; return OkStatus(); }
+    if (text_.compare(pos_, 4, "null") == 0) { pos_ += 4; return OkStatus(); }
+    return ParseNumber(path);
+  }
+
+  Status ParseNumber(const std::string& path) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(start, &end);
+    if (end == start) return Error("expected a value");
+    pos_ += static_cast<size_t>(end - start);
+    if (!path.empty()) (*out_)[path] = value;
+    return OkStatus();
+  }
+
+  Status SkipArray() {
+    if (!Consume('[')) return Error("expected '['");
+    SkipSpace();
+    if (Consume(']')) return OkStatus();
+    while (true) {
+      if (const Status status = ParseValue(""); !status.ok()) return status;
+      SkipSpace();
+      if (Consume(']')) return OkStatus();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+      SkipSpace();
+    }
+  }
+
+  Status ParseObject(const std::string& prefix) {
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return OkStatus();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (const Status status = ParseString(&key); !status.ok()) {
+        return status;
+      }
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      const std::string path = prefix.empty() ? key : prefix + "." + key;
+      if (const Status status = ParseValue(path); !status.ok()) {
+        return status;
+      }
+      SkipSpace();
+      if (Consume('}')) return OkStatus();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::map<std::string, double>* out_ = nullptr;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Strips any dotted prefix so nested bench sections ("warm.batched_fps")
+// inherit the leaf key's direction.
+std::string LeafKey(const std::string& key) {
+  const size_t dot = key.rfind('.');
+  return dot == std::string::npos ? key : key.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<std::map<std::string, double>> ParseBenchJson(
+    const std::string& json) {
+  std::map<std::string, double> out;
+  Parser parser(json);
+  if (const Status status = parser.Parse(&out); !status.ok()) return status;
+  return out;
+}
+
+Result<std::map<std::string, double>> LoadBenchJson(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBenchJson(buffer.str());
+}
+
+BenchDirection DirectionForKey(const std::string& key) {
+  const std::string leaf = LeafKey(key);
+  if (EndsWith(leaf, "_fps") || leaf.rfind("speedup", 0) == 0) {
+    return BenchDirection::kHigherBetter;
+  }
+  if (leaf.find("diff") != std::string::npos || EndsWith(leaf, "_ms") ||
+      EndsWith(leaf, "_us") || EndsWith(leaf, "_seconds") ||
+      EndsWith(leaf, "_bytes")) {
+    return BenchDirection::kLowerBetter;
+  }
+  return BenchDirection::kInformational;
+}
+
+BenchDiff DiffBenchJson(const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& current,
+                        const BenchToleranceSpec& spec) {
+  BenchDiff diff;
+  for (const auto& [key, base_value] : baseline) {
+    const BenchDirection direction = DirectionForKey(key);
+    const bool gated = direction != BenchDirection::kInformational;
+    const auto found = current.find(key);
+    if (found == current.end()) {
+      if (gated) {
+        diff.missing_keys.push_back(key);
+        diff.regressed = true;
+      }
+      continue;
+    }
+    BenchDelta delta;
+    delta.key = key;
+    delta.baseline = base_value;
+    delta.current = found->second;
+    delta.rel_change = base_value != 0.0
+                           ? (delta.current - base_value) / base_value
+                           : 0.0;
+    delta.direction = direction;
+    delta.gated = gated;
+    if (gated) {
+      const auto abs_it = spec.abs_tol.find(key);
+      if (abs_it != spec.abs_tol.end()) {
+        const double abs = abs_it->second;
+        delta.regressed = direction == BenchDirection::kHigherBetter
+                              ? delta.current < base_value - abs
+                              : delta.current > base_value + abs;
+      } else {
+        const auto rel_it = spec.rel_tol.find(key);
+        const double rel = rel_it != spec.rel_tol.end()
+                               ? rel_it->second
+                               : spec.default_rel_tol;
+        if (direction == BenchDirection::kHigherBetter) {
+          delta.regressed = delta.current < base_value * (1.0 - rel);
+        } else if (base_value == 0.0) {
+          // Relative tolerance is meaningless off a zero baseline (e.g.
+          // scores_max_abs_diff); any measurable growth regresses.
+          delta.regressed = delta.current > 1e-9;
+        } else {
+          delta.regressed = delta.current > base_value * (1.0 + rel);
+        }
+      }
+      diff.regressed = diff.regressed || delta.regressed;
+    }
+    diff.deltas.push_back(delta);
+  }
+  return diff;
+}
+
+}  // namespace eventhit

@@ -1,0 +1,82 @@
+// Benchmark regression comparison: parses the flat JSON emitted by the
+// bench binaries (BENCH_*.json) into (dotted key -> number) maps and
+// diffs a current run against a committed baseline under per-metric
+// tolerances. Used by tools/bench_diff and the CI bench gate.
+//
+// Gating rules:
+//   * keys ending in "_fps" or starting with "speedup" are higher-better:
+//     a regression is current < baseline * (1 - rel_tol);
+//   * keys containing "diff" or ending in "_ms"/"_us"/"_seconds"/"_bytes"
+//     are lower-better: a regression is current > baseline * (1 + rel_tol),
+//     or current > baseline + abs_tol when an absolute tolerance is set
+//     (required when the baseline is 0, e.g. scores_max_abs_diff);
+//   * all other keys (records, reps, threads, ...) are informational and
+//     never gate;
+//   * a gated baseline key missing from the current run is a regression.
+#ifndef EVENTHIT_COMMON_BENCHCMP_H_
+#define EVENTHIT_COMMON_BENCHCMP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eventhit {
+
+/// Parses a JSON object into dotted-path -> numeric value entries.
+/// Nested objects flatten ("a":{"b":1} -> "a.b"); strings, booleans,
+/// nulls and arrays are skipped. Errors on malformed JSON.
+Result<std::map<std::string, double>> ParseBenchJson(
+    const std::string& json);
+
+/// Reads and parses a BENCH_*.json file.
+Result<std::map<std::string, double>> LoadBenchJson(
+    const std::string& path);
+
+enum class BenchDirection {
+  kHigherBetter,
+  kLowerBetter,
+  kInformational,
+};
+
+/// Direction inferred from the key name (see file comment).
+BenchDirection DirectionForKey(const std::string& key);
+
+struct BenchToleranceSpec {
+  /// Relative tolerance applied to gated keys without an override.
+  double default_rel_tol = 0.15;
+  /// Per-key relative tolerance overrides (fraction, e.g. 0.10).
+  std::map<std::string, double> rel_tol;
+  /// Per-key absolute tolerances; when present the key is compared as
+  /// |current| <= |baseline| + abs (lower-better) or
+  /// current >= baseline - abs (higher-better) instead of relatively.
+  std::map<std::string, double> abs_tol;
+};
+
+struct BenchDelta {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / baseline; 0 when the baseline is 0.
+  double rel_change = 0.0;
+  BenchDirection direction = BenchDirection::kInformational;
+  bool gated = false;
+  bool regressed = false;
+};
+
+struct BenchDiff {
+  /// One entry per baseline key, in baseline (sorted map) order.
+  std::vector<BenchDelta> deltas;
+  /// Gated baseline keys absent from the current run.
+  std::vector<std::string> missing_keys;
+  bool regressed = false;
+};
+
+BenchDiff DiffBenchJson(const std::map<std::string, double>& baseline,
+                        const std::map<std::string, double>& current,
+                        const BenchToleranceSpec& spec);
+
+}  // namespace eventhit
+
+#endif  // EVENTHIT_COMMON_BENCHCMP_H_

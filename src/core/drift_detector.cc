@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/schema.h"
 
@@ -58,7 +59,15 @@ bool DriftDetector::Observe(double p_value) {
   metrics.observations->Add(1);
   metrics.log_martingale->Set(log_martingale_);
   if (log_martingale_ >= options_.log_threshold) {
-    if (!detected_) metrics.alarms->Add(1);
+    if (!detected_) {
+      metrics.alarms->Add(1);
+      // sim_time is the detector's own observation clock (one tick per
+      // audited p-value).
+      obs::Logger::Global().Log(
+          obs::LogLevel::kWarn, "drift", "alarm", observations_,
+          {obs::LogNum("log_martingale", log_martingale_),
+           obs::LogNum("threshold", options_.log_threshold)});
+    }
     detected_ = true;
   }
   return detected_ && log_martingale_ >= options_.log_threshold;

@@ -10,7 +10,8 @@ namespace eventhit::core {
 
 Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
                        int horizon, size_t feature_dim, size_t num_events,
-                       obs::MetricsRegistry* metrics)
+                       obs::MetricsRegistry* metrics,
+                       std::vector<std::string> event_labels)
     : strategy_(strategy),
       collection_window_(collection_window),
       horizon_(horizon),
@@ -40,6 +41,23 @@ Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
       registry.GetCounter(obs::names::kMarshallerEventsPredictedAbsent);
   order_frames_metric_ = registry.GetHistogram(
       obs::names::kMarshallerRelayOrderFrames, obs::FrameCountBounds());
+  if (!event_labels.empty()) {
+    for (size_t k = 0; k < num_events_; ++k) {
+      const std::string label = k < event_labels.size()
+                                    ? event_labels[k]
+                                    : "event" + std::to_string(k);
+      const obs::Labels by_event = {{"event_type", label}};
+      present_by_event_.push_back(registry.GetCounter(
+          obs::names::kMarshallerEventsPredictedPresent, by_event));
+      absent_by_event_.push_back(registry.GetCounter(
+          obs::names::kMarshallerEventsPredictedAbsent, by_event));
+      orders_by_event_.push_back(
+          registry.GetCounter(obs::names::kMarshallerRelayOrders, by_event));
+      order_frames_by_event_.push_back(
+          registry.GetHistogram(obs::names::kMarshallerRelayOrderFrames,
+                                obs::FrameCountBounds(), by_event));
+    }
+  }
 }
 
 void Marshaller::set_relay_callback(RelayCallback callback) {
@@ -106,8 +124,12 @@ bool Marshaller::PushFrame(const float* features) {
   std::vector<sim::Interval> relayed;
   int64_t events_present = 0;
   for (size_t k = 0; k < last_decision_.exists.size(); ++k) {
-    if (!last_decision_.exists[k]) continue;
+    if (!last_decision_.exists[k]) {
+      if (k < absent_by_event_.size()) absent_by_event_[k]->Add(1);
+      continue;
+    }
     ++events_present;
+    if (k < present_by_event_.size()) present_by_event_[k]->Add(1);
     const sim::Interval& offsets = last_decision_.intervals[k];
     // A present prediction with an empty interval relays nothing: no
     // order is issued (the cloud service rejects empty requests) and the
@@ -122,6 +144,11 @@ bool Marshaller::PushFrame(const float* features) {
     ++stats_.relay_orders;
     relay_orders_metric_->Add(1);
     order_frames_metric_->Observe(static_cast<double>(order.frames.length()));
+    if (k < orders_by_event_.size()) {
+      orders_by_event_[k]->Add(1);
+      order_frames_by_event_[k]->Observe(
+          static_cast<double>(order.frames.length()));
+    }
     if (relay_callback_) relay_callback_(order);
   }
   events_present_metric_->Add(events_present);

@@ -50,9 +50,15 @@ class Marshaller {
   ///   marshaller.frames.relayed + marshaller.frames.filtered
   ///     == marshaller.frames.total
   /// at every prediction boundary (see obs/schema.h).
+  /// When `event_labels` is non-empty (one display name per event index;
+  /// short entries fall back to "event<k>") the per-event counters and
+  /// the order-size histogram additionally register `{event_type=...}`
+  /// labeled series, so prediction mix and relay volume can be sliced per
+  /// event type. The unlabeled totals are always kept.
   Marshaller(const MarshalStrategy* strategy, int collection_window,
              int horizon, size_t feature_dim, size_t num_events,
-             obs::MetricsRegistry* metrics = nullptr);
+             obs::MetricsRegistry* metrics = nullptr,
+             std::vector<std::string> event_labels = {});
 
   /// Registers the sink for relay orders (e.g. a CloudService adapter).
   void set_relay_callback(RelayCallback callback);
@@ -95,6 +101,12 @@ class Marshaller {
   obs::Counter* events_present_metric_;
   obs::Counter* events_absent_metric_;
   obs::Histogram* order_frames_metric_;
+
+  // Per-event labeled series (empty when no event labels were given).
+  std::vector<obs::Counter*> present_by_event_;
+  std::vector<obs::Counter*> absent_by_event_;
+  std::vector<obs::Counter*> orders_by_event_;
+  std::vector<obs::Histogram*> order_frames_by_event_;
 };
 
 }  // namespace eventhit::core

@@ -1,6 +1,7 @@
 #include "core/recalibrator.h"
 
 #include "common/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/schema.h"
 
@@ -63,12 +64,22 @@ size_t Recalibrator::PositiveCount(size_t k) const {
 
 std::unique_ptr<CClassify> Recalibrator::BuildCClassify() const {
   RecalMetrics::Get().rebuilds_cclassify->Add(1);
+  // The recalibrator has no stream clock of its own; sim_time is the
+  // window fill at rebuild time.
+  obs::Logger::Global().Log(
+      obs::LogLevel::kInfo, "recalibrator", "rebuild_cclassify",
+      static_cast<int64_t>(window_.size()),
+      {obs::LogInt("window", static_cast<int64_t>(window_.size()))});
   const std::vector<data::Record> records(window_.begin(), window_.end());
   return std::make_unique<CClassify>(*model_, records);
 }
 
 std::unique_ptr<CRegress> Recalibrator::BuildCRegress() const {
   RecalMetrics::Get().rebuilds_cregress->Add(1);
+  obs::Logger::Global().Log(
+      obs::LogLevel::kInfo, "recalibrator", "rebuild_cregress",
+      static_cast<int64_t>(window_.size()),
+      {obs::LogInt("window", static_cast<int64_t>(window_.size()))});
   const std::vector<data::Record> records(window_.begin(), window_.end());
   return std::make_unique<CRegress>(*model_, records, tau2_);
 }

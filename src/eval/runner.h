@@ -16,6 +16,7 @@
 #include "data/record_extractor.h"
 #include "data/tasks.h"
 #include "eval/metrics.h"
+#include "obs/audit.h"
 #include "sim/synthetic_video.h"
 
 namespace eventhit::eval {
@@ -117,6 +118,18 @@ std::vector<core::MarshalDecision> DecisionsFromScores(
     const core::EventHitStrategy& strategy,
     const std::vector<core::EventScores>& scores,
     const ExecutionContext& ctx = ExecutionContext());
+
+/// Converts (record, decision) pairs into guarantee-audit outcomes on the
+/// record clock (sim_time = record index): one outcome per (record,
+/// event) pair, with the exact positive/hit semantics of ComputeMetrics —
+/// feeding these into an obs::GuarantyAuditor reproduces the offline REC
+/// accounting (auditor misses == positives - hits) on the same slice.
+/// Endpoint coverage follows C-REGRESS: the start endpoint is covered
+/// when interval.start <= label.start, the end endpoint when
+/// interval.end >= label.end.
+std::vector<obs::AuditOutcome> BuildAuditOutcomes(
+    const std::vector<data::Record>& records,
+    const std::vector<core::MarshalDecision>& decisions);
 
 }  // namespace eventhit::eval
 

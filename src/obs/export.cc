@@ -43,11 +43,14 @@ void PrintMetricsTable(const MetricsSnapshot& snapshot, std::ostream& os) {
   }
   if (!snapshot.histograms.empty()) {
     if (!snapshot.counters.empty() || !snapshot.gauges.empty()) os << "\n";
-    TablePrinter table({"Histogram", "Count", "Mean", "Min", "Max"});
+    TablePrinter table({"Histogram", "Count", "Mean", "P50", "P99", "Min",
+                        "Max"});
     for (const HistogramSnapshot& histogram : snapshot.histograms) {
       table.AddRow({histogram.name, Fmt(histogram.count),
-                    Fmt(histogram.Mean(), 3), Fmt(histogram.min, 3),
-                    Fmt(histogram.max, 3)});
+                    Fmt(histogram.Mean(), 3),
+                    Fmt(histogram.ApproxQuantile(0.5), 3),
+                    Fmt(histogram.ApproxQuantile(0.99), 3),
+                    Fmt(histogram.min, 3), Fmt(histogram.max, 3)});
     }
     table.Print(os);
   }

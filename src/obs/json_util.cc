@@ -40,7 +40,7 @@ std::string JsonEscape(const std::string& value) {
 }
 
 std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "0";
+  if (!std::isfinite(value)) return "null";
   char buffer[64];
   // %.17g round-trips doubles; trim to a compact form for integers.
   if (value == static_cast<double>(static_cast<long long>(value)) &&

@@ -10,8 +10,9 @@ namespace eventhit::obs {
 /// backslashes, control characters).
 std::string JsonEscape(const std::string& value);
 
-/// Formats a double as a JSON number (finite values only; non-finite
-/// values render as 0 since JSON has no Infinity/NaN literals).
+/// Formats a double as a JSON number. JSON has no Infinity/NaN literals,
+/// so non-finite values render as `null` — a broken gauge must not parse
+/// back as a legitimate zero.
 std::string JsonNumber(double value);
 
 }  // namespace eventhit::obs

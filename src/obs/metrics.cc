@@ -83,8 +83,108 @@ void Histogram::Observe(double value) {
   AtomicMax(&sums.max, value);
 }
 
+std::string LabeledName(const std::string& base, const Labels& labels) {
+  if (labels.empty()) return base;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = base;
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += "=\"";
+    for (char c : sorted[i].second) {
+      if (c == '\\' || c == '"') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string MetricBaseName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+double HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::max(0.0, std::min(1.0, q));
+  // Rank of the target observation (1-based, clamped into [1, count]).
+  const double rank = std::max(1.0, std::min<double>(count, q * count));
+  int64_t seen = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const int64_t in_bucket = bucket_counts[b];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Bucket edges: the first populated bucket starts at the observed min;
+    // interior buckets start at the previous finite bound. The overflow
+    // bucket (b == bounds.size()) has no finite upper bound, so it (and
+    // every other edge) is clamped to the observed [min, max].
+    double lo = b == 0 ? min : bounds[b - 1];
+    double hi = b < bounds.size() ? bounds[b] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double frac = (rank - seen) / static_cast<double>(in_bucket);
+    return lo + frac * (hi - lo);
+  }
+  return max;  // Unreachable when bucket counts sum to `count`.
+}
+
+std::string MetricsRegistry::ResolveLabeledNameLocked(const std::string& base,
+                                                      const Labels& labels) {
+  const std::string full = LabeledName(base, labels);
+  if (metrics_.count(full)) return full;
+  int& series = label_sets_[base];
+  if (series >= kMaxLabelSetsPerMetric) {
+    return LabeledName(base, {{"overflow", "true"}});
+  }
+  ++series;
+  return full;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  return GetCounterLocked(name);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetCounterLocked(ResolveLabeledNameLocked(name, labels));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetGaugeLocked(name);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetGaugeLocked(ResolveLabeledNameLocked(name, labels));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetHistogramLocked(name, std::move(bounds));
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetHistogramLocked(ResolveLabeledNameLocked(name, labels),
+                            std::move(bounds));
+}
+
+Counter* MetricsRegistry::GetCounterLocked(const std::string& name) {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;
@@ -97,8 +197,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return it->second.counter.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+Gauge* MetricsRegistry::GetGaugeLocked(const std::string& name) {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;
@@ -111,9 +210,8 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   return it->second.gauge.get();
 }
 
-Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+Histogram* MetricsRegistry::GetHistogramLocked(const std::string& name,
+                                               std::vector<double> bounds) {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;

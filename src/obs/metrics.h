@@ -22,6 +22,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eventhit::obs {
@@ -34,6 +35,25 @@ inline constexpr int kMetricShards = 16;
 /// Stable dense index of the calling thread (assigned on first use),
 /// shared by the metric shard selection and trace-event thread ids.
 int ThreadIndex();
+
+/// Key/value labels attached to a metric series (e.g. {event_type=E1}).
+/// Labels are resolved to a flat canonical name at registration time, so
+/// the hot path (Add/Set/Observe on the cached pointer) is identical for
+/// labeled and unlabeled series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Distinct label sets allowed per base metric name. Registration beyond
+/// the bound folds into a single `{overflow="true"}` series so a buggy
+/// caller cannot explode the schema.
+inline constexpr int kMaxLabelSetsPerMetric = 64;
+
+/// Canonical flattened series name: `base{k1="v1",k2="v2"}` with keys
+/// sorted and `\` / `"` escaped in values. Empty labels return `base`.
+std::string LabeledName(const std::string& base, const Labels& labels);
+
+/// Strips the `{...}` label suffix (if any) from a flattened series name,
+/// recovering the base name used in the schema and docs.
+std::string MetricBaseName(const std::string& name);
 
 namespace internal {
 
@@ -137,6 +157,15 @@ struct HistogramSnapshot {
   double max = 0.0;
 
   double Mean() const { return count > 0 ? sum / count : 0.0; }
+
+  /// Approximate quantile by linear interpolation inside the bucket that
+  /// contains the q-th observation (q clamped to [0, 1]; 0 when empty).
+  /// Bucket b spans (bounds[b-1], bounds[b]]; the first bucket's lower
+  /// edge is the observed min and every edge is clamped to the observed
+  /// [min, max], so a single-bucket histogram interpolates min..max. The
+  /// overflow bucket has no finite upper bound and interpolates from the
+  /// last finite bound to the observed max.
+  double ApproxQuantile(double q) const;
 };
 
 struct MetricsSnapshot {
@@ -161,6 +190,15 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds);
 
+  /// Labeled variants: register the flattened series `name{labels}`. The
+  /// per-base-name cardinality is bounded by kMaxLabelSetsPerMetric; label
+  /// sets beyond the bound all map to the `{overflow="true"}` series of
+  /// the same base name (so writes are never lost, only coarsened).
+  Counter* GetCounter(const std::string& name, const Labels& labels);
+  Gauge* GetGauge(const std::string& name, const Labels& labels);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const Labels& labels);
+
   /// Folds every metric into a by-name-sorted snapshot.
   MetricsSnapshot Snapshot() const;
 
@@ -182,8 +220,20 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Resolves a labeled series name, folding into the overflow series once
+  /// the base name has kMaxLabelSetsPerMetric distinct label sets. Must be
+  /// called with mu_ held.
+  std::string ResolveLabeledNameLocked(const std::string& base,
+                                       const Labels& labels);
+
+  Counter* GetCounterLocked(const std::string& name);
+  Gauge* GetGaugeLocked(const std::string& name);
+  Histogram* GetHistogramLocked(const std::string& name,
+                                std::vector<double> bounds);
+
   mutable std::mutex mu_;
-  std::map<std::string, Entry> metrics_;  // Guarded by mu_.
+  std::map<std::string, Entry> metrics_;       // Guarded by mu_.
+  std::map<std::string, int> label_sets_;      // base -> #series. By mu_.
 };
 
 }  // namespace eventhit::obs

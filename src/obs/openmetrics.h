@@ -1,0 +1,50 @@
+// OpenMetrics text rendition of a MetricsSnapshot, so the exit snapshot
+// (and any periodic snapshot) can be scraped or diffed with standard
+// tooling. Mapping documented in docs/TELEMETRY.md:
+//   * metric names mangle dots (and any other invalid character) to
+//     underscores; a leading digit gains a '_' prefix;
+//   * labeled series `base{k="v"}` (obs::LabeledName) become OpenMetrics
+//     label sets with `\\`, `\"` and newline escaped;
+//   * counters render as `<name>_total`, histograms as the standard
+//     `_bucket{le=...}` / `_sum` / `_count` triple with cumulative
+//     buckets and a trailing `le="+Inf"`;
+//   * the exposition ends with `# EOF`.
+#ifndef EVENTHIT_OBS_OPENMETRICS_H_
+#define EVENTHIT_OBS_OPENMETRICS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace eventhit::obs {
+
+/// Mangles a base metric name into the OpenMetrics charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and other invalid characters become
+/// underscores; a leading digit is prefixed with '_'.
+std::string OpenMetricsName(const std::string& base);
+
+/// Splits a flattened series name produced by LabeledName back into its
+/// base name and (unescaped) labels. Unlabeled names return empty labels.
+struct ParsedSeries {
+  std::string base;
+  Labels labels;
+};
+ParsedSeries ParseSeriesName(const std::string& name);
+
+/// Escapes a label value for an OpenMetrics exposition (backslash, quote,
+/// newline).
+std::string OpenMetricsLabelValue(const std::string& value);
+
+/// Renders the whole snapshot as an OpenMetrics text exposition.
+std::string MetricsToOpenMetrics(const MetricsSnapshot& snapshot);
+
+/// Writes MetricsToOpenMetrics to `path` (overwrites).
+Status WriteOpenMetrics(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_OPENMETRICS_H_

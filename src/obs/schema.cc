@@ -53,6 +53,20 @@ std::vector<std::string> AllMetricNames() {
       names::kCloudRequestLatencySeconds,
       names::kThreadPoolParallelForItems,
       names::kPredictBatchSize,
+      names::kAuditOutcomes,
+      names::kAuditPositives,
+      names::kAuditMisses,
+      names::kAuditEndpoints,
+      names::kAuditMiscovered,
+      names::kAuditBreaches,
+      names::kAuditMissRate,
+      names::kAuditMissBudget,
+      names::kAuditMissWilsonLower,
+      names::kAuditMiscoverageRate,
+      names::kAuditMiscoverageBudget,
+      names::kAuditMiscoverageWilsonLower,
+      names::kAuditBreachActive,
+      names::kTraceEventsDropped,
   };
   std::sort(all.begin(), all.end());
   return all;
@@ -73,6 +87,7 @@ std::vector<std::string> AllSpanNames() {
       names::kSpanStagePredictor,
       names::kSpanStageCi,
       names::kSpanRelayOutage,
+      names::kSpanAuditBreach,
   };
   std::sort(all.begin(), all.end());
   return all;

@@ -70,6 +70,21 @@ inline constexpr char kRecalibratorRebuildsCClassify[] =
 inline constexpr char kRecalibratorRebuildsCRegress[] =
     "recalibrator.rebuilds.cregress";
 
+// Guarantee auditor (obs/audit.h). Counters register both an unlabeled
+// aggregate and per-event `{event_type=...}` series; `audit.breaches`
+// additionally carries a `{guarantee=...}` label distinguishing the miss
+// track (1-c) from the miscoverage track (1-alpha).
+inline constexpr char kAuditOutcomes[] = "audit.outcomes";
+inline constexpr char kAuditPositives[] = "audit.positives";
+inline constexpr char kAuditMisses[] = "audit.misses";
+inline constexpr char kAuditEndpoints[] = "audit.endpoints";
+inline constexpr char kAuditMiscovered[] = "audit.miscovered";
+inline constexpr char kAuditBreaches[] = "audit.breaches";
+
+// Trace ring overflow: events overwritten because the buffer was full
+// (also exported into the Chrome trace as a metadata record).
+inline constexpr char kTraceEventsDropped[] = "trace.events.dropped";
+
 // Thread-pool substrate (pooled path only; threads == 1 records nothing).
 inline constexpr char kThreadPoolParallelForCalls[] =
     "threadpool.parallel_for.calls";
@@ -92,6 +107,19 @@ inline constexpr char kRecalibratorWindowSize[] = "recalibrator.window.size";
 inline constexpr char kThreadPoolThreads[] = "threadpool.threads";
 inline constexpr char kPipelineRelayedFramesPerHorizon[] =
     "pipeline.relayed_frames_per_horizon";
+
+// Auditor health, labeled `{event_type=...}` (`audit.breach.active` also
+// carries `{guarantee=...}`). Rates are rolling-window empirical values;
+// the Wilson gauges are the one-sided lower confidence bounds compared
+// against the guarantee budget by the breach detector.
+inline constexpr char kAuditMissRate[] = "audit.miss.rate";
+inline constexpr char kAuditMissBudget[] = "audit.miss.budget";
+inline constexpr char kAuditMissWilsonLower[] = "audit.miss.wilson_lower";
+inline constexpr char kAuditMiscoverageRate[] = "audit.miscoverage.rate";
+inline constexpr char kAuditMiscoverageBudget[] = "audit.miscoverage.budget";
+inline constexpr char kAuditMiscoverageWilsonLower[] =
+    "audit.miscoverage.wilson_lower";
+inline constexpr char kAuditBreachActive[] = "audit.breach.active";
 
 // --- Histograms -------------------------------------------------------
 
@@ -140,6 +168,10 @@ inline constexpr char kSpanStageCi[] = "stage.ci";
 // it, on the simulated clock — Chrome-trace export shows outages as solid
 // blocks on the simulated track.
 inline constexpr char kSpanRelayOutage[] = "relay.outage";
+
+// One latched guarantee breach: from the simulated time the detector
+// latched to the end of the stream (breaches never unlatch).
+inline constexpr char kSpanAuditBreach[] = "audit.breach";
 
 }  // namespace eventhit::obs::names
 

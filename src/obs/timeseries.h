@@ -1,0 +1,52 @@
+// Periodic metrics time series: JSONL delta snapshots keyed by the
+// simulated stream clock, so REC/SPL trade-offs and audit health can be
+// plotted over stream time instead of read once at exit.
+//
+// Each Emit writes one line containing only what changed since the
+// previous Emit: counter deltas, gauges whose value moved, and histogram
+// (count, sum) deltas. Metrics whose name starts with an excluded prefix
+// (by default `threadpool.`, whose values depend on wall time and worker
+// count) are skipped, which is what makes the exported file byte-identical
+// across --threads settings at a fixed seed.
+#ifndef EVENTHIT_OBS_TIMESERIES_H_
+#define EVENTHIT_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace eventhit::obs {
+
+class MetricsDeltaWriter {
+ public:
+  /// Writes lines to `*os` (not owned; must outlive the writer).
+  explicit MetricsDeltaWriter(
+      std::ostream* os,
+      std::vector<std::string> exclude_prefixes = {"threadpool."});
+
+  /// Appends one JSONL delta line at simulated time `sim_time`:
+  ///   {"t":40,"counters":{"audit.misses":2,...},
+  ///    "gauges":{"audit.miss.rate{...}":0.25},
+  ///    "histograms":{"cloud.request.frames":{"count":3,"sum":51}}}
+  /// Sections with no changes render as empty objects, so every line is a
+  /// complete, self-describing record.
+  void Emit(const MetricsSnapshot& snapshot, int64_t sim_time);
+
+ private:
+  bool Excluded(const std::string& name) const;
+
+  std::ostream* os_;
+  std::vector<std::string> exclude_prefixes_;
+  std::map<std::string, int64_t> last_counters_;
+  std::map<std::string, double> last_gauges_;
+  std::map<std::string, std::pair<int64_t, double>> last_histograms_;
+};
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_TIMESERIES_H_

@@ -9,21 +9,29 @@
 
 namespace eventhit::obs {
 
-TraceBuffer::TraceBuffer(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity),
+TraceBuffer::TraceBuffer(size_t capacity, MetricsRegistry* metrics)
+    : dropped_counter_(metrics != nullptr
+                           ? metrics->GetCounter("trace.events.dropped")
+                           : nullptr),
+      capacity_(capacity == 0 ? 1 : capacity),
       epoch_(std::chrono::steady_clock::now()) {
   ring_.reserve(capacity_);
 }
 
 void TraceBuffer::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(event));
-  } else {
-    ring_[next_ % capacity_] = std::move(event);
+  bool overwrote = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_ % capacity_] = std::move(event);
+      overwrote = true;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_recorded_;
   }
-  next_ = (next_ + 1) % capacity_;
-  ++total_recorded_;
+  if (overwrote && dropped_counter_ != nullptr) dropped_counter_->Add(1);
 }
 
 int64_t TraceBuffer::NowMicros() const {
@@ -85,13 +93,19 @@ std::vector<TraceBuffer::SpanAggregate> TraceBuffer::AggregateByName(
 
 std::string TraceBuffer::ToChromeJson() const {
   const std::vector<TraceEvent> events = Events();
+  const int64_t dropped_events = dropped();
   std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   json +=
       "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
       "\"args\":{\"name\":\"wall\"}},";
   json +=
       "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
-      "\"args\":{\"name\":\"simulated\"}}";
+      "\"args\":{\"name\":\"simulated\"}},";
+  // Ring overflow would otherwise be invisible in the exported file: the
+  // trace simply starts later than the run did.
+  json += "{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_events_dropped\","
+          "\"args\":{\"dropped\":" +
+          std::to_string(dropped_events) + "}}";
   for (const TraceEvent& event : events) {
     json += ",{\"name\":\"" + JsonEscape(event.name) + "\",\"cat\":\"" +
             JsonEscape(event.category) + "\",\"ph\":\"X\",\"ts\":" +
@@ -105,7 +119,8 @@ std::string TraceBuffer::ToChromeJson() const {
 }
 
 TraceBuffer& TraceBuffer::Global() {
-  static TraceBuffer* buffer = new TraceBuffer();
+  static TraceBuffer* buffer =
+      new TraceBuffer(16384, &MetricsRegistry::Global());
   return *buffer;
 }
 

@@ -40,9 +40,17 @@ struct TraceEvent {
 /// Bounded MPMC ring of completed spans. At capacity the oldest events are
 /// overwritten and `dropped()` counts the loss — telemetry must never grow
 /// without bound inside a long-running pipeline.
+class Counter;
+class MetricsRegistry;
+
 class TraceBuffer {
  public:
-  explicit TraceBuffer(size_t capacity = 16384);
+  /// When `metrics` is non-null every ring overwrite also bumps the
+  /// `trace.events.dropped` counter there, so overflow is visible in the
+  /// metrics export and not just in the trace file. The global buffer
+  /// reports into MetricsRegistry::Global().
+  explicit TraceBuffer(size_t capacity = 16384,
+                       MetricsRegistry* metrics = nullptr);
 
   TraceBuffer(const TraceBuffer&) = delete;
   TraceBuffer& operator=(const TraceBuffer&) = delete;
@@ -86,6 +94,7 @@ class TraceBuffer {
   static TraceBuffer& Global();
 
  private:
+  Counter* dropped_counter_ = nullptr;  // Owned by the registry.
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;

@@ -1,0 +1,333 @@
+// Tests for the online guarantee auditor: breach detection in both
+// directions at fixed seeds, exact parity with the offline REC accounting,
+// and byte-identical audit telemetry across thread counts.
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/strategies.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "obs/schema.h"
+#include "obs/timeseries.h"
+
+namespace eventhit::obs {
+namespace {
+
+AuditConfig TestConfig() {
+  AuditConfig config;
+  config.confidence = 0.9;   // Miss budget 0.1.
+  config.coverage = 0.5;     // Miscoverage budget 0.5.
+  config.fast_window = 16;
+  config.slow_window = 64;
+  config.event_labels = {"E1"};
+  return config;
+}
+
+AuditOutcome Positive(int64_t t, bool predicted, bool start_covered = true,
+                      bool end_covered = true) {
+  AuditOutcome outcome;
+  outcome.sim_time = t;
+  outcome.truth_present = true;
+  outcome.predicted_present = predicted;
+  outcome.start_covered = start_covered;
+  outcome.end_covered = end_covered;
+  return outcome;
+}
+
+TEST(WilsonLowerBoundTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(WilsonLowerBound(0, 0, 1.96), 0.0);
+  EXPECT_DOUBLE_EQ(WilsonLowerBound(0, 100, 1.96), 0.0);
+  // More evidence tightens the bound toward the empirical rate.
+  const double small = WilsonLowerBound(5, 10, 1.96);
+  const double large = WilsonLowerBound(500, 1000, 1.96);
+  EXPECT_LT(small, large);
+  EXPECT_LT(large, 0.5);
+  EXPECT_GT(large, 0.45);
+  // Certain failure with lots of evidence approaches 1.
+  EXPECT_GT(WilsonLowerBound(1000, 1000, 1.96), 0.99);
+  // The bound never goes negative.
+  EXPECT_GE(WilsonLowerBound(1, 1000, 1.96), 0.0);
+}
+
+TEST(GuarantyAuditorTest, AllMissStreamLatchesBreachWithinBoundedHorizon) {
+  MetricsRegistry registry;
+  Logger log;
+  GuarantyAuditor auditor(TestConfig(), &registry, nullptr, &log);
+  // Every positive is missed: the empirical rate is 1.0 against a 0.1
+  // budget. The breach must latch as soon as the fast window fills.
+  for (int64_t t = 0; t < 64; ++t) {
+    auditor.Observe(Positive(t, /*predicted=*/false));
+  }
+  ASSERT_TRUE(auditor.breached(0, AuditGuarantee::kMiss));
+  EXPECT_TRUE(auditor.any_breach());
+  EXPECT_EQ(auditor.breach_count(), 1);
+  // Latched exactly when the 16-sample fast window filled (t = 15).
+  EXPECT_EQ(auditor.breach_time(0, AuditGuarantee::kMiss), 15);
+  // The miscoverage track never scored (no true-positive intervals).
+  EXPECT_FALSE(auditor.breached(0, AuditGuarantee::kMiscoverage));
+  // Latching is sticky and counted once.
+  for (int64_t t = 64; t < 80; ++t) {
+    auditor.Observe(Positive(t, /*predicted=*/false));
+  }
+  EXPECT_EQ(auditor.breach_count(), 1);
+  // The breach emitted a structured-log record.
+  const std::vector<LogRecord> records = log.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].component, "audit");
+  EXPECT_EQ(records[0].level, LogLevel::kError);
+}
+
+TEST(GuarantyAuditorTest, WellCalibratedStreamStaysClean) {
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(TestConfig(), &registry);
+  // Deterministic 5% miss rate (every 20th positive) against a 10%
+  // budget, with endpoints always covered: no breach on either track.
+  for (int64_t t = 0; t < 400; ++t) {
+    auditor.Observe(Positive(t, /*predicted=*/t % 20 != 0));
+  }
+  EXPECT_FALSE(auditor.any_breach());
+  EXPECT_FALSE(auditor.breached(0, AuditGuarantee::kMiss));
+  EXPECT_FALSE(auditor.breached(0, AuditGuarantee::kMiscoverage));
+  EXPECT_EQ(auditor.breach_time(0, AuditGuarantee::kMiss), -1);
+  EXPECT_EQ(auditor.total_positives(), 400);
+  EXPECT_EQ(auditor.total_misses(), 20);
+  EXPECT_DOUBLE_EQ(auditor.MissRate(0), 0.05);
+}
+
+TEST(GuarantyAuditorTest, MiscoverageTrackScoresTwoEndpointsPerHit) {
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(TestConfig(), &registry);
+  auditor.Observe(Positive(0, true, /*start_covered=*/true,
+                           /*end_covered=*/false));
+  auditor.Observe(Positive(1, true, true, true));
+  // A missed positive contributes no endpoint samples.
+  auditor.Observe(Positive(2, false));
+  EXPECT_EQ(auditor.total_endpoints(), 4);
+  EXPECT_EQ(auditor.total_miscovered(), 1);
+  EXPECT_DOUBLE_EQ(auditor.MiscoverageRate(0), 0.25);
+}
+
+TEST(GuarantyAuditorTest, SustainedMiscoverageLatchesSecondTrack) {
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(TestConfig(), &registry);
+  // Every endpoint miscovered against the 0.5 budget.
+  for (int64_t t = 0; t < 64; ++t) {
+    auditor.Observe(Positive(t, true, false, false));
+  }
+  EXPECT_FALSE(auditor.breached(0, AuditGuarantee::kMiss));
+  EXPECT_TRUE(auditor.breached(0, AuditGuarantee::kMiscoverage));
+}
+
+TEST(GuarantyAuditorTest, FinalizeEmitsBreachSpanOnce) {
+  MetricsRegistry registry;
+  TraceBuffer trace(64);
+  GuarantyAuditor auditor(TestConfig(), &registry, &trace);
+  for (int64_t t = 0; t < 40; ++t) {
+    auditor.Observe(Positive(t, false));
+  }
+  ASSERT_TRUE(auditor.any_breach());
+  auditor.Finalize(100);
+  auditor.Finalize(100);  // Idempotent.
+  const std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, names::kSpanAuditBreach);
+  // [breach time, end] on the simulated timeline at stream_fps.
+  const int64_t start_us =
+      static_cast<int64_t>(15.0 / TestConfig().stream_fps * 1e6);
+  EXPECT_EQ(events[0].start_us, start_us);
+  EXPECT_GT(events[0].duration_us, 0);
+}
+
+TEST(GuarantyAuditorTest, RegistersLabeledSeries) {
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(TestConfig(), &registry);
+  auditor.Observe(Positive(0, false));
+  const std::vector<std::string> names = registry.Names();
+  auto has = [&](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("audit.outcomes"));
+  EXPECT_TRUE(has("audit.outcomes{event_type=\"E1\"}"));
+  EXPECT_TRUE(has("audit.misses{event_type=\"E1\"}"));
+  EXPECT_TRUE(
+      has("audit.breach.active{event_type=\"E1\",guarantee=\"miss\"}"));
+  EXPECT_EQ(
+      registry.GetCounter("audit.misses", {{"event_type", "E1"}})->Value(),
+      1);
+}
+
+// --- Real-model integration: the auditor against trained EHCR decisions -
+
+eval::RunnerConfig FastConfig() {
+  eval::RunnerConfig config;
+  config.stream_frames_override = 60000;
+  config.train_records = 350;
+  config.calib_records = 300;
+  config.test_records = 250;
+  config.model_template.epochs = 10;
+  config.seed = 42;
+  return config;
+}
+
+class AuditIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    env_ = new eval::TaskEnvironment(eval::TaskEnvironment::Build(
+        data::FindTask("TA10").value(), FastConfig()));
+    trained_ = new eval::TrainedEventHit(
+        eval::TrainEventHit(*env_, FastConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete trained_;
+    delete env_;
+    trained_ = nullptr;
+    env_ = nullptr;
+  }
+
+  static std::vector<core::MarshalDecision> Decisions(double confidence,
+                                                      int threads) {
+    core::EventHitStrategyOptions options;
+    options.use_cclassify = true;
+    options.use_cregress = true;
+    options.confidence = confidence;
+    options.coverage = 0.5;
+    const core::EventHitStrategy strategy(
+        trained_->model.get(), trained_->cclassify.get(),
+        trained_->cregress.get(), options);
+    return eval::DecisionsFromScores(strategy, trained_->test_scores,
+                                     ExecutionContext(threads, 42));
+  }
+
+  static eval::TaskEnvironment* env_;
+  static eval::TrainedEventHit* trained_;
+};
+
+eval::TaskEnvironment* AuditIntegrationTest::env_ = nullptr;
+eval::TrainedEventHit* AuditIntegrationTest::trained_ = nullptr;
+
+// The auditor's lifetime accounting must equal the offline REC bookkeeping
+// of eval::ComputeMetrics on the same (records, decisions) slice.
+TEST_F(AuditIntegrationTest, LifetimeCountsMatchOfflineRecAccounting) {
+  const auto decisions = Decisions(/*confidence=*/0.9, /*threads=*/1);
+  const auto outcomes =
+      eval::BuildAuditOutcomes(env_->test_records(), decisions);
+
+  AuditConfig config;
+  config.confidence = 0.9;
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(config, &registry);
+  for (const AuditOutcome& outcome : outcomes) auditor.Observe(outcome);
+
+  int64_t positives = 0;
+  int64_t hits = 0;
+  const auto& records = env_->test_records();
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t k = 0; k < records[i].labels.size(); ++k) {
+      if (!records[i].labels[k].present) continue;
+      ++positives;
+      hits += decisions[i].exists[k] ? 1 : 0;
+    }
+  }
+  ASSERT_GT(positives, 0);
+  EXPECT_EQ(auditor.total_positives(), positives);
+  EXPECT_EQ(auditor.total_misses(), positives - hits);
+
+  const eval::Metrics metrics =
+      eval::ComputeMetrics(records, decisions, env_->horizon());
+  EXPECT_NEAR(static_cast<double>(auditor.total_misses()) /
+                  static_cast<double>(auditor.total_positives()),
+              1.0 - metrics.rec_c, 1e-12);
+}
+
+// A deployment whose configured contract is far tighter than the model's
+// real calibration must trip the miss breach within the test slice.
+TEST_F(AuditIntegrationTest, MiscalibratedContractTripsBreach) {
+  // Decisions at c=0.5 (missing roughly half the positives) audited
+  // against a c=0.999 contract (0.1% miss budget).
+  const auto decisions = Decisions(/*confidence=*/0.5, /*threads=*/1);
+  const auto outcomes =
+      eval::BuildAuditOutcomes(env_->test_records(), decisions);
+  AuditConfig config;
+  config.confidence = 0.999;
+  // The shrunken slice only holds ~20 positives; windows sized to match.
+  config.fast_window = 8;
+  config.slow_window = 64;
+  MetricsRegistry registry;
+  GuarantyAuditor auditor(config, &registry);
+  for (const AuditOutcome& outcome : outcomes) auditor.Observe(outcome);
+  EXPECT_TRUE(auditor.any_breach());
+  for (size_t k = 0; k < env_->task().event_indices.size(); ++k) {
+    const int event = static_cast<int>(k);
+    if (!auditor.breached(event, AuditGuarantee::kMiss)) continue;
+    // Latched within the slice, after the fast window could fill.
+    EXPECT_GE(auditor.breach_time(event, AuditGuarantee::kMiss), 0);
+    EXPECT_LT(auditor.breach_time(event, AuditGuarantee::kMiss),
+              static_cast<int64_t>(env_->test_records().size()));
+  }
+  // The matched contract on well-calibrated decisions stays clean.
+  const auto calibrated = Decisions(/*confidence=*/0.9, /*threads=*/1);
+  AuditConfig matched;
+  matched.confidence = 0.9;
+  matched.fast_window = 8;
+  matched.slow_window = 64;
+  MetricsRegistry clean_registry;
+  GuarantyAuditor clean(matched, &clean_registry);
+  for (const AuditOutcome& outcome :
+       eval::BuildAuditOutcomes(env_->test_records(), calibrated)) {
+    clean.Observe(outcome);
+  }
+  EXPECT_FALSE(clean.any_breach());
+}
+
+// The audited telemetry — labeled snapshot, delta JSONL, structured log —
+// must be byte-identical whether decisions were computed on 1 or 4
+// threads (DESIGN.md §5c extended to the observability side channel).
+TEST_F(AuditIntegrationTest, AuditTelemetryByteIdenticalAcrossThreads) {
+  std::string jsonl[2];
+  std::string log_jsonl[2];
+  std::string names[2];
+  const int thread_counts[2] = {1, 4};
+  for (int v = 0; v < 2; ++v) {
+    const auto decisions = Decisions(0.97, thread_counts[v]);
+    const auto outcomes =
+        eval::BuildAuditOutcomes(env_->test_records(), decisions);
+    AuditConfig config;
+    config.confidence = 0.97;
+    config.event_labels = {"E10"};
+    MetricsRegistry registry;
+    Logger log;
+    GuarantyAuditor auditor(config, &registry, nullptr, &log);
+    std::ostringstream out;
+    MetricsDeltaWriter writer(&out);
+    int64_t last_time = -1;
+    for (const AuditOutcome& outcome : outcomes) {
+      if (outcome.sim_time != last_time && last_time >= 0 &&
+          last_time % 25 == 0) {
+        writer.Emit(registry.Snapshot(), last_time);
+      }
+      last_time = outcome.sim_time;
+      auditor.Observe(outcome);
+    }
+    auditor.Finalize(static_cast<int64_t>(env_->test_records().size()));
+    writer.Emit(registry.Snapshot(),
+                static_cast<int64_t>(env_->test_records().size()));
+    jsonl[v] = out.str();
+    log_jsonl[v] = log.ToJsonl();
+    std::string joined;
+    for (const std::string& name : registry.Names()) joined += name + "\n";
+    names[v] = joined;
+  }
+  EXPECT_EQ(jsonl[0], jsonl[1]);
+  EXPECT_EQ(log_jsonl[0], log_jsonl[1]);
+  EXPECT_EQ(names[0], names[1]);
+  EXPECT_FALSE(jsonl[0].empty());
+}
+
+}  // namespace
+}  // namespace eventhit::obs

@@ -1,0 +1,137 @@
+// Tests for the bench regression comparator behind tools/bench_diff and
+// the CI bench gate.
+#include "common/benchcmp.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace eventhit {
+namespace {
+
+TEST(ParseBenchJsonTest, ParsesFlatAndNestedNumbers) {
+  const auto parsed = ParseBenchJson(
+      R"({"per_record_fps": 50876.9, "records": 600, "fast_mode": false,)"
+      R"( "name": "fig9", "warm": {"batched_fps": 1e5}, "list": [1, 2]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& map = parsed.value();
+  EXPECT_DOUBLE_EQ(map.at("per_record_fps"), 50876.9);
+  EXPECT_DOUBLE_EQ(map.at("records"), 600.0);
+  EXPECT_DOUBLE_EQ(map.at("warm.batched_fps"), 1e5);
+  // Strings, booleans and arrays are skipped, not errors.
+  EXPECT_EQ(map.count("name"), 0u);
+  EXPECT_EQ(map.count("fast_mode"), 0u);
+  EXPECT_EQ(map.count("list"), 0u);
+}
+
+TEST(ParseBenchJsonTest, RejectsMalformedJson) {
+  EXPECT_FALSE(ParseBenchJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"a\": 1").ok());
+  EXPECT_FALSE(ParseBenchJson("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseBenchJson("").ok());
+}
+
+TEST(DirectionForKeyTest, InfersFromLeafName) {
+  EXPECT_EQ(DirectionForKey("batched_fps"), BenchDirection::kHigherBetter);
+  EXPECT_EQ(DirectionForKey("speedup_1t"), BenchDirection::kHigherBetter);
+  EXPECT_EQ(DirectionForKey("warm.batched_fps"),
+            BenchDirection::kHigherBetter);
+  EXPECT_EQ(DirectionForKey("scores_max_abs_diff"),
+            BenchDirection::kLowerBetter);
+  EXPECT_EQ(DirectionForKey("latency_ms"), BenchDirection::kLowerBetter);
+  EXPECT_EQ(DirectionForKey("records"), BenchDirection::kInformational);
+  EXPECT_EQ(DirectionForKey("threads"), BenchDirection::kInformational);
+}
+
+std::map<std::string, double> Baseline() {
+  return {{"batched_fps", 100000.0},
+          {"speedup_1t", 2.0},
+          {"scores_max_abs_diff", 0.0},
+          {"records", 600.0}};
+}
+
+TEST(DiffBenchJsonTest, WithinToleranceIsClean) {
+  auto current = Baseline();
+  current["batched_fps"] = 90000.0;  // -10% against a 15% band.
+  current["records"] = 250.0;        // Informational: never gates.
+  const BenchDiff diff =
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{});
+  EXPECT_FALSE(diff.regressed);
+  for (const BenchDelta& delta : diff.deltas) {
+    EXPECT_FALSE(delta.regressed) << delta.key;
+  }
+}
+
+TEST(DiffBenchJsonTest, HigherBetterRegressionIsFlagged) {
+  auto current = Baseline();
+  current["batched_fps"] = 50000.0;  // -50%.
+  const BenchDiff diff =
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{});
+  EXPECT_TRUE(diff.regressed);
+  for (const BenchDelta& delta : diff.deltas) {
+    if (delta.key == "batched_fps") {
+      EXPECT_TRUE(delta.regressed);
+      EXPECT_DOUBLE_EQ(delta.rel_change, -0.5);
+    } else {
+      EXPECT_FALSE(delta.regressed) << delta.key;
+    }
+  }
+}
+
+TEST(DiffBenchJsonTest, ImprovementNeverRegresses) {
+  auto current = Baseline();
+  current["batched_fps"] = 250000.0;  // +150% is an improvement.
+  EXPECT_FALSE(
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{}).regressed);
+}
+
+TEST(DiffBenchJsonTest, ZeroBaselineLowerBetterUsesAbsoluteGrowth) {
+  auto current = Baseline();
+  current["scores_max_abs_diff"] = 0.5;
+  // Relative tolerance off a zero baseline cannot save this.
+  EXPECT_TRUE(
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{}).regressed);
+  // An explicit absolute tolerance can.
+  BenchToleranceSpec spec;
+  spec.abs_tol["scores_max_abs_diff"] = 1.0;
+  EXPECT_FALSE(DiffBenchJson(Baseline(), current, spec).regressed);
+}
+
+TEST(DiffBenchJsonTest, PerKeyRelativeOverrideWins) {
+  auto current = Baseline();
+  current["speedup_1t"] = 1.8;  // -10%.
+  BenchToleranceSpec spec;
+  spec.rel_tol["speedup_1t"] = 0.05;  // Tighter than the 15% default.
+  EXPECT_TRUE(DiffBenchJson(Baseline(), current, spec).regressed);
+  spec.rel_tol["speedup_1t"] = 0.20;
+  EXPECT_FALSE(DiffBenchJson(Baseline(), current, spec).regressed);
+}
+
+TEST(DiffBenchJsonTest, MissingGatedKeyRegresses) {
+  auto current = Baseline();
+  current.erase("batched_fps");
+  const BenchDiff diff =
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{});
+  EXPECT_TRUE(diff.regressed);
+  ASSERT_EQ(diff.missing_keys.size(), 1u);
+  EXPECT_EQ(diff.missing_keys[0], "batched_fps");
+  // A missing informational key is not a regression.
+  auto current2 = Baseline();
+  current2.erase("records");
+  EXPECT_FALSE(
+      DiffBenchJson(Baseline(), current2, BenchToleranceSpec{}).regressed);
+}
+
+TEST(DiffBenchJsonTest, AbsoluteToleranceOnHigherBetterActsAsFloor) {
+  auto current = Baseline();
+  current["batched_fps"] = 30000.0;  // Way down, but above the floor.
+  BenchToleranceSpec spec;
+  spec.abs_tol["batched_fps"] = 80000.0;  // baseline - 80k = 20k floor.
+  EXPECT_FALSE(DiffBenchJson(Baseline(), current, spec).regressed);
+  current["batched_fps"] = 10000.0;  // Below the floor.
+  EXPECT_TRUE(DiffBenchJson(Baseline(), current, spec).regressed);
+}
+
+}  // namespace
+}  // namespace eventhit

@@ -19,8 +19,10 @@
 #include "common/thread_pool.h"
 #include "core/drift_detector.h"
 #include "core/marshaller.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/schema.h"
+#include "obs/trace.h"
 #include "sim/datasets.h"
 #include "sim/synthetic_video.h"
 
@@ -95,9 +97,19 @@ TEST(ObsSchemaSyncTest, RuntimeRegistrationsStayWithinSchema) {
     }
   };
   NullStrategy strategy;
-  core::Marshaller marshaller(&strategy, 2, 4, 1, 1);
+  // Labeled per-event series must also reduce to schema base names.
+  core::Marshaller marshaller(&strategy, 2, 4, 1, 1, /*metrics=*/nullptr,
+                              {"E1"});
   const float frame = 0.0f;
   for (int f = 0; f < 8; ++f) marshaller.PushFrame(&frame);
+  AuditConfig audit_config;
+  audit_config.event_labels = {"E1"};
+  GuarantyAuditor auditor(audit_config);
+  AuditOutcome outcome;
+  outcome.truth_present = true;
+  auditor.Observe(outcome);
+  auditor.Finalize(1);
+  TraceBuffer::Global();  // Registers trace.events.dropped.
   const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(
       sim::MakeDatasetSpec(sim::DatasetId::kVirat), /*seed=*/5);
   cloud::CloudService service(&video, cloud::CloudConfig{}, /*seed=*/5);
@@ -110,7 +122,9 @@ TEST(ObsSchemaSyncTest, RuntimeRegistrationsStayWithinSchema) {
 
   const std::vector<std::string> schema = AllMetricNames();
   for (const std::string& name : MetricsRegistry::Global().Names()) {
-    EXPECT_TRUE(std::binary_search(schema.begin(), schema.end(), name))
+    // Labeled series ("base{k=\"v\"}") are schema-checked by base name.
+    const std::string base = MetricBaseName(name);
+    EXPECT_TRUE(std::binary_search(schema.begin(), schema.end(), base))
         << "runtime-registered metric '" << name
         << "' is not part of the canonical schema (obs/schema.h)";
   }

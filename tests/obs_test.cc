@@ -1,5 +1,7 @@
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -8,8 +10,11 @@
 #include "cloud/cost_model.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
+#include "obs/json_util.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/schema.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace eventhit::obs {
@@ -286,6 +291,216 @@ TEST(ExportTest, CsvHasOneRowPerMetric) {
             std::string::npos);
   EXPECT_NE(csv.find("counter,c.one,3"), std::string::npos);
   EXPECT_NE(csv.find("gauge,g.one,1.5"), std::string::npos);
+}
+
+TEST(LabeledMetricsTest, LabeledNameIsCanonicalSortedAndEscaped) {
+  EXPECT_EQ(LabeledName("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(LabeledName("m", {}), "m");
+  EXPECT_EQ(LabeledName("m", {{"k", "a\"b\\c"}}), "m{k=\"a\\\"b\\\\c\"}");
+  EXPECT_EQ(MetricBaseName("m{a=\"1\"}"), "m");
+  EXPECT_EQ(MetricBaseName("plain"), "plain");
+}
+
+TEST(LabeledMetricsTest, SameLabelsReturnSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.labeled", {{"x", "1"}, {"y", "2"}});
+  Counter* b = registry.GetCounter("test.labeled", {{"y", "2"}, {"x", "1"}});
+  Counter* unlabeled = registry.GetCounter("test.labeled");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, unlabeled);
+  a->Add(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "test.labeled");
+  EXPECT_EQ(snapshot.counters[1].name, "test.labeled{x=\"1\",y=\"2\"}");
+  EXPECT_EQ(snapshot.counters[1].value, 3);
+}
+
+TEST(LabeledMetricsTest, CardinalityOverflowFoldsToOverflowSeries) {
+  MetricsRegistry registry;
+  for (int i = 0; i < kMaxLabelSetsPerMetric + 10; ++i) {
+    registry.GetCounter("test.wide", {{"id", std::to_string(i)}})->Add(1);
+  }
+  Counter* overflow =
+      registry.GetCounter("test.wide", {{"overflow", "true"}});
+  // The first kMaxLabelSetsPerMetric distinct label sets got their own
+  // series; the rest folded into {overflow="true"} — coarsened, not lost.
+  EXPECT_EQ(overflow->Value(), 10);
+  int64_t total = 0;
+  for (const auto& counter : registry.Snapshot().counters) {
+    total += counter.value;
+  }
+  EXPECT_EQ(total, kMaxLabelSetsPerMetric + 10);
+}
+
+TEST(LabeledMetricsTest, LabeledHistogramAndGaugeWork) {
+  MetricsRegistry registry;
+  registry.GetGauge("test.g", {{"k", "v"}})->Set(4.5);
+  registry.GetHistogram("test.h", {1.0}, {{"k", "v"}})->Observe(0.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "test.g{k=\"v\"}");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+}
+
+TEST(ApproxQuantileTest, InterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.q", {10.0, 20.0});
+  // 10 observations in (10, 20]: quantiles interpolate linearly across
+  // the clamped bucket [min, max] = [11, 20].
+  for (int i = 1; i <= 10; ++i) histogram->Observe(10.0 + i);
+  const HistogramSnapshot h = registry.Snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 20.0);
+  // q=0 clamps the rank to the first observation: frac 1/10 of [11, 20].
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 11.0 + 0.1 * 9.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 11.0 + 0.5 * 9.0);
+}
+
+TEST(ApproxQuantileTest, OverflowBucketClampsToObservedMax) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.q", {1.0});
+  histogram->Observe(0.5);
+  histogram->Observe(100.0);  // Overflow bucket.
+  const HistogramSnapshot h = registry.Snapshot().histograms[0];
+  // The overflow bucket has no finite upper bound; quantiles inside it
+  // interpolate from the last finite bound toward the observed max,
+  // never past it and never to infinity.
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 100.0);
+  EXPECT_GE(h.ApproxQuantile(0.99), 1.0);
+  EXPECT_LE(h.ApproxQuantile(0.99), 100.0);
+}
+
+TEST(ApproxQuantileTest, EmptyAndSingleObservation) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test.q", {1.0});
+  HistogramSnapshot h = registry.Snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+  histogram->Observe(7.0);
+  h = registry.Snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 7.0);
+}
+
+TEST(JsonNumberTest, NonFiniteRendersAsNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(3.0), "3");
+}
+
+TEST(JsonNumberTest, NonFiniteGaugeRoundTripsAsNullInMetricsJson) {
+  MetricsRegistry registry;
+  registry.GetGauge("g.nan")->Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("g.ok")->Set(2.0);
+  const std::string json = MetricsToJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"g.nan\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"g.ok\":2"), std::string::npos);
+  EXPECT_EQ(json.find(":nan"), std::string::npos);  // No bare nan token.
+}
+
+TEST(TraceBufferTest, DroppedCounterMirrorsIntoRegistry) {
+  MetricsRegistry registry;
+  TraceBuffer buffer(2, &registry);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&buffer, "s" + std::to_string(i));
+  }
+  EXPECT_EQ(buffer.dropped(), 3);
+  EXPECT_EQ(registry.GetCounter(names::kTraceEventsDropped)->Value(), 3);
+  const std::string json = buffer.ToChromeJson();
+  EXPECT_NE(json.find("\"trace_events_dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":3"), std::string::npos);
+}
+
+TEST(LoggerTest, SortsBySimTimeThenSeqAndRendersJsonl) {
+  Logger logger;
+  logger.Log(LogLevel::kInfo, "comp", "late", 20, {LogInt("x", 1)});
+  logger.Log(LogLevel::kWarn, "comp", "early", 10,
+             {LogStr("why", "a\"b"), LogBool("flag", true)});
+  const std::vector<LogRecord> records = logger.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event, "early");
+  EXPECT_EQ(records[1].event, "late");
+  const std::string jsonl = logger.ToJsonl();
+  EXPECT_NE(jsonl.find("{\"t\":10,\"seq\":1,\"level\":\"warn\","
+                       "\"component\":\"comp\",\"event\":\"early\","
+                       "\"why\":\"a\\\"b\",\"flag\":true}\n"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":20"), std::string::npos);
+}
+
+TEST(LoggerTest, MinLevelFiltersBelow) {
+  Logger logger;
+  logger.set_min_level(LogLevel::kWarn);
+  logger.Log(LogLevel::kInfo, "comp", "quiet", 0);
+  logger.Log(LogLevel::kError, "comp", "loud", 0);
+  ASSERT_EQ(logger.Records().size(), 1u);
+  EXPECT_EQ(logger.Records()[0].event, "loud");
+}
+
+TEST(LoggerTest, RateLimitIsDeterministicPerKey) {
+  Logger logger;
+  logger.set_rate_limit(2);
+  for (int i = 0; i < 5; ++i) {
+    logger.Log(LogLevel::kInfo, "comp", "spam", i);
+  }
+  logger.Log(LogLevel::kInfo, "comp", "other", 9);
+  EXPECT_EQ(logger.emitted(), 3);
+  EXPECT_EQ(logger.suppressed(), 3);
+  // The kept records are the FIRST two per key — deterministic, not a
+  // wall-clock token bucket.
+  const std::vector<LogRecord> records = logger.Records();
+  EXPECT_EQ(records[0].sim_time, 0);
+  EXPECT_EQ(records[1].sim_time, 1);
+}
+
+TEST(LoggerTest, ParseLogLevelAcceptsAliases) {
+  LogLevel level = LogLevel::kDebug;
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_FALSE(ParseLogLevel("blah", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);  // Untouched on failure.
+}
+
+TEST(MetricsDeltaWriterTest, EmitsOnlyChangedSeries) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c.hot");
+  registry.GetCounter("c.cold");
+  Gauge* gauge = registry.GetGauge("g.v");
+  std::ostringstream out;
+  MetricsDeltaWriter writer(&out);
+  counter->Add(2);
+  gauge->Set(1.5);
+  writer.Emit(registry.Snapshot(), 0);
+  counter->Add(3);
+  writer.Emit(registry.Snapshot(), 1);
+  writer.Emit(registry.Snapshot(), 2);  // Nothing changed.
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("{\"t\":0,\"counters\":{\"c.hot\":2}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("{\"t\":1,\"counters\":{\"c.hot\":3}"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"g.v\":1.5"), std::string::npos);
+  EXPECT_EQ(jsonl.find("c.cold"), std::string::npos);
+  // The no-change line still marks the tick, with empty sections.
+  EXPECT_NE(jsonl.find("{\"t\":2,\"counters\":{},\"gauges\":{},"
+                       "\"histograms\":{}}"),
+            std::string::npos);
+}
+
+TEST(MetricsDeltaWriterTest, ExcludesConfiguredPrefixes) {
+  MetricsRegistry registry;
+  registry.GetCounter("threadpool.tasks")->Add(5);
+  registry.GetCounter("kept.tasks")->Add(5);
+  std::ostringstream out;
+  MetricsDeltaWriter writer(&out);
+  writer.Emit(registry.Snapshot(), 0);
+  EXPECT_EQ(out.str().find("threadpool."), std::string::npos);
+  EXPECT_NE(out.str().find("kept.tasks"), std::string::npos);
 }
 
 TEST(SchemaTest, NameListsAreSortedAndUnique) {

@@ -1,0 +1,129 @@
+// OpenMetrics exporter tests: name mangling, label escaping, type lines,
+// histogram triples, and a golden exposition kept in tests/golden (synced
+// the same way obs_schema_sync_test keeps docs/TELEMETRY.md honest).
+#include "obs/openmetrics.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace eventhit::obs {
+namespace {
+
+TEST(OpenMetricsNameTest, ManglesInvalidCharacters) {
+  EXPECT_EQ(OpenMetricsName("relay.frames.submitted"),
+            "relay_frames_submitted");
+  EXPECT_EQ(OpenMetricsName("already_fine:yes"), "already_fine:yes");
+  EXPECT_EQ(OpenMetricsName("weird-name with spaces"),
+            "weird_name_with_spaces");
+  EXPECT_EQ(OpenMetricsName("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(OpenMetricsName(""), "_");
+}
+
+TEST(OpenMetricsTest, ParseSeriesNameRoundTripsLabeledName) {
+  const Labels labels = {{"event_type", "E1"}, {"guarantee", "mi\"ss\\"}};
+  const ParsedSeries parsed = ParseSeriesName(LabeledName("m.x", labels));
+  EXPECT_EQ(parsed.base, "m.x");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(parsed.labels[0].first, "event_type");
+  EXPECT_EQ(parsed.labels[0].second, "E1");
+  EXPECT_EQ(parsed.labels[1].second, "mi\"ss\\");
+  const ParsedSeries plain = ParseSeriesName("plain.name");
+  EXPECT_EQ(plain.base, "plain.name");
+  EXPECT_TRUE(plain.labels.empty());
+}
+
+TEST(OpenMetricsTest, LabelValueEscaping) {
+  EXPECT_EQ(OpenMetricsLabelValue("plain"), "plain");
+  EXPECT_EQ(OpenMetricsLabelValue("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(OpenMetricsTest, CountersGetTotalSuffixAndOneTypeLinePerFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("audit.misses")->Add(3);
+  registry.GetCounter("audit.misses", {{"event_type", "E1"}})->Add(2);
+  const std::string text = MetricsToOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE audit_misses counter\n"), std::string::npos);
+  EXPECT_NE(text.find("audit_misses_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("audit_misses_total{event_type=\"E1\"} 2\n"),
+            std::string::npos);
+  // One TYPE line for the family, not one per series.
+  EXPECT_EQ(text.find("# TYPE audit_misses counter"),
+            text.rfind("# TYPE audit_misses counter"));
+  EXPECT_TRUE(text.size() >= 6 &&
+              text.compare(text.size() - 6, 6, "# EOF\n") == 0);
+}
+
+TEST(OpenMetricsTest, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("lat.ms", {1.0, 10.0});
+  histogram->Observe(0.5);
+  histogram->Observe(5.0);
+  histogram->Observe(100.0);
+  const std::string text = MetricsToOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE lat_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3\n"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, LabeledHistogramAppendsLeAfterLabels) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat.ms", {1.0}, {{"k", "v"}})->Observe(0.5);
+  const std::string text = MetricsToOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("lat_ms_bucket{k=\"v\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum{k=\"v\"} 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count{k=\"v\"} 1\n"), std::string::npos);
+}
+
+TEST(OpenMetricsTest, GaugeRendersNonFiniteLiterally) {
+  MetricsRegistry registry;
+  registry.GetGauge("g.inf")->Set(
+      std::numeric_limits<double>::infinity());
+  const std::string text = MetricsToOpenMetrics(registry.Snapshot());
+  // OpenMetrics (unlike JSON) has literal non-finite number spellings.
+  EXPECT_NE(text.find("g_inf +Inf\n"), std::string::npos);
+}
+
+// Golden exposition of a fixed synthetic snapshot. Regenerate by running
+// this test with UPDATE_GOLDEN=1 in the environment.
+TEST(OpenMetricsTest, GoldenFileStaysInSync) {
+  MetricsRegistry registry;
+  registry.GetCounter("relay.orders.submitted")->Add(7);
+  registry.GetCounter("audit.misses", {{"event_type", "E1"}})->Add(2);
+  registry.GetGauge("breaker.state")->Set(1.0);
+  registry.GetGauge("audit.miss.rate", {{"event_type", "E1"}})->Set(0.125);
+  Histogram* histogram =
+      registry.GetHistogram("relay.request.attempts", {1.0, 2.0, 4.0});
+  histogram->Observe(1.0);
+  histogram->Observe(3.0);
+  const std::string text = MetricsToOpenMetrics(registry.Snapshot());
+
+  const std::string path = std::string(EVENTHIT_SOURCE_DIR) +
+                           "/tests/golden/openmetrics_snapshot.txt";
+  if (std::getenv("UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << text;
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text, golden.str())
+      << "OpenMetrics exposition drifted from tests/golden/"
+         "openmetrics_snapshot.txt; rerun with UPDATE_GOLDEN=1 if the "
+         "change is intentional";
+}
+
+}  // namespace
+}  // namespace eventhit::obs

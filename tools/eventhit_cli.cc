@@ -15,12 +15,21 @@
 //   --metrics-out=PATH   write the metrics snapshot as JSON
 //   --trace-out=PATH     write trace spans as Chrome trace-event JSON
 //                        (loads in chrome://tracing / Perfetto)
+//   --openmetrics-out=PATH  write the final snapshot as OpenMetrics text
+//   --log-out=PATH       write the structured log as JSONL
+//   --log-level=LVL      debug|info|warn|error (default info)
 //   --print-metrics      pretty-print the metrics snapshot on exit
 // `stats` additionally prints a telemetry section by default, and
 // `evaluate` emits the simulated per-stage horizon spans of its EHCR
 // operating point, from which Fig. 10-style shares can be re-derived.
+// `evaluate` also runs the online guarantee auditor over the EHCR
+// decisions (audit.* metrics, breach spans) and, with --metrics-jsonl,
+// writes a labeled time series of per-record metric deltas.
 
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "baselines/oracle.h"
 #include "cloud/cloud_service.h"
@@ -37,9 +46,13 @@
 #include "eval/curves.h"
 #include "eval/hyper_search.h"
 #include "eval/runner.h"
+#include "obs/audit.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
 #include "obs/schema.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/datasets.h"
 #include "sim/video_io.h"
@@ -81,8 +94,26 @@ int Usage() {
       "  --metrics-out=PATH  write the metrics snapshot as JSON\n"
       "  --trace-out=PATH    write Chrome trace-event JSON for\n"
       "                      chrome://tracing / Perfetto\n"
-      "  --print-metrics     pretty-print the metrics snapshot on exit\n";
+      "  --openmetrics-out=PATH  write the snapshot as OpenMetrics text\n"
+      "  --log-out=PATH      write the structured log as JSONL\n"
+      "  --log-level=LVL     debug|info|warn|error (default info)\n"
+      "  --print-metrics     pretty-print the metrics snapshot on exit\n"
+      "  auditing / time series (evaluate only):\n"
+      "  --metrics-jsonl=PATH  write per-record metric-delta JSONL while\n"
+      "                      the guarantee auditor replays the test slice\n"
+      "  --metrics-every=N   records between JSONL snapshots (default 25)\n";
   return 2;
+}
+
+// Display names per task event: paper numbering ("E5") when the task
+// carries it, else the auditor's "event<k>" fallback.
+std::vector<std::string> EventLabels(const data::Task& task) {
+  std::vector<std::string> labels;
+  labels.reserve(task.global_events.size());
+  for (const int global : task.global_events) {
+    labels.push_back("E" + std::to_string(global));
+  }
+  return labels;
 }
 
 // --threads=N: N >= 2 enables the worker pool, 0 resolves to the hardware
@@ -257,7 +288,8 @@ int RunFaultReplay(const Flags& flags, const eval::TaskEnvironment& env,
   const size_t num_events = env.task().event_indices.size();
   core::Marshaller marshaller(&strategy, env.collection_window(),
                               env.horizon(), env.video().feature_dim(),
-                              num_events);
+                              num_events, /*metrics=*/nullptr,
+                              EventLabels(env.task()));
 
   cloud::CloudService service(&env.video(), cloud::CloudConfig{},
                               static_cast<uint64_t>(fault_seed.value()) + 1);
@@ -375,6 +407,97 @@ int RunEvaluate(const Flags& flags) {
   table.AddRow({"OPT", Fmt(opt_metrics.rec), Fmt(opt_metrics.spl), "1.000",
                 "1.000"});
   table.Print(std::cout);
+
+  // Replay the EHCR decisions through the online guarantee auditor on the
+  // record clock: audit.* metrics, breach spans, and (with
+  // --metrics-jsonl) a labeled time series of per-record metric deltas.
+  {
+    core::EventHitStrategyOptions options;
+    options.use_cclassify = true;
+    options.use_cregress = true;
+    options.confidence = confidence.value();
+    options.coverage = coverage.value();
+    const core::EventHitStrategy ehcr(
+        trained.model.get(), trained.cclassify.get(), trained.cregress.get(),
+        options);
+    const std::vector<core::MarshalDecision> decisions =
+        eval::DecisionsFromScores(ehcr, trained.test_scores, exec);
+    const std::vector<obs::AuditOutcome> outcomes =
+        eval::BuildAuditOutcomes(env.test_records(), decisions);
+
+    obs::AuditConfig audit_config;
+    audit_config.confidence = confidence.value();
+    audit_config.coverage = coverage.value();
+    audit_config.event_labels = EventLabels(env.task());
+    obs::GuarantyAuditor auditor(audit_config, /*metrics=*/nullptr,
+                                 &obs::TraceBuffer::Global());
+
+    const std::string jsonl_path = flags.GetString("metrics-jsonl", "");
+    const int64_t metrics_every =
+        std::max<int64_t>(1, flags.GetInt("metrics-every", 25).value_or(25));
+    std::ofstream jsonl;
+    std::unique_ptr<obs::MetricsDeltaWriter> writer;
+    if (!jsonl_path.empty()) {
+      jsonl.open(jsonl_path);
+      if (!jsonl) {
+        std::cerr << "cannot open " << jsonl_path << "\n";
+        return 1;
+      }
+      writer = std::make_unique<obs::MetricsDeltaWriter>(&jsonl);
+      // Baseline line at t=-1: everything accumulated before the audit
+      // replay, so the first windowed delta starts clean.
+      writer->Emit(obs::MetricsRegistry::Global().Snapshot(), -1);
+    }
+    const int64_t records = static_cast<int64_t>(env.test_records().size());
+    size_t next = 0;
+    for (int64_t i = 0; i < records; ++i) {
+      while (next < outcomes.size() && outcomes[next].sim_time == i) {
+        auditor.Observe(outcomes[next]);
+        ++next;
+      }
+      if (writer != nullptr && (i + 1) % metrics_every == 0) {
+        writer->Emit(obs::MetricsRegistry::Global().Snapshot(), i);
+      }
+    }
+    auditor.Finalize(records);
+    if (writer != nullptr) {
+      writer->Emit(obs::MetricsRegistry::Global().Snapshot(), records);
+      std::cerr << "metric deltas written to " << jsonl_path << "\n";
+    }
+
+    std::cout << "\n=== Guarantee audit (c=" << Fmt(confidence.value(), 2)
+              << ", alpha=" << Fmt(coverage.value(), 2) << ") ===\n";
+    TablePrinter audit_table({"Event", "Pos", "Miss", "MissRate",
+                              "MissBudget", "Endp", "Miscov", "MiscovRate",
+                              "MiscovBudget", "Breach"});
+    const double miss_budget = 1.0 - confidence.value();
+    const double miscov_budget = 1.0 - coverage.value();
+    const std::vector<std::string>& labels = audit_config.event_labels;
+    for (size_t k = 0; k < env.task().event_indices.size(); ++k) {
+      const int event = static_cast<int>(k);
+      std::string breach;
+      if (auditor.breached(event, obs::AuditGuarantee::kMiss)) {
+        breach = "miss";
+      }
+      if (auditor.breached(event, obs::AuditGuarantee::kMiscoverage)) {
+        breach += breach.empty() ? "miscoverage" : ",miscoverage";
+      }
+      if (breach.empty()) breach = "-";
+      audit_table.AddRow(
+          {k < labels.size() ? labels[k] : "event" + std::to_string(k),
+           Fmt(auditor.positives(event)), Fmt(auditor.misses(event)),
+           Fmt(auditor.MissRate(event), 4), Fmt(miss_budget, 4),
+           Fmt(auditor.endpoints(event)), Fmt(auditor.miscovered(event)),
+           Fmt(auditor.MiscoverageRate(event), 4), Fmt(miscov_budget, 4),
+           breach});
+    }
+    audit_table.Print(std::cout);
+    if (auditor.any_breach()) {
+      std::cout << "BREACH: " << auditor.breach_count()
+                << " guarantee breach(es) latched; see audit.breach.* "
+                   "metrics and audit.breach trace spans\n";
+    }
+  }
 
   // Emit the EHCR operating point onto the simulated timeline: one
   // stage.feature_extraction / stage.predictor / stage.ci span triple for
@@ -510,6 +633,28 @@ int FlushTelemetry(const Flags& flags) {
       std::cerr << "trace written to " << trace_out << "\n";
     }
   }
+  const std::string openmetrics_out = flags.GetString("openmetrics-out", "");
+  if (!openmetrics_out.empty()) {
+    const auto status = obs::WriteOpenMetrics(
+        obs::MetricsRegistry::Global().Snapshot(), openmetrics_out);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "OpenMetrics written to " << openmetrics_out << "\n";
+    }
+  }
+  const std::string log_out = flags.GetString("log-out", "");
+  if (!log_out.empty()) {
+    std::ofstream out(log_out);
+    if (out) out << obs::Logger::Global().ToJsonl();
+    if (!out) {
+      std::cerr << "cannot write " << log_out << "\n";
+      rc = 1;
+    } else {
+      std::cerr << "structured log written to " << log_out << "\n";
+    }
+  }
   if (flags.GetBool("print-metrics", false).value_or(false)) {
     std::cout << "\n=== Telemetry snapshot ===\n";
     obs::PrintMetricsTable(obs::MetricsRegistry::Global().Snapshot(),
@@ -528,6 +673,14 @@ int main(int argc, char** argv) {
     std::cerr << flags.status() << "\n";
     return 2;
   }
+  const std::string log_level = flags.value().GetString("log-level", "info");
+  obs::LogLevel min_level = obs::LogLevel::kInfo;
+  if (!obs::ParseLogLevel(log_level, &min_level)) {
+    std::cerr << "bad --log-level: " << log_level
+              << " (want debug|info|warn|error)\n";
+    return 2;
+  }
+  obs::Logger::Global().set_min_level(min_level);
   int rc = -1;
   if (command == "stats") rc = RunStats(flags.value());
   if (command == "generate") rc = RunGenerate(flags.value());
