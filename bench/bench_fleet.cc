@@ -1,0 +1,136 @@
+// Fleet-scale throughput: N tenant streams multiplexed through the
+// cross-stream dynamic batcher (DESIGN.md §5g) on TA10, at 100, 1k and
+// 10k streams. Reports aggregate frames/second, streams/second and the
+// p50/p99 per-frame tick latency an individual tenant observes, plus a
+// digest cross-check of a few streams against their solo (unbatched)
+// runs — the determinism contract, measured every bench run.
+//
+// Expected shape: frames/second stays roughly flat from 100 to 10k
+// streams (the batcher amortises the GEMM; memory stays bounded by the
+// wave size), while the per-frame p99 grows only with the batching
+// deadline, not with the fleet size.
+//
+// Emits BENCH_fleet.json (gated in CI next to BENCH_fig9_fps.json):
+//   fleetN_fps           aggregate pushed frames/second   (higher-better)
+//   fleetN_p99_frame_us  p99 per-frame tick latency       (lower-better)
+//   fleet_solo_digest_diff  streams whose fleet digests differ from their
+//                           solo run (must stay 0)         (lower-better)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "data/tasks.h"
+#include "fleet/stream_fleet.h"
+
+namespace {
+
+using ::eventhit::Fmt;
+using ::eventhit::TablePrinter;
+namespace bench = ::eventhit::bench;
+namespace data = ::eventhit::data;
+namespace fleet = ::eventhit::fleet;
+
+struct Leg {
+  int streams = 0;
+  fleet::FleetRunStats stats;
+  int solo_mismatches = 0;
+};
+
+}  // namespace
+
+int main() {
+  const bool fast = bench::FastMode();
+  const int threads = bench::ThreadsFromEnv();
+  const data::Task task = data::FindTask("TA10").value();
+
+  fleet::FleetConfig config;
+  config.base_seed = 4242;
+  // ~6 prediction horizons per stream (H=200): enough batching pressure
+  // per stream while keeping the 10k leg inside a bench budget.
+  config.frames_per_stream = fast ? 600 : 1400;
+  config.batch_size = 64;
+  config.max_batch_delay_ticks = 4;
+  config.wave_size = 256;
+  config.threads = threads;
+  config.runner = bench::DefaultRunnerConfig(config.base_seed);
+
+  std::cout << "=== Fleet throughput: cross-stream dynamic batching on "
+            << task.name << " (" << threads << " thread(s), "
+            << config.frames_per_stream << " frames/stream) ===\n";
+
+  // How many of the leading streams to digest-check against solo runs.
+  const int kVerify = 3;
+
+  std::vector<Leg> legs;
+  // Fast mode shrinks the per-stream frame count, never the leg list: the
+  // committed baseline and the CI run must emit the same gated keys.
+  for (const int streams : {100, 1000, 10000}) {
+    fleet::FleetConfig leg_config = config;
+    leg_config.num_streams = streams;
+    fleet::StreamFleet leg_runner(task, leg_config);
+    std::cout << "\nrunning " << streams << " stream(s)...\n";
+    const fleet::FleetRunResult result = leg_runner.Run();
+    Leg leg;
+    leg.streams = streams;
+    leg.stats = result.stats;
+    for (int s = 0; s < kVerify && s < streams; ++s) {
+      const fleet::FleetStreamResult solo = leg_runner.RunStreamSolo(s);
+      if (!fleet::SameStreamResult(result.streams[static_cast<size_t>(s)],
+                                   solo)) {
+        ++leg.solo_mismatches;
+        std::cerr << "stream " << s
+                  << ": fleet digests DIFFER from the solo run\n";
+      }
+    }
+    legs.push_back(leg);
+  }
+
+  TablePrinter table({"Streams", "Frames/s", "Streams/s", "p50 frame us",
+                      "p99 frame us", "Batch fill", "Full/Deadline/Final"});
+  int total_mismatches = 0;
+  for (const Leg& leg : legs) {
+    table.AddRow({Fmt(static_cast<int64_t>(leg.streams)),
+                  Fmt(leg.stats.frames_per_sec, 0),
+                  Fmt(leg.stats.streams_per_sec, 1),
+                  Fmt(leg.stats.p50_frame_us, 2),
+                  Fmt(leg.stats.p99_frame_us, 2),
+                  Fmt(leg.stats.batch_fill_mean, 1),
+                  Fmt(leg.stats.flush_full) + "/" +
+                      Fmt(leg.stats.flush_deadline) + "/" +
+                      Fmt(leg.stats.flush_final)});
+    total_mismatches += leg.solo_mismatches;
+  }
+  table.Print(std::cout);
+  std::cout << "solo digest cross-check: " << total_mismatches
+            << " mismatch(es) across " << legs.size() << " leg(s)\n";
+
+  // Machine-readable baseline for CI and for tracking in-repo.
+  std::ofstream json("BENCH_fleet.json");
+  json << "{\n"
+       << "  \"task\": \"" << task.name << "\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"frames_per_stream\": " << config.frames_per_stream << ",\n"
+       << "  \"batch_size\": " << config.batch_size << ",\n"
+       << "  \"max_batch_delay_ticks\": " << config.max_batch_delay_ticks
+       << ",\n"
+       << "  \"fleet_solo_digest_diff\": " << total_mismatches << ",\n";
+  for (const Leg& leg : legs) {
+    std::ostringstream prefix;
+    prefix << "fleet" << leg.streams;
+    json << "  \"" << prefix.str() << "_fps\": " << leg.stats.frames_per_sec
+         << ",\n"
+         << "  \"" << prefix.str()
+         << "_p99_frame_us\": " << leg.stats.p99_frame_us << ",\n"
+         << "  \"" << prefix.str()
+         << "_streams_per_sec\": " << leg.stats.streams_per_sec << ",\n"
+         << "  \"" << prefix.str()
+         << "_batch_fill_mean\": " << leg.stats.batch_fill_mean << ",\n";
+  }
+  json << "  \"fast_mode\": " << (fast ? "true" : "false") << "\n}\n";
+  std::cout << "wrote BENCH_fleet.json\n";
+  return total_mismatches == 0 ? 0 : 1;
+}

@@ -228,7 +228,12 @@ BenchDiff DiffBenchJson(const std::map<std::string, double>& baseline,
                                ? rel_it->second
                                : spec.default_rel_tol;
         if (direction == BenchDirection::kHigherBetter) {
-          delta.regressed = delta.current < base_value * (1.0 - rel);
+          // A zero baseline makes the relative band collapse to zero
+          // width; spell the comparison out so a zero-baseline key can
+          // never divide by zero upstream or regress on rounding noise.
+          delta.regressed = base_value == 0.0
+                                ? delta.current < -1e-9
+                                : delta.current < base_value * (1.0 - rel);
         } else if (base_value == 0.0) {
           // Relative tolerance is meaningless off a zero baseline (e.g.
           // scores_max_abs_diff); any measurable growth regresses.

@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -157,13 +159,27 @@ void ThreadPool::ParallelFor(size_t n,
   });
 }
 
-int ThreadPool::DefaultThreads() {
-  if (const char* env = std::getenv("EVENTHIT_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed >= 1) return parsed;
+int ThreadPool::ResolveDefaultThreads(const char* env, unsigned hardware) {
+  if (env != nullptr && *env != '\0') {
+    // Strict parse: atoi's silent 0 on junk and undefined behaviour on
+    // overflow both used to fall through here. Anything that is not a
+    // complete in-range positive decimal number is ignored.
+    errno = 0;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && parsed >= 1 &&
+        parsed <= std::numeric_limits<int>::max()) {
+      return static_cast<int>(parsed);
+    }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw >= 1 ? static_cast<int>(hw) : 1;
+  // hardware_concurrency() == 0 means "unknown" — clamp to the serial
+  // fallback so a 0 can never propagate into chunk math.
+  return hardware >= 1 ? static_cast<int>(hardware) : 1;
+}
+
+int ThreadPool::DefaultThreads() {
+  return ResolveDefaultThreads(std::getenv("EVENTHIT_THREADS"),
+                               std::thread::hardware_concurrency());
 }
 
 ExecutionContext::ExecutionContext(int threads, uint64_t base_seed)

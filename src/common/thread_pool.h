@@ -58,7 +58,16 @@ class ThreadPool {
 
   /// Thread count to use when the caller asked for "auto" (<= 0):
   /// EVENTHIT_THREADS if set, else std::thread::hardware_concurrency.
+  /// Always >= 1: a non-numeric, zero, negative, out-of-range or
+  /// trailing-junk EVENTHIT_THREADS is ignored, and a zero
+  /// hardware_concurrency() (the standard's "unknown" answer) clamps to
+  /// the serial fallback instead of poisoning chunk math downstream.
   static int DefaultThreads();
+
+  /// Pure resolution logic behind DefaultThreads, exposed for testing:
+  /// `env` is the raw EVENTHIT_THREADS value (nullptr = unset) and
+  /// `hardware` the hardware_concurrency() answer (0 = unknown).
+  static int ResolveDefaultThreads(const char* env, unsigned hardware);
 
  private:
   struct Job {

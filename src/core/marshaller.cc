@@ -86,7 +86,8 @@ int64_t Marshaller::next_prediction_frame() const {
              : next;
 }
 
-bool Marshaller::PushFrame(const float* features) {
+bool Marshaller::PushFrameDeferred(const float* features,
+                                   data::Record* pending) {
   const size_t slot =
       static_cast<size_t>(frame_count_ %
                           static_cast<int64_t>(collection_window_));
@@ -112,11 +113,18 @@ bool Marshaller::PushFrame(const float* features) {
                 feature_dim_ * sizeof(float));
   }
 
-  data::Record record;
-  record.frame = current_frame;
-  record.covariates = std::move(covariates);
-  record.labels.resize(num_events_);  // Unknown at inference; zeroed.
-  last_decision_ = strategy_->Decide(record);
+  pending->frame = current_frame;
+  pending->covariates = std::move(covariates);
+  pending->labels.assign(num_events_, data::EventLabel{});  // Unknown.
+  pending_anchors_.push_back(current_frame);
+  return true;
+}
+
+void Marshaller::CompletePrediction(const MarshalDecision& decision) {
+  EVENTHIT_CHECK(!pending_anchors_.empty());
+  const int64_t current_frame = pending_anchors_.front();
+  pending_anchors_.pop_front();
+  last_decision_ = decision;
   ++stats_.horizons_predicted;
   horizons_metric_->Add(1);
 
@@ -180,6 +188,12 @@ bool Marshaller::PushFrame(const float* features) {
   frames_relayed_metric_->Add(billed);
   frames_filtered_metric_->Add(filtered);
   frames_total_metric_->Add(billed + filtered);
+}
+
+bool Marshaller::PushFrame(const float* features) {
+  data::Record record;
+  if (!PushFrameDeferred(features, &record)) return false;
+  CompletePrediction(strategy_->Decide(record));
   return true;
 }
 

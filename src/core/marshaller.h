@@ -6,6 +6,7 @@
 #define EVENTHIT_CORE_MARSHALLER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -67,6 +68,26 @@ class Marshaller {
   /// Returns true when this frame triggered a prediction.
   bool PushFrame(const float* features);
 
+  /// Two-phase (deferred-decision) form of PushFrame for callers that batch
+  /// inference across streams (src/fleet/). Returns true when this frame is
+  /// a prediction boundary, in which case `*pending` is filled with the
+  /// anchored covariate window (labels zeroed — unknown at inference; frame
+  /// set to the local anchor frame) and the prediction is queued as
+  /// pending. The caller scores the record — e.g. through a cross-stream
+  /// PredictBatch — and finishes the horizon with CompletePrediction.
+  /// Several predictions may be pending at once (a batcher holding requests
+  /// past one horizon); they must be completed in FIFO order.
+  bool PushFrameDeferred(const float* features, data::Record* pending);
+
+  /// Applies a strategy decision to the oldest pending prediction from
+  /// PushFrameDeferred: relay orders, stats, metrics — the exact code path
+  /// PushFrame runs inline, so a deferred decision is byte-identical to
+  /// the inline one given the same scores. Requires a pending prediction.
+  void CompletePrediction(const MarshalDecision& decision);
+
+  /// Prediction boundaries pushed but not yet completed.
+  size_t pending_predictions() const { return pending_anchors_.size(); }
+
   /// Decision made at the most recent prediction point (empty before the
   /// first prediction).
   const MarshalDecision& last_decision() const { return last_decision_; }
@@ -88,6 +109,9 @@ class Marshaller {
   // order reconstructed at prediction time).
   std::vector<float> ring_;
   int64_t frame_count_ = 0;
+
+  // Anchor frames of deferred predictions awaiting CompletePrediction.
+  std::deque<int64_t> pending_anchors_;
 
   MarshalDecision last_decision_;
   MarshallerStats stats_;

@@ -1,0 +1,124 @@
+// Lock-light bounded MPSC submission queue for the stream fleet.
+//
+// Vyukov-style slot-sequence ring: producers claim slots with one
+// fetch_add + per-slot release store, the single consumer drains with
+// acquire loads — no mutex on the hot path. The fleet uses it as the
+// funnel between the parallel push phase (many pool workers producing
+// inference requests) and the serial batching phase (one consumer).
+//
+// Concurrency contract:
+//   * TryPush may be called from any number of threads concurrently.
+//   * DrainTo/Empty are single-consumer. A drain concurrent with
+//     producers is safe (the value hand-off synchronises on the slot
+//     sequence) but only observes the published prefix; the fleet never
+//     relies on that, separating the phases with the pool's ParallelFor
+//     barrier so every drain sees the whole tick.
+//
+// Determinism: the drain order depends on scheduling, so consumers must
+// re-impose a canonical order (the fleet stable-sorts by stream index)
+// before any order-sensitive processing.
+#ifndef EVENTHIT_FLEET_MPSC_QUEUE_H_
+#define EVENTHIT_FLEET_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace eventhit::fleet {
+
+/// Bounded multi-producer single-consumer ring. Capacity is rounded up to
+/// a power of two. T must be movable.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::vector<Slot>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(static_cast<uint64_t>(i),
+                               std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Enqueues `value`. Returns false when the ring is full (the fleet
+  /// sizes the ring so this cannot happen: at most one request per
+  /// resident stream per tick).
+  bool TryPush(T value) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      const int64_t diff =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: `pos` was reloaded; retry with the fresh value.
+      } else if (diff < 0) {
+        return false;  // Slot still holds an unconsumed value: full.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Moves every queued element into `out` (appending) in ring order and
+  /// releases the slots. Single-consumer only; must not race TryPush.
+  /// Returns the number drained.
+  size_t DrainTo(std::vector<T>* out) {
+    size_t drained = 0;
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const uint64_t seq = slot.sequence.load(std::memory_order_acquire);
+      if (seq != pos + 1) break;  // Next slot not (yet) published: empty.
+      out->push_back(std::move(slot.value));
+      slot.sequence.store(pos + capacity_, std::memory_order_release);
+      ++pos;
+      ++drained;
+    }
+    head_.store(pos, std::memory_order_relaxed);
+    return drained;
+  }
+
+  /// True when no published element is waiting (consumer-side view).
+  bool Empty() const {
+    const uint64_t pos = head_.load(std::memory_order_relaxed);
+    const Slot& slot = slots_[pos & mask_];
+    return slot.sequence.load(std::memory_order_acquire) != pos + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> sequence{0};
+    T value{};
+  };
+
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  // Producers contend on tail_; the consumer owns head_. Separate cache
+  // lines so drains never bounce the producers' line.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace eventhit::fleet
+
+#endif  // EVENTHIT_FLEET_MPSC_QUEUE_H_

@@ -1,0 +1,613 @@
+#include "fleet/stream_fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/record_extractor.h"
+#include "fleet/dynamic_batcher.h"
+#include "fleet/mpsc_queue.h"
+#include "fleet/shard_arena.h"
+#include "obs/audit.h"
+#include "obs/schema.h"
+#include "sim/datasets.h"
+#include "sim/fault_injector.h"
+#include "sim/synthetic_video.h"
+
+namespace eventhit::fleet {
+namespace {
+
+// Seed-split salts for the per-stream component streams.
+constexpr uint64_t kVideoSalt = 1;
+constexpr uint64_t kCloudSalt = 2;
+constexpr uint64_t kRelaySalt = 3;
+constexpr uint64_t kPhaseSalt = 5;
+constexpr uint64_t kMixSalt = 6;
+
+// FNV-1a 64-bit.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvI64(uint64_t h, int64_t v) { return FnvBytes(h, &v, sizeof(v)); }
+
+uint64_t FnvF64(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvBytes(h, &bits, sizeof(bits));
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+// Per-stream shard: every component a tenant stream owns, plus the digest
+// accumulators. Lives in a ShardArena slot so adjacent streams never share
+// a cache line while parallel phases mutate them.
+struct StreamFleet::StreamState {
+  StreamSettings settings;
+  data::ExtractorConfig extractor;
+  std::unique_ptr<sim::SyntheticVideo> video;
+  std::unique_ptr<cloud::CloudService> service;
+  std::unique_ptr<sim::FaultInjector> faults;
+  std::unique_ptr<cloud::CloudRelay> relay;
+  std::unique_ptr<core::Marshaller> marshaller;
+  std::unique_ptr<obs::GuarantyAuditor> auditor;
+
+  int64_t next_frame = 0;         // Local push cursor.
+  int64_t seq = 0;                // Requests issued.
+  int64_t completing_anchor = 0;  // Anchor of the in-flight completion.
+  int64_t billed_microusd = 0;    // Invoice already reported to the fleet.
+  uint64_t decision_digest = kFnvOffset;
+  uint64_t delivery_digest = kFnvOffset;
+  bool transcripts_on = false;
+  StreamTranscript transcript;
+  data::Record pending_record;    // Scratch between push and enqueue.
+  bool has_request = false;
+};
+
+bool SameStreamResult(const FleetStreamResult& a, const FleetStreamResult& b) {
+  auto bits = [](double v) {
+    uint64_t u = 0;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+  };
+  return a.stream_index == b.stream_index &&
+         a.decision_digest == b.decision_digest &&
+         a.delivery_digest == b.delivery_digest &&
+         a.state_digest == b.state_digest &&
+         std::memcmp(&a.marshaller, &b.marshaller, sizeof(a.marshaller)) ==
+             0 &&
+         std::memcmp(&a.relay, &b.relay, sizeof(a.relay)) == 0 &&
+         a.invoice.frames_processed == b.invoice.frames_processed &&
+         a.invoice.requests == b.invoice.requests &&
+         bits(a.invoice.total_cost_usd) == bits(b.invoice.total_cost_usd) &&
+         bits(a.invoice.compute_seconds) == bits(b.invoice.compute_seconds) &&
+         a.audit_positives == b.audit_positives &&
+         a.audit_misses == b.audit_misses &&
+         a.audit_endpoints == b.audit_endpoints &&
+         a.audit_miscovered == b.audit_miscovered &&
+         a.audit_breaches == b.audit_breaches;
+}
+
+StreamFleet::StreamFleet(const data::Task& task, const FleetConfig& config,
+                         obs::MetricsRegistry* metrics,
+                         obs::TraceBuffer* trace)
+    : task_(task),
+      config_(config),
+      metrics_(metrics != nullptr ? metrics
+                                  : &obs::MetricsRegistry::Global()),
+      trace_(trace) {
+  EVENTHIT_CHECK_GT(config_.num_streams, 0);
+  EVENTHIT_CHECK_GT(config_.wave_size, 0);
+  threads_ = config_.threads <= 0 ? ThreadPool::DefaultThreads()
+                                  : config_.threads;
+
+  stream_metrics_ = std::make_unique<obs::MetricsRegistry>();
+  stream_log_ = std::make_unique<obs::Logger>();
+  stream_log_->set_min_level(obs::LogLevel::kError);
+
+  // One shared model for the whole fleet, trained on the task's canonical
+  // environment (training is independent of the per-stream specs).
+  env_ = std::make_unique<eval::TaskEnvironment>(
+      eval::TaskEnvironment::Build(task_, config_.runner));
+  const ExecutionContext train_ctx(threads_, config_.runner.seed);
+  trained_ = std::make_unique<eval::TrainedEventHit>(
+      eval::TrainEventHit(*env_, config_.runner, 0.5, train_ctx));
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = config_.confidence;
+  options.coverage = config_.coverage;
+  strategy_ = std::make_unique<core::EventHitStrategy>(
+      trained_->model.get(), trained_->cclassify.get(),
+      trained_->cregress.get(), options);
+
+  streams_completed_metric_ =
+      metrics_->GetCounter(obs::names::kFleetStreamsCompleted);
+  frames_pushed_metric_ =
+      metrics_->GetCounter(obs::names::kFleetFramesPushed);
+  requests_metric_ =
+      metrics_->GetCounter(obs::names::kFleetRequestsSubmitted);
+  batches_metric_ = metrics_->GetCounter(obs::names::kFleetBatchesFlushed);
+  flush_full_metric_ =
+      metrics_->GetCounter(obs::names::kFleetBatchesFlushFull);
+  flush_deadline_metric_ =
+      metrics_->GetCounter(obs::names::kFleetBatchesFlushDeadline);
+  flush_final_metric_ =
+      metrics_->GetCounter(obs::names::kFleetBatchesFlushFinal);
+  budget_breaches_metric_ =
+      metrics_->GetCounter(obs::names::kFleetBudgetBreaches);
+  streams_active_metric_ =
+      metrics_->GetGauge(obs::names::kFleetStreamsActive);
+  budget_spend_metric_ =
+      metrics_->GetGauge(obs::names::kFleetBudgetSpendUsd);
+  batch_fill_metric_ = metrics_->GetHistogram(obs::names::kFleetBatchFill,
+                                              obs::BatchSizeBounds());
+  request_delay_metric_ = metrics_->GetHistogram(
+      obs::names::kFleetRequestDelayTicks, obs::DelayTickBounds());
+}
+
+StreamFleet::~StreamFleet() = default;
+
+StreamSettings StreamFleet::DeriveStreamSettings(int stream_index) const {
+  EVENTHIT_CHECK_GE(stream_index, 0);
+  EVENTHIT_CHECK_LT(stream_index, config_.num_streams);
+  StreamSettings s;
+  s.stream_index = stream_index;
+  s.stream_seed =
+      SplitSeed(config_.base_seed, static_cast<uint64_t>(stream_index) + 1);
+  s.video_seed = SplitSeed(s.stream_seed, kVideoSalt);
+  s.cloud_seed = SplitSeed(s.stream_seed, kCloudSalt);
+  s.relay_seed = SplitSeed(s.stream_seed, kRelaySalt);
+  s.fault_seed =
+      SplitSeed(config_.fault_seed, static_cast<uint64_t>(stream_index));
+  s.phase = config_.stagger_phases
+                ? static_cast<int64_t>(SplitSeed(s.stream_seed, kPhaseSalt) %
+                                       static_cast<uint64_t>(kStaggerWindow))
+                : 0;
+  if (config_.vary_event_mix) {
+    static constexpr double kGapScales[] = {0.75, 1.0, 1.5};
+    s.gap_scale = kGapScales[SplitSeed(s.stream_seed, kMixSalt) % 3];
+  }
+  s.spec = sim::MakeDatasetSpec(task_.dataset);
+  if (config_.frames_per_stream > 0) {
+    s.spec.num_frames = config_.frames_per_stream;
+  }
+  for (auto& event : s.spec.events) {
+    event.mean_gap *= s.gap_scale;
+  }
+  const int64_t margin = static_cast<int64_t>(s.spec.horizon) +
+                         static_cast<int64_t>(s.spec.collection_window);
+  EVENTHIT_CHECK_GT(s.spec.num_frames, margin);
+  s.push_frames = s.spec.num_frames - s.spec.horizon;
+  return s;
+}
+
+void StreamFleet::InitStream(StreamState& state, int stream_index) {
+  state.settings = DeriveStreamSettings(stream_index);
+  const StreamSettings& s = state.settings;
+  state.extractor.collection_window = s.spec.collection_window;
+  state.extractor.horizon = s.spec.horizon;
+  state.transcripts_on = config_.record_transcripts;
+
+  state.video = std::make_unique<sim::SyntheticVideo>(
+      sim::SyntheticVideo::Generate(s.spec, s.video_seed));
+  state.service = std::make_unique<cloud::CloudService>(
+      state.video.get(), cloud::CloudConfig{}, s.cloud_seed,
+      stream_metrics_.get());
+
+  if (config_.fault_profile != "none" && !config_.fault_profile.empty()) {
+    auto profile = sim::MakeFaultProfile(config_.fault_profile, s.fault_seed);
+    EVENTHIT_CHECK_OK(profile.status());
+    state.faults = std::make_unique<sim::FaultInjector>(profile.value());
+  }
+
+  cloud::RelayConfig relay_config;
+  relay_config.degraded_mode = config_.degraded_mode;
+  relay_config.replay_horizon_frames = s.spec.horizon;
+  state.relay = std::make_unique<cloud::CloudRelay>(
+      state.service.get(), relay_config, s.relay_seed, state.faults.get(),
+      stream_metrics_.get(), /*trace=*/nullptr, stream_log_.get());
+  state.relay->set_delivery_callback(
+      [&state](const cloud::RelayDelivery& delivery) {
+        uint64_t h = state.delivery_digest;
+        h = FnvI64(h, delivery.request_id);
+        h = FnvI64(h, static_cast<int64_t>(delivery.event));
+        h = FnvI64(h, delivery.frames.start);
+        h = FnvI64(h, delivery.frames.end);
+        h = FnvI64(h, delivery.replayed ? 1 : 0);
+        for (const bool hit : delivery.detections) {
+          h = FnvI64(h, hit ? 1 : 0);
+        }
+        state.delivery_digest = h;
+        if (state.transcripts_on) {
+          StreamTranscript::Delivery entry;
+          entry.request_id = delivery.request_id;
+          entry.event = delivery.event;
+          entry.frames = delivery.frames;
+          entry.replayed = delivery.replayed;
+          entry.detections.assign(delivery.detections.begin(),
+                                  delivery.detections.end());
+          state.transcript.deliveries.push_back(std::move(entry));
+        }
+      });
+
+  state.marshaller = std::make_unique<core::Marshaller>(
+      strategy_.get(), s.spec.collection_window, s.spec.horizon,
+      s.spec.FeatureDim(), task_.event_indices.size(),
+      stream_metrics_.get());
+  state.marshaller->set_relay_callback(
+      [&state](const core::RelayOrder& order) {
+        state.relay->Submit(order.event, order.frames,
+                            state.completing_anchor);
+      });
+
+  obs::AuditConfig audit_config;
+  audit_config.confidence = config_.confidence;
+  audit_config.coverage = config_.coverage;
+  state.auditor = std::make_unique<obs::GuarantyAuditor>(
+      audit_config, stream_metrics_.get(), /*trace=*/nullptr,
+      stream_log_.get());
+}
+
+void StreamFleet::ApplyCompletion(StreamState& state, int64_t anchor,
+                                  const core::MarshalDecision& decision) {
+  // The relay clock runs on the request's own anchor frame — batching
+  // delay must never shift simulated time (determinism contract).
+  state.completing_anchor = anchor;
+  state.marshaller->CompletePrediction(decision);
+  state.relay->AdvanceTo(anchor);
+
+  uint64_t h = state.decision_digest;
+  h = FnvI64(h, anchor);
+  for (size_t k = 0; k < decision.exists.size(); ++k) {
+    h = FnvI64(h, decision.exists[k] ? 1 : 0);
+    h = FnvI64(h, decision.intervals[k].start);
+    h = FnvI64(h, decision.intervals[k].end);
+  }
+  state.decision_digest = h;
+  if (state.transcripts_on) {
+    StreamTranscript::Decision entry;
+    entry.anchor = anchor;
+    entry.exists.assign(decision.exists.begin(), decision.exists.end());
+    entry.intervals = decision.intervals;
+    state.transcript.decisions.push_back(std::move(entry));
+  }
+
+  // Audit against ground truth (every pushed anchor has its horizon inside
+  // the generated stream by construction: push_frames = frames - H).
+  const int64_t window = state.extractor.collection_window;
+  if (anchor >= window - 1 &&
+      anchor + state.extractor.horizon < state.video->num_frames()) {
+    const data::Record truth =
+        data::BuildRecord(*state.video, task_, state.extractor, anchor);
+    EVENTHIT_CHECK_EQ(decision.exists.size(), truth.labels.size());
+    for (size_t k = 0; k < truth.labels.size(); ++k) {
+      const data::EventLabel& label = truth.labels[k];
+      obs::AuditOutcome outcome;
+      outcome.sim_time = anchor;
+      outcome.event = static_cast<int>(k);
+      outcome.truth_present = label.present;
+      outcome.predicted_present = decision.exists[k];
+      if (label.present && decision.exists[k]) {
+        const sim::Interval& interval = decision.intervals[k];
+        outcome.start_covered = interval.start <= label.start;
+        outcome.end_covered = interval.end >= label.end;
+      }
+      state.auditor->Observe(outcome);
+    }
+  }
+
+  // Report the invoice delta to the shared budget accountant in integer
+  // micro-USD: integer adds commute, so the aggregate at a tick boundary
+  // is independent of completion interleaving.
+  const int64_t total_microusd = static_cast<int64_t>(
+      std::llround(state.service->invoice().total_cost_usd * 1e6));
+  budget_spend_microusd_.fetch_add(total_microusd - state.billed_microusd,
+                                   std::memory_order_relaxed);
+  state.billed_microusd = total_microusd;
+}
+
+FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
+  EVENTHIT_CHECK_EQ(state.marshaller->pending_predictions(), 0u);
+  state.relay->Flush(state.settings.push_frames);
+  state.auditor->Finalize(state.settings.push_frames);
+
+  // Deliveries can still arrive from the final replay pass inside Flush —
+  // the digest callback has already folded them in.
+  FleetStreamResult result;
+  result.stream_index = state.settings.stream_index;
+  result.decision_digest = state.decision_digest;
+  result.delivery_digest = state.delivery_digest;
+  result.marshaller = state.marshaller->stats();
+  result.relay = state.relay->stats();
+  result.invoice = state.service->invoice();
+  const size_t num_events = task_.event_indices.size();
+  for (size_t k = 0; k < num_events; ++k) {
+    result.audit_positives += state.auditor->positives(static_cast<int>(k));
+    result.audit_misses += state.auditor->misses(static_cast<int>(k));
+    result.audit_endpoints += state.auditor->endpoints(static_cast<int>(k));
+    result.audit_miscovered +=
+        state.auditor->miscovered(static_cast<int>(k));
+  }
+  result.audit_breaches = state.auditor->breach_count();
+
+  uint64_t h = result.decision_digest;
+  h = FnvI64(h, static_cast<int64_t>(result.delivery_digest));
+  h = FnvI64(h, result.marshaller.frames_seen);
+  h = FnvI64(h, result.marshaller.horizons_predicted);
+  h = FnvI64(h, result.marshaller.frames_relayed);
+  h = FnvI64(h, result.marshaller.relay_orders);
+  h = FnvI64(h, result.relay.orders_submitted);
+  h = FnvI64(h, result.relay.orders_delivered);
+  h = FnvI64(h, result.relay.orders_replayed);
+  h = FnvI64(h, result.relay.orders_dropped);
+  h = FnvI64(h, result.relay.frames_submitted);
+  h = FnvI64(h, result.relay.frames_delivered);
+  h = FnvI64(h, result.relay.frames_dropped);
+  h = FnvI64(h, result.relay.frames_pending);
+  h = FnvI64(h, result.relay.frames_in_flight);
+  h = FnvI64(h, result.relay.attempts);
+  h = FnvI64(h, result.relay.retries);
+  h = FnvI64(h, result.invoice.frames_processed);
+  h = FnvI64(h, result.invoice.requests);
+  h = FnvF64(h, result.invoice.total_cost_usd);
+  h = FnvF64(h, result.invoice.compute_seconds);
+  h = FnvI64(h, result.audit_positives);
+  h = FnvI64(h, result.audit_misses);
+  h = FnvI64(h, result.audit_endpoints);
+  h = FnvI64(h, result.audit_miscovered);
+  h = FnvI64(h, result.audit_breaches);
+  result.state_digest = h;
+
+  if (state.transcripts_on) {
+    result.transcript = std::move(state.transcript);
+  }
+  return result;
+}
+
+FleetRunResult StreamFleet::Run() {
+  const auto run_start = std::chrono::steady_clock::now();
+  const ExecutionContext ctx(threads_, config_.base_seed);
+  // The accountant belongs to this run: earlier Run()/RunStreamSolo calls
+  // on the same fleet must not carry their spend into it.
+  budget_spend_microusd_.store(0, std::memory_order_relaxed);
+
+  FleetRunResult run;
+  run.streams.resize(static_cast<size_t>(config_.num_streams));
+  FleetRunStats& stats = run.stats;
+  stats.streams = config_.num_streams;
+
+  std::vector<double> tick_us;
+  std::vector<double> frame_us;
+  int64_t batch_fill_sum = 0;
+
+  for (int wave_start = 0; wave_start < config_.num_streams;
+       wave_start += config_.wave_size) {
+    const int wave_n =
+        std::min(config_.wave_size, config_.num_streams - wave_start);
+    ShardArena<StreamState> arena(static_cast<size_t>(wave_n));
+    ctx.ParallelFor(static_cast<size_t>(wave_n), [&](size_t i) {
+      InitStream(arena[i], wave_start + static_cast<int>(i));
+    });
+
+    // Tick bounds and per-tick active-stream counts (difference array).
+    int64_t max_ticks = 0;
+    for (int i = 0; i < wave_n; ++i) {
+      const StreamSettings& s = arena[static_cast<size_t>(i)].settings;
+      max_ticks = std::max(max_ticks, s.phase + s.push_frames);
+    }
+    std::vector<int64_t> active_delta(static_cast<size_t>(max_ticks) + 1, 0);
+    for (int i = 0; i < wave_n; ++i) {
+      const StreamSettings& s = arena[static_cast<size_t>(i)].settings;
+      active_delta[static_cast<size_t>(s.phase)] += 1;
+      active_delta[static_cast<size_t>(s.phase + s.push_frames)] -= 1;
+    }
+
+    MpscQueue<InferenceRequest> queue(static_cast<size_t>(wave_n));
+    DynamicBatcher batcher(config_.batch_size,
+                           config_.max_batch_delay_ticks);
+    std::vector<InferenceRequest> drained;
+    drained.reserve(static_cast<size_t>(wave_n));
+
+    int64_t active = 0;
+    for (int64_t tick = 0; tick < max_ticks; ++tick) {
+      const auto tick_start = std::chrono::steady_clock::now();
+      active += active_delta[static_cast<size_t>(tick)];
+      streams_active_metric_->Set(static_cast<double>(active));
+
+      // Push phase: every resident stream advances one local frame; the
+      // prediction boundaries fan into the MPSC queue.
+      ctx.ParallelFor(static_cast<size_t>(wave_n), [&](size_t i) {
+        StreamState& state = arena[i];
+        const int64_t frame = tick - state.settings.phase;
+        if (frame < 0 || frame >= state.settings.push_frames) return;
+        EVENTHIT_CHECK_EQ(frame, state.next_frame);
+        state.has_request = state.marshaller->PushFrameDeferred(
+            state.video->FrameFeatures(frame), &state.pending_record);
+        ++state.next_frame;
+        if (state.has_request) {
+          InferenceRequest request;
+          request.shard_slot = static_cast<int>(i);
+          request.seq = state.seq++;
+          request.anchor_frame = state.pending_record.frame;
+          request.enqueue_tick = tick;
+          request.record = std::move(state.pending_record);
+          EVENTHIT_CHECK(queue.TryPush(std::move(request)));
+        }
+      });
+
+      // Batching phase (serial): canonical order, then flush decisions.
+      drained.clear();
+      queue.DrainTo(&drained);
+      std::sort(drained.begin(), drained.end(),
+                [](const InferenceRequest& a, const InferenceRequest& b) {
+                  return a.shard_slot < b.shard_slot;
+                });
+      requests_metric_->Add(static_cast<int64_t>(drained.size()));
+      stats.requests += static_cast<int64_t>(drained.size());
+      for (auto& request : drained) {
+        batcher.Enqueue(std::move(request));
+      }
+
+      const bool final_tick = tick == max_ticks - 1;
+      for (BatchFlush& flush : batcher.TakeReady(tick, final_tick)) {
+        obs::TraceSpan span(trace_, obs::names::kSpanFleetBatch, "fleet");
+        const size_t n = flush.requests.size();
+        std::vector<data::Record> records;
+        records.reserve(n);
+        for (auto& request : flush.requests) {
+          request_delay_metric_->Observe(
+              static_cast<double>(tick - request.enqueue_tick));
+          records.push_back(std::move(request.record));
+        }
+        std::vector<core::EventScores> scores(n);
+        trained_->model->PredictBatched(records.data(), n, scores.data(),
+                                        ws_);
+        std::vector<core::MarshalDecision> decisions(n);
+        for (size_t j = 0; j < n; ++j) {
+          decisions[j] = strategy_->DecideFromScores(scores[j]);
+        }
+        // Group completions by shard (order within a shard is preserved),
+        // then apply shard groups concurrently: different groups touch
+        // disjoint stream state.
+        std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
+        for (size_t j = 0; j < n;) {
+          size_t end = j + 1;
+          while (end < n && flush.requests[end].shard_slot ==
+                                flush.requests[j].shard_slot) {
+            ++end;
+          }
+          groups.emplace_back(j, end);
+          j = end;
+        }
+        ctx.ParallelFor(groups.size(), [&](size_t g) {
+          for (size_t j = groups[g].first; j < groups[g].second; ++j) {
+            StreamState& state = arena[static_cast<size_t>(
+                flush.requests[j].shard_slot)];
+            ApplyCompletion(state, flush.requests[j].anchor_frame,
+                            decisions[j]);
+          }
+        });
+
+        batches_metric_->Add(1);
+        batch_fill_metric_->Observe(static_cast<double>(n));
+        batch_fill_sum += static_cast<int64_t>(n);
+        ++stats.batches;
+        switch (flush.reason) {
+          case FlushReason::kFull:
+            flush_full_metric_->Add(1);
+            ++stats.flush_full;
+            break;
+          case FlushReason::kDeadline:
+            flush_deadline_metric_->Add(1);
+            ++stats.flush_deadline;
+            break;
+          case FlushReason::kFinal:
+            flush_final_metric_->Add(1);
+            ++stats.flush_final;
+            break;
+        }
+      }
+
+      // Serial tick boundary: frame accounting and the budget accountant.
+      frames_pushed_metric_->Add(active);
+      stats.frames_pushed += active;
+      const int64_t spend =
+          budget_spend_microusd_.load(std::memory_order_relaxed);
+      budget_spend_metric_->Set(static_cast<double>(spend) * 1e-6);
+      if (config_.budget_cap_microusd > 0 &&
+          spend >= config_.budget_cap_microusd &&
+          stats.budget_breach_tick < 0) {
+        stats.budget_breach_tick = tick;
+        budget_breaches_metric_->Add(1);
+      }
+
+      ++stats.ticks;
+      if (config_.collect_tick_latency) {
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - tick_start)
+                .count();
+        tick_us.push_back(us);
+        frame_us.push_back(us / static_cast<double>(std::max<int64_t>(
+                                    1, active)));
+      }
+    }
+
+    EVENTHIT_CHECK_EQ(batcher.pending(), 0u);
+    ctx.ParallelFor(static_cast<size_t>(wave_n), [&](size_t i) {
+      run.streams[static_cast<size_t>(wave_start) + i] =
+          FinishStream(arena[i]);
+    });
+    streams_completed_metric_->Add(wave_n);
+    streams_active_metric_->Set(0.0);
+  }
+
+  for (const FleetStreamResult& result : run.streams) {
+    stats.total_cost_usd += result.invoice.total_cost_usd;
+    if (result.audit_breaches > 0) ++stats.streams_with_breaches;
+  }
+  stats.budget_spend_microusd =
+      budget_spend_microusd_.load(std::memory_order_relaxed);
+  stats.batch_fill_mean =
+      stats.batches > 0
+          ? static_cast<double>(batch_fill_sum) /
+                static_cast<double>(stats.batches)
+          : 0.0;
+  stats.elapsed_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - run_start)
+                              .count();
+  if (stats.elapsed_seconds > 0.0) {
+    stats.streams_per_sec =
+        static_cast<double>(stats.streams) / stats.elapsed_seconds;
+    stats.frames_per_sec =
+        static_cast<double>(stats.frames_pushed) / stats.elapsed_seconds;
+  }
+  stats.p50_tick_us = Percentile(tick_us, 0.50);
+  stats.p99_tick_us = Percentile(tick_us, 0.99);
+  stats.p50_frame_us = Percentile(frame_us, 0.50);
+  stats.p99_frame_us = Percentile(frame_us, 0.99);
+  return run;
+}
+
+FleetStreamResult StreamFleet::RunStreamSolo(int stream_index) {
+  StreamState state;
+  InitStream(state, stream_index);
+  nn::Workspace ws;
+  data::Record record;
+  for (int64_t frame = 0; frame < state.settings.push_frames; ++frame) {
+    if (!state.marshaller->PushFrameDeferred(
+            state.video->FrameFeatures(frame), &record)) {
+      continue;
+    }
+    // Same scoring path as the fleet (PredictBatched at batch size 1 is
+    // bit-identical to any other composition by the PR 3 contract).
+    core::EventScores scores;
+    trained_->model->PredictBatched(&record, 1, &scores, ws);
+    ApplyCompletion(state, record.frame, strategy_->DecideFromScores(scores));
+  }
+  return FinishStream(state);
+}
+
+}  // namespace eventhit::fleet

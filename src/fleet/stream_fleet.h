@@ -1,0 +1,257 @@
+// Multi-tenant stream fleet: N independent camera streams multiplexed
+// through one process, sharing a single trained EventHit model whose
+// inference runs in cross-stream dynamic batches (fleet/dynamic_batcher.h)
+// while every per-stream component — synthetic video, marshaller, cloud
+// service, resilient relay, guarantee auditor — stays private to its
+// stream and seeded from SplitSeed(base_seed, stream).
+//
+// Determinism contract (DESIGN.md §5g): a stream's marshalled intervals,
+// relay accounting, invoice and audit state depend only on (base_seed,
+// stream index, stream-level config) — never on the fleet size, wave
+// size, batch size, flush timing or thread count. The proof obligations:
+//   * PredictBatched is bit-identical per record at any batch composition
+//     (PR 3's summation-order contract), so cross-stream batching cannot
+//     perturb scores;
+//   * deferred completions replay the exact inline PushFrame code path
+//     (Marshaller::CompletePrediction) in per-stream FIFO order;
+//   * the relay clock advances with the request's own anchor frame, not
+//     the flush tick, so batching delay never shifts simulated time.
+// RunStreamSolo() runs one stream through the identical per-stream state
+// machine without any batching, and the fleet bit-exactness test checks
+// byte equality of the two digests at multiple thread counts.
+#ifndef EVENTHIT_FLEET_STREAM_FLEET_H_
+#define EVENTHIT_FLEET_STREAM_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_service.h"
+#include "cloud/relay.h"
+#include "core/marshaller.h"
+#include "core/strategies.h"
+#include "data/tasks.h"
+#include "eval/runner.h"
+#include "nn/workspace.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/scene_spec.h"
+
+namespace eventhit::fleet {
+
+struct FleetConfig {
+  /// Number of tenant streams.
+  int num_streams = 100;
+  /// Master seed; every per-stream seed derives from it via SplitSeed.
+  uint64_t base_seed = 42;
+  /// Frames generated per stream (0 = the dataset's default). Streams push
+  /// frames [0, frames - H) so every prediction anchor has ground truth
+  /// within the generated stream for auditing.
+  int64_t frames_per_stream = 0;
+  /// Streams resident at once. Each wave generates its videos, runs its
+  /// tick loop, settles accounting, then frees the memory — the knob that
+  /// bounds footprint at 10k+ streams.
+  int wave_size = 256;
+  /// Records per cross-stream GEMM flush.
+  size_t batch_size = 64;
+  /// Ticks a request may wait in the batcher before a deadline flush.
+  int64_t max_batch_delay_ticks = 4;
+  /// Offset each stream's start tick by a seed-derived phase in
+  /// [0, kStaggerWindow) so prediction boundaries interleave across
+  /// streams (exercises deadline flushes; local stream clocks are
+  /// unaffected).
+  bool stagger_phases = true;
+  /// Scale each stream's event mean gaps by a seed-derived factor so
+  /// tenants have distinct event mixes.
+  bool vary_event_mix = true;
+  /// Worker threads (<= 0 resolves via ThreadPool::DefaultThreads()).
+  int threads = 1;
+  /// Conformal knobs of the shared EHCR strategy.
+  double confidence = 0.9;
+  double coverage = 0.5;
+  /// Named fault profile for every stream's relay ("none" disables;
+  /// per-stream schedules decorrelate via SplitSeed(fault_seed, stream)).
+  std::string fault_profile = "none";
+  uint64_t fault_seed = 1234;
+  cloud::DegradedMode degraded_mode = cloud::DegradedMode::kDropWithAccounting;
+  /// Aggregate spend cap in integer micro-USD shared by all streams
+  /// (0 = uncapped). The accountant is observational: it latches the first
+  /// tick the cap is crossed and emits fleet.budget.breaches, but never
+  /// feeds back into per-stream decisions — that would break the
+  /// stream-solo determinism contract.
+  int64_t budget_cap_microusd = 0;
+  /// Keep full per-stream decision/delivery transcripts (tests only; the
+  /// digests are always kept).
+  bool record_transcripts = false;
+  /// Collect per-tick wall latencies for the bench percentiles.
+  bool collect_tick_latency = true;
+  /// Training configuration for the one shared model (seed and all).
+  eval::RunnerConfig runner;
+};
+
+/// Stagger window (ticks) for seed-derived phase offsets.
+inline constexpr int64_t kStaggerWindow = 16;
+
+/// Everything about one stream that is derivable purely from
+/// (FleetConfig, stream index) — the root of the determinism contract.
+struct StreamSettings {
+  int stream_index = -1;
+  uint64_t stream_seed = 0;
+  uint64_t video_seed = 0;
+  uint64_t cloud_seed = 0;
+  uint64_t relay_seed = 0;
+  uint64_t fault_seed = 0;
+  int64_t phase = 0;        // Fleet tick the stream starts pushing.
+  double gap_scale = 1.0;   // Event mean-gap multiplier (tenant mix).
+  sim::DatasetSpec spec;    // Per-stream spec (frames + scaled gaps).
+  int64_t push_frames = 0;  // Frames the stream pushes (= frames - H).
+};
+
+/// Optional full per-stream transcript (record_transcripts only).
+struct StreamTranscript {
+  struct Decision {
+    int64_t anchor = 0;
+    std::vector<uint8_t> exists;
+    std::vector<sim::Interval> intervals;
+  };
+  struct Delivery {
+    int64_t request_id = 0;
+    size_t event = 0;
+    sim::Interval frames;
+    bool replayed = false;
+    std::vector<uint8_t> detections;
+  };
+  std::vector<Decision> decisions;
+  std::vector<Delivery> deliveries;
+};
+
+/// Settled per-stream outcome. The digests are FNV-1a folds of the full
+/// decision/delivery/accounting byte streams; `state_digest` additionally
+/// folds the marshaller stats, relay stats, invoice and audit counts, so
+/// digest equality is byte-identity of everything observable.
+struct FleetStreamResult {
+  int stream_index = -1;
+  uint64_t decision_digest = 0;
+  uint64_t delivery_digest = 0;
+  uint64_t state_digest = 0;
+  core::MarshallerStats marshaller;
+  cloud::RelayStats relay;
+  cloud::Invoice invoice;
+  int64_t audit_positives = 0;
+  int64_t audit_misses = 0;
+  int64_t audit_endpoints = 0;
+  int64_t audit_miscovered = 0;
+  int64_t audit_breaches = 0;
+  StreamTranscript transcript;
+};
+
+/// True when every field (doubles compared by bit pattern) matches — the
+/// bit-exactness predicate of the fleet tests.
+bool SameStreamResult(const FleetStreamResult& a, const FleetStreamResult& b);
+
+struct FleetRunStats {
+  int64_t streams = 0;
+  int64_t ticks = 0;
+  int64_t frames_pushed = 0;
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t flush_full = 0;
+  int64_t flush_deadline = 0;
+  int64_t flush_final = 0;
+  double batch_fill_mean = 0.0;
+  double elapsed_seconds = 0.0;
+  double streams_per_sec = 0.0;
+  double frames_per_sec = 0.0;
+  double p50_tick_us = 0.0;
+  double p99_tick_us = 0.0;
+  /// Tick latency divided by the frames pushed that tick: the per-frame
+  /// cost an individual tenant observes.
+  double p50_frame_us = 0.0;
+  double p99_frame_us = 0.0;
+  double total_cost_usd = 0.0;
+  int64_t budget_spend_microusd = 0;
+  int64_t budget_breach_tick = -1;  // -1 = cap never crossed (or uncapped).
+  int64_t streams_with_breaches = 0;
+};
+
+struct FleetRunResult {
+  std::vector<FleetStreamResult> streams;
+  FleetRunStats stats;
+};
+
+class StreamFleet {
+ public:
+  /// Builds the shared environment and trains the one fleet model
+  /// (deterministic in config.runner.seed and thread count). Fleet-level
+  /// telemetry goes to `metrics` (nullptr = the global registry) and
+  /// fleet.batch spans to `trace` (nullptr disables). Per-stream
+  /// components report into a fleet-private registry/logger so N streams
+  /// cannot swamp process-global telemetry.
+  StreamFleet(const data::Task& task, const FleetConfig& config,
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::TraceBuffer* trace = nullptr);
+  ~StreamFleet();
+
+  StreamFleet(const StreamFleet&) = delete;
+  StreamFleet& operator=(const StreamFleet&) = delete;
+
+  /// Pure derivation of one stream's settings from the config.
+  StreamSettings DeriveStreamSettings(int stream_index) const;
+
+  /// Runs every stream through the batched fleet loop, wave by wave.
+  FleetRunResult Run();
+
+  /// Runs one stream solo — same per-stream state machine, no cross-stream
+  /// batching — for the bit-exactness comparison.
+  FleetStreamResult RunStreamSolo(int stream_index);
+
+  const data::Task& task() const { return task_; }
+  const FleetConfig& config() const { return config_; }
+  const core::EventHitStrategy& strategy() const { return *strategy_; }
+  /// The fleet-private registry per-stream components report into.
+  obs::MetricsRegistry& stream_metrics() { return *stream_metrics_; }
+
+ private:
+  struct StreamState;  // Private per-stream shard (stream_fleet.cc).
+
+  void InitStream(StreamState& state, int stream_index);
+  void ApplyCompletion(StreamState& state, int64_t anchor,
+                       const core::MarshalDecision& decision);
+  FleetStreamResult FinishStream(StreamState& state);
+
+  data::Task task_;
+  FleetConfig config_;
+  int threads_ = 1;
+  obs::MetricsRegistry* metrics_;
+  obs::TraceBuffer* trace_;
+  std::unique_ptr<obs::MetricsRegistry> stream_metrics_;
+  std::unique_ptr<obs::Logger> stream_log_;
+
+  std::unique_ptr<eval::TaskEnvironment> env_;
+  std::unique_ptr<eval::TrainedEventHit> trained_;
+  std::unique_ptr<core::EventHitStrategy> strategy_;
+  nn::Workspace ws_;  // Main-thread scoring scratch.
+
+  std::atomic<int64_t> budget_spend_microusd_{0};
+
+  // Cached fleet-level telemetry handles.
+  obs::Counter* streams_completed_metric_;
+  obs::Counter* frames_pushed_metric_;
+  obs::Counter* requests_metric_;
+  obs::Counter* batches_metric_;
+  obs::Counter* flush_full_metric_;
+  obs::Counter* flush_deadline_metric_;
+  obs::Counter* flush_final_metric_;
+  obs::Counter* budget_breaches_metric_;
+  obs::Gauge* streams_active_metric_;
+  obs::Gauge* budget_spend_metric_;
+  obs::Histogram* batch_fill_metric_;
+  obs::Histogram* request_delay_metric_;
+};
+
+}  // namespace eventhit::fleet
+
+#endif  // EVENTHIT_FLEET_STREAM_FLEET_H_

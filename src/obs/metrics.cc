@@ -110,6 +110,10 @@ std::string MetricBaseName(const std::string& name) {
 
 double HistogramSnapshot::ApproxQuantile(double q) const {
   if (count <= 0) return 0.0;
+  // A hand-assembled snapshot (CLI summaries build these directly) can
+  // carry count > 0 with no bucket vector; the observed max is the only
+  // defined answer — never index into the empty vector.
+  if (bucket_counts.empty()) return max;
   q = std::max(0.0, std::min(1.0, q));
   // Rank of the target observation (1-based, clamped into [1, count]).
   const double rank = std::max(1.0, std::min<double>(count, q * count));
@@ -125,7 +129,7 @@ double HistogramSnapshot::ApproxQuantile(double q) const {
     // interior buckets start at the previous finite bound. The overflow
     // bucket (b == bounds.size()) has no finite upper bound, so it (and
     // every other edge) is clamped to the observed [min, max].
-    double lo = b == 0 ? min : bounds[b - 1];
+    double lo = (b == 0 || b > bounds.size()) ? min : bounds[b - 1];
     double hi = b < bounds.size() ? bounds[b] : max;
     lo = std::max(lo, min);
     hi = std::min(hi, max);

@@ -67,6 +67,18 @@ std::vector<std::string> AllMetricNames() {
       names::kAuditMiscoverageWilsonLower,
       names::kAuditBreachActive,
       names::kTraceEventsDropped,
+      names::kFleetStreamsCompleted,
+      names::kFleetFramesPushed,
+      names::kFleetRequestsSubmitted,
+      names::kFleetBatchesFlushed,
+      names::kFleetBatchesFlushFull,
+      names::kFleetBatchesFlushDeadline,
+      names::kFleetBatchesFlushFinal,
+      names::kFleetBudgetBreaches,
+      names::kFleetStreamsActive,
+      names::kFleetBudgetSpendUsd,
+      names::kFleetBatchFill,
+      names::kFleetRequestDelayTicks,
   };
   std::sort(all.begin(), all.end());
   return all;
@@ -88,6 +100,7 @@ std::vector<std::string> AllSpanNames() {
       names::kSpanStageCi,
       names::kSpanRelayOutage,
       names::kSpanAuditBreach,
+      names::kSpanFleetBatch,
   };
   std::sort(all.begin(), all.end());
   return all;
@@ -111,6 +124,10 @@ std::vector<double> BatchSizeBounds() {
 
 std::vector<double> AttemptCountBounds() {
   return {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0};
+}
+
+std::vector<double> DelayTickBounds() {
+  return {0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0};
 }
 
 }  // namespace eventhit::obs

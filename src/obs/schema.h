@@ -81,6 +81,22 @@ inline constexpr char kAuditEndpoints[] = "audit.endpoints";
 inline constexpr char kAuditMiscovered[] = "audit.miscovered";
 inline constexpr char kAuditBreaches[] = "audit.breaches";
 
+// Multi-tenant stream fleet (fleet/stream_fleet.h). Frame/request counters
+// aggregate across every tenant stream; the flush counters split
+// fleet.batches.flushed by cause (batch-full, deadline, end-of-wave), so
+//   fleet.batches.flush_full + fleet.batches.flush_deadline
+//     + fleet.batches.flush_final == fleet.batches.flushed.
+inline constexpr char kFleetStreamsCompleted[] = "fleet.streams.completed";
+inline constexpr char kFleetFramesPushed[] = "fleet.frames.pushed";
+inline constexpr char kFleetRequestsSubmitted[] = "fleet.requests.submitted";
+inline constexpr char kFleetBatchesFlushed[] = "fleet.batches.flushed";
+inline constexpr char kFleetBatchesFlushFull[] = "fleet.batches.flush_full";
+inline constexpr char kFleetBatchesFlushDeadline[] =
+    "fleet.batches.flush_deadline";
+inline constexpr char kFleetBatchesFlushFinal[] =
+    "fleet.batches.flush_final";
+inline constexpr char kFleetBudgetBreaches[] = "fleet.budget.breaches";
+
 // Trace ring overflow: events overwritten because the buffer was full
 // (also exported into the Chrome trace as a metadata record).
 inline constexpr char kTraceEventsDropped[] = "trace.events.dropped";
@@ -107,6 +123,11 @@ inline constexpr char kRecalibratorWindowSize[] = "recalibrator.window.size";
 inline constexpr char kThreadPoolThreads[] = "threadpool.threads";
 inline constexpr char kPipelineRelayedFramesPerHorizon[] =
     "pipeline.relayed_frames_per_horizon";
+
+// Fleet health: tenant streams resident in the current wave and the
+// aggregate spend tracked by the shared budget accountant.
+inline constexpr char kFleetStreamsActive[] = "fleet.streams.active";
+inline constexpr char kFleetBudgetSpendUsd[] = "fleet.budget.spend_usd";
 
 // Auditor health, labeled `{event_type=...}` (`audit.breach.active` also
 // carries `{guarantee=...}`). Rates are rolling-window empirical values;
@@ -140,6 +161,12 @@ inline constexpr char kPredictBatchSize[] = "predict.batch_size";
 inline constexpr char kRelayRequestAttempts[] = "relay.request.attempts";
 inline constexpr char kRelayBackoffSeconds[] = "relay.backoff_seconds";
 
+// Cross-stream dynamic batcher shape: records per flushed GEMM batch and
+// ticks a request waited in the batcher before its flush.
+inline constexpr char kFleetBatchFill[] = "fleet.batch.fill";
+inline constexpr char kFleetRequestDelayTicks[] =
+    "fleet.request.delay_ticks";
+
 // --- Span names (wall timeline, category "stage") ---------------------
 
 inline constexpr char kSpanRunnerBuildEnv[] = "runner.build_env";
@@ -154,6 +181,12 @@ inline constexpr char kSpanNnGemm[] = "nn.gemm";
 // --- Span names (wall timeline, category "threadpool") ----------------
 
 inline constexpr char kSpanThreadPoolChunk[] = "threadpool.chunk";
+
+// --- Span names (wall timeline, category "fleet") ---------------------
+
+// One cross-stream batch flush: gather, GEMM scoring, per-stream
+// completion fan-out.
+inline constexpr char kSpanFleetBatch[] = "fleet.batch";
 
 // --- Span names (simulated timeline, category "simulated") ------------
 // The cost-model stages of one horizon (cloud/cost_model.h); aggregating
@@ -199,6 +232,9 @@ std::vector<double> BatchSizeBounds();
 
 /// Bucket bounds for per-request relay attempt counts.
 std::vector<double> AttemptCountBounds();
+
+/// Bucket bounds for batcher queueing delays in simulated ticks.
+std::vector<double> DelayTickBounds();
 
 }  // namespace eventhit::obs
 

@@ -2,6 +2,7 @@
 // the CI bench gate.
 #include "common/benchcmp.h"
 
+#include <cmath>
 #include <map>
 #include <string>
 
@@ -96,6 +97,37 @@ TEST(DiffBenchJsonTest, ZeroBaselineLowerBetterUsesAbsoluteGrowth) {
   BenchToleranceSpec spec;
   spec.abs_tol["scores_max_abs_diff"] = 1.0;
   EXPECT_FALSE(DiffBenchJson(Baseline(), current, spec).regressed);
+}
+
+TEST(DiffBenchJsonTest, ZeroBaselineNeverDividesAndRelChangeIsFinite) {
+  // A zero baseline used to make the relative band collapse (and a naive
+  // rel_change divide by zero). Both directions must stay well-defined.
+  std::map<std::string, double> baseline = {{"idle_fps", 0.0},
+                                            {"overhead_ms", 0.0}};
+  auto current = baseline;
+  const BenchDiff same =
+      DiffBenchJson(baseline, current, BenchToleranceSpec{});
+  EXPECT_FALSE(same.regressed);
+  for (const BenchDelta& delta : same.deltas) {
+    EXPECT_TRUE(std::isfinite(delta.rel_change)) << delta.key;
+    EXPECT_DOUBLE_EQ(delta.rel_change, 0.0) << delta.key;
+  }
+  // Higher-better off zero: any measurable value is an improvement, and
+  // rounding noise below the epsilon cannot regress.
+  current["idle_fps"] = 123.0;
+  EXPECT_FALSE(DiffBenchJson(baseline, current, BenchToleranceSpec{})
+                   .regressed);
+  current["idle_fps"] = -1e-12;
+  EXPECT_FALSE(DiffBenchJson(baseline, current, BenchToleranceSpec{})
+                   .regressed);
+  // Lower-better off zero: measurable growth regresses, noise does not.
+  current["idle_fps"] = 0.0;
+  current["overhead_ms"] = 1e-12;
+  EXPECT_FALSE(DiffBenchJson(baseline, current, BenchToleranceSpec{})
+                   .regressed);
+  current["overhead_ms"] = 0.5;
+  EXPECT_TRUE(DiffBenchJson(baseline, current, BenchToleranceSpec{})
+                  .regressed);
 }
 
 TEST(DiffBenchJsonTest, PerKeyRelativeOverrideWins) {

@@ -173,6 +173,96 @@ TEST(MarshallerTest, PresentPredictionWithEmptyIntervalRelaysNothing) {
       1);
 }
 
+TEST(MarshallerTest, DeferredCompletionMatchesInlinePushFrame) {
+  // Drive two marshallers over the same frame schedule: one inline, one
+  // through the two-phase PushFrameDeferred/CompletePrediction path the
+  // fleet batcher uses. Every observable — fired frames, relay orders,
+  // stats, metric counters, the record handed to the strategy — must be
+  // byte-identical; deferring the decision may change nothing but timing.
+  ScriptedStrategy inline_strategy;
+  ScriptedStrategy deferred_strategy;
+  obs::MetricsRegistry inline_metrics;
+  obs::MetricsRegistry deferred_metrics;
+  Marshaller inline_m(&inline_strategy, kWindow, kHorizon, kFeatureDim, 1,
+                      &inline_metrics);
+  Marshaller deferred_m(&deferred_strategy, kWindow, kHorizon, kFeatureDim,
+                        1, &deferred_metrics);
+  std::vector<RelayOrder> inline_orders, deferred_orders;
+  inline_m.set_relay_callback(
+      [&](const RelayOrder& order) { inline_orders.push_back(order); });
+  deferred_m.set_relay_callback(
+      [&](const RelayOrder& order) { deferred_orders.push_back(order); });
+
+  std::vector<int64_t> inline_fired, deferred_fired;
+  data::Record pending;
+  for (int64_t f = 0; f < 40; ++f) {
+    const auto frame = FrameOf(static_cast<float>(f));
+    if (inline_m.PushFrame(frame.data())) inline_fired.push_back(f);
+    if (deferred_m.PushFrameDeferred(frame.data(), &pending)) {
+      deferred_fired.push_back(f);
+      EXPECT_EQ(deferred_m.pending_predictions(), 1u);
+      // The pending record carries the anchored window, like the record
+      // the inline path hands its strategy.
+      EXPECT_EQ(pending.frame, f);
+      EXPECT_EQ(pending.covariates, inline_strategy.last_record.covariates);
+      // Score out of band (the fleet runs this through PredictBatched).
+      deferred_m.CompletePrediction(deferred_strategy.Decide(pending));
+      EXPECT_EQ(deferred_m.pending_predictions(), 0u);
+    }
+  }
+  EXPECT_EQ(inline_fired, deferred_fired);
+  EXPECT_EQ(inline_orders.size(), deferred_orders.size());
+  for (size_t i = 0; i < inline_orders.size(); ++i) {
+    EXPECT_EQ(inline_orders[i].event, deferred_orders[i].event);
+    EXPECT_EQ(inline_orders[i].frames, deferred_orders[i].frames);
+  }
+  EXPECT_EQ(inline_m.stats().frames_seen, deferred_m.stats().frames_seen);
+  EXPECT_EQ(inline_m.stats().horizons_predicted,
+            deferred_m.stats().horizons_predicted);
+  EXPECT_EQ(inline_m.stats().frames_relayed,
+            deferred_m.stats().frames_relayed);
+  EXPECT_EQ(inline_m.stats().relay_orders, deferred_m.stats().relay_orders);
+  for (const char* name :
+       {obs::names::kMarshallerFramesTotal,
+        obs::names::kMarshallerFramesRelayed,
+        obs::names::kMarshallerFramesFiltered,
+        obs::names::kMarshallerHorizonsPredicted}) {
+    EXPECT_EQ(inline_metrics.GetCounter(name)->Value(),
+              deferred_metrics.GetCounter(name)->Value())
+        << name;
+  }
+}
+
+TEST(MarshallerTest, DeferredCompletionsQueueInFifoOrder) {
+  // A batcher may hold several prediction boundaries before flushing;
+  // completions apply to anchors oldest-first.
+  ScriptedStrategy strategy;
+  Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);
+  std::vector<RelayOrder> orders;
+  marshaller.set_relay_callback(
+      [&](const RelayOrder& order) { orders.push_back(order); });
+  data::Record pending;
+  std::vector<int64_t> anchors;
+  for (int64_t f = 0; f < 25; ++f) {
+    if (marshaller.PushFrameDeferred(FrameOf(0.0f).data(), &pending)) {
+      anchors.push_back(pending.frame);
+    }
+  }
+  ASSERT_EQ(anchors, (std::vector<int64_t>{3, 13, 23}));
+  EXPECT_EQ(marshaller.pending_predictions(), 3u);
+  MarshalDecision decision;
+  decision.exists = {true};
+  decision.intervals = {sim::Interval{2, 5}};
+  for (size_t i = 0; i < anchors.size(); ++i) {
+    marshaller.CompletePrediction(decision);
+    ASSERT_EQ(orders.size(), i + 1);
+    // Offsets [2,5] anchored at 3/13/23 -> absolute starts 5/15/25.
+    EXPECT_EQ(orders[i].frames, (sim::Interval{anchors[i] + 2,
+                                               anchors[i] + 5}));
+  }
+  EXPECT_EQ(marshaller.pending_predictions(), 0u);
+}
+
 TEST(MarshallerTest, NextPredictionFrameAdvances) {
   ScriptedStrategy strategy;
   Marshaller marshaller(&strategy, kWindow, kHorizon, kFeatureDim, 1);

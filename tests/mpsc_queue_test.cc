@@ -1,0 +1,142 @@
+// The fleet's lock-light submission funnel: capacity rounding, full-ring
+// refusal, drain completeness, reuse across rounds, and — the property
+// the fleet leans on — no element lost or duplicated under genuinely
+// concurrent producers.
+#include "fleet/mpsc_queue.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace eventhit::fleet {
+namespace {
+
+TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(MpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscQueue<int>(17).capacity(), 32u);
+  EXPECT_EQ(MpscQueue<int>(256).capacity(), 256u);
+}
+
+TEST(MpscQueueTest, PushDrainRoundTripsInOrder) {
+  MpscQueue<int> queue(8);
+  EXPECT_TRUE(queue.Empty());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.Empty());
+  std::vector<int> out;
+  EXPECT_EQ(queue.DrainTo(&out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.DrainTo(&out), 0u);  // Idempotent on empty.
+}
+
+TEST(MpscQueueTest, RefusesWhenFullThenRecoversAfterDrain) {
+  MpscQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.TryPush(99));  // Full: refused, not overwritten.
+  std::vector<int> out;
+  EXPECT_EQ(queue.DrainTo(&out), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(queue.TryPush(42));  // Slots recycle after the drain.
+  out.clear();
+  EXPECT_EQ(queue.DrainTo(&out), 1u);
+  EXPECT_EQ(out, (std::vector<int>{42}));
+}
+
+TEST(MpscQueueTest, ReusableAcrossManyRounds) {
+  // The fleet drains once per tick for thousands of ticks; the sequence
+  // numbers must keep working far past one lap of the ring.
+  MpscQueue<int> queue(4);
+  std::vector<int> out;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(queue.TryPush(round * 3 + i));
+    }
+    out.clear();
+    ASSERT_EQ(queue.DrainTo(&out), 3u);
+    ASSERT_EQ(out[0], round * 3);
+    ASSERT_EQ(out[2], round * 3 + 2);
+  }
+}
+
+TEST(MpscQueueTest, MoveOnlyPayloadsMoveThrough) {
+  MpscQueue<std::string> queue(4);
+  EXPECT_TRUE(queue.TryPush(std::string(100, 'x')));
+  std::vector<std::string> out;
+  EXPECT_EQ(queue.DrainTo(&out), 1u);
+  EXPECT_EQ(out[0], std::string(100, 'x'));
+}
+
+TEST(MpscQueueTest, ConcurrentProducersLoseNothing) {
+  // kProducers threads push disjoint value ranges; after they join, one
+  // drain must see every value exactly once. (TSan covers the memory
+  // ordering in CI's sanitizer job.)
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpscQueue<int> queue(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.TryPush(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  std::vector<int> out;
+  EXPECT_EQ(queue.DrainTo(&out),
+            static_cast<size_t>(kProducers) * kPerProducer);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));  // Each value exactly once.
+  }
+  // Per-producer FIFO: within one producer's values the push order is the
+  // claim order, so a second round checks relative order is preserved
+  // for a single producer.
+  MpscQueue<int> fifo(8);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(fifo.TryPush(i));
+  out.clear();
+  fifo.DrainTo(&out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(MpscQueueTest, InterleavedProducersWithPeriodicDrains) {
+  // Producers run against a deliberately small ring while the consumer
+  // drains in a loop: pushes that find the ring full retry, and the
+  // total drained must still be exact.
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 2000;
+  MpscQueue<int> queue(16);
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &done, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.TryPush(p * kPerProducer + i)) {
+          std::this_thread::yield();
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  std::vector<int> out;
+  while (done.load() < kProducers || !queue.Empty()) {
+    queue.DrainTo(&out);
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.DrainTo(&out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), static_cast<size_t>(kProducers) * kPerProducer);
+  for (size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::fleet

@@ -383,6 +383,37 @@ TEST(ApproxQuantileTest, EmptyAndSingleObservation) {
   EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 7.0);
 }
 
+TEST(ApproxQuantileTest, EmptySnapshotNeverReadsBuckets) {
+  // A default-constructed (hand-assembled) snapshot has neither bounds
+  // nor bucket counts. count == 0 must short-circuit to the sentinel 0.0
+  // before any bucket indexing.
+  HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(1.0), 0.0);
+}
+
+TEST(ApproxQuantileTest, CountWithoutBucketsReturnsObservedMax) {
+  // CLI summaries build snapshots carrying only count/sum/min/max. The
+  // bucket walk must not run off the empty vector; the observed max is
+  // the only defined answer.
+  HistogramSnapshot h;
+  h.count = 10;
+  h.sum = 50.0;
+  h.min = 1.0;
+  h.max = 9.0;
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 9.0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.99), 9.0);
+}
+
+TEST(ApproxQuantileTest, RegisteredButUnobservedHistogramIsZero) {
+  MetricsRegistry registry;
+  registry.GetHistogram("test.unobserved", {1.0, 2.0});
+  const HistogramSnapshot h = registry.Snapshot().histograms[0];
+  EXPECT_EQ(h.count, 0);
+  EXPECT_DOUBLE_EQ(h.ApproxQuantile(0.5), 0.0);
+}
+
 TEST(JsonNumberTest, NonFiniteRendersAsNull) {
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");

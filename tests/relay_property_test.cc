@@ -133,6 +133,53 @@ TEST(RelayPropertyTest, AccountingIdentityHoldsForRandomSchedules) {
   }
 }
 
+// The fleet regime: many tenant streams, each with a private relay, all
+// submitting concurrently from pool workers. Every per-stream identity
+// must hold, the summed fleet identity must hold, and each stream's
+// outcome must be byte-identical to the same stream run alone — a relay
+// is per-stream state, so cross-stream concurrency may never leak into
+// its accounting.
+TEST(RelayPropertyTest, AccountingIdentityHoldsUnderConcurrentStreams) {
+  const sim::SyntheticVideo video = SmallVideo();
+  constexpr size_t kStreams = 10;
+  std::vector<RunOutcome> concurrent(kStreams);
+  ExecutionContext exec(4, /*base_seed=*/7);
+  exec.ParallelFor(kStreams, [&](size_t s) {
+    concurrent[s] = RunCase(video, 100 + s);
+  });
+  int64_t delivered = 0, dropped = 0, pending = 0, in_flight = 0,
+          submitted = 0;
+  for (size_t s = 0; s < kStreams; ++s) {
+    const RelayStats& stats = concurrent[s].stats;
+    EXPECT_EQ(stats.frames_delivered + stats.frames_dropped +
+                  stats.frames_pending + stats.frames_in_flight,
+              stats.frames_submitted)
+        << "stream " << s;
+    delivered += stats.frames_delivered;
+    dropped += stats.frames_dropped;
+    pending += stats.frames_pending;
+    in_flight += stats.frames_in_flight;
+    submitted += stats.frames_submitted;
+  }
+  EXPECT_EQ(delivered + dropped + pending + in_flight, submitted);
+  EXPECT_EQ(pending, 0);
+  EXPECT_EQ(in_flight, 0);
+  // Stream-solo byte-identity: the concurrent run must be
+  // indistinguishable from running each stream by itself.
+  for (size_t s = 0; s < kStreams; ++s) {
+    const RunOutcome solo = RunCase(video, 100 + s);
+    EXPECT_EQ(concurrent[s].stats.frames_delivered,
+              solo.stats.frames_delivered)
+        << "stream " << s;
+    EXPECT_EQ(concurrent[s].stats.frames_dropped, solo.stats.frames_dropped);
+    EXPECT_EQ(concurrent[s].stats.attempts, solo.stats.attempts);
+    EXPECT_EQ(concurrent[s].stats.injected_errors,
+              solo.stats.injected_errors);
+    EXPECT_EQ(concurrent[s].detections, solo.detections);
+    EXPECT_EQ(concurrent[s].invoice_frames, solo.invoice_frames);
+  }
+}
+
 TEST(RelayPropertyTest, SameSeedReplaysByteIdentically) {
   const sim::SyntheticVideo video = SmallVideo();
   for (uint64_t case_seed = 1; case_seed <= 6; ++case_seed) {

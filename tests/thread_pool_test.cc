@@ -34,6 +34,31 @@ TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ThreadPoolTest, ResolveDefaultThreadsClampsUnknownHardwareToOne) {
+  // hardware_concurrency() == 0 is the standard's "unknown" answer; it
+  // must never propagate a 0 into ThreadPool (whose ctor requires >= 1).
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads(nullptr, 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads("", 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads(nullptr, 8), 8);
+}
+
+TEST(ThreadPoolTest, ResolveDefaultThreadsRejectsMalformedEnv) {
+  // Junk, zero, negative, trailing-garbage and out-of-range values of
+  // EVENTHIT_THREADS all fall back to the hardware answer (atoi used to
+  // return 0 for junk and had undefined behaviour on overflow).
+  for (const char* bad : {"abc", "0", "-3", "4x", " 7 ", "1e3", "+",
+                          "99999999999999999999"}) {
+    EXPECT_EQ(ThreadPool::ResolveDefaultThreads(bad, 6), 6) << bad;
+    EXPECT_EQ(ThreadPool::ResolveDefaultThreads(bad, 0), 1) << bad;
+  }
+}
+
+TEST(ThreadPoolTest, ResolveDefaultThreadsParsesValidEnv) {
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads("3", 8), 3);
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads("1", 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveDefaultThreads("16", 2), 16);
+}
+
 TEST(ThreadPoolTest, ChunksPartitionTheRangeContiguously) {
   ThreadPool pool(3);
   const size_t n = 11;
@@ -52,6 +77,40 @@ TEST(ThreadPoolTest, ChunksPartitionTheRangeContiguously) {
     expected_begin = ranges[static_cast<size_t>(c)].second;
   }
   EXPECT_EQ(expected_begin, n);
+}
+
+TEST(ThreadPoolTest, EmptyChunksNeverInvokeTheBody) {
+  // n < threads leaves some chunks with begin >= end; those chunks must
+  // never reach the body — a zero-length invocation would hand code a
+  // bogus (begin == end) range and burn a chunk id on nothing.
+  ThreadPool pool(8);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}, size_t{7}}) {
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> seen;  // (chunk, begin)
+    std::vector<int> hits(n, 0);
+    pool.ParallelForChunked(n, [&](int chunk, size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_LT(begin, end) << "empty chunk " << chunk << " invoked, n=" << n;
+      seen.emplace_back(static_cast<size_t>(chunk), begin);
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+    });
+    // Exactly n non-empty chunks fire (each covers one index when n < t),
+    // every index exactly once, and each chunk id matches the pure
+    // formula begin = n*c/t — stable run to run.
+    EXPECT_EQ(seen.size(), n);
+    for (const auto& [chunk, begin] : seen) {
+      EXPECT_EQ(begin, n * chunk / 8) << "chunk " << chunk << " n=" << n;
+    }
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << "n=" << n;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroLengthRangeInvokesNothing) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelForChunked(0, [&](int, size_t, size_t) { ++calls; });
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
 }
 
 TEST(ThreadPoolTest, LowestChunkIndexExceptionWins) {

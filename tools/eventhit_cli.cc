@@ -7,6 +7,9 @@
 //                         [--seed=N] [--model-out=path]
 //   eventhit_cli sweep    --task=TA1 [--seed=N] [--csv=path]
 //   eventhit_cli hypersearch --task=TA10 [--seed=N] [--samples=N]
+//   eventhit_cli fleet    --task=TA10 [--streams=N] [--seed=N] [--frames=N]
+//                         [--batch=B] [--max-delay=T] [--wave=W]
+//                         [--threads=N] [--verify-solo=K]
 //
 // Every subcommand builds the synthetic environment for the chosen task,
 // so results are reproducible from the seed alone.
@@ -44,6 +47,7 @@
 #include "core/strategies.h"
 #include "data/tasks.h"
 #include "eval/curves.h"
+#include "fleet/stream_fleet.h"
 #include "eval/hyper_search.h"
 #include "eval/runner.h"
 #include "obs/audit.h"
@@ -68,15 +72,25 @@ namespace eval = ::eventhit::eval;
 namespace core = ::eventhit::core;
 namespace data = ::eventhit::data;
 namespace sim = ::eventhit::sim;
+namespace fleet = ::eventhit::fleet;
 
 int Usage() {
   std::cerr <<
-      "usage: eventhit_cli <stats|evaluate|sweep|hypersearch> [flags]\n"
+      "usage: eventhit_cli <stats|evaluate|sweep|hypersearch|fleet> [flags]\n"
       "  stats        --dataset=VIRAT|THUMOS|Breakfast  [--seed=N]\n"
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
       "               [--model-out=PATH] [--threads=N] [--predict-batch=B]\n"
       "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
+      "  fleet        --task=TA10 [--streams=N] [--seed=N] [--frames=N]\n"
+      "               [--batch=B] [--max-delay=T] [--wave=W] [--threads=N]\n"
+      "               [--confidence=C] [--coverage=A]\n"
+      "               [--fault-profile=NAME] [--fault-seed=N]\n"
+      "               [--budget-cap-usd=X] [--verify-solo=K]\n"
+      "               run N tenant streams through the cross-stream\n"
+      "               dynamic batcher (DESIGN.md 5g); --verify-solo=K\n"
+      "               re-runs the first K streams solo and checks\n"
+      "               bit-exact digests against the fleet run\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
       "               identical for every N.\n"
@@ -607,6 +621,136 @@ int RunHyperSearch(const Flags& flags) {
   return 0;
 }
 
+// `fleet`: multiplexes N tenant streams through the cross-stream dynamic
+// batcher (DESIGN.md 5g) and prints aggregate throughput, per-frame
+// latency percentiles and settled accounting. `--verify-solo=K` re-runs
+// the first K streams solo (no batching) and checks that every digest is
+// bit-identical to the fleet run — the determinism contract, on demand.
+int RunFleet(const Flags& flags) {
+  const std::string task_name = flags.GetString("task", "TA10");
+  const auto task = data::FindTask(task_name);
+  if (!task.ok()) {
+    std::cerr << task.status() << "\n";
+    return 1;
+  }
+  fleet::FleetConfig config;
+  const auto streams = flags.GetInt("streams", 100);
+  const auto seed = flags.GetInt("seed", 42);
+  const auto frames = flags.GetInt("frames", 0);
+  const auto batch = flags.GetInt("batch", 64);
+  const auto max_delay = flags.GetInt("max-delay", 4);
+  const auto wave = flags.GetInt("wave", 256);
+  const auto threads = flags.GetInt("threads", 1);
+  const auto confidence = flags.GetDouble("confidence", 0.9);
+  const auto coverage = flags.GetDouble("coverage", 0.5);
+  const auto fault_seed = flags.GetInt("fault-seed", 1234);
+  const auto budget_cap = flags.GetDouble("budget-cap-usd", 0.0);
+  const auto verify_solo = flags.GetInt("verify-solo", 0);
+  for (const auto* status :
+       {&streams.status(), &seed.status(), &frames.status(), &batch.status(),
+        &max_delay.status(), &wave.status(), &threads.status(),
+        &confidence.status(), &coverage.status(), &fault_seed.status(),
+        &budget_cap.status(), &verify_solo.status()}) {
+    if (!status->ok()) {
+      std::cerr << *status << "\n";
+      return 1;
+    }
+  }
+  if (streams.value() < 1 || batch.value() < 1 || max_delay.value() < 0 ||
+      wave.value() < 1 || threads.value() < 0 || frames.value() < 0 ||
+      verify_solo.value() < 0) {
+    std::cerr << "fleet: --streams/--batch/--wave must be >= 1, "
+                 "--max-delay/--threads/--frames/--verify-solo >= 0\n";
+    return 1;
+  }
+  const std::string mode_name = flags.GetString("degraded-mode", "drop");
+  if (mode_name != "drop" && mode_name != "buffer") {
+    std::cerr << "--degraded-mode must be drop or buffer\n";
+    return 1;
+  }
+  config.num_streams = static_cast<int>(streams.value());
+  config.base_seed = static_cast<uint64_t>(seed.value());
+  config.frames_per_stream = frames.value();
+  config.batch_size = static_cast<size_t>(batch.value());
+  config.max_batch_delay_ticks = max_delay.value();
+  config.wave_size = static_cast<int>(wave.value());
+  config.threads = static_cast<int>(threads.value());
+  config.confidence = confidence.value();
+  config.coverage = coverage.value();
+  config.fault_profile = flags.GetString("fault-profile", "none");
+  config.fault_seed = static_cast<uint64_t>(fault_seed.value());
+  config.degraded_mode = mode_name == "buffer"
+                             ? cloud::DegradedMode::kBufferAndReplay
+                             : cloud::DegradedMode::kDropWithAccounting;
+  config.budget_cap_microusd =
+      static_cast<int64_t>(budget_cap.value() * 1e6);
+  config.runner.seed = config.base_seed;
+
+  std::cerr << "training the shared fleet model on " << task_name
+            << "...\n";
+  fleet::StreamFleet fleet_run(task.value(), config);
+  std::cerr << "running " << config.num_streams << " stream(s), batch "
+            << config.batch_size << ", max delay "
+            << config.max_batch_delay_ticks << " tick(s), wave "
+            << config.wave_size << "...\n";
+  const fleet::FleetRunResult result = fleet_run.Run();
+  const fleet::FleetRunStats& stats = result.stats;
+
+  int64_t delivered = 0, dropped = 0, submitted = 0;
+  int64_t relayed_frames = 0, positives = 0, misses = 0, breaches = 0;
+  for (const auto& stream : result.streams) {
+    delivered += stream.relay.orders_delivered;
+    dropped += stream.relay.orders_dropped;
+    submitted += stream.relay.orders_submitted;
+    relayed_frames += stream.marshaller.frames_relayed;
+    positives += stream.audit_positives;
+    misses += stream.audit_misses;
+    breaches += stream.audit_breaches;
+  }
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"streams", Fmt(stats.streams)});
+  table.AddRow({"ticks", Fmt(stats.ticks)});
+  table.AddRow({"frames pushed", Fmt(stats.frames_pushed)});
+  table.AddRow({"inference requests", Fmt(stats.requests)});
+  table.AddRow({"batches (full/deadline/final)",
+                Fmt(stats.flush_full) + "/" + Fmt(stats.flush_deadline) +
+                    "/" + Fmt(stats.flush_final)});
+  table.AddRow({"batch fill mean", Fmt(stats.batch_fill_mean, 2)});
+  table.AddRow({"elapsed seconds", Fmt(stats.elapsed_seconds, 3)});
+  table.AddRow({"streams/sec", Fmt(stats.streams_per_sec, 1)});
+  table.AddRow({"frames/sec", Fmt(stats.frames_per_sec, 0)});
+  table.AddRow({"p50/p99 frame us",
+                Fmt(stats.p50_frame_us, 2) + "/" + Fmt(stats.p99_frame_us, 2)});
+  table.AddRow({"relay delivered/dropped/submitted",
+                Fmt(delivered) + "/" + Fmt(dropped) + "/" + Fmt(submitted)});
+  table.AddRow({"relayed frames", Fmt(relayed_frames)});
+  table.AddRow({"audit positives/misses", Fmt(positives) + "/" + Fmt(misses)});
+  table.AddRow({"audit breaches", Fmt(breaches)});
+  table.AddRow({"total cost USD", Fmt(stats.total_cost_usd, 4)});
+  if (config.budget_cap_microusd > 0) {
+    table.AddRow({"budget breach tick", Fmt(stats.budget_breach_tick)});
+  }
+  table.Print(std::cout);
+
+  const int verify = static_cast<int>(
+      std::min<int64_t>(verify_solo.value(), config.num_streams));
+  if (verify > 0) {
+    std::cerr << "verifying " << verify << " stream(s) against solo runs...\n";
+    for (int s = 0; s < verify; ++s) {
+      const fleet::FleetStreamResult solo = fleet_run.RunStreamSolo(s);
+      if (!fleet::SameStreamResult(result.streams[static_cast<size_t>(s)],
+                                   solo)) {
+        std::cerr << "stream " << s
+                  << ": fleet result DIFFERS from solo run\n";
+        return 1;
+      }
+    }
+    std::cout << "verify-solo: " << verify
+              << " stream(s) bit-identical to solo runs\n";
+  }
+  return 0;
+}
+
 // Writes/prints the telemetry collected by the subcommand. Returns 1 on
 // I/O failure (over the subcommand's own exit code only when it succeeded).
 int FlushTelemetry(const Flags& flags) {
@@ -687,6 +831,7 @@ int main(int argc, char** argv) {
   if (command == "evaluate") rc = RunEvaluate(flags.value());
   if (command == "sweep") rc = RunSweep(flags.value());
   if (command == "hypersearch") rc = RunHyperSearch(flags.value());
+  if (command == "fleet") rc = RunFleet(flags.value());
   if (rc < 0) return Usage();
   const int telemetry_rc = FlushTelemetry(flags.value());
   return rc != 0 ? rc : telemetry_rc;
