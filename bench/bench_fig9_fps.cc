@@ -23,6 +23,7 @@
 #include "core/strategies.h"
 #include "eval/curves.h"
 #include "eval/runner.h"
+#include "nn/backend.h"
 
 namespace {
 
@@ -33,6 +34,7 @@ namespace eval = ::eventhit::eval;
 namespace cloud = ::eventhit::cloud;
 namespace baselines = ::eventhit::baselines;
 namespace data = ::eventhit::data;
+namespace nn = ::eventhit::nn;
 
 // Effective FPS from trial-averaged relayed frames.
 double FpsFor(const cloud::PipelineCostModel& model,
@@ -247,6 +249,71 @@ int main() {
     std::cout << "max |batched - per-record| score diff: " << max_abs_diff
               << "\n";
 
+    // Per-backend batched throughput (nn/backend.h, docs/BACKENDS.md): the
+    // same test slice scored through each kernel backend. `batched` above
+    // holds the blocked (default) scores, so each backend's score drift vs
+    // blocked is measured here too and emitted into the baseline — the
+    // documented contracts (scalar bit-exact, simd within 1e-5, int8 within
+    // its quantization bound) become machine-checkable in CI. simd must
+    // beat blocked by >= 2x when AVX2+FMA is available (the point of the
+    // backend); int8 trades the score drift for bandwidth.
+    auto& backend_model = *trained.model;
+    const bool simd_available = nn::SimdAvailable();
+    auto score_diff_vs_blocked =
+        [&](const std::vector<eventhit::core::EventScores>& scores) {
+          double diff = 0.0;
+          for (size_t i = 0; i < test.size(); ++i) {
+            for (size_t k = 0; k < batched[i].existence.size(); ++k) {
+              diff = std::max(diff, std::fabs(batched[i].existence[k] -
+                                              scores[i].existence[k]));
+              for (size_t v = 0; v < batched[i].occupancy[k].size(); ++v) {
+                diff = std::max(
+                    diff, static_cast<double>(
+                              std::fabs(batched[i].occupancy[k][v] -
+                                        scores[i].occupancy[k][v])));
+              }
+            }
+          }
+          return diff;
+        };
+    auto time_backend = [&](nn::BackendKind kind, double* diff) {
+      if (kind == nn::BackendKind::kInt8 &&
+          !backend_model.int8_calibrated()) {
+        backend_model.CalibrateInt8(env.calib_records());
+      }
+      backend_model.SetInferenceBackend(kind);
+      std::vector<eventhit::core::EventScores> scores;
+      const double seconds = best_seconds(
+          [&] { scores = eventhit::core::PredictBatch(backend_model, test); });
+      *diff = score_diff_vs_blocked(scores);
+      return n / seconds;
+    };
+    double scalar_diff = 0.0, simd_diff = 0.0, int8_diff = 0.0;
+    const double scalar_fps =
+        time_backend(nn::BackendKind::kScalar, &scalar_diff);
+    const double simd_fps = time_backend(nn::BackendKind::kSimd, &simd_diff);
+    const double int8_fps = time_backend(nn::BackendKind::kInt8, &int8_diff);
+    backend_model.SetInferenceBackend(nn::BackendKind::kBlocked);
+
+    std::cout << "\n### Batched inference per kernel backend (simd "
+              << (simd_available ? "available" : "unavailable, blocked "
+                                                 "fallback")
+              << ")\n";
+    TablePrinter backend_table(
+        {"Backend", "Records/s", "vs blocked", "max |dScore| vs blocked"});
+    backend_table.AddRow({"scalar", Fmt(scalar_fps, 0),
+                          Fmt(scalar_fps / batched_fps, 2) + "x",
+                          Fmt(scalar_diff, 8)});
+    backend_table.AddRow(
+        {"blocked", Fmt(batched_fps, 0), "1.00x", Fmt(0.0, 8)});
+    backend_table.AddRow({"simd", Fmt(simd_fps, 0),
+                          Fmt(simd_fps / batched_fps, 2) + "x",
+                          Fmt(simd_diff, 8)});
+    backend_table.AddRow({"int8", Fmt(int8_fps, 0),
+                          Fmt(int8_fps / batched_fps, 2) + "x",
+                          Fmt(int8_diff, 8)});
+    backend_table.Print(std::cout);
+
     // Machine-readable baseline for CI and for tracking in-repo.
     std::ofstream json("BENCH_fig9_fps.json");
     json << "{\n"
@@ -260,6 +327,15 @@ int main() {
          << "  \"batched_parallel_fps\": " << batched_parallel_fps << ",\n"
          << "  \"speedup_1t\": " << batched_fps / per_record_fps << ",\n"
          << "  \"scores_max_abs_diff\": " << max_abs_diff << ",\n"
+         << "  \"simd_available\": " << (simd_available ? 1 : 0) << ",\n"
+         << "  \"batched_fps_scalar\": " << scalar_fps << ",\n"
+         << "  \"batched_fps_simd\": " << simd_fps << ",\n"
+         << "  \"batched_fps_int8\": " << int8_fps << ",\n"
+         << "  \"simd_speedup_vs_blocked\": " << simd_fps / batched_fps
+         << ",\n"
+         << "  \"scalar_scores_max_abs_diff\": " << scalar_diff << ",\n"
+         << "  \"simd_scores_max_abs_diff\": " << simd_diff << ",\n"
+         << "  \"int8_scores_max_abs_diff\": " << int8_diff << ",\n"
          << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
          << "\n}\n";
     std::cout << "wrote BENCH_fig9_fps.json\n";

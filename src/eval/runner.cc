@@ -64,6 +64,15 @@ TrainedEventHit TrainEventHit(const TaskEnvironment& env,
     obs::TraceSpan span(obs::names::kSpanRunnerTrain);
     trained.history = trained.model->Train(env.train_records());
   }
+  // Select the inference backend BEFORE calibration: the conformal
+  // constructors below score the calibration split through the model, so
+  // thresholds are automatically recalibrated on backend-specific scores
+  // (mandatory for int8, whose quantization perturbs them —
+  // docs/BACKENDS.md).
+  if (config.nn_backend == nn::BackendKind::kInt8) {
+    trained.model->CalibrateInt8(env.calib_records());
+  }
+  trained.model->SetInferenceBackend(config.nn_backend);
   {
     obs::TraceSpan span(obs::names::kSpanRunnerCalibrate);
     trained.cclassify = std::make_unique<core::CClassify>(

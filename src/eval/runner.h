@@ -16,6 +16,7 @@
 #include "data/record_extractor.h"
 #include "data/tasks.h"
 #include "eval/metrics.h"
+#include "nn/backend.h"
 #include "obs/audit.h"
 #include "sim/synthetic_video.h"
 
@@ -46,6 +47,12 @@ struct RunnerConfig {
   /// bit-identical at any batch size — this only trades throughput against
   /// per-thread scratch size.
   size_t predict_batch = core::kDefaultPredictBatch;
+  /// Inference kernel backend (nn/backend.h; `--nn-backend` in the CLI).
+  /// Set *before* conformal calibration: TrainEventHit selects it on the
+  /// model right after training (quantizing the weights for kInt8), so
+  /// C-CLASSIFY/C-REGRESS thresholds are calibrated on scores from the
+  /// same backend that later produces the test scores (docs/BACKENDS.md).
+  nn::BackendKind nn_backend = nn::BackendKind::kBlocked;
   /// Master seed; vary per trial.
   uint64_t seed = 42;
 };

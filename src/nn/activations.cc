@@ -2,36 +2,35 @@
 
 #include <algorithm>
 
+#include "nn/activations_inl.h"
+
 namespace eventhit::nn {
 namespace {
 
 // Rational minimax approximation of tanh on [-7.905, 7.905] (the standard
-// 13/6-degree odd/even pair; |tanh| rounds to 1.0f beyond the clamp). It is
-// branch-free — clamp via min/max, polynomials, one divide — so the
-// element-wise loops below auto-vectorize under plain -O3 with baseline
-// SSE2: the inference hot path makes no libm calls. Absolute error is under
-// 4e-7 everywhere and a few ulps in the core range, far inside the model's
-// 1e-5 score-agreement bound.
+// 13/6-degree odd/even pair; coefficients in activations_inl.h, shared with
+// the AVX2 backend). It is branch-free — clamp via min/max, polynomials,
+// one divide — so the element-wise loops below auto-vectorize under plain
+// -O3 with baseline SSE2: the inference hot path makes no libm calls.
+// Absolute error is under 4e-7 everywhere and a few ulps in the core range,
+// far inside the model's 1e-5 score-agreement bound.
 //
 // Determinism: every operation is IEEE and lane-wise identical whether the
 // compiler vectorizes or not (no FMA contraction on baseline x86-64, no
 // reassociation without -ffast-math), so scalar and batched forward passes
 // calling these helpers stay bit-identical (see nn/matrix.h).
 inline float TanhRational(float x) {
-  x = std::min(std::max(x, -7.90531110763549805f), 7.90531110763549805f);
+  x = std::min(std::max(x, -detail::kTanhClamp), detail::kTanhClamp);
   const float x2 = x * x;
-  float p = -2.76076847742355e-16f;
-  p = p * x2 + 2.00018790482477e-13f;
-  p = p * x2 + -8.60467152213735e-11f;
-  p = p * x2 + 5.12229709037114e-08f;
-  p = p * x2 + 1.48572235717979e-05f;
-  p = p * x2 + 6.37261928875436e-04f;
-  p = p * x2 + 4.89352455891786e-03f;
+  float p = detail::kTanhNum[0];
+  for (size_t i = 1; i < detail::kTanhNumTerms; ++i) {
+    p = p * x2 + detail::kTanhNum[i];
+  }
   p = p * x;
-  float q = 1.19825839466702e-06f;
-  q = q * x2 + 1.18534705686654e-04f;
-  q = q * x2 + 2.26843463243900e-03f;
-  q = q * x2 + 4.89352518554385e-03f;
+  float q = detail::kTanhDen[0];
+  for (size_t i = 1; i < detail::kTanhDenTerms; ++i) {
+    q = q * x2 + detail::kTanhDen[i];
+  }
   return p / q;
 }
 

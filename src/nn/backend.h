@@ -1,0 +1,124 @@
+// Runtime-dispatched inference kernel backends (DESIGN.md §5h,
+// docs/BACKENDS.md).
+//
+// The batched inference path (gemm.h, lstm.h, dense.h, mlp.h) is written
+// against a small kernel table — GEMM products, element-wise activations,
+// and the int8 quantized product — so the same forward-pass code can run
+// on several implementations selected once at startup:
+//
+//   * scalar  — naive reference loops, no tiling. Same ascending-k float
+//     summation order as `blocked`, so results are bit-identical to it;
+//     exists as the oracle the faster backends are tested against.
+//   * blocked — the PR-3 register-tiled cache-aware kernels (gemm.cc),
+//     auto-vectorized by the baseline build (SSE2 on x86-64, NEON on
+//     aarch64). The default, and the backend every committed baseline and
+//     conformal calibration was produced with.
+//   * simd    — explicit AVX2+FMA kernels, chosen only when cpuid reports
+//     both features at startup (SimdAvailable()). Each output element is
+//     still the ascending-k sum of its products, but every term lands via
+//     a fused multiply-add (one rounding per term instead of two), so simd
+//     results are NOT bit-identical to scalar/blocked — they agree within
+//     the documented 1e-5 score bound. Within the simd backend, results
+//     are bit-identical at any batch size: the vector body and the scalar
+//     tail both use FMA with the same operation order, so a column's
+//     result does not depend on its position in the batch (the fleet's
+//     solo==batched digest contract survives backend selection). On
+//     non-x86 or pre-AVX2 hardware the simd kind transparently falls back
+//     to the blocked kernels (NEON is the aarch64 baseline, so `blocked`
+//     is already the vectorized path there).
+//   * int8    — per-tensor symmetric int8 quantization (nn/int8.h):
+//     weights and activations quantize to int8 with static scales, the
+//     GEMM accumulates in int32 (exact integer arithmetic, so any
+//     vectorization gives identical results), and a single float multiply
+//     dequantizes each output at the layer boundary. Activations between
+//     layers stay float. Quantization perturbs scores, so conformal
+//     thresholds MUST be recalibrated on int8 scores (docs/BACKENDS.md);
+//     eval::TrainEventHit does this when RunnerConfig::nn_backend is int8.
+//
+// Threading model: a Backend is immutable global state — GetBackend()
+// returns references to static tables, safe to share across threads.
+#ifndef EVENTHIT_NN_BACKEND_H_
+#define EVENTHIT_NN_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eventhit::nn {
+
+enum class BackendKind { kScalar, kBlocked, kSimd, kInt8 };
+
+/// C = A * B (overwrite) / C += A * B with the shape conventions of
+/// nn/gemm.h: A m x k (lda), B k x n (ldb), C m x n (ldc), ascending-k
+/// accumulation per output element.
+using GemmFn = void (*)(size_t m, size_t n, size_t k, const float* a,
+                        size_t lda, const float* b, size_t ldb, float* c,
+                        size_t ldc);
+
+/// Element-wise activation over n contiguous floats.
+using UnaryFn = void (*)(float* x, size_t n);
+
+/// C = scale * (A * B) with int8 operands and exact int32 accumulation:
+/// A is m x k int8 (lda), B is k x n int8 (ldb), each C element is the
+/// int32 sum of its k products scaled by one float multiply (the dequant
+/// step). Integer accumulation is associative, so results are identical
+/// under any vectorization and any batch composition.
+using Int8GemmFn = void (*)(size_t m, size_t n, size_t k, const int8_t* a,
+                            size_t lda, const int8_t* b, size_t ldb,
+                            float scale, float* c, size_t ldc);
+
+/// The kernel table a forward pass dispatches through.
+struct BackendKernels {
+  GemmFn gemm_zero = nullptr;       // C = A*B
+  GemmFn gemm = nullptr;            // C += A*B
+  UnaryFn tanh_inplace = nullptr;   // x = tanh(x)
+  UnaryFn sigmoid_inplace = nullptr;
+  Int8GemmFn int8_gemm_zero = nullptr;  // C = scale * (A*B), int8 operands
+};
+
+/// One selected backend: the kind requested, the kind actually executing
+/// (simd falls back to blocked when the CPU lacks AVX2+FMA), and the
+/// kernel table.
+struct Backend {
+  BackendKind kind = BackendKind::kBlocked;
+  BackendKind effective = BackendKind::kBlocked;
+  const char* name = "blocked";
+  const BackendKernels* kernels = nullptr;
+};
+
+/// True when explicit SIMD kernels (AVX2+FMA) are compiled in AND the CPU
+/// reports the features at runtime. When false, BackendKind::kSimd
+/// dispatches the blocked kernels.
+bool SimdAvailable();
+
+/// The immutable backend singleton for `kind`. For kInt8 the float kernels
+/// (activations and any residual float GEMM) are always the blocked set —
+/// combined with the exact integer GEMM (AVX2-accelerated when available,
+/// identical results either way) this makes int8 scores machine-independent,
+/// so recalibrated conformal thresholds reproduce across hosts.
+const Backend& GetBackend(BackendKind kind);
+
+/// Canonical lower-case name ("scalar", "blocked", "simd", "int8").
+const char* BackendKindName(BackendKind kind);
+
+/// Parses a backend name. "auto" resolves to simd when SimdAvailable(),
+/// else blocked. Unknown names produce InvalidArgumentError listing the
+/// choices.
+Result<BackendKind> ParseBackendKind(const std::string& name);
+
+/// Every kind, in fixed order (scalar, blocked, simd, int8) — for benches
+/// and parity sweeps.
+std::vector<BackendKind> AllBackendKinds();
+
+/// Quantizes n floats to int8 with round-to-nearest-even and clamp to
+/// [-127, 127]: q[i] = clamp(rne(x[i] * inv_scale)). Element-wise and
+/// vectorization-independent, so quantized activations do not depend on
+/// batch composition (the int8 determinism contract, docs/BACKENDS.md).
+void QuantizeInt8(const float* x, size_t n, float inv_scale, int8_t* out);
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_BACKEND_H_

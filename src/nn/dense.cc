@@ -31,6 +31,19 @@ void Dense::ForwardBatch(const float* x, size_t batch, float* y) const {
   }
 }
 
+void Dense::ForwardBatch(const float* x, size_t batch, float* y,
+                         const Backend& backend) const {
+  EVENTHIT_CHECK_GT(batch, 0u);
+  const size_t out = out_dim();
+  backend.kernels->gemm_zero(out, batch, in_dim(), weight_.value.data(),
+                             in_dim(), x, batch, y, batch);
+  const float* b = bias_.value.data();
+  for (size_t i = 0; i < out; ++i) {
+    float* row = y + i * batch;
+    for (size_t j = 0; j < batch; ++j) row[j] += b[i];
+  }
+}
+
 void Dense::Backward(const float* x, const float* dy, float* dx) {
   OuterAccum(weight_.grad, dy, x);
   float* db = bias_.grad.data();

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "nn/backend.h"
 #include "nn/matrix.h"
 #include "nn/parameter.h"
 
@@ -32,6 +33,12 @@ class Dense {
   /// `batch` MatVecs; per column the arithmetic (and its summation order —
   /// see matrix.h) is identical to Forward, so results match bit-for-bit.
   void ForwardBatch(const float* x, size_t batch, float* y) const;
+
+  /// Same, dispatching the GEMM through `backend`'s kernel table
+  /// (nn/backend.h). The blocked backend reproduces the overload above
+  /// bit-for-bit; simd agrees within the documented tolerance.
+  void ForwardBatch(const float* x, size_t batch, float* y,
+                    const Backend& backend) const;
 
   /// Given the input `x` used in Forward and the upstream gradient `dy`,
   /// accumulates dW, db and adds W^T dy into `dx` (which must be sized

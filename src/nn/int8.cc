@@ -1,0 +1,164 @@
+#include "nn/int8.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace eventhit::nn {
+namespace {
+
+// Activation scale for tensors bounded in (-1, 1) by construction (tanh
+// outputs, LSTM hidden states): the analytic bound, no calibration needed.
+constexpr float kUnitScale = 1.0f / 127.0f;
+
+float MaxAbs(const float* x, size_t n) {
+  float m = 0.0f;
+  for (size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i]));
+  return m;
+}
+
+}  // namespace
+
+Int8Tensor QuantizeTensor(const Matrix& w) {
+  Int8Tensor t;
+  t.rows = w.rows();
+  t.cols = w.cols();
+  t.data.resize(w.size());
+  const float max_abs = MaxAbs(w.data(), w.size());
+  t.scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  QuantizeInt8(w.data(), w.size(), 1.0f / t.scale, t.data.data());
+  return t;
+}
+
+Int8Dense Int8Dense::FromFloat(const Dense& dense, float in_scale) {
+  EVENTHIT_CHECK_GT(in_scale, 0.0f);
+  Int8Dense out;
+  out.weight = QuantizeTensor(dense.weight().value);
+  const float* b = dense.bias().value.data();
+  out.bias.assign(b, b + dense.out_dim());
+  out.in_scale = in_scale;
+  return out;
+}
+
+void Int8Dense::ForwardBatch(const float* x, size_t batch, float* y,
+                             Workspace& ws, const Backend& backend) const {
+  EVENTHIT_CHECK_GT(batch, 0u);
+  const size_t in = in_dim();
+  const size_t out = out_dim();
+  int8_t* qx = ws.AllocInt8(in * batch);
+  QuantizeInt8(x, in * batch, 1.0f / in_scale, qx);
+  backend.kernels->int8_gemm_zero(out, batch, in, weight.data.data(), in, qx,
+                                  batch, weight.scale * in_scale, y, batch);
+  for (size_t i = 0; i < out; ++i) {
+    float* row = y + i * batch;
+    for (size_t j = 0; j < batch; ++j) row[j] += bias[i];
+  }
+}
+
+Int8Lstm Int8Lstm::FromFloat(const Lstm& lstm, float x_scale, float h_scale) {
+  EVENTHIT_CHECK_GT(x_scale, 0.0f);
+  EVENTHIT_CHECK_GT(h_scale, 0.0f);
+  Int8Lstm out;
+  out.wx = QuantizeTensor(lstm.wx().value);
+  out.wh = QuantizeTensor(lstm.wh().value);
+  const float* b = lstm.bias().value.data();
+  out.bias.assign(b, b + 4 * lstm.hidden_dim());
+  out.x_scale = x_scale;
+  out.h_scale = h_scale;
+  out.input_dim = lstm.input_dim();
+  out.hidden_dim = lstm.hidden_dim();
+  return out;
+}
+
+void Int8Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                            float* h_out, Workspace& ws,
+                            const Backend& backend) const {
+  EVENTHIT_CHECK_GT(steps, 0u);
+  EVENTHIT_CHECK_GT(batch, 0u);
+  const size_t hd = hidden_dim;
+  const size_t d = input_dim;
+  const size_t gate_rows = 4 * hd;
+  const BackendKernels& kern = *backend.kernels;
+
+  // Same batch-minor scratch layout and per-element operation order as
+  // Lstm::ForwardBatch — only the two GEMMs are replaced by quantize +
+  // int8 product + dequant.
+  float* gates = ws.Alloc(gate_rows * batch);
+  float* rec = ws.Alloc(gate_rows * batch);
+  float* h_prev = ws.Alloc(hd * batch);
+  float* c_prev = ws.Alloc(hd * batch);
+  float* h_cur = ws.Alloc(hd * batch);
+  float* c_cur = ws.Alloc(hd * batch);
+  int8_t* qx = ws.AllocInt8(d * batch);
+  int8_t* qh = ws.AllocInt8(hd * batch);
+  std::memset(h_prev, 0, hd * batch * sizeof(float));
+  std::memset(c_prev, 0, hd * batch * sizeof(float));
+
+  for (size_t t = 0; t < steps; ++t) {
+    const float* x_t = inputs + t * d * batch;
+    QuantizeInt8(x_t, d * batch, 1.0f / x_scale, qx);
+    kern.int8_gemm_zero(gate_rows, batch, d, wx.data.data(), d, qx, batch,
+                        wx.scale * x_scale, gates, batch);
+    QuantizeInt8(h_prev, hd * batch, 1.0f / h_scale, qh);
+    kern.int8_gemm_zero(gate_rows, batch, hd, wh.data.data(), hd, qh, batch,
+                        wh.scale * h_scale, rec, batch);
+    for (size_t j = 0; j < gate_rows; ++j) {
+      float* grow = gates + j * batch;
+      const float* rrow = rec + j * batch;
+      const float bj = bias[j];
+      for (size_t b = 0; b < batch; ++b) grow[b] = (grow[b] + rrow[b]) + bj;
+    }
+
+    kern.sigmoid_inplace(gates, 2 * hd * batch);
+    kern.tanh_inplace(gates + 2 * hd * batch, hd * batch);
+    kern.sigmoid_inplace(gates + 3 * hd * batch, hd * batch);
+
+    const float* gate_i = gates;
+    const float* gate_f = gates + hd * batch;
+    const float* gate_g = gates + 2 * hd * batch;
+    const float* gate_o = gates + 3 * hd * batch;
+    for (size_t idx = 0; idx < hd * batch; ++idx) {
+      c_cur[idx] = gate_f[idx] * c_prev[idx] + gate_i[idx] * gate_g[idx];
+      h_cur[idx] = c_cur[idx];
+    }
+    kern.tanh_inplace(h_cur, hd * batch);
+    for (size_t idx = 0; idx < hd * batch; ++idx) {
+      h_cur[idx] *= gate_o[idx];
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(c_prev, c_cur);
+  }
+  std::memcpy(h_out, h_prev, hd * batch * sizeof(float));
+}
+
+Int8Mlp Int8Mlp::FromFloat(const Mlp& mlp, float in_scale) {
+  Int8Mlp out;
+  out.layers.reserve(mlp.layers().size());
+  for (size_t i = 0; i < mlp.layers().size(); ++i) {
+    // Layer 0 sees the network input; every later layer sees a tanh output
+    // bounded in (-1, 1).
+    out.layers.push_back(Int8Dense::FromFloat(
+        mlp.layers()[i], i == 0 ? in_scale : kUnitScale));
+  }
+  return out;
+}
+
+void Int8Mlp::ForwardBatch(const float* x, size_t batch, float* logits,
+                           Workspace& ws, const Backend& backend) const {
+  const float* current = x;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const bool last = i + 1 == layers.size();
+    const size_t out = layers[i].out_dim();
+    float* buffer = last ? logits : ws.Alloc(out * batch);
+    layers[i].ForwardBatch(current, batch, buffer, ws, backend);
+    if (!last) {
+      backend.kernels->tanh_inplace(buffer, out * batch);
+      current = buffer;
+    }
+  }
+}
+
+}  // namespace eventhit::nn

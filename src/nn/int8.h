@@ -1,0 +1,114 @@
+// Int8-quantized mirrors of the inference layers (docs/BACKENDS.md §int8).
+//
+// Scheme: per-tensor symmetric quantization. A float tensor W maps to
+// int8 via scale s_W = max|W| / 127 and q = clamp(rne(w / s_W), ±127);
+// activations quantize the same way with a STATIC scale fixed at
+// calibration time. Each layer computes
+//
+//   y = (s_W * s_x) * (Q(W) · Q(x))        [int32 accumulation]
+//
+// with one float multiply per output (the dequant) and float bias add;
+// activations between layers stay float. Two properties follow:
+//
+//  * Batch invariance: quantization is element-wise and the int8 GEMM is
+//    exact integer arithmetic, so a record's scores do not depend on the
+//    batch it rides in — the fleet's solo==batched digest contract holds
+//    under int8 (int8_test.cc checks bits).
+//  * Machine invariance: the backend's float kernels are the blocked set
+//    (backend.cc), so int8 scores — and conformal thresholds recalibrated
+//    on them — reproduce bit-for-bit across hosts with or without AVX2.
+//
+// Activation scales: LSTM hidden states, tanh outputs, and every MLP
+// hidden activation are mathematically bounded in (-1, 1), so their scale
+// is the analytic 1/127. Only the model *inputs* (standardized covariates)
+// are unbounded; their scale comes from the max-abs over the calibration
+// split (EventHitModel::CalibrateInt8), with out-of-range test values
+// saturating at ±127. Quantization perturbs scores, so conformal
+// thresholds MUST be recalibrated on int8 scores before the guarantees
+// mean anything — eval::TrainEventHit does this when the backend is int8.
+#ifndef EVENTHIT_NN_INT8_H_
+#define EVENTHIT_NN_INT8_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/backend.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/workspace.h"
+
+namespace eventhit::nn {
+
+/// A row-major int8 weight matrix with its per-tensor dequant scale.
+struct Int8Tensor {
+  std::vector<int8_t> data;  // rows x cols, row-major
+  size_t rows = 0;
+  size_t cols = 0;
+  float scale = 1.0f;  // float value ≈ scale * int8 value
+};
+
+/// Quantizes a float matrix with scale = max|w| / 127 (1.0 for an all-zero
+/// matrix, so dequant stays well-defined).
+Int8Tensor QuantizeTensor(const Matrix& w);
+
+/// Int8 mirror of Dense: y = (s_W * s_x) * (Q(W) · Q(x)) + b.
+struct Int8Dense {
+  Int8Tensor weight;
+  Vec bias;
+  float in_scale = 1.0f;  // static activation scale for this layer's input
+
+  /// Quantizes `dense`'s weight; `in_scale` is the static scale the input
+  /// activations will be quantized with at inference time.
+  static Int8Dense FromFloat(const Dense& dense, float in_scale);
+
+  size_t in_dim() const { return weight.cols; }
+  size_t out_dim() const { return weight.rows; }
+
+  /// Batch-minor forward matching Dense::ForwardBatch's layout: `x` is
+  /// [in_dim x batch] float, `y` [out_dim x batch], overwritten. Scratch
+  /// (the quantized input) comes from `ws`.
+  void ForwardBatch(const float* x, size_t batch, float* y, Workspace& ws,
+                    const Backend& backend) const;
+};
+
+/// Int8 mirror of Lstm: both weight matrices quantized per-tensor; the
+/// input sequence is quantized per step with the static `x_scale`, the
+/// recurrent hidden state with `h_scale` (analytically 1/127 since
+/// |h| < 1). Gate math, cell state, and activations stay float.
+struct Int8Lstm {
+  Int8Tensor wx;  // 4*Hd x D
+  Int8Tensor wh;  // 4*Hd x Hd
+  Vec bias;       // 4*Hd
+  float x_scale = 1.0f;
+  float h_scale = 1.0f;
+  size_t input_dim = 0;
+  size_t hidden_dim = 0;
+
+  static Int8Lstm FromFloat(const Lstm& lstm, float x_scale, float h_scale);
+
+  /// Same layout contract as Lstm::ForwardBatch (time-major, batch-minor
+  /// inputs; h_out is [hidden_dim x batch]).
+  void ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                    float* h_out, Workspace& ws, const Backend& backend) const;
+};
+
+/// Int8 mirror of Mlp: every Dense layer quantized; tanh between layers in
+/// float. `in_scale` applies to the network input; hidden activations use
+/// the analytic tanh bound (scale 1/127).
+struct Int8Mlp {
+  std::vector<Int8Dense> layers;
+
+  static Int8Mlp FromFloat(const Mlp& mlp, float in_scale);
+
+  size_t out_dim() const { return layers.back().out_dim(); }
+
+  /// Same layout contract as Mlp::ForwardBatch; logits are float.
+  void ForwardBatch(const float* x, size_t batch, float* logits, Workspace& ws,
+                    const Backend& backend) const;
+};
+
+}  // namespace eventhit::nn
+
+#endif  // EVENTHIT_NN_INT8_H_

@@ -93,11 +93,19 @@ Vec Lstm::Forward(const float* inputs, size_t steps) const {
 
 void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
                         float* h_out, Workspace& ws) const {
+  ForwardBatch(inputs, steps, batch, h_out, ws,
+               GetBackend(BackendKind::kBlocked));
+}
+
+void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                        float* h_out, Workspace& ws,
+                        const Backend& backend) const {
   EVENTHIT_CHECK_GT(steps, 0u);
   EVENTHIT_CHECK_GT(batch, 0u);
   const size_t hd = hidden_dim();
   const size_t d = input_dim();
   const size_t gate_rows = 4 * hd;
+  const BackendKernels& kern = *backend.kernels;
 
   // All scratch is [rows x batch], batch-minor. `gates` carries the packed
   // pre-activations then (in place) the activated gates; `rec` holds the
@@ -116,10 +124,10 @@ void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
   const float* bias = bias_.value.data();
   for (size_t t = 0; t < steps; ++t) {
     const float* x_t = inputs + t * d * batch;
-    GemmZero(gate_rows, batch, d, wx_.value.data(), d, x_t, batch, gates,
-             batch);
-    GemmZero(gate_rows, batch, hd, wh_.value.data(), hd, h_prev, batch, rec,
-             batch);
+    kern.gemm_zero(gate_rows, batch, d, wx_.value.data(), d, x_t, batch,
+                   gates, batch);
+    kern.gemm_zero(gate_rows, batch, hd, wh_.value.data(), hd, h_prev, batch,
+                   rec, batch);
     for (size_t j = 0; j < gate_rows; ++j) {
       float* grow = gates + j * batch;
       const float* rrow = rec + j * batch;
@@ -129,9 +137,9 @@ void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
 
     // Gate layout [i, f, g, o]: i and f are adjacent, so one sigmoid pass
     // covers both contiguous row blocks.
-    SigmoidInPlace(gates, 2 * hd * batch);
-    TanhInPlace(gates + 2 * hd * batch, hd * batch);
-    SigmoidInPlace(gates + 3 * hd * batch, hd * batch);
+    kern.sigmoid_inplace(gates, 2 * hd * batch);
+    kern.tanh_inplace(gates + 2 * hd * batch, hd * batch);
+    kern.sigmoid_inplace(gates + 3 * hd * batch, hd * batch);
 
     const float* gate_i = gates;
     const float* gate_f = gates + hd * batch;
@@ -143,7 +151,7 @@ void Lstm::ForwardBatch(const float* inputs, size_t steps, size_t batch,
     }
     // tanh(c) via the vectorized kernel, then the output gate — same
     // per-element operations as StepForward, so still bit-identical.
-    TanhInPlace(h_cur, hd * batch);
+    kern.tanh_inplace(h_cur, hd * batch);
     for (size_t idx = 0; idx < hd * batch; ++idx) {
       h_cur[idx] *= gate_o[idx];
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/backend.h"
 #include "nn/matrix.h"
 #include "nn/parameter.h"
 #include "nn/workspace.h"
@@ -47,6 +48,13 @@ class Lstm {
   /// bit-identical to the per-record path at any batch size.
   void ForwardBatch(const float* inputs, size_t steps, size_t batch,
                     float* h_out, Workspace& ws) const;
+
+  /// Same, dispatching GEMMs and activations through `backend`'s kernel
+  /// table (nn/backend.h). The blocked backend reproduces the overload
+  /// above bit-for-bit; simd agrees within the documented tolerance and is
+  /// itself batch-size invariant.
+  void ForwardBatch(const float* inputs, size_t steps, size_t batch,
+                    float* h_out, Workspace& ws, const Backend& backend) const;
 
   /// BPTT from the gradient of the final hidden state. Must follow a
   /// ForwardCached call; accumulates parameter gradients. If `dinputs` is

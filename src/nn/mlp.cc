@@ -58,6 +58,21 @@ void Mlp::ForwardBatch(const float* x, size_t batch, float* logits,
   }
 }
 
+void Mlp::ForwardBatch(const float* x, size_t batch, float* logits,
+                       Workspace& ws, const Backend& backend) const {
+  const float* current = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const bool last = i + 1 == layers_.size();
+    const size_t out = layers_[i].out_dim();
+    float* buffer = last ? logits : ws.Alloc(out * batch);
+    layers_[i].ForwardBatch(current, batch, buffer, backend);
+    if (!last) {
+      backend.kernels->tanh_inplace(buffer, out * batch);
+      current = buffer;
+    }
+  }
+}
+
 void Mlp::Backward(const float* x, const float* dlogits, float* dx) {
   // Walk backwards; the gradient w.r.t. each hidden activation is computed
   // into a scratch buffer, then passed through the tanh derivative.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "nn/backend.h"
 #include "nn/dense.h"
 #include "nn/matrix.h"
 #include "nn/parameter.h"
@@ -38,6 +39,11 @@ class Mlp {
   /// results are bit-identical to Forward.
   void ForwardBatch(const float* x, size_t batch, float* logits,
                     Workspace& ws) const;
+
+  /// Same, dispatching GEMMs and the inter-layer tanh through `backend`'s
+  /// kernel table (nn/backend.h).
+  void ForwardBatch(const float* x, size_t batch, float* logits, Workspace& ws,
+                    const Backend& backend) const;
 
   /// Backward from dlogits; accumulates parameter gradients. `dx` (size
   /// in_dim()) receives += input gradients when non-null. Must follow

@@ -1,0 +1,245 @@
+// Contract tests for the runtime-dispatched kernel backends (nn/backend.h,
+// docs/BACKENDS.md):
+//   * scalar replays blocked's summation order — bit-identical outputs;
+//   * simd agrees with blocked within the documented 1e-5 bound and is
+//     bit-identical to itself at any batch composition (vector body and
+//     scalar tail share the per-element operation order);
+//   * the int8 GEMM is exact integer arithmetic — it matches an int64
+//     reference to the bit, on every dispatch (generic and AVX2);
+//   * QuantizeInt8 rounds to nearest-even and clamps to [-127, 127].
+#include "nn/backend.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace eventhit::nn {
+namespace {
+
+std::vector<float> RandomBuffer(size_t n, Rng& rng) {
+  std::vector<float> buf(n);
+  for (auto& v : buf) v = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return buf;
+}
+
+std::vector<int8_t> RandomInt8Buffer(size_t n, Rng& rng) {
+  std::vector<int8_t> buf(n);
+  for (auto& v : buf) {
+    v = static_cast<int8_t>(rng.UniformInt(0, 254) - 127);
+  }
+  return buf;
+}
+
+TEST(BackendDispatchTest, NamesAndEffectiveKinds) {
+  EXPECT_STREQ(GetBackend(BackendKind::kScalar).name, "scalar");
+  EXPECT_STREQ(GetBackend(BackendKind::kBlocked).name, "blocked");
+  EXPECT_STREQ(GetBackend(BackendKind::kInt8).name, "int8");
+  EXPECT_EQ(GetBackend(BackendKind::kScalar).effective, BackendKind::kScalar);
+  const Backend& simd = GetBackend(BackendKind::kSimd);
+  EXPECT_EQ(simd.kind, BackendKind::kSimd);
+  if (SimdAvailable()) {
+    EXPECT_EQ(simd.effective, BackendKind::kSimd);
+  } else {
+    // No AVX2+FMA: the simd kind must transparently run the blocked table.
+    EXPECT_EQ(simd.effective, BackendKind::kBlocked);
+    EXPECT_EQ(simd.kernels, GetBackend(BackendKind::kBlocked).kernels);
+  }
+}
+
+TEST(BackendDispatchTest, EveryKernelSlotIsPopulated) {
+  for (BackendKind kind : AllBackendKinds()) {
+    const Backend& backend = GetBackend(kind);
+    ASSERT_NE(backend.kernels, nullptr) << backend.name;
+    EXPECT_NE(backend.kernels->gemm_zero, nullptr) << backend.name;
+    EXPECT_NE(backend.kernels->gemm, nullptr) << backend.name;
+    EXPECT_NE(backend.kernels->tanh_inplace, nullptr) << backend.name;
+    EXPECT_NE(backend.kernels->sigmoid_inplace, nullptr) << backend.name;
+    EXPECT_NE(backend.kernels->int8_gemm_zero, nullptr) << backend.name;
+  }
+}
+
+TEST(BackendDispatchTest, ParseBackendKind) {
+  EXPECT_EQ(ParseBackendKind("scalar").value(), BackendKind::kScalar);
+  EXPECT_EQ(ParseBackendKind("blocked").value(), BackendKind::kBlocked);
+  EXPECT_EQ(ParseBackendKind("simd").value(), BackendKind::kSimd);
+  EXPECT_EQ(ParseBackendKind("int8").value(), BackendKind::kInt8);
+  const auto auto_kind = ParseBackendKind("auto");
+  ASSERT_TRUE(auto_kind.ok());
+  EXPECT_EQ(auto_kind.value(), SimdAvailable() ? BackendKind::kSimd
+                                               : BackendKind::kBlocked);
+  const auto bad = ParseBackendKind("avx512");
+  ASSERT_FALSE(bad.ok());
+  // The error must enumerate the valid choices (it reaches CLI users).
+  EXPECT_NE(bad.status().message().find("scalar"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("auto"), std::string::npos);
+}
+
+// scalar and blocked promise the same float summation order, so their
+// outputs must match to the bit on every shape, including tile remainders.
+TEST(BackendParityTest, ScalarMatchesBlockedBitExact) {
+  Rng rng(101);
+  for (const auto [m, n, k] :
+       {std::array<size_t, 3>{1, 1, 1}, std::array<size_t, 3>{4, 8, 16},
+        std::array<size_t, 3>{7, 13, 5}, std::array<size_t, 3>{96, 37, 24},
+        std::array<size_t, 3>{5, 3, 0}}) {
+    const std::vector<float> a = RandomBuffer(m * k, rng);
+    const std::vector<float> b = RandomBuffer(k * n, rng);
+    std::vector<float> c_scalar(m * n, 0.5f), c_blocked(m * n, 0.5f);
+    GetBackend(BackendKind::kScalar)
+        .kernels->gemm_zero(m, n, k, a.data(), k, b.data(), n,
+                            c_scalar.data(), n);
+    GetBackend(BackendKind::kBlocked)
+        .kernels->gemm_zero(m, n, k, a.data(), k, b.data(), n,
+                            c_blocked.data(), n);
+    EXPECT_EQ(c_scalar, c_blocked) << m << "x" << n << "x" << k;
+
+    std::fill(c_scalar.begin(), c_scalar.end(), 0.25f);
+    std::fill(c_blocked.begin(), c_blocked.end(), 0.25f);
+    GetBackend(BackendKind::kScalar)
+        .kernels->gemm(m, n, k, a.data(), k, b.data(), n, c_scalar.data(), n);
+    GetBackend(BackendKind::kBlocked)
+        .kernels->gemm(m, n, k, a.data(), k, b.data(), n, c_blocked.data(),
+                       n);
+    EXPECT_EQ(c_scalar, c_blocked) << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(BackendParityTest, SimdGemmWithinBoundOfBlocked) {
+  const size_t m = 96, n = 37, k = 24;
+  Rng rng(102);
+  const std::vector<float> a = RandomBuffer(m * k, rng);
+  const std::vector<float> b = RandomBuffer(k * n, rng);
+  std::vector<float> c_simd(m * n), c_blocked(m * n);
+  GetBackend(BackendKind::kSimd)
+      .kernels->gemm_zero(m, n, k, a.data(), k, b.data(), n, c_simd.data(),
+                          n);
+  GetBackend(BackendKind::kBlocked)
+      .kernels->gemm_zero(m, n, k, a.data(), k, b.data(), n,
+                          c_blocked.data(), n);
+  for (size_t i = 0; i < m * n; ++i) {
+    // Gaussian operands with k=24 terms stay well inside the documented
+    // 1e-5 *score* bound at kernel level too.
+    EXPECT_NEAR(c_simd[i], c_blocked[i], 1e-4f) << i;
+  }
+}
+
+// The batch-invariance half of the simd contract: a column's (= batch
+// element's) result must not depend on the other columns. Scoring the
+// full batch and scoring each column alone must agree to the bit — this
+// is what keeps the fleet's solo==batched digest check green under simd.
+TEST(BackendParityTest, SimdGemmBatchInvariant) {
+  const size_t m = 97, k = 23, n = 37;  // Off-tile shape: body + tails.
+  Rng rng(103);
+  const std::vector<float> a = RandomBuffer(m * k, rng);
+  const std::vector<float> b = RandomBuffer(k * n, rng);
+  std::vector<float> full(m * n);
+  const BackendKernels& kern = *GetBackend(BackendKind::kSimd).kernels;
+  kern.gemm_zero(m, n, k, a.data(), k, b.data(), n, full.data(), n);
+  for (size_t j = 0; j < n; ++j) {
+    std::vector<float> solo(m);
+    // One column: same B storage, ldb = n, n = 1.
+    kern.gemm_zero(m, 1, k, a.data(), k, b.data() + j, n, solo.data(), 1);
+    for (size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(solo[i], full[i * n + j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(BackendParityTest, SimdActivationsWithinBoundAndLengthInvariant) {
+  const size_t n = 1027;  // 8-wide body plus a scalar tail.
+  Rng rng(104);
+  const std::vector<float> x = RandomBuffer(n, rng);
+  const BackendKernels& simd = *GetBackend(BackendKind::kSimd).kernels;
+  const BackendKernels& blocked = *GetBackend(BackendKind::kBlocked).kernels;
+  for (const bool is_tanh : {true, false}) {
+    const UnaryFn simd_fn = is_tanh ? simd.tanh_inplace : simd.sigmoid_inplace;
+    const UnaryFn blocked_fn =
+        is_tanh ? blocked.tanh_inplace : blocked.sigmoid_inplace;
+    std::vector<float> y_simd = x, y_blocked = x;
+    simd_fn(y_simd.data(), n);
+    blocked_fn(y_blocked.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(y_simd[i], y_blocked[i], 1e-5f) << i;
+    }
+    // Element-wise invariance: the value at i must not depend on the
+    // array length or the element's position (vector body vs tail).
+    for (size_t i = 0; i < n; i += 97) {
+      float alone = x[i];
+      simd_fn(&alone, 1);
+      ASSERT_EQ(alone, y_simd[i]) << i;
+    }
+  }
+}
+
+// Exact int64 reference for the int8 GEMM: integer accumulation has no
+// rounding, so every implementation must reproduce it exactly (the int32
+// accumulator cannot overflow at these operand magnitudes).
+void NaiveInt8Gemm(size_t m, size_t n, size_t k, const int8_t* a, size_t lda,
+                   const int8_t* b, size_t ldb, float scale, float* c,
+                   size_t ldc) {
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      int64_t acc = 0;
+      for (size_t p = 0; p < k; ++p) {
+        acc += static_cast<int64_t>(a[i * lda + p]) *
+               static_cast<int64_t>(b[p * ldb + j]);
+      }
+      c[i * ldc + j] = scale * static_cast<float>(acc);
+    }
+  }
+}
+
+TEST(BackendParityTest, Int8GemmMatchesIntegerReferenceBitExact) {
+  Rng rng(105);
+  for (const auto [m, n, k] :
+       {std::array<size_t, 3>{1, 1, 1}, std::array<size_t, 3>{4, 8, 16},
+        std::array<size_t, 3>{96, 37, 24}, std::array<size_t, 3>{7, 300, 5},
+        std::array<size_t, 3>{3, 2, 0}}) {
+    const std::vector<int8_t> a = RandomInt8Buffer(m * k, rng);
+    const std::vector<int8_t> b = RandomInt8Buffer(k * n, rng);
+    const float scale = 0.0123f;
+    std::vector<float> want(m * n), got(m * n);
+    NaiveInt8Gemm(m, n, k, a.data(), k, b.data(), n, scale, want.data(), n);
+    for (BackendKind kind : AllBackendKinds()) {
+      std::fill(got.begin(), got.end(), -1.0f);
+      GetBackend(kind).kernels->int8_gemm_zero(m, n, k, a.data(), k,
+                                               b.data(), n, scale,
+                                               got.data(), n);
+      EXPECT_EQ(got, want) << GetBackend(kind).name << " " << m << "x" << n
+                           << "x" << k;
+    }
+  }
+}
+
+TEST(QuantizeInt8Test, RoundsToNearestEvenAndClamps) {
+  const float x[] = {0.5f, 1.5f, 2.5f, -0.5f, -1.5f, 0.49f, 200.0f, -200.0f};
+  int8_t q[8];
+  QuantizeInt8(x, 8, 1.0f, q);
+  EXPECT_EQ(q[0], 0);    // 0.5 -> 0 (ties to even)
+  EXPECT_EQ(q[1], 2);    // 1.5 -> 2
+  EXPECT_EQ(q[2], 2);    // 2.5 -> 2
+  EXPECT_EQ(q[3], 0);    // -0.5 -> 0
+  EXPECT_EQ(q[4], -2);   // -1.5 -> -2
+  EXPECT_EQ(q[5], 0);    // 0.49 -> 0
+  EXPECT_EQ(q[6], 127);  // clamped
+  EXPECT_EQ(q[7], -127);
+}
+
+TEST(QuantizeInt8Test, AppliesInverseScale) {
+  const float x[] = {1.0f, -1.0f, 0.5f};
+  int8_t q[3];
+  QuantizeInt8(x, 3, 127.0f, q);  // scale 1/127
+  EXPECT_EQ(q[0], 127);
+  EXPECT_EQ(q[1], -127);
+  EXPECT_EQ(q[2], 64);  // 63.5 rounds to even 64
+}
+
+}  // namespace
+}  // namespace eventhit::nn

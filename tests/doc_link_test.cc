@@ -1,0 +1,110 @@
+// Link checker for the repo documentation: every relative markdown link in
+// README.md, DESIGN.md, ROADMAP.md and docs/*.md must point at a file or
+// directory that exists, and every backticked repo path (`src/...`,
+// `docs/...`, `tests/...`, `tools/...`, `bench/...`) must too. Renaming or
+// deleting a file without updating the docs that reference it fails here.
+// Wired into CI with the rest of the suite.
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path& SourceRoot() {
+  static const fs::path root(EVENTHIT_SOURCE_DIR);
+  return root;
+}
+
+std::vector<fs::path> DocFiles() {
+  std::vector<fs::path> docs;
+  for (const char* name : {"README.md", "DESIGN.md", "ROADMAP.md"}) {
+    const fs::path path = SourceRoot() / name;
+    if (fs::exists(path)) docs.push_back(path);
+  }
+  for (const auto& entry : fs::directory_iterator(SourceRoot() / "docs")) {
+    if (entry.path().extension() == ".md") docs.push_back(entry.path());
+  }
+  return docs;
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Resolves a relative doc reference against the doc's own directory first
+// (how markdown viewers resolve it), then against the repo root (how many
+// of the prose paths are written).
+bool Resolves(const fs::path& doc, const std::string& target) {
+  return fs::exists(doc.parent_path() / target) ||
+         fs::exists(SourceRoot() / target);
+}
+
+// Prose often names a module (`src/baselines/vqs_filter`) or a build
+// target (`tools/bench_diff`) rather than one file; accept the bare path
+// or any common extension of it.
+bool ResolvesAsRepoPath(const fs::path& doc, const std::string& target) {
+  if (Resolves(doc, target)) return true;
+  for (const char* ext : {".h", ".cc", ".md"}) {
+    if (Resolves(doc, target + ext)) return true;
+  }
+  return false;
+}
+
+TEST(DocLinkTest, MarkdownLinksResolve) {
+  const std::regex link(R"(\[[^\]]*\]\(([^)\s]+)\))");
+  for (const fs::path& doc : DocFiles()) {
+    const std::string text = ReadFile(doc);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), link);
+         it != std::sregex_iterator(); ++it) {
+      std::string target = (*it)[1].str();
+      if (target.rfind("http://", 0) == 0 ||
+          target.rfind("https://", 0) == 0 || target[0] == '#') {
+        continue;  // external links and intra-doc anchors
+      }
+      const auto anchor = target.find('#');
+      if (anchor != std::string::npos) target.resize(anchor);
+      if (target.empty()) continue;
+      EXPECT_TRUE(Resolves(doc, target))
+          << doc.filename() << " links to missing target '" << target << "'";
+    }
+  }
+}
+
+TEST(DocLinkTest, BacktickedRepoPathsExist) {
+  // `src/nn/backend.h`, `docs/BACKENDS.md`, `tools/eventhit_cli.cc`, ...
+  // Only path-shaped tokens rooted at a repo directory are checked, so
+  // prose backticks (flags, identifiers) pass through untouched.
+  const std::regex repo_path(
+      R"(`((?:src|docs|tests|tools|bench)/[A-Za-z0-9_\-./]+)`)");
+  for (const fs::path& doc : DocFiles()) {
+    const std::string text = ReadFile(doc);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), repo_path);
+         it != std::sregex_iterator(); ++it) {
+      const std::string target = (*it)[1].str();
+      EXPECT_TRUE(ResolvesAsRepoPath(doc, target))
+          << doc.filename() << " references missing path `" << target << "`";
+    }
+  }
+}
+
+TEST(DocLinkTest, TentpoleDocsExist) {
+  for (const char* name :
+       {"docs/BACKENDS.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md",
+        "docs/TELEMETRY.md"}) {
+    EXPECT_TRUE(fs::exists(SourceRoot() / name)) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Layer-level tests of the int8 quantized mirrors (nn/int8.h): the
+// quantization scheme itself, accuracy against the float layers on
+// unit-range inputs, and the bit-level batch invariance the fleet's
+// solo==batched digest contract relies on.
+#include "nn/int8.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/backend.h"
+#include "nn/workspace.h"
+
+namespace eventhit::nn {
+namespace {
+
+constexpr float kUnitScale = 1.0f / 127.0f;
+
+std::vector<float> UnitBuffer(size_t n, Rng& rng) {
+  std::vector<float> buf(n);
+  for (auto& v : buf) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return buf;
+}
+
+TEST(QuantizeTensorTest, ScaleIsMaxAbsOver127) {
+  Matrix w(2, 3);
+  const float values[] = {0.1f, -2.54f, 0.7f, 1.0f, -0.3f, 0.0f};
+  for (size_t i = 0; i < 6; ++i) w.data()[i] = values[i];
+  const Int8Tensor q = QuantizeTensor(w);
+  EXPECT_EQ(q.rows, 2u);
+  EXPECT_EQ(q.cols, 3u);
+  EXPECT_FLOAT_EQ(q.scale, 2.54f / 127.0f);
+  // The max-magnitude element maps to ±127 exactly.
+  EXPECT_EQ(q.data[1], -127);
+  // Round-trip error is at most half a quantization step per element.
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(q.scale * static_cast<float>(q.data[i]), values[i],
+                0.5f * q.scale + 1e-7f)
+        << i;
+  }
+}
+
+TEST(QuantizeTensorTest, AllZeroMatrixKeepsUnitScale) {
+  Matrix w(3, 3);
+  const Int8Tensor q = QuantizeTensor(w);
+  EXPECT_FLOAT_EQ(q.scale, 1.0f);
+  for (const int8_t v : q.data) EXPECT_EQ(v, 0);
+}
+
+class Int8LayerTest : public ::testing::Test {
+ protected:
+  const Backend& backend_ = GetBackend(BackendKind::kInt8);
+  Workspace ws_;
+};
+
+TEST_F(Int8LayerTest, DenseTracksFloatWithinQuantizationError) {
+  const size_t in = 24, out = 16, batch = 9;
+  Rng rng(7);
+  const Dense dense("d", in, out, rng);
+  const Int8Dense qdense = Int8Dense::FromFloat(dense, kUnitScale);
+  const std::vector<float> x = UnitBuffer(in * batch, rng);
+  std::vector<float> y_float(out * batch), y_int8(out * batch);
+  dense.ForwardBatch(x.data(), batch, y_float.data());
+  qdense.ForwardBatch(x.data(), batch, y_int8.data(), ws_, backend_);
+  // Worst case: each of the `in` products carries one weight step and one
+  // activation step of error; in practice the rounding is unbiased and the
+  // observed error is far below this analytic envelope.
+  const float bound =
+      static_cast<float>(in) * (qdense.weight.scale + kUnitScale);
+  for (size_t i = 0; i < y_float.size(); ++i) {
+    EXPECT_NEAR(y_int8[i], y_float[i], bound) << i;
+  }
+}
+
+TEST_F(Int8LayerTest, DenseIsBatchInvariantToTheBit) {
+  const size_t in = 10, out = 12, batch = 7;
+  Rng rng(8);
+  const Dense dense("d", in, out, rng);
+  const Int8Dense qdense = Int8Dense::FromFloat(dense, kUnitScale);
+  // Batch-minor input: element b of the batch is the strided column b.
+  const std::vector<float> x = UnitBuffer(in * batch, rng);
+  std::vector<float> y(out * batch);
+  qdense.ForwardBatch(x.data(), batch, y.data(), ws_, backend_);
+  for (size_t b = 0; b < batch; ++b) {
+    std::vector<float> x1(in), y1(out);
+    for (size_t i = 0; i < in; ++i) x1[i] = x[i * batch + b];
+    Workspace solo_ws;
+    qdense.ForwardBatch(x1.data(), 1, y1.data(), solo_ws, backend_);
+    for (size_t o = 0; o < out; ++o) {
+      ASSERT_EQ(y1[o], y[o * batch + b]) << "batch " << b << " out " << o;
+    }
+  }
+}
+
+TEST_F(Int8LayerTest, LstmTracksFloatWithinTolerance) {
+  const size_t dim = 8, hidden = 12, steps = 10, batch = 5;
+  Rng rng(9);
+  const Lstm lstm("l", dim, hidden, rng);
+  const Int8Lstm qlstm = Int8Lstm::FromFloat(lstm, kUnitScale, kUnitScale);
+  const std::vector<float> inputs = UnitBuffer(steps * dim * batch, rng);
+  std::vector<float> h_float(hidden * batch), h_int8(hidden * batch);
+  ws_.Reset();
+  lstm.ForwardBatch(inputs.data(), steps, batch, h_float.data(), ws_);
+  Workspace qws;
+  qlstm.ForwardBatch(inputs.data(), steps, batch, h_int8.data(), qws,
+                     backend_);
+  // Gates saturate, so the recurrent error stays small instead of
+  // compounding; 0.05 on (-1,1) hidden states is a loose empirical bound.
+  for (size_t i = 0; i < h_float.size(); ++i) {
+    EXPECT_NEAR(h_int8[i], h_float[i], 0.05f) << i;
+  }
+}
+
+TEST_F(Int8LayerTest, LstmIsBatchInvariantToTheBit) {
+  const size_t dim = 6, hidden = 9, steps = 8, batch = 4;
+  Rng rng(10);
+  const Lstm lstm("l", dim, hidden, rng);
+  const Int8Lstm qlstm = Int8Lstm::FromFloat(lstm, kUnitScale, kUnitScale);
+  const std::vector<float> inputs = UnitBuffer(steps * dim * batch, rng);
+  std::vector<float> h(hidden * batch);
+  qlstm.ForwardBatch(inputs.data(), steps, batch, h.data(), ws_, backend_);
+  for (size_t b = 0; b < batch; ++b) {
+    // Gather element b's time-major sequence out of the batch-minor block.
+    std::vector<float> x1(steps * dim), h1(hidden);
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t d = 0; d < dim; ++d) {
+        x1[t * dim + d] = inputs[(t * dim + d) * batch + b];
+      }
+    }
+    Workspace solo_ws;
+    qlstm.ForwardBatch(x1.data(), steps, 1, h1.data(), solo_ws, backend_);
+    for (size_t o = 0; o < hidden; ++o) {
+      ASSERT_EQ(h1[o], h[o * batch + b]) << "batch " << b << " out " << o;
+    }
+  }
+}
+
+TEST_F(Int8LayerTest, MlpTracksFloatAndStaysBatchInvariant) {
+  const size_t batch = 6;
+  Rng rng(11);
+  const Mlp mlp("m", {14, 20, 11}, rng);
+  const Int8Mlp qmlp = Int8Mlp::FromFloat(mlp, kUnitScale);
+  ASSERT_EQ(qmlp.out_dim(), 11u);
+  const std::vector<float> x = UnitBuffer(14 * batch, rng);
+  std::vector<float> y_float(11 * batch), y_int8(11 * batch);
+  mlp.ForwardBatch(x.data(), batch, y_float.data(), ws_);
+  Workspace qws;
+  qmlp.ForwardBatch(x.data(), batch, y_int8.data(), qws, backend_);
+  for (size_t i = 0; i < y_float.size(); ++i) {
+    EXPECT_NEAR(y_int8[i], y_float[i], 0.5f) << i;  // pre-sigmoid logits
+  }
+  for (size_t b = 0; b < batch; ++b) {
+    std::vector<float> x1(14), y1(11);
+    for (size_t i = 0; i < 14; ++i) x1[i] = x[i * batch + b];
+    Workspace solo_ws;
+    qmlp.ForwardBatch(x1.data(), 1, y1.data(), solo_ws, backend_);
+    for (size_t o = 0; o < 11; ++o) {
+      ASSERT_EQ(y1[o], y_int8[o * batch + b]) << "batch " << b << " out "
+                                              << o;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eventhit::nn

@@ -50,6 +50,7 @@
 #include "fleet/stream_fleet.h"
 #include "eval/hyper_search.h"
 #include "eval/runner.h"
+#include "nn/backend.h"
 #include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/log.h"
@@ -73,37 +74,61 @@ namespace core = ::eventhit::core;
 namespace data = ::eventhit::data;
 namespace sim = ::eventhit::sim;
 namespace fleet = ::eventhit::fleet;
+namespace nn = ::eventhit::nn;
 
-int Usage() {
-  std::cerr <<
-      "usage: eventhit_cli <stats|evaluate|sweep|hypersearch|fleet> [flags]\n"
-      "  stats        --dataset=VIRAT|THUMOS|Breakfast  [--seed=N]\n"
+// The full flag reference. Kept in sync with the implemented flags by
+// tests/cli_help_sync_test.cc: every Get*("flag") in this file must appear
+// below as --flag, and every --flag below must be implemented.
+void PrintUsage(std::ostream& os) {
+  os <<
+      "usage: eventhit_cli "
+      "<stats|generate|evaluate|sweep|hypersearch|fleet|help> [flags]\n"
+      "  stats        --dataset=VIRAT|THUMOS|Breakfast [--seed=N]\n"
+      "               [--load=PATH]  dataset statistics (Table I); --load\n"
+      "               reads a stream written by `generate` instead of\n"
+      "               generating one\n"
+      "  generate     --dataset=... --out=PATH [--frames=N] [--seed=N]\n"
+      "               generate a synthetic stream and save it to --out\n"
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
       "               [--model-out=PATH] [--threads=N] [--predict-batch=B]\n"
+      "               [--nn-backend=K]\n"
       "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
+      "               [--predict-batch=B] [--nn-backend=K]\n"
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
       "  fleet        --task=TA10 [--streams=N] [--seed=N] [--frames=N]\n"
       "               [--batch=B] [--max-delay=T] [--wave=W] [--threads=N]\n"
-      "               [--confidence=C] [--coverage=A]\n"
+      "               [--confidence=C] [--coverage=A] [--nn-backend=K]\n"
       "               [--fault-profile=NAME] [--fault-seed=N]\n"
+      "               [--degraded-mode=drop|buffer]\n"
       "               [--budget-cap-usd=X] [--verify-solo=K]\n"
       "               run N tenant streams through the cross-stream\n"
       "               dynamic batcher (DESIGN.md 5g); --verify-solo=K\n"
       "               re-runs the first K streams solo and checks\n"
       "               bit-exact digests against the fleet run\n"
+      "  help         print this reference and exit 0\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
       "               identical for every N.\n"
       "  --predict-batch=B  records per batch for the batched GEMM\n"
       "               inference path (default 32; scores are identical\n"
       "               for every B >= 1)\n"
-      "  resilience (evaluate only; see DESIGN.md 5f):\n"
+      "  --nn-backend=scalar|blocked|simd|int8|auto  inference kernel\n"
+      "               backend (default blocked; docs/BACKENDS.md). simd\n"
+      "               needs AVX2+FMA and falls back to blocked elsewhere;\n"
+      "               auto picks simd when available. int8 quantizes the\n"
+      "               weights and recalibrates the conformal thresholds\n"
+      "               on int8 scores. Scores differ across backends\n"
+      "               within documented bounds; all backends are\n"
+      "               deterministic and batch-invariant.\n"
+      "  resilience (evaluate + fleet; see DESIGN.md 5f):\n"
       "  --fault-profile=none|flaky|latency|blackout  replay the test\n"
       "               slice through the resilient cloud relay under the\n"
       "               named deterministic fault schedule\n"
       "  --fault-seed=N      seed of the fault schedule (default 1234)\n"
       "  --degraded-mode=drop|buffer  outage policy: drop-with-accounting\n"
       "               or buffer-and-replay within the horizon\n"
+      "  --budget-cap-usd=X  fleet only: stop relaying once the summed\n"
+      "               cloud spend crosses X dollars (0 = no cap)\n"
       "  telemetry (all subcommands; see docs/TELEMETRY.md):\n"
       "  --metrics-out=PATH  write the metrics snapshot as JSON\n"
       "  --trace-out=PATH    write Chrome trace-event JSON for\n"
@@ -116,6 +141,10 @@ int Usage() {
       "  --metrics-jsonl=PATH  write per-record metric-delta JSONL while\n"
       "                      the guarantee auditor replays the test slice\n"
       "  --metrics-every=N   records between JSONL snapshots (default 25)\n";
+}
+
+int Usage() {
+  PrintUsage(std::cerr);
   return 2;
 }
 
@@ -254,10 +283,15 @@ eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
     return eventhit::InvalidArgumentError("--predict-batch must be >= 1");
   }
   config.predict_batch = static_cast<size_t>(predict_batch.value());
+  const auto backend =
+      nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
+  if (!backend.ok()) return backend.status();
+  config.nn_backend = backend.value();
   auto exec = ParseThreads(flags, config.seed);
   if (!exec.ok()) return exec.status();
   std::cerr << "building environment + training on " << task_name << " ("
-            << exec.value().threads() << " thread(s))...\n";
+            << exec.value().threads() << " thread(s), "
+            << nn::GetBackend(config.nn_backend).name << " backend)...\n";
   eval::TaskEnvironment env = eval::TaskEnvironment::Build(task.value(), config);
   eval::TrainedEventHit trained =
       eval::TrainEventHit(env, config, 0.5, exec.value());
@@ -668,6 +702,12 @@ int RunFleet(const Flags& flags) {
     std::cerr << "--degraded-mode must be drop or buffer\n";
     return 1;
   }
+  const auto backend =
+      nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
+  if (!backend.ok()) {
+    std::cerr << backend.status() << "\n";
+    return 1;
+  }
   config.num_streams = static_cast<int>(streams.value());
   config.base_seed = static_cast<uint64_t>(seed.value());
   config.frames_per_stream = frames.value();
@@ -685,9 +725,10 @@ int RunFleet(const Flags& flags) {
   config.budget_cap_microusd =
       static_cast<int64_t>(budget_cap.value() * 1e6);
   config.runner.seed = config.base_seed;
+  config.runner.nn_backend = backend.value();
 
-  std::cerr << "training the shared fleet model on " << task_name
-            << "...\n";
+  std::cerr << "training the shared fleet model on " << task_name << " ("
+            << nn::GetBackend(backend.value()).name << " backend)...\n";
   fleet::StreamFleet fleet_run(task.value(), config);
   std::cerr << "running " << config.num_streams << " stream(s), batch "
             << config.batch_size << ", max delay "
@@ -812,6 +853,10 @@ int FlushTelemetry(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    PrintUsage(std::cout);
+    return 0;
+  }
   const auto flags = Flags::Parse(argc - 2, argv + 2);
   if (!flags.ok()) {
     std::cerr << flags.status() << "\n";
