@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -19,7 +20,10 @@
 #include "core/c_regress.h"
 #include "core/eventhit_model.h"
 #include "core/interval_extraction.h"
+#include "core/marshaller.h"
 #include "core/strategies.h"
+#include "obs/metrics.h"
+#include "sched/collect_policy.h"
 #include "data/record_extractor.h"
 #include "eval/metrics.h"
 #include "eval/runner.h"
@@ -390,6 +394,79 @@ void BM_RecordExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecordExtraction);
+
+// Collection-scheduling cost units (sched/, DESIGN.md §5i): the per-frame
+// feature path every pushed frame pays, then the marshaller driver loop
+// under each collection policy. The full-vs-throttled items/s ratio is
+// the driver-side saving the sched.frames.* counters account for (the
+// simulated lookup stands in for the real per-frame CNN the cost model
+// prices at sched::LocalCostModel::feature_mflops_per_frame).
+void BM_FeatureExtractPerFrame(benchmark::State& state) {
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = 20000;
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(spec, 13);
+  const size_t dim = video.feature_dim();
+  const size_t window = 10;
+  std::vector<float> ring(window * dim);
+  int64_t frame = 0;
+  for (auto _ : state) {
+    const float* features = video.FrameFeatures(frame);
+    std::copy(features, features + dim,
+              ring.begin() + static_cast<size_t>(frame % window) * dim);
+    benchmark::DoNotOptimize(ring.data());
+    frame = frame + 1 >= video.num_frames() ? 0 : frame + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureExtractPerFrame);
+
+// A fixed quiet strategy so the marshaller loop itself is measured (ring
+// upkeep, boundary bookkeeping, relay/metric plumbing), not inference.
+// max_existence sits below the adaptive low-water mark, so the adaptive
+// variant throttles exactly like a quiet stream would: skipped boundaries
+// replay the last decision and the frames between scored windows bypass
+// the feature copy entirely (Marshaller::NextFrameNeedsFeatures).
+class QuietStrategy : public core::MarshalStrategy {
+ public:
+  std::string name() const override { return "quiet"; }
+  core::MarshalDecision Decide(const data::Record& record) const override {
+    core::MarshalDecision decision;
+    decision.exists.assign(record.labels.size(), false);
+    decision.intervals.resize(record.labels.size());
+    decision.max_existence = 0.05;
+    return decision;
+  }
+};
+
+void BM_MarshallerPushFrame(benchmark::State& state,
+                            const char* policy_text) {
+  const int window = 10, horizon = 200;
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);
+  spec.num_frames = 20000;
+  const sim::SyntheticVideo video = sim::SyntheticVideo::Generate(spec, 13);
+  const QuietStrategy strategy;
+  const eventhit::sched::CollectPolicySpec policy =
+      eventhit::sched::ParseCollectPolicy(policy_text).value();
+  eventhit::obs::MetricsRegistry registry;
+  core::Marshaller marshaller(&strategy, window, horizon,
+                              video.feature_dim(), /*num_events=*/1,
+                              &registry);
+  if (policy.kind != eventhit::sched::CollectPolicyKind::kFull) {
+    marshaller.set_collect_policy(eventhit::sched::MakeCollectPolicy(policy));
+  }
+  int64_t frame = 0;
+  for (auto _ : state) {
+    const float* features = marshaller.NextFrameNeedsFeatures()
+                                ? video.FrameFeatures(frame)
+                                : nullptr;
+    marshaller.PushFrame(features);
+    frame = frame + 1 >= video.num_frames() ? 0 : frame + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_MarshallerPushFrame, full, "full");
+BENCHMARK_CAPTURE(BM_MarshallerPushFrame, duty25, "duty:0.25");
+BENCHMARK_CAPTURE(BM_MarshallerPushFrame, adaptive, "adaptive");
 
 void BM_StreamGeneration(benchmark::State& state) {
   sim::DatasetSpec spec = sim::MakeDatasetSpec(sim::DatasetId::kThumos);

@@ -246,6 +246,11 @@ BenchDiff DiffBenchJson(const std::map<std::string, double>& baseline,
     }
     diff.deltas.push_back(delta);
   }
+  for (const auto& [key, value] : current) {
+    if (baseline.find(key) == baseline.end()) {
+      diff.new_keys.push_back(key);
+    }
+  }
   return diff;
 }
 

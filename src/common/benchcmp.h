@@ -70,6 +70,10 @@ struct BenchDiff {
   std::vector<BenchDelta> deltas;
   /// Gated baseline keys absent from the current run.
   std::vector<std::string> missing_keys;
+  /// Current-run keys absent from the baseline, in sorted order. New
+  /// metrics surface as visible rows but never gate: a freshly added
+  /// bench key must not fail the gate before its baseline is committed.
+  std::vector<std::string> new_keys;
   bool regressed = false;
 };
 

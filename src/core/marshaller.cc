@@ -1,6 +1,7 @@
 #include "core/marshaller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "common/check.h"
@@ -41,6 +42,19 @@ Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
       registry.GetCounter(obs::names::kMarshallerEventsPredictedAbsent);
   order_frames_metric_ = registry.GetHistogram(
       obs::names::kMarshallerRelayOrderFrames, obs::FrameCountBounds());
+  sched_horizons_scored_metric_ =
+      registry.GetCounter(obs::names::kSchedHorizonsScored);
+  sched_horizons_reused_metric_ =
+      registry.GetCounter(obs::names::kSchedHorizonsReused);
+  sched_frames_scored_metric_ =
+      registry.GetCounter(obs::names::kSchedFramesScored);
+  sched_frames_skipped_metric_ =
+      registry.GetCounter(obs::names::kSchedFramesSkipped);
+  sched_flops_local_metric_ =
+      registry.GetCounter(obs::names::kSchedFlopsLocalMflops);
+  sched_flops_saved_metric_ =
+      registry.GetCounter(obs::names::kSchedFlopsSavedMflops);
+  sched_stride_gauge_ = registry.GetGauge(obs::names::kSchedPolicyStride);
   if (!event_labels.empty()) {
     for (size_t k = 0; k < num_events_; ++k) {
       const std::string label = k < event_labels.size()
@@ -62,6 +76,22 @@ Marshaller::Marshaller(const MarshalStrategy* strategy, int collection_window,
 
 void Marshaller::set_relay_callback(RelayCallback callback) {
   relay_callback_ = std::move(callback);
+}
+
+void Marshaller::set_decision_callback(DecisionCallback callback) {
+  decision_callback_ = std::move(callback);
+}
+
+void Marshaller::set_collect_policy(
+    std::unique_ptr<sched::CollectPolicy> policy) {
+  // Policies must be installed before the first frame: the schedule's
+  // horizon indexing starts at the stream's first boundary.
+  EVENTHIT_CHECK_EQ(frame_count_, 0);
+  policy_ = std::move(policy);
+}
+
+void Marshaller::set_cost_model(const sched::LocalCostModel& cost) {
+  cost_ = cost;
 }
 
 namespace {
@@ -86,18 +116,57 @@ int64_t Marshaller::next_prediction_frame() const {
              : next;
 }
 
+bool Marshaller::NextFrameNeedsFeatures() const {
+  if (policy_ == nullptr) return true;
+  const int64_t boundary = next_prediction_frame();
+  // Frames at distance >= M from the next boundary never enter any
+  // scored window (windows are M frames ending at a boundary).
+  if (frame_count_ <= boundary - collection_window_) return false;
+  // The first boundary is always scored, and while a scored prediction's
+  // observation is still in flight the policy's verdict on the next
+  // boundary is unsettled — stay conservative.
+  if (last_decision_.exists.empty() || !pending_anchors_.empty()) return true;
+  return policy_->ShouldScore(boundaries_seen_);
+}
+
 bool Marshaller::PushFrameDeferred(const float* features,
                                    data::Record* pending) {
-  const size_t slot =
-      static_cast<size_t>(frame_count_ %
-                          static_cast<int64_t>(collection_window_));
-  std::memcpy(ring_.data() + slot * feature_dim_, features,
-              feature_dim_ * sizeof(float));
+  // Features may be omitted only when NextFrameNeedsFeatures() is false —
+  // a null push must never land inside a window a scored boundary reads.
+  EVENTHIT_CHECK(features != nullptr || !NextFrameNeedsFeatures());
+  if (features != nullptr) {
+    const size_t slot =
+        static_cast<size_t>(frame_count_ %
+                            static_cast<int64_t>(collection_window_));
+    std::memcpy(ring_.data() + slot * feature_dim_, features,
+                feature_dim_ * sizeof(float));
+  }
   const int64_t current_frame = frame_count_;
   ++frame_count_;
   ++stats_.frames_seen;
 
   if (!IsPredictionFrame(current_frame, collection_window_, horizon_)) {
+    return false;
+  }
+
+  const int64_t horizon_index = boundaries_seen_++;
+  bool scored = true;
+  if (policy_ != nullptr) {
+    // The policy's schedule is a function of completed scored boundaries,
+    // so batching delay must never span a whole horizon — otherwise the
+    // verdict here would depend on flush timing and break the per-stream
+    // determinism contract.
+    EVENTHIT_CHECK(pending_anchors_.empty());
+    scored = last_decision_.exists.empty() ||
+             policy_->ShouldScore(horizon_index);
+  }
+  if (!scored) {
+    // Policy skip: replay the last decision, re-anchored at this
+    // boundary, through the exact completion path a scored decision
+    // takes — relay orders, accounting and callbacks stay in stream
+    // order without a feature pass or model forward.
+    pending_anchors_.push_back(current_frame);
+    CompletePredictionInternal(last_decision_, /*reused=*/true);
     return false;
   }
 
@@ -121,10 +190,16 @@ bool Marshaller::PushFrameDeferred(const float* features,
 }
 
 void Marshaller::CompletePrediction(const MarshalDecision& decision) {
+  CompletePredictionInternal(decision, /*reused=*/false);
+}
+
+void Marshaller::CompletePredictionInternal(const MarshalDecision& decision,
+                                            bool reused) {
   EVENTHIT_CHECK(!pending_anchors_.empty());
   const int64_t current_frame = pending_anchors_.front();
   pending_anchors_.pop_front();
-  last_decision_ = decision;
+  const int64_t horizon_index = boundaries_completed_++;
+  if (&decision != &last_decision_) last_decision_ = decision;
   ++stats_.horizons_predicted;
   horizons_metric_->Add(1);
 
@@ -148,6 +223,7 @@ void Marshaller::CompletePrediction(const MarshalDecision& decision) {
     order.event = k;
     order.frames = sim::Interval{current_frame + offsets.start,
                                  current_frame + offsets.end};
+    order.anchor = current_frame;
     relayed.push_back(order.frames);
     ++stats_.relay_orders;
     relay_orders_metric_->Add(1);
@@ -188,6 +264,59 @@ void Marshaller::CompletePrediction(const MarshalDecision& decision) {
   frames_relayed_metric_->Add(billed);
   frames_filtered_metric_->Add(filtered);
   frames_total_metric_->Add(billed + filtered);
+
+  // Local-compute accounting for the segment this boundary covers: the
+  // first boundary covers the M window-fill frames, every later one the
+  // H frames since its predecessor. Attribution follows the policy's
+  // deterministic schedule, never actual ring writes, so the counts are
+  // identical at any batching/flush timing.
+  const int64_t segment =
+      horizon_index == 0 ? static_cast<int64_t>(collection_window_)
+                         : static_cast<int64_t>(horizon_);
+  int64_t frames_scored;
+  if (reused) {
+    frames_scored = 0;
+  } else if (policy_ != nullptr) {
+    frames_scored = std::min<int64_t>(collection_window_, segment);
+  } else {
+    frames_scored = segment;  // Full rate: every frame is extracted.
+  }
+  const int64_t frames_skipped = segment - frames_scored;
+  stats_.frames_scored += frames_scored;
+  stats_.frames_skipped += frames_skipped;
+  const double local_mflops =
+      static_cast<double>(frames_scored) * cost_.feature_mflops_per_frame +
+      (reused ? 0.0 : cost_.forward_mflops_per_boundary);
+  const double saved_mflops =
+      static_cast<double>(frames_skipped) * cost_.feature_mflops_per_frame +
+      (reused ? cost_.forward_mflops_per_boundary : 0.0);
+  stats_.local_mflops += std::llround(local_mflops);
+  stats_.saved_mflops += std::llround(saved_mflops);
+  sched_flops_local_metric_->Add(std::llround(local_mflops));
+  sched_flops_saved_metric_->Add(std::llround(saved_mflops));
+  sched_frames_scored_metric_->Add(frames_scored);
+  sched_frames_skipped_metric_->Add(frames_skipped);
+  if (reused) {
+    ++stats_.horizons_reused;
+    sched_horizons_reused_metric_->Add(1);
+  } else {
+    sched_horizons_scored_metric_->Add(1);
+    if (policy_ != nullptr) {
+      sched::ScoreObservation observation;
+      observation.horizon_index = horizon_index;
+      observation.max_existence = last_decision_.max_existence;
+      for (const bool open : last_decision_.exists) {
+        if (open) observation.any_open = true;
+      }
+      policy_->Observe(observation);
+    }
+  }
+  sched_stride_gauge_->Set(static_cast<double>(
+      policy_ != nullptr ? policy_->CurrentStride() : 1));
+
+  if (decision_callback_) {
+    decision_callback_(current_frame, last_decision_, reused);
+  }
 }
 
 bool Marshaller::PushFrame(const float* features) {

@@ -8,11 +8,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/prediction.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "sched/collect_policy.h"
+#include "sched/cost_model.h"
 
 namespace eventhit::core {
 
@@ -21,6 +24,7 @@ namespace eventhit::core {
 struct RelayOrder {
   size_t event = 0;             // Index within the strategy's event list.
   sim::Interval frames;         // Absolute stream frame interval.
+  int64_t anchor = 0;           // Prediction boundary that issued the order.
 };
 
 /// Statistics of a marshalling session.
@@ -29,6 +33,14 @@ struct MarshallerStats {
   int64_t horizons_predicted = 0;
   int64_t frames_relayed = 0;   // Union over events per horizon.
   int64_t relay_orders = 0;
+  // Collection scheduling (sched/collect_policy.h). With no policy every
+  // boundary is scored and every frame is charged to frames_scored;
+  // horizons_predicted always counts scored + reused completions.
+  int64_t horizons_reused = 0;  // Boundaries that replayed the last decision.
+  int64_t frames_scored = 0;    // Frames charged feature-extraction cost.
+  int64_t frames_skipped = 0;   // Frames whose extraction the policy saved.
+  int64_t local_mflops = 0;     // Estimated local compute actually spent.
+  int64_t saved_mflops = 0;     // Estimated local compute avoided.
 };
 
 /// Frame-by-frame driver around a MarshalStrategy.
@@ -42,6 +54,12 @@ struct MarshallerStats {
 class Marshaller {
  public:
   using RelayCallback = std::function<void(const RelayOrder&)>;
+  /// Fired at the end of every completed prediction boundary — scored
+  /// (fresh decision from the strategy) and reused (a policy skip that
+  /// replayed the last decision) alike, in stream order. `anchor` is the
+  /// boundary's absolute frame.
+  using DecisionCallback = std::function<void(
+      int64_t anchor, const MarshalDecision& decision, bool reused)>;
 
   /// `strategy` must outlive the marshaller. `collection_window` = M,
   /// `horizon` = H, `feature_dim` = D of the per-frame feature vectors.
@@ -64,19 +82,42 @@ class Marshaller {
   /// Registers the sink for relay orders (e.g. a CloudService adapter).
   void set_relay_callback(RelayCallback callback);
 
+  /// Registers the per-completion observer (fleet digests/audit).
+  void set_decision_callback(DecisionCallback callback);
+
+  /// Installs a collection policy (sched/collect_policy.h). The
+  /// marshaller takes ownership; nullptr (the default) scores every
+  /// boundary — the legacy full-rate path, byte-identical to pre-policy
+  /// behaviour. With a policy installed, every pending deferred
+  /// prediction must complete before the next boundary arrives (the
+  /// policy's schedule depends on the completed scores), which any
+  /// batcher whose flush deadline is shorter than one horizon satisfies.
+  void set_collect_policy(std::unique_ptr<sched::CollectPolicy> policy);
+
+  /// Cost rates behind the sched.flops.* accounting (defaults model
+  /// feature extraction only).
+  void set_cost_model(const sched::LocalCostModel& cost);
+
   /// Feeds the features of the next stream frame (feature_dim floats).
-  /// Returns true when this frame triggered a prediction.
+  /// Returns true when this frame triggered an inference-backed
+  /// prediction (a policy-skipped boundary replays the last decision
+  /// internally and returns false).
   bool PushFrame(const float* features);
 
   /// Two-phase (deferred-decision) form of PushFrame for callers that batch
   /// inference across streams (src/fleet/). Returns true when this frame is
-  /// a prediction boundary, in which case `*pending` is filled with the
-  /// anchored covariate window (labels zeroed — unknown at inference; frame
-  /// set to the local anchor frame) and the prediction is queued as
+  /// a scored prediction boundary, in which case `*pending` is filled with
+  /// the anchored covariate window (labels zeroed — unknown at inference;
+  /// frame set to the local anchor frame) and the prediction is queued as
   /// pending. The caller scores the record — e.g. through a cross-stream
   /// PredictBatch — and finishes the horizon with CompletePrediction.
   /// Several predictions may be pending at once (a batcher holding requests
   /// past one horizon); they must be completed in FIFO order.
+  /// A boundary the collection policy skips completes inline by replaying
+  /// the last decision (re-anchored at this boundary) and returns false.
+  /// `features` may be nullptr only when NextFrameNeedsFeatures() is
+  /// false: the frame advances the stream clock without touching the
+  /// window ring.
   bool PushFrameDeferred(const float* features, data::Record* pending);
 
   /// Applies a strategy decision to the oldest pending prediction from
@@ -84,6 +125,14 @@ class Marshaller {
   /// PushFrame runs inline, so a deferred decision is byte-identical to
   /// the inline one given the same scores. Requires a pending prediction.
   void CompletePrediction(const MarshalDecision& decision);
+
+  /// Whether the *next* pushed frame's features can end up inside a scored
+  /// collection window — callers skip feature extraction (and pass
+  /// nullptr) when false. Without a policy this is always true.
+  /// Conservative while a scored prediction is pending; exact otherwise,
+  /// so the extracted set always covers the consumed set and decisions
+  /// are independent of completion timing.
+  bool NextFrameNeedsFeatures() const;
 
   /// Prediction boundaries pushed but not yet completed.
   size_t pending_predictions() const { return pending_anchors_.size(); }
@@ -98,17 +147,27 @@ class Marshaller {
   int64_t next_prediction_frame() const;
 
  private:
+  void CompletePredictionInternal(const MarshalDecision& decision,
+                                  bool reused);
+
   const MarshalStrategy* strategy_;
   int collection_window_;
   int horizon_;
   size_t feature_dim_;
   size_t num_events_;
   RelayCallback relay_callback_;
+  DecisionCallback decision_callback_;
+  std::unique_ptr<sched::CollectPolicy> policy_;
+  sched::LocalCostModel cost_;
 
   // Ring buffer of the last M frames' features (row-major M x D, logical
   // order reconstructed at prediction time).
   std::vector<float> ring_;
   int64_t frame_count_ = 0;
+
+  // Boundaries pushed / completed so far (the policy's horizon index).
+  int64_t boundaries_seen_ = 0;
+  int64_t boundaries_completed_ = 0;
 
   // Anchor frames of deferred predictions awaiting CompletePrediction.
   std::deque<int64_t> pending_anchors_;
@@ -125,6 +184,13 @@ class Marshaller {
   obs::Counter* events_present_metric_;
   obs::Counter* events_absent_metric_;
   obs::Histogram* order_frames_metric_;
+  obs::Counter* sched_horizons_scored_metric_;
+  obs::Counter* sched_horizons_reused_metric_;
+  obs::Counter* sched_frames_scored_metric_;
+  obs::Counter* sched_frames_skipped_metric_;
+  obs::Counter* sched_flops_local_metric_;
+  obs::Counter* sched_flops_saved_metric_;
+  obs::Gauge* sched_stride_gauge_;
 
   // Per-event labeled series (empty when no event labels were given).
   std::vector<obs::Counter*> present_by_event_;

@@ -27,6 +27,11 @@ struct EventScores {
 struct MarshalDecision {
   std::vector<bool> exists;
   std::vector<sim::Interval> intervals;
+  /// max_k of the raw existence scores b_k behind this decision; 0 for
+  /// strategies that do not expose scores. Feedback signal for adaptive
+  /// collection scheduling (sched/collect_policy.h) — never part of the
+  /// relay/billing output, so strategies that leave it 0 are unaffected.
+  double max_existence = 0.0;
 };
 
 /// Interface implemented by every algorithm of §VI.B (EHO/EHC/EHR/EHCR,

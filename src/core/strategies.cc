@@ -1,5 +1,7 @@
 #include "core/strategies.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "core/interval_extraction.h"
 
@@ -31,6 +33,9 @@ MarshalDecision EventHitStrategy::DecideFromScores(
   MarshalDecision decision;
   decision.exists.resize(k_events);
   decision.intervals.assign(k_events, sim::Interval::Empty());
+  for (const double b : scores.existence) {
+    decision.max_existence = std::max(decision.max_existence, b);
+  }
 
   std::vector<bool> exists;
   if (options_.use_cclassify) {

@@ -18,6 +18,8 @@
 #include "eval/metrics.h"
 #include "nn/backend.h"
 #include "obs/audit.h"
+#include "sched/collect_policy.h"
+#include "sched/cost_model.h"
 #include "sim/synthetic_video.h"
 
 namespace eventhit::eval {
@@ -53,6 +55,13 @@ struct RunnerConfig {
   /// C-CLASSIFY/C-REGRESS thresholds are calibrated on scores from the
   /// same backend that later produces the test scores (docs/BACKENDS.md).
   nn::BackendKind nn_backend = nn::BackendKind::kBlocked;
+  /// Collection scheduling policy (sched/collect_policy.h; the CLI's
+  /// `--collect-policy`). kFull keeps the legacy every-boundary path
+  /// byte-identical. Anything else makes TrainEventHit calibrate the
+  /// conformal wrappers on the *scored subset* of a stream-cadence
+  /// (stride = H) sweep of the calibration range walked under this same
+  /// policy, so thresholds see the score distribution deployment sees.
+  sched::CollectPolicySpec collect_policy;
   /// Master seed; vary per trial.
   uint64_t seed = 42;
 };
@@ -124,6 +133,36 @@ Metrics EvaluateFromScores(const core::EventHitStrategy& strategy,
 std::vector<core::MarshalDecision> DecisionsFromScores(
     const core::EventHitStrategy& strategy,
     const std::vector<core::EventScores>& scores,
+    const ExecutionContext& ctx = ExecutionContext());
+
+/// Local-compute accounting of one policy walk over a stream-cadence
+/// record sequence — the record-clock mirror of MarshallerStats'
+/// sched fields (same segment attribution: the first boundary covers M
+/// frames, every later one H).
+struct PolicyWalkStats {
+  int64_t horizons_scored = 0;
+  int64_t horizons_reused = 0;
+  int64_t frames_scored = 0;    // Frames charged feature extraction.
+  int64_t frames_skipped = 0;   // Frames whose extraction was saved.
+  double local_mflops = 0.0;    // Estimated local compute spent.
+  double saved_mflops = 0.0;    // Estimated local compute avoided.
+};
+
+/// Walks `scores` in sequence as consecutive prediction boundaries of one
+/// stream under `spec`: scored boundaries take a fresh decision from the
+/// strategy and feed the policy's observation loop; skipped boundaries
+/// reuse the previous decision verbatim. `scores` must therefore come
+/// from a stream-cadence sweep (data::StridedRecords with stride = H) —
+/// uniformly sampled record sets have no temporal adjacency to reuse
+/// across. kFull short-circuits to DecisionsFromScores (byte-identical
+/// decisions, full-rate accounting). `stats` (optional) receives the
+/// frames/FLOPs split under `cost`.
+std::vector<core::MarshalDecision> DecisionsWithPolicy(
+    const core::EventHitStrategy& strategy,
+    const std::vector<core::EventScores>& scores,
+    const sched::CollectPolicySpec& spec, int collection_window, int horizon,
+    const sched::LocalCostModel& cost = sched::LocalCostModel(),
+    PolicyWalkStats* stats = nullptr,
     const ExecutionContext& ctx = ExecutionContext());
 
 /// Converts (record, decision) pairs into guarantee-audit outcomes on the

@@ -15,6 +15,8 @@
 #include "fleet/shard_arena.h"
 #include "obs/audit.h"
 #include "obs/schema.h"
+#include "sched/collect_policy.h"
+#include "sched/cost_model.h"
 #include "sim/datasets.h"
 #include "sim/fault_injector.h"
 #include "sim/synthetic_video.h"
@@ -75,7 +77,6 @@ struct StreamFleet::StreamState {
 
   int64_t next_frame = 0;         // Local push cursor.
   int64_t seq = 0;                // Requests issued.
-  int64_t completing_anchor = 0;  // Anchor of the in-flight completion.
   int64_t billed_microusd = 0;    // Invoice already reported to the fleet.
   uint64_t decision_digest = kFnvOffset;
   uint64_t delivery_digest = kFnvOffset;
@@ -256,11 +257,35 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
       strategy_.get(), s.spec.collection_window, s.spec.horizon,
       s.spec.FeatureDim(), task_.event_indices.size(),
       stream_metrics_.get());
+  // The order carries its own anchor: reused (policy-skipped) completions
+  // fire inside PushFrameDeferred during the parallel push phase, where no
+  // flush-side "current anchor" exists.
   state.marshaller->set_relay_callback(
       [&state](const core::RelayOrder& order) {
-        state.relay->Submit(order.event, order.frames,
-                            state.completing_anchor);
+        state.relay->Submit(order.event, order.frames, order.anchor);
       });
+  // All post-completion stream accounting (relay clock, digests, audit,
+  // budget) rides the marshaller's completion callback so scored and
+  // reused boundaries take the identical path in stream order.
+  state.marshaller->set_decision_callback(
+      [this, &state](int64_t anchor, const core::MarshalDecision& decision,
+                     bool /*reused*/) { OnCompletion(state, anchor, decision); });
+  if (config_.runner.collect_policy.kind != sched::CollectPolicyKind::kFull) {
+    // The policy's schedule feeds on completed scores, so batching delay
+    // must stay under one horizon (Marshaller::set_collect_policy).
+    EVENTHIT_CHECK_LT(config_.max_batch_delay_ticks,
+                      static_cast<int64_t>(s.spec.horizon));
+    state.marshaller->set_collect_policy(
+        sched::MakeCollectPolicy(config_.runner.collect_policy));
+    sched::LocalCostModel cost;
+    cost.forward_mflops_per_boundary = sched::EstimateForwardMflops(
+        s.spec.collection_window, static_cast<int>(s.spec.FeatureDim()),
+        config_.runner.model_template.lstm_hidden,
+        config_.runner.model_template.shared_dim,
+        config_.runner.model_template.event_hidden,
+        static_cast<int>(task_.event_indices.size()), s.spec.horizon);
+    state.marshaller->set_cost_model(cost);
+  }
 
   obs::AuditConfig audit_config;
   audit_config.confidence = config_.confidence;
@@ -272,10 +297,16 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
 
 void StreamFleet::ApplyCompletion(StreamState& state, int64_t anchor,
                                   const core::MarshalDecision& decision) {
-  // The relay clock runs on the request's own anchor frame — batching
-  // delay must never shift simulated time (determinism contract).
-  state.completing_anchor = anchor;
+  // The completion callback registered in InitStream performs all
+  // post-completion accounting; `anchor` only cross-checks FIFO order.
+  (void)anchor;
   state.marshaller->CompletePrediction(decision);
+}
+
+void StreamFleet::OnCompletion(StreamState& state, int64_t anchor,
+                               const core::MarshalDecision& decision) {
+  // The relay clock runs on the completion's own anchor frame — batching
+  // delay must never shift simulated time (determinism contract).
   state.relay->AdvanceTo(anchor);
 
   uint64_t h = state.decision_digest;
@@ -358,6 +389,11 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
   h = FnvI64(h, result.marshaller.horizons_predicted);
   h = FnvI64(h, result.marshaller.frames_relayed);
   h = FnvI64(h, result.marshaller.relay_orders);
+  h = FnvI64(h, result.marshaller.horizons_reused);
+  h = FnvI64(h, result.marshaller.frames_scored);
+  h = FnvI64(h, result.marshaller.frames_skipped);
+  h = FnvI64(h, result.marshaller.local_mflops);
+  h = FnvI64(h, result.marshaller.saved_mflops);
   h = FnvI64(h, result.relay.orders_submitted);
   h = FnvI64(h, result.relay.orders_delivered);
   h = FnvI64(h, result.relay.orders_replayed);
@@ -443,8 +479,13 @@ FleetRunResult StreamFleet::Run() {
         const int64_t frame = tick - state.settings.phase;
         if (frame < 0 || frame >= state.settings.push_frames) return;
         EVENTHIT_CHECK_EQ(frame, state.next_frame);
+        // Skip feature extraction on frames the policy schedule proves no
+        // scored window will read (always needed without a policy).
+        const float* features = state.marshaller->NextFrameNeedsFeatures()
+                                    ? state.video->FrameFeatures(frame)
+                                    : nullptr;
         state.has_request = state.marshaller->PushFrameDeferred(
-            state.video->FrameFeatures(frame), &state.pending_record);
+            features, &state.pending_record);
         ++state.next_frame;
         if (state.has_request) {
           InferenceRequest request;
@@ -597,8 +638,10 @@ FleetStreamResult StreamFleet::RunStreamSolo(int stream_index) {
   nn::Workspace ws;
   data::Record record;
   for (int64_t frame = 0; frame < state.settings.push_frames; ++frame) {
-    if (!state.marshaller->PushFrameDeferred(
-            state.video->FrameFeatures(frame), &record)) {
+    const float* features = state.marshaller->NextFrameNeedsFeatures()
+                                ? state.video->FrameFeatures(frame)
+                                : nullptr;
+    if (!state.marshaller->PushFrameDeferred(features, &record)) {
       continue;
     }
     // Same scoring path as the fleet (PredictBatched at batch size 1 is

@@ -220,6 +220,11 @@ class StreamFleet {
   void InitStream(StreamState& state, int stream_index);
   void ApplyCompletion(StreamState& state, int64_t anchor,
                        const core::MarshalDecision& decision);
+  /// Post-completion stream accounting (relay clock, digests, transcript,
+  /// audit, budget). Registered as the marshaller's decision callback so it
+  /// runs for scored and policy-reused completions alike, in stream order.
+  void OnCompletion(StreamState& state, int64_t anchor,
+                    const core::MarshalDecision& decision);
   FleetStreamResult FinishStream(StreamState& state);
 
   data::Task task_;

@@ -79,6 +79,13 @@ std::vector<std::string> AllMetricNames() {
       names::kFleetBudgetSpendUsd,
       names::kFleetBatchFill,
       names::kFleetRequestDelayTicks,
+      names::kSchedHorizonsScored,
+      names::kSchedHorizonsReused,
+      names::kSchedFramesScored,
+      names::kSchedFramesSkipped,
+      names::kSchedFlopsLocalMflops,
+      names::kSchedFlopsSavedMflops,
+      names::kSchedPolicyStride,
   };
   std::sort(all.begin(), all.end());
   return all;

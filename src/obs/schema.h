@@ -97,6 +97,19 @@ inline constexpr char kFleetBatchesFlushFinal[] =
     "fleet.batches.flush_final";
 inline constexpr char kFleetBudgetBreaches[] = "fleet.budget.breaches";
 
+// Collection scheduling (sched/collect_policy.h), emitted by the
+// marshaller at every completed prediction boundary. Horizons split into
+// scored (a model forward ran) and reused (the policy replayed the last
+// decision); frames split into scored (charged feature-extraction cost)
+// and skipped (extraction avoided). The flops counters price both sides
+// with the local cost model (sched/cost_model.h) in MFLOPs.
+inline constexpr char kSchedHorizonsScored[] = "sched.horizons.scored";
+inline constexpr char kSchedHorizonsReused[] = "sched.horizons.reused";
+inline constexpr char kSchedFramesScored[] = "sched.frames.scored";
+inline constexpr char kSchedFramesSkipped[] = "sched.frames.skipped";
+inline constexpr char kSchedFlopsLocalMflops[] = "sched.flops.local_mflops";
+inline constexpr char kSchedFlopsSavedMflops[] = "sched.flops.saved_mflops";
+
 // Trace ring overflow: events overwritten because the buffer was full
 // (also exported into the Chrome trace as a metadata record).
 inline constexpr char kTraceEventsDropped[] = "trace.events.dropped";
@@ -128,6 +141,11 @@ inline constexpr char kPipelineRelayedFramesPerHorizon[] =
 // aggregate spend tracked by the shared budget accountant.
 inline constexpr char kFleetStreamsActive[] = "fleet.streams.active";
 inline constexpr char kFleetBudgetSpendUsd[] = "fleet.budget.spend_usd";
+
+// Effective collection stride of the installed policy (1 = full rate;
+// duty policies hold their fixed stride, adaptive flips between 1 and
+// its quiet stride).
+inline constexpr char kSchedPolicyStride[] = "sched.policy.stride";
 
 // Auditor health, labeled `{event_type=...}` (`audit.breach.active` also
 // carries `{guarantee=...}`). Rates are rolling-window empirical values;

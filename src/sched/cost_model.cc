@@ -1,0 +1,26 @@
+#include "sched/cost_model.h"
+
+namespace eventhit::sched {
+
+double EstimateForwardMflops(int collection_window, int feature_dim,
+                             int lstm_hidden, int shared_dim,
+                             int event_hidden, int num_events, int horizon) {
+  const double m = collection_window;
+  const double d = feature_dim;
+  const double h = lstm_hidden;
+  const double s = shared_dim;
+  const double e = event_hidden;
+  const double k = num_events;
+  const double occ = horizon;
+  // LSTM: 4 gates of h x (d + h + 1) MACs per step, plus elementwise
+  // gate arithmetic (~10 FLOPs per hidden unit per step).
+  const double lstm = m * (2.0 * 4.0 * h * (d + h + 1.0) + 10.0 * h);
+  // Shared trunk h -> s, then per event: s -> e, e -> 1 existence and
+  // e -> occ occupancy scores (plus sigmoids, ~4 FLOPs each).
+  const double trunk = 2.0 * h * s;
+  const double heads =
+      k * (2.0 * s * e + 2.0 * e * (1.0 + occ) + 4.0 * (1.0 + occ));
+  return (lstm + trunk + heads) * 1e-6;
+}
+
+}  // namespace eventhit::sched

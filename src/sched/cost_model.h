@@ -1,0 +1,37 @@
+// Local-compute cost accounting for collection scheduling: estimates, in
+// MFLOPs, what one stream frame of feature extraction and one prediction
+// boundary's EventHit forward pass cost — the quantities a CollectPolicy
+// saves. Deliberately a model, not a measurement: the sim's detector-style
+// features stand in for a YOLOv3-class extractor (the same substitution
+// the cloud cost model makes, DESIGN.md §2), so the accounting uses that
+// extractor's arithmetic cost. Counted into the sched.flops.* metrics by
+// the marshaller and into the bench_pareto Pareto curve.
+#ifndef EVENTHIT_SCHED_COST_MODEL_H_
+#define EVENTHIT_SCHED_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace eventhit::sched {
+
+/// YOLOv3-608-class single-frame extraction cost (~65.9 GFLOPs), matching
+/// the ~140 FPS GPU extraction stage of the pipeline cost model.
+inline constexpr double kFeatureExtractMflopsPerFrame = 65900.0;
+
+/// Per-segment local cost rates. Defaults model extraction only; callers
+/// that know the model architecture fill in the forward-pass cost with
+/// EstimateForwardMflops.
+struct LocalCostModel {
+  double feature_mflops_per_frame = kFeatureExtractMflopsPerFrame;
+  double forward_mflops_per_boundary = 0.0;
+};
+
+/// Estimated MFLOPs of one EventHit forward pass: an M-step LSTM over
+/// D-dimensional inputs, the shared trunk, and per-event existence +
+/// occupancy heads (2 FLOPs per multiply-accumulate).
+double EstimateForwardMflops(int collection_window, int feature_dim,
+                             int lstm_hidden, int shared_dim,
+                             int event_hidden, int num_events, int horizon);
+
+}  // namespace eventhit::sched
+
+#endif  // EVENTHIT_SCHED_COST_MODEL_H_

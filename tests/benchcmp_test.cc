@@ -155,6 +155,27 @@ TEST(DiffBenchJsonTest, MissingGatedKeyRegresses) {
       DiffBenchJson(Baseline(), current2, BenchToleranceSpec{}).regressed);
 }
 
+TEST(DiffBenchJsonTest, CurrentOnlyKeysSurfaceAsNewWithoutGating) {
+  // A freshly added bench key (gated direction or not) has no baseline
+  // yet; it must show up in new_keys and pass, never regress.
+  auto current = Baseline();
+  current["pareto_speedup_frames_duty50"] = 39.7;  // Would gate if based.
+  current["pareto_rec_diff_adaptive"] = 0.0;
+  const BenchDiff diff =
+      DiffBenchJson(Baseline(), current, BenchToleranceSpec{});
+  EXPECT_FALSE(diff.regressed);
+  ASSERT_EQ(diff.new_keys.size(), 2u);
+  EXPECT_EQ(diff.new_keys[0], "pareto_rec_diff_adaptive");
+  EXPECT_EQ(diff.new_keys[1], "pareto_speedup_frames_duty50");
+  for (const BenchDelta& delta : diff.deltas) {
+    EXPECT_NE(delta.key, "pareto_speedup_frames_duty50");
+    EXPECT_NE(delta.key, "pareto_rec_diff_adaptive");
+  }
+  // Keys present in both sides never appear as new.
+  EXPECT_TRUE(DiffBenchJson(Baseline(), Baseline(), BenchToleranceSpec{})
+                  .new_keys.empty());
+}
+
 TEST(DiffBenchJsonTest, AbsoluteToleranceOnHigherBetterActsAsFloor) {
   auto current = Baseline();
   current["batched_fps"] = 30000.0;  // Way down, but above the floor.

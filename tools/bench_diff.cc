@@ -121,6 +121,13 @@ int main(int argc, char** argv) {
     std::cout << "MISSING: gated metric '" << key
               << "' absent from current run\n";
   }
+  for (const std::string& key : diff.new_keys) {
+    const auto found = current.value().find(key);
+    std::cout << "NEW: metric '" << key << "' = "
+              << Fmt(found->second, 4)
+              << " has no baseline yet (passes; commit a refreshed "
+                 "baseline to start gating it)\n";
+  }
   if (diff.regressed) {
     std::cout << "bench_diff: REGRESSION vs " << baseline_path << "\n";
     return 1;

@@ -59,6 +59,8 @@
 #include "obs/schema.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "sched/collect_policy.h"
+#include "sched/cost_model.h"
 #include "sim/datasets.h"
 #include "sim/video_io.h"
 
@@ -75,6 +77,7 @@ namespace data = ::eventhit::data;
 namespace sim = ::eventhit::sim;
 namespace fleet = ::eventhit::fleet;
 namespace nn = ::eventhit::nn;
+namespace sched = ::eventhit::sched;
 
 // The full flag reference. Kept in sync with the implemented flags by
 // tests/cli_help_sync_test.cc: every Get*("flag") in this file must appear
@@ -91,7 +94,7 @@ void PrintUsage(std::ostream& os) {
       "               generate a synthetic stream and save it to --out\n"
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
       "               [--model-out=PATH] [--threads=N] [--predict-batch=B]\n"
-      "               [--nn-backend=K]\n"
+      "               [--nn-backend=K] [--collect-policy=P]\n"
       "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
       "               [--predict-batch=B] [--nn-backend=K]\n"
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
@@ -99,7 +102,7 @@ void PrintUsage(std::ostream& os) {
       "               [--batch=B] [--max-delay=T] [--wave=W] [--threads=N]\n"
       "               [--confidence=C] [--coverage=A] [--nn-backend=K]\n"
       "               [--fault-profile=NAME] [--fault-seed=N]\n"
-      "               [--degraded-mode=drop|buffer]\n"
+      "               [--degraded-mode=drop|buffer] [--collect-policy=P]\n"
       "               [--budget-cap-usd=X] [--verify-solo=K]\n"
       "               run N tenant streams through the cross-stream\n"
       "               dynamic batcher (DESIGN.md 5g); --verify-solo=K\n"
@@ -120,6 +123,19 @@ void PrintUsage(std::ostream& os) {
       "               on int8 scores. Scores differ across backends\n"
       "               within documented bounds; all backends are\n"
       "               deterministic and batch-invariant.\n"
+      "  --collect-policy=full|duty:<d>|adaptive  collection scheduling\n"
+      "               policy (evaluate + fleet; DESIGN.md 5i). full scores\n"
+      "               every prediction boundary (default; byte-identical\n"
+      "               to the legacy path). duty:<d> scores a fixed\n"
+      "               fraction d in (0,1] of boundaries; adaptive drops\n"
+      "               cadence while recent existence scores stay below a\n"
+      "               hysteresis band and snaps back the moment they\n"
+      "               rise. Skipped boundaries reuse the last decision\n"
+      "               without feature extraction or a model forward;\n"
+      "               conformal thresholds are calibrated under the same\n"
+      "               policy. evaluate adds a stream-cadence policy\n"
+      "               section with sched.* accounting; fleet installs\n"
+      "               the policy in every stream's marshaller.\n"
       "  resilience (evaluate + fleet; see DESIGN.md 5f):\n"
       "  --fault-profile=none|flaky|latency|blackout  replay the test\n"
       "               slice through the resilient cloud relay under the\n"
@@ -287,6 +303,10 @@ eventhit::Result<TrainedTask> BuildAndTrain(const Flags& flags) {
       nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
   if (!backend.ok()) return backend.status();
   config.nn_backend = backend.value();
+  const auto policy =
+      sched::ParseCollectPolicy(flags.GetString("collect-policy", "full"));
+  if (!policy.ok()) return policy.status();
+  config.collect_policy = policy.value();
   auto exec = ParseThreads(flags, config.seed);
   if (!exec.ok()) return exec.status();
   std::cerr << "building environment + training on " << task_name << " ("
@@ -547,6 +567,99 @@ int RunEvaluate(const Flags& flags) {
     }
   }
 
+  // --collect-policy: stream-cadence policy evaluation. The uniform test
+  // records above have no temporal adjacency, so the policy section walks
+  // a strided (stride = H) sweep of the test range — consecutive
+  // prediction boundaries of one stream — comparing the policy walk
+  // against the full walk on the identical boundary sequence, with
+  // sched.* local-compute accounting and an auditor pass over the policy
+  // decisions.
+  {
+    const auto policy =
+        sched::ParseCollectPolicy(flags.GetString("collect-policy", "full"));
+    if (!policy.ok()) {
+      std::cerr << policy.status() << "\n";
+      return 1;
+    }
+    if (policy.value().kind != sched::CollectPolicyKind::kFull) {
+      core::EventHitStrategyOptions options;
+      options.use_cclassify = true;
+      options.use_cregress = true;
+      options.confidence = confidence.value();
+      options.coverage = coverage.value();
+      const core::EventHitStrategy ehcr(
+          trained.model.get(), trained.cclassify.get(),
+          trained.cregress.get(), options);
+      const std::vector<data::Record> sweep = data::StridedRecords(
+          env.video(), env.task(), env.extractor(), env.splits().test,
+          env.horizon());
+      const std::vector<core::EventScores> sweep_scores = core::PredictBatch(
+          *trained.model, sweep, exec, core::kDefaultPredictBatch);
+
+      sched::LocalCostModel cost;
+      const core::EventHitConfig& mc = trained.model->config();
+      cost.forward_mflops_per_boundary = sched::EstimateForwardMflops(
+          env.collection_window(), static_cast<int>(env.video().feature_dim()),
+          mc.lstm_hidden, mc.shared_dim, mc.event_hidden,
+          static_cast<int>(env.task().event_indices.size()), env.horizon());
+
+      eval::PolicyWalkStats walk;
+      const std::vector<core::MarshalDecision> policy_decisions =
+          eval::DecisionsWithPolicy(ehcr, sweep_scores, policy.value(),
+                                    env.collection_window(), env.horizon(),
+                                    cost, &walk, exec);
+      eval::PolicyWalkStats full_walk;
+      const std::vector<core::MarshalDecision> full_decisions =
+          eval::DecisionsWithPolicy(ehcr, sweep_scores,
+                                    sched::CollectPolicySpec{},
+                                    env.collection_window(), env.horizon(),
+                                    cost, &full_walk, exec);
+      const eval::Metrics policy_metrics =
+          eval::ComputeMetrics(sweep, policy_decisions, env.horizon());
+      const eval::Metrics full_metrics =
+          eval::ComputeMetrics(sweep, full_decisions, env.horizon());
+
+      obs::AuditConfig audit_config;
+      audit_config.confidence = confidence.value();
+      audit_config.coverage = coverage.value();
+      audit_config.event_labels = EventLabels(env.task());
+      obs::GuarantyAuditor auditor(audit_config);
+      for (const obs::AuditOutcome& outcome :
+           eval::BuildAuditOutcomes(sweep, policy_decisions)) {
+        auditor.Observe(outcome);
+      }
+      auditor.Finalize(static_cast<int64_t>(sweep.size()));
+
+      std::cout << "\n=== Collection policy ("
+                << sched::CollectPolicyName(policy.value())
+                << ", stream-cadence sweep of the test range) ===\n";
+      TablePrinter policy_table({"Quantity", "Policy", "Full"});
+      policy_table.AddRow({"boundaries scored", Fmt(walk.horizons_scored),
+                           Fmt(full_walk.horizons_scored)});
+      policy_table.AddRow({"boundaries reused", Fmt(walk.horizons_reused),
+                           Fmt(full_walk.horizons_reused)});
+      policy_table.AddRow({"frames scored", Fmt(walk.frames_scored),
+                           Fmt(full_walk.frames_scored)});
+      policy_table.AddRow({"frames skipped", Fmt(walk.frames_skipped),
+                           Fmt(full_walk.frames_skipped)});
+      policy_table.AddRow({"local MFLOPs", Fmt(walk.local_mflops, 0),
+                           Fmt(full_walk.local_mflops, 0)});
+      policy_table.AddRow({"saved MFLOPs", Fmt(walk.saved_mflops, 0),
+                           Fmt(full_walk.saved_mflops, 0)});
+      policy_table.AddRow(
+          {"REC", Fmt(policy_metrics.rec), Fmt(full_metrics.rec)});
+      policy_table.AddRow(
+          {"SPL", Fmt(policy_metrics.spl), Fmt(full_metrics.spl)});
+      policy_table.AddRow({"audit breaches", Fmt(auditor.breach_count()),
+                           "-"});
+      policy_table.Print(std::cout);
+      if (auditor.any_breach()) {
+        std::cout << "BREACH: the policy walk breached "
+                  << auditor.breach_count() << " guarantee budget(s)\n";
+      }
+    }
+  }
+
   // Emit the EHCR operating point onto the simulated timeline: one
   // stage.feature_extraction / stage.predictor / stage.ci span triple for
   // an average horizon, so --trace-out re-derives the Fig. 10 shares.
@@ -708,6 +821,12 @@ int RunFleet(const Flags& flags) {
     std::cerr << backend.status() << "\n";
     return 1;
   }
+  const auto policy =
+      sched::ParseCollectPolicy(flags.GetString("collect-policy", "full"));
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    return 1;
+  }
   config.num_streams = static_cast<int>(streams.value());
   config.base_seed = static_cast<uint64_t>(seed.value());
   config.frames_per_stream = frames.value();
@@ -726,6 +845,7 @@ int RunFleet(const Flags& flags) {
       static_cast<int64_t>(budget_cap.value() * 1e6);
   config.runner.seed = config.base_seed;
   config.runner.nn_backend = backend.value();
+  config.runner.collect_policy = policy.value();
 
   std::cerr << "training the shared fleet model on " << task_name << " ("
             << nn::GetBackend(backend.value()).name << " backend)...\n";
@@ -739,6 +859,8 @@ int RunFleet(const Flags& flags) {
 
   int64_t delivered = 0, dropped = 0, submitted = 0;
   int64_t relayed_frames = 0, positives = 0, misses = 0, breaches = 0;
+  int64_t frames_scored = 0, frames_skipped = 0, horizons_reused = 0;
+  int64_t local_mflops = 0, saved_mflops = 0;
   for (const auto& stream : result.streams) {
     delivered += stream.relay.orders_delivered;
     dropped += stream.relay.orders_dropped;
@@ -747,6 +869,11 @@ int RunFleet(const Flags& flags) {
     positives += stream.audit_positives;
     misses += stream.audit_misses;
     breaches += stream.audit_breaches;
+    frames_scored += stream.marshaller.frames_scored;
+    frames_skipped += stream.marshaller.frames_skipped;
+    horizons_reused += stream.marshaller.horizons_reused;
+    local_mflops += stream.marshaller.local_mflops;
+    saved_mflops += stream.marshaller.saved_mflops;
   }
   TablePrinter table({"Metric", "Value"});
   table.AddRow({"streams", Fmt(stats.streams)});
@@ -767,6 +894,15 @@ int RunFleet(const Flags& flags) {
   table.AddRow({"relayed frames", Fmt(relayed_frames)});
   table.AddRow({"audit positives/misses", Fmt(positives) + "/" + Fmt(misses)});
   table.AddRow({"audit breaches", Fmt(breaches)});
+  if (config.runner.collect_policy.kind != sched::CollectPolicyKind::kFull) {
+    table.AddRow({"collect policy",
+                  sched::CollectPolicyName(config.runner.collect_policy)});
+    table.AddRow({"frames scored/skipped",
+                  Fmt(frames_scored) + "/" + Fmt(frames_skipped)});
+    table.AddRow({"horizons reused", Fmt(horizons_reused)});
+    table.AddRow({"local/saved MFLOPs",
+                  Fmt(local_mflops) + "/" + Fmt(saved_mflops)});
+  }
   table.AddRow({"total cost USD", Fmt(stats.total_cost_usd, 4)});
   if (config.budget_cap_microusd > 0) {
     table.AddRow({"budget breach tick", Fmt(stats.budget_breach_tick)});
