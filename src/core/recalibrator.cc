@@ -62,7 +62,16 @@ size_t Recalibrator::PositiveCount(size_t k) const {
   return count;
 }
 
+bool Recalibrator::CanRebuild(size_t min_records, size_t min_positives) const {
+  if (window_.size() < min_records) return false;
+  for (size_t k = 0; k < model_->config().num_events; ++k) {
+    if (PositiveCount(k) < min_positives) return false;
+  }
+  return true;
+}
+
 std::unique_ptr<CClassify> Recalibrator::BuildCClassify() const {
+  EVENTHIT_CHECK(CanRebuild(1, 1));
   RecalMetrics::Get().rebuilds_cclassify->Add(1);
   // The recalibrator has no stream clock of its own; sim_time is the
   // window fill at rebuild time.
@@ -75,6 +84,7 @@ std::unique_ptr<CClassify> Recalibrator::BuildCClassify() const {
 }
 
 std::unique_ptr<CRegress> Recalibrator::BuildCRegress() const {
+  EVENTHIT_CHECK(CanRebuild(1, 1));
   RecalMetrics::Get().rebuilds_cregress->Add(1);
   obs::Logger::Global().Log(
       obs::LogLevel::kInfo, "recalibrator", "rebuild_cregress",

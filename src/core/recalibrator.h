@@ -39,10 +39,21 @@ class Recalibrator {
   /// effective calibration sample for that event.
   size_t PositiveCount(size_t k) const;
 
+  /// True when the window holds at least `min_records` records and every
+  /// event has at least `min_positives` positives. This is the guard the
+  /// recalibration loop (DESIGN.md §5j) must consult before rebuilding: a
+  /// window that fails it would yield degenerate quantiles — C-CLASSIFY
+  /// with an empty positive set answers p == 1 for every event (existence
+  /// always asserted, unbounded spillage) and C-REGRESS with no residuals
+  /// widens by nothing — so Build* refuses such windows outright.
+  bool CanRebuild(size_t min_records, size_t min_positives) const;
+
   /// Rebuilds the conformal existence classifier from the current window.
+  /// CHECK-fails unless `CanRebuild(1, 1)` holds.
   std::unique_ptr<CClassify> BuildCClassify() const;
 
   /// Rebuilds the conformal interval adjuster from the current window.
+  /// CHECK-fails unless `CanRebuild(1, 1)` holds.
   std::unique_ptr<CRegress> BuildCRegress() const;
 
   /// Drops every windowed record (e.g. after a confirmed regime change,

@@ -20,6 +20,14 @@ EventHitStrategy::EventHitStrategy(const EventHitModel* model,
   if (options_.use_cregress) EVENTHIT_CHECK(cregress_ != nullptr);
 }
 
+void EventHitStrategy::set_calibrators(const CClassify* cclassify,
+                                       const CRegress* cregress) {
+  if (options_.use_cclassify) EVENTHIT_CHECK(cclassify != nullptr);
+  if (options_.use_cregress) EVENTHIT_CHECK(cregress != nullptr);
+  cclassify_ = cclassify;
+  cregress_ = cregress;
+}
+
 std::string EventHitStrategy::name() const {
   if (options_.use_cclassify && options_.use_cregress) return "EHCR";
   if (options_.use_cclassify) return "EHC";

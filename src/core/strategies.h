@@ -56,6 +56,16 @@ class EventHitStrategy : public MarshalStrategy {
   void set_tau2(double tau2) { options_.tau2 = tau2; }
   const EventHitStrategyOptions& options() const { return options_; }
 
+  /// Hot-swaps both conformal calibrators in one step (the recalibration
+  /// loop, DESIGN.md §5j). Non-owning like the constructor: the caller keeps
+  /// the new calibrators alive past the last decision that uses them. The
+  /// swap is atomic with respect to decisions — every DecideFromScores call
+  /// sees either the old pair or the new pair, never a mix.
+  void set_calibrators(const CClassify* cclassify, const CRegress* cregress);
+
+  const CClassify* cclassify() const { return cclassify_; }
+  const CRegress* cregress() const { return cregress_; }
+
  private:
   const EventHitModel* model_;
   const CClassify* cclassify_;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <utility>
 
+#include "adapt/recal_loop.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -74,6 +75,13 @@ struct StreamFleet::StreamState {
   std::unique_ptr<cloud::CloudRelay> relay;
   std::unique_ptr<core::Marshaller> marshaller;
   std::unique_ptr<obs::GuarantyAuditor> auditor;
+  // Private decision strategy: same model/calibrators/options as the fleet
+  // template, but swappable per stream by the recalibration loop.
+  std::unique_ptr<core::EventHitStrategy> strategy;
+  std::unique_ptr<adapt::RecalLoop> recal;
+  // Scores of the boundary currently completing (ApplyCompletion scope);
+  // nullptr during policy-reused completions, which carry no fresh scores.
+  const core::EventScores* completing_scores = nullptr;
 
   int64_t next_frame = 0;         // Local push cursor.
   int64_t seq = 0;                // Requests issued.
@@ -107,7 +115,13 @@ bool SameStreamResult(const FleetStreamResult& a, const FleetStreamResult& b) {
          a.audit_misses == b.audit_misses &&
          a.audit_endpoints == b.audit_endpoints &&
          a.audit_miscovered == b.audit_miscovered &&
-         a.audit_breaches == b.audit_breaches;
+         a.audit_breaches == b.audit_breaches &&
+         a.recal_triggers_breach == b.recal_triggers_breach &&
+         a.recal_triggers_drift == b.recal_triggers_drift &&
+         a.recal_refusals_cooldown == b.recal_refusals_cooldown &&
+         a.recal_refusals_min_samples == b.recal_refusals_min_samples &&
+         a.recal_swaps == b.recal_swaps &&
+         a.recal_last_swap_frame == b.recal_last_swap_frame;
 }
 
 StreamFleet::StreamFleet(const data::Task& task, const FleetConfig& config,
@@ -253,8 +267,20 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
         }
       });
 
+  // Clone the template strategy so this stream owns its thresholds: the
+  // recalibration loop may hot-swap per-stream calibrators, and even with
+  // recal off every boundary must take the identical (private) code path.
+  core::EventHitStrategyOptions options;
+  options.use_cclassify = true;
+  options.use_cregress = true;
+  options.confidence = config_.confidence;
+  options.coverage = config_.coverage;
+  state.strategy = std::make_unique<core::EventHitStrategy>(
+      trained_->model.get(), trained_->cclassify.get(),
+      trained_->cregress.get(), options);
+
   state.marshaller = std::make_unique<core::Marshaller>(
-      strategy_.get(), s.spec.collection_window, s.spec.horizon,
+      state.strategy.get(), s.spec.collection_window, s.spec.horizon,
       s.spec.FeatureDim(), task_.event_indices.size(),
       stream_metrics_.get());
   // The order carries its own anchor: reused (policy-skipped) completions
@@ -293,14 +319,25 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
   state.auditor = std::make_unique<obs::GuarantyAuditor>(
       audit_config, stream_metrics_.get(), /*trace=*/nullptr,
       stream_log_.get());
+
+  if (config_.recal) {
+    state.recal = std::make_unique<adapt::RecalLoop>(
+        trained_->model.get(), state.strategy.get(), state.auditor.get(),
+        config_.recal_config, stream_metrics_.get());
+  }
 }
 
 void StreamFleet::ApplyCompletion(StreamState& state, int64_t anchor,
-                                  const core::MarshalDecision& decision) {
+                                  const core::EventScores& scores) {
   // The completion callback registered in InitStream performs all
   // post-completion accounting; `anchor` only cross-checks FIFO order.
+  // Deciding here, against the stream's own strategy, keeps a recal swap
+  // on one stream invisible to every other stream in the same batch.
   (void)anchor;
-  state.marshaller->CompletePrediction(decision);
+  state.completing_scores = &scores;
+  state.marshaller->CompletePrediction(
+      state.strategy->DecideFromScores(scores));
+  state.completing_scores = nullptr;
 }
 
 void StreamFleet::OnCompletion(StreamState& state, int64_t anchor,
@@ -347,6 +384,12 @@ void StreamFleet::OnCompletion(StreamState& state, int64_t anchor,
       }
       state.auditor->Observe(outcome);
     }
+    // Feed the recalibration loop after the auditor so a breach latched by
+    // this very boundary can trigger on it. Policy-reused completions carry
+    // no fresh scores and are skipped — identical in fleet and solo runs.
+    if (state.recal != nullptr && state.completing_scores != nullptr) {
+      state.recal->Observe(anchor, truth, *state.completing_scores);
+    }
   }
 
   // Report the invoice delta to the shared budget accountant in integer
@@ -382,6 +425,15 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
         state.auditor->miscovered(static_cast<int>(k));
   }
   result.audit_breaches = state.auditor->breach_count();
+  if (state.recal != nullptr) {
+    const adapt::RecalStats& rs = state.recal->stats();
+    result.recal_triggers_breach = rs.triggers_breach;
+    result.recal_triggers_drift = rs.triggers_drift;
+    result.recal_refusals_cooldown = rs.refusals_cooldown;
+    result.recal_refusals_min_samples = rs.refusals_min_samples;
+    result.recal_swaps = rs.swaps;
+    result.recal_last_swap_frame = rs.last_swap_time;
+  }
 
   uint64_t h = result.decision_digest;
   h = FnvI64(h, static_cast<int64_t>(result.delivery_digest));
@@ -414,6 +466,12 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
   h = FnvI64(h, result.audit_endpoints);
   h = FnvI64(h, result.audit_miscovered);
   h = FnvI64(h, result.audit_breaches);
+  h = FnvI64(h, result.recal_triggers_breach);
+  h = FnvI64(h, result.recal_triggers_drift);
+  h = FnvI64(h, result.recal_refusals_cooldown);
+  h = FnvI64(h, result.recal_refusals_min_samples);
+  h = FnvI64(h, result.recal_swaps);
+  h = FnvI64(h, result.recal_last_swap_frame);
   result.state_digest = h;
 
   if (state.transcripts_on) {
@@ -525,13 +583,11 @@ FleetRunResult StreamFleet::Run() {
         std::vector<core::EventScores> scores(n);
         trained_->model->PredictBatched(records.data(), n, scores.data(),
                                         ws_);
-        std::vector<core::MarshalDecision> decisions(n);
-        for (size_t j = 0; j < n; ++j) {
-          decisions[j] = strategy_->DecideFromScores(scores[j]);
-        }
         // Group completions by shard (order within a shard is preserved),
         // then apply shard groups concurrently: different groups touch
-        // disjoint stream state.
+        // disjoint stream state (each stream decides with its own
+        // strategy inside ApplyCompletion, so no shared-strategy serial
+        // pass is needed).
         std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
         for (size_t j = 0; j < n;) {
           size_t end = j + 1;
@@ -547,7 +603,7 @@ FleetRunResult StreamFleet::Run() {
             StreamState& state = arena[static_cast<size_t>(
                 flush.requests[j].shard_slot)];
             ApplyCompletion(state, flush.requests[j].anchor_frame,
-                            decisions[j]);
+                            scores[j]);
           }
         });
 
@@ -648,7 +704,7 @@ FleetStreamResult StreamFleet::RunStreamSolo(int stream_index) {
     // bit-identical to any other composition by the PR 3 contract).
     core::EventScores scores;
     trained_->model->PredictBatched(&record, 1, &scores, ws);
-    ApplyCompletion(state, record.frame, strategy_->DecideFromScores(scores));
+    ApplyCompletion(state, record.frame, scores);
   }
   return FinishStream(state);
 }

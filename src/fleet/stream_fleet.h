@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "adapt/recal_loop.h"
 #include "cloud/cloud_service.h"
 #include "cloud/relay.h"
 #include "core/marshaller.h"
@@ -86,6 +87,14 @@ struct FleetConfig {
   /// Keep full per-stream decision/delivery transcripts (tests only; the
   /// digests are always kept).
   bool record_transcripts = false;
+  /// Arm a per-stream recalibration loop (adapt/recal_loop.h): the
+  /// stream's own auditor breach latches and drift alarms trigger conformal
+  /// rebuilds that hot-swap into that stream's private strategy. All loop
+  /// state is per-stream, so the solo/fleet bit-exactness contract holds
+  /// with recalibration armed.
+  bool recal = false;
+  /// Loop knobs (window capacity, guards, martingale) when `recal` is set.
+  adapt::RecalConfig recal_config;
   /// Collect per-tick wall latencies for the bench percentiles.
   bool collect_tick_latency = true;
   /// Training configuration for the one shared model (seed and all).
@@ -145,6 +154,14 @@ struct FleetStreamResult {
   int64_t audit_endpoints = 0;
   int64_t audit_miscovered = 0;
   int64_t audit_breaches = 0;
+  // Recalibration-loop outcome (all zero / -1 when FleetConfig::recal is
+  // off). Folded into state_digest like the audit counts.
+  int64_t recal_triggers_breach = 0;
+  int64_t recal_triggers_drift = 0;
+  int64_t recal_refusals_cooldown = 0;
+  int64_t recal_refusals_min_samples = 0;
+  int64_t recal_swaps = 0;
+  int64_t recal_last_swap_frame = -1;
   StreamTranscript transcript;
 };
 
@@ -210,6 +227,9 @@ class StreamFleet {
 
   const data::Task& task() const { return task_; }
   const FleetConfig& config() const { return config_; }
+  /// The fleet-level template strategy. Each stream decides with a private
+  /// clone of it (recalibration may retune a stream's thresholds without
+  /// touching its neighbours); this instance never decides a boundary.
   const core::EventHitStrategy& strategy() const { return *strategy_; }
   /// The fleet-private registry per-stream components report into.
   obs::MetricsRegistry& stream_metrics() { return *stream_metrics_; }
@@ -218,8 +238,11 @@ class StreamFleet {
   struct StreamState;  // Private per-stream shard (stream_fleet.cc).
 
   void InitStream(StreamState& state, int stream_index);
+  /// Completes one deferred boundary: decides from `scores` with the
+  /// stream's own strategy (so a recalibration swap on one stream never
+  /// leaks into another) and replays the inline completion path.
   void ApplyCompletion(StreamState& state, int64_t anchor,
-                       const core::MarshalDecision& decision);
+                       const core::EventScores& scores);
   /// Post-completion stream accounting (relay clock, digests, transcript,
   /// audit, budget). Registered as the marshaller's decision callback so it
   /// runs for scored and policy-reused completions alike, in stream order.

@@ -38,6 +38,11 @@ std::vector<std::string> AllMetricNames() {
       names::kRecalibratorRecordsAdded,
       names::kRecalibratorRebuildsCClassify,
       names::kRecalibratorRebuildsCRegress,
+      names::kRecalTriggersBreach,
+      names::kRecalTriggersDrift,
+      names::kRecalRefusalsCooldown,
+      names::kRecalRefusalsMinSamples,
+      names::kRecalSwaps,
       names::kThreadPoolParallelForCalls,
       names::kThreadPoolChunksExecuted,
       names::kThreadPoolItemsProcessed,
@@ -46,6 +51,7 @@ std::vector<std::string> AllMetricNames() {
       names::kCloudInvoiceComputeSeconds,
       names::kDriftLogMartingale,
       names::kRecalibratorWindowSize,
+      names::kRecalLastSwapFrame,
       names::kThreadPoolThreads,
       names::kPipelineRelayedFramesPerHorizon,
       names::kMarshallerRelayOrderFrames,

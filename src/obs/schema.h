@@ -70,6 +70,16 @@ inline constexpr char kRecalibratorRebuildsCClassify[] =
 inline constexpr char kRecalibratorRebuildsCRegress[] =
     "recalibrator.rebuilds.cregress";
 
+// Online recalibration loop (adapt/recal_loop.h): triggers split by source
+// (auditor breach latch vs martingale drift alarm), refusals by guard
+// (cooldown vs min-sample), and completed hot swaps.
+inline constexpr char kRecalTriggersBreach[] = "recal.triggers.breach";
+inline constexpr char kRecalTriggersDrift[] = "recal.triggers.drift";
+inline constexpr char kRecalRefusalsCooldown[] = "recal.refusals.cooldown";
+inline constexpr char kRecalRefusalsMinSamples[] =
+    "recal.refusals.min_samples";
+inline constexpr char kRecalSwaps[] = "recal.swaps";
+
 // Guarantee auditor (obs/audit.h). Counters register both an unlabeled
 // aggregate and per-event `{event_type=...}` series; `audit.breaches`
 // additionally carries a `{guarantee=...}` label distinguishing the miss
@@ -133,6 +143,7 @@ inline constexpr char kCloudInvoiceComputeSeconds[] =
     "cloud.invoice.compute_seconds";
 inline constexpr char kDriftLogMartingale[] = "drift.log_martingale";
 inline constexpr char kRecalibratorWindowSize[] = "recalibrator.window.size";
+inline constexpr char kRecalLastSwapFrame[] = "recal.last_swap_frame";
 inline constexpr char kThreadPoolThreads[] = "threadpool.threads";
 inline constexpr char kPipelineRelayedFramesPerHorizon[] =
     "pipeline.relayed_frames_per_horizon";

@@ -1,0 +1,70 @@
+#include "sim/drift_scenario.h"
+
+#include "common/check.h"
+#include "sim/datasets.h"
+
+namespace eventhit::sim {
+namespace {
+
+// Stationary base regime: THUMOS E7 alone, densified so a ~700-frame cycle
+// (mean_gap + duration) meets the H=200 horizon — roughly 40% of anchors
+// see the event inside their horizon, so 256-sample audit windows fill in
+// a few thousand frames.
+DatasetSpec RecoveryBaseSpec(int64_t num_frames) {
+  DatasetSpec spec = MakeDatasetSpec(DatasetId::kThumos);
+  EVENTHIT_CHECK_GE(spec.events.size(), 1u);
+  spec.name = "THUMOS-drift";
+  spec.num_frames = num_frames;
+  spec.events.resize(1);  // E7:VolleyballSpiking only
+  spec.events[0].mean_gap = 600.0;
+  return spec;
+}
+
+}  // namespace
+
+Result<DriftScenario> MakeDriftScenario(const std::string& name,
+                                        int64_t before_frames,
+                                        int64_t after_frames) {
+  EVENTHIT_CHECK_GT(before_frames, 0);
+  EVENTHIT_CHECK_GT(after_frames, 0);
+  DriftScenario scenario;
+  scenario.name = name;
+  scenario.before = RecoveryBaseSpec(before_frames);
+  scenario.after = RecoveryBaseSpec(after_frames);
+  EventTypeSpec& ev = scenario.after.events[0];
+  if (name == "precursor-shift") {
+    // Advance warning collapses: precursors fire late, briefly, and mostly
+    // weak. Existence scores for true positives fall off a cliff while the
+    // occurrence process itself is unchanged.
+    ev.lead_mean = 25.0;
+    ev.lead_std = 5.0;
+    ev.weak_precursor_prob = 0.95;
+  } else if (name == "duration-shift") {
+    // Occurrences run ~3x longer with ~3x the spread. Existence prediction
+    // keeps working (precursors unchanged) but the calibrated C-REGRESS
+    // residuals no longer cover the true end offsets.
+    ev.duration_mean = 300.0;
+    ev.duration_std = 120.0;
+  } else if (name == "detector-degrade") {
+    // The simulated lightweight detector erodes: every precursor now
+    // comes through at weak strength (amplitude collapse — the timing
+    // stays intact, unlike precursor-shift) under a raised channel noise
+    // floor, with extra missed detections and spurious activations on the
+    // activity channel.
+    ev.weak_precursor_prob = 1.0;
+    ev.precursor_noise = 0.15;
+    scenario.after.detector_miss_prob = 0.3;
+    scenario.after.detector_fp_prob = 0.05;
+  } else {
+    return InvalidArgumentError("unknown drift scenario: " + name +
+                                " (want precursor-shift, duration-shift or "
+                                "detector-degrade)");
+  }
+  return scenario;
+}
+
+std::vector<std::string> DriftScenarioNames() {
+  return {"precursor-shift", "duration-shift", "detector-degrade"};
+}
+
+}  // namespace eventhit::sim

@@ -1,0 +1,59 @@
+// Named deterministic drift scenarios for the recalibration loop
+// (src/adapt/): a stationary "before" regime and a shifted "after" regime
+// that share event types and feature layout, so the pair can feed
+// SyntheticVideo::GenerateWithShift and produce one seeded stream whose
+// statistics change at a known frame.
+//
+// The scenarios mirror the three ways a deployed EventHit model drifts out
+// of its conformal guarantees:
+//
+//   "precursor-shift"   — the advance-warning signature collapses (shorter,
+//                         mostly-weak precursors): existence scores for true
+//                         positives drop, C-CLASSIFY misses breach.
+//   "duration-shift"    — occurrences run ~3x longer with ~3x the variance:
+//                         calibrated C-REGRESS residuals stop covering the
+//                         true end offsets, endpoint miscoverage breaches.
+//   "detector-degrade"  — the simulated lightweight detector gets noisy
+//                         (misses, false positives, precursor noise): score
+//                         quality erodes across the board.
+//
+// Naming and error behavior follow sim/fault_injector.h: unknown names are
+// an InvalidArgument error.
+#ifndef EVENTHIT_SIM_DRIFT_SCENARIO_H_
+#define EVENTHIT_SIM_DRIFT_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/scene_spec.h"
+
+namespace eventhit::sim {
+
+/// A before/after spec pair describing one drift scenario. Both specs use
+/// the same (single) event type and channel counts, as required by
+/// SyntheticVideo::GenerateWithShift; the shift lands at
+/// `before.num_frames`.
+struct DriftScenario {
+  std::string name;
+  DatasetSpec before;
+  DatasetSpec after;
+};
+
+/// Builds a named drift scenario over a densified single-event THUMOS-like
+/// stream (`before_frames` stationary frames, then `after_frames` drifted
+/// ones). The densified occurrence process (~700-frame cycles against the
+/// H=200 horizon) keeps positives frequent enough that auditor windows fill
+/// and recovery rigs converge in tens of thousands of frames rather than
+/// millions. Unknown names are an InvalidArgument error.
+Result<DriftScenario> MakeDriftScenario(const std::string& name,
+                                        int64_t before_frames,
+                                        int64_t after_frames);
+
+/// The three scenario names, in a fixed order ("precursor-shift",
+/// "duration-shift", "detector-degrade") for CLI help and sweep loops.
+std::vector<std::string> DriftScenarioNames();
+
+}  // namespace eventhit::sim
+
+#endif  // EVENTHIT_SIM_DRIFT_SCENARIO_H_

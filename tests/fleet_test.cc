@@ -81,6 +81,54 @@ TEST(StreamFleetTest, FleetRunIsBitIdenticalToSoloStreams) {
   EXPECT_NE(run.streams[0].state_digest, run.streams[1].state_digest);
 }
 
+// The solo/fleet contract must survive per-stream recalibration loops
+// (DESIGN.md §5j): loop state is private to each stream, so hot swaps on
+// one tenant cannot leak into another, and a swap-bearing fleet run is
+// still bit-identical to the solo replays at any thread count. The loop
+// knobs are cranked (floor guards, hair-trigger martingale) so swaps
+// actually happen at this tiny scale.
+TEST(StreamFleetTest, RecalArmedFleetStaysBitIdenticalToSolo) {
+  const data::Task task = data::FindTask("TA10").value();
+  FleetConfig config = TestConfig();
+  config.frames_per_stream = 10200;  // 50 boundaries per stream (H=200).
+  config.recal = true;
+  config.recal_config.window_capacity = 32;
+  config.recal_config.min_records = 1;
+  config.recal_config.min_positives = 1;
+  config.recal_config.cooldown_frames = 400;
+  // Hair trigger: with epsilon=0.5 any positive record whose p-value under
+  // the live calibration dips below 0.25 yields a positive martingale
+  // increment, and a single increment crosses the threshold.
+  config.recal_config.drift.epsilon = 0.5;
+  config.recal_config.drift.log_threshold = 0.01;
+  StreamFleet fleet(task, config);
+  const FleetRunResult run = fleet.Run();
+  ASSERT_EQ(run.streams.size(), 6u);
+
+  int64_t total_swaps = 0;
+  for (int s = 0; s < 6; ++s) {
+    const auto& stream = run.streams[static_cast<size_t>(s)];
+    total_swaps += stream.recal_swaps;
+    const FleetStreamResult solo = fleet.RunStreamSolo(s);
+    EXPECT_TRUE(SameStreamResult(stream, solo)) << "stream " << s;
+    ExpectSameTranscript(stream.transcript, solo.transcript, s);
+  }
+  // The parity must be exercised through real swaps, not vacuously.
+  EXPECT_GE(total_swaps, 1);
+
+  // And the batched schedule still must not matter with loops armed.
+  FleetConfig threaded = config;
+  threaded.threads = 4;
+  threaded.batch_size = 16;
+  threaded.max_batch_delay_ticks = 9;
+  StreamFleet threaded_fleet(task, threaded);
+  const FleetRunResult threaded_run = threaded_fleet.Run();
+  for (size_t s = 0; s < run.streams.size(); ++s) {
+    EXPECT_TRUE(SameStreamResult(run.streams[s], threaded_run.streams[s]))
+        << "stream " << s;
+  }
+}
+
 TEST(StreamFleetTest, ResultsInvariantToThreadsBatchWaveAndDelay) {
   const data::Task task = data::FindTask("TA10").value();
   const FleetConfig base = TestConfig();

@@ -101,6 +101,39 @@ TEST(RecalibratorTest, ClearEmptiesWindow) {
   EXPECT_EQ(recalibrator.PositiveCount(0), 0u);
 }
 
+TEST(RecalibratorTest, CanRebuildGuardsSmallWindows) {
+  EventHitModel model(TinyConfig());
+  Recalibrator recalibrator(&model, 10);
+  Rng rng(5);
+  // Empty window: nothing to rebuild from.
+  EXPECT_FALSE(recalibrator.CanRebuild(1, 1));
+  // Negatives-only window: min_records can be met but a positive never is
+  // (an empty positive set would make C-CLASSIFY answer p == 1 always).
+  recalibrator.AddLabeledRecord(RecordWithLabel(false, 0.5f, rng));
+  recalibrator.AddLabeledRecord(RecordWithLabel(false, 0.5f, rng));
+  EXPECT_FALSE(recalibrator.CanRebuild(1, 1));
+  EXPECT_FALSE(recalibrator.CanRebuild(2, 1));
+  // One positive: the (1, 1) floor passes, stricter floors still refuse.
+  recalibrator.AddLabeledRecord(RecordWithLabel(true, 0.5f, rng));
+  EXPECT_TRUE(recalibrator.CanRebuild(1, 1));
+  EXPECT_TRUE(recalibrator.CanRebuild(3, 1));
+  EXPECT_FALSE(recalibrator.CanRebuild(1, 2));
+  EXPECT_FALSE(recalibrator.CanRebuild(4, 1));
+}
+
+TEST(RecalibratorTest, DegenerateWindowRebuildsDie) {
+  EventHitModel model(TinyConfig());
+  Recalibrator empty(&model, 10);
+  EXPECT_DEATH(empty.BuildCClassify(), "CHECK failed");
+  EXPECT_DEATH(empty.BuildCRegress(), "CHECK failed");
+
+  Recalibrator negatives_only(&model, 10);
+  Rng rng(6);
+  negatives_only.AddLabeledRecord(RecordWithLabel(false, 0.5f, rng));
+  EXPECT_DEATH(negatives_only.BuildCClassify(), "CHECK failed");
+  EXPECT_DEATH(negatives_only.BuildCRegress(), "CHECK failed");
+}
+
 TEST(RecalibratorTest, Validation) {
   EventHitModel model(TinyConfig());
   EXPECT_DEATH(Recalibrator(nullptr, 10), "CHECK failed");

@@ -5,6 +5,8 @@
 //   eventhit_cli generate --dataset=... --out=PATH [--frames=N] [--seed=N]
 //   eventhit_cli evaluate --task=TA1 [--confidence=0.9] [--coverage=0.5]
 //                         [--seed=N] [--model-out=path]
+//   eventhit_cli evaluate --drift-profile=precursor-shift --recal=on|off
+//                         [--seed=N]   (drift-recovery lab; ignores --task)
 //   eventhit_cli sweep    --task=TA1 [--seed=N] [--csv=path]
 //   eventhit_cli hypersearch --task=TA10 [--seed=N] [--samples=N]
 //   eventhit_cli fleet    --task=TA10 [--streams=N] [--seed=N] [--frames=N]
@@ -30,10 +32,12 @@
 // writes a labeled time series of per-record metric deltas.
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "adapt/recovery_lab.h"
 #include "baselines/oracle.h"
 #include "cloud/cloud_service.h"
 #include "cloud/cost_model.h"
@@ -62,6 +66,7 @@
 #include "sched/collect_policy.h"
 #include "sched/cost_model.h"
 #include "sim/datasets.h"
+#include "sim/drift_scenario.h"
 #include "sim/video_io.h"
 
 namespace {
@@ -69,6 +74,7 @@ namespace {
 using ::eventhit::Flags;
 using ::eventhit::Fmt;
 using ::eventhit::TablePrinter;
+namespace adapt = ::eventhit::adapt;
 namespace cloud = ::eventhit::cloud;
 namespace obs = ::eventhit::obs;
 namespace eval = ::eventhit::eval;
@@ -95,6 +101,14 @@ void PrintUsage(std::ostream& os) {
       "  evaluate     --task=TA1 [--confidence=C] [--coverage=A] [--seed=N]\n"
       "               [--model-out=PATH] [--threads=N] [--predict-batch=B]\n"
       "               [--nn-backend=K] [--collect-policy=P]\n"
+      "               [--drift-profile=NAME --recal=on|off]  drift-recovery\n"
+      "               lab (DESIGN.md 5j; ignores --task): stream a seeded\n"
+      "               regime shift (precursor-shift, duration-shift or\n"
+      "               detector-degrade) through a live marshaller and\n"
+      "               auditor with the breach-triggered recalibration loop\n"
+      "               armed (on) or disarmed (off), and print the breach ->\n"
+      "               hot swap -> coverage-restored chain with recal.*\n"
+      "               accounting\n"
       "  sweep        --task=TA1 [--seed=N] [--csv=PATH] [--threads=N]\n"
       "               [--predict-batch=B] [--nn-backend=K]\n"
       "  hypersearch  --task=TA10 [--samples=N] [--seed=N] [--threads=N]\n"
@@ -103,11 +117,14 @@ void PrintUsage(std::ostream& os) {
       "               [--confidence=C] [--coverage=A] [--nn-backend=K]\n"
       "               [--fault-profile=NAME] [--fault-seed=N]\n"
       "               [--degraded-mode=drop|buffer] [--collect-policy=P]\n"
-      "               [--budget-cap-usd=X] [--verify-solo=K]\n"
+      "               [--budget-cap-usd=X] [--verify-solo=K] [--recal=on|off]\n"
       "               run N tenant streams through the cross-stream\n"
       "               dynamic batcher (DESIGN.md 5g); --verify-solo=K\n"
       "               re-runs the first K streams solo and checks\n"
-      "               bit-exact digests against the fleet run\n"
+      "               bit-exact digests against the fleet run;\n"
+      "               --recal=on arms a per-stream recalibration loop\n"
+      "               (breach/drift triggered conformal rebuilds hot-swap\n"
+      "               into that stream's private strategy only)\n"
       "  help         print this reference and exit 0\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
@@ -426,7 +443,98 @@ int RunFaultReplay(const Flags& flags, const eval::TaskEnvironment& env,
   return 0;
 }
 
+// `evaluate --drift-profile=NAME`: the seeded drift-recovery lab
+// (adapt/recovery_lab.h). Builds its own single-event drifting rig —
+// --task is ignored — then streams the regime shift through a live
+// marshaller + auditor with the recalibration loop armed or disarmed and
+// prints the breach → swap → restore chain. Fully reproducible from
+// --seed; recal.* metrics land in the global registry for --metrics-out.
+int RunDriftRecovery(const Flags& flags) {
+  adapt::RecoveryLabConfig config;
+  config.scenario = flags.GetString("drift-profile", "");
+  const std::string recal_name = flags.GetString("recal", "on");
+  if (recal_name != "on" && recal_name != "off") {
+    std::cerr << "--recal must be on or off\n";
+    return 1;
+  }
+  config.recal = recal_name == "on";
+  const auto seed = flags.GetInt("seed", 42);
+  const auto threads = flags.GetInt("threads", 1);
+  const auto confidence = flags.GetDouble("confidence", config.confidence);
+  const auto coverage = flags.GetDouble("coverage", config.coverage);
+  for (const auto* status : {&seed.status(), &threads.status(),
+                             &confidence.status(), &coverage.status()}) {
+    if (!status->ok()) {
+      std::cerr << *status << "\n";
+      return 1;
+    }
+  }
+  if (threads.value() < 0) {
+    std::cerr << "--threads must be >= 0\n";
+    return 1;
+  }
+  config.seed = static_cast<uint64_t>(seed.value());
+  config.threads = threads.value() == 0
+                       ? eventhit::ThreadPool::DefaultThreads()
+                       : static_cast<int>(threads.value());
+  config.confidence = confidence.value();
+  config.coverage = coverage.value();
+
+  std::cerr << "streaming drift scenario " << config.scenario
+            << " (recal=" << recal_name << ", seed=" << config.seed
+            << ")...\n";
+  const auto run = adapt::RunRecovery(config);
+  if (!run.ok()) {
+    std::cerr << run.status() << "\n";
+    return 1;
+  }
+  const adapt::RecoveryReport& r = run.value();
+
+  std::cout << "=== Drift recovery (" << r.scenario
+            << ", recal=" << (r.recal_enabled ? "on" : "off") << ") ===\n";
+  TablePrinter table({"Quantity", "Value"});
+  table.AddRow({"shift frame", Fmt(r.shift_frame)});
+  table.AddRow({"stream range",
+                Fmt(r.stream_begin) + ".." + Fmt(r.stream_end)});
+  table.AddRow({"breach time", Fmt(r.breach_time)});
+  table.AddRow({"drift alarm time", Fmt(r.alarm_time)});
+  table.AddRow({"first swap time", Fmt(r.first_swap_time)});
+  table.AddRow({"swaps", Fmt(r.swap_count)});
+  table.AddRow({"restore time", Fmt(r.restore_time)});
+  table.AddRow({"time to restore (frames)", Fmt(r.time_to_restore)});
+  table.AddRow({"spill overshoot", Fmt(r.spill_overshoot, 3)});
+  table.AddRow({"end breached (sticky latch)",
+                r.end_breached ? "yes" : "no"});
+  table.AddRow({"pre-shift miss/miscover",
+                Fmt(r.pre_shift.MissRate(), 3) + "/" +
+                    Fmt(r.pre_shift.MiscoverRate(), 3)});
+  table.AddRow({"post-shift miss/miscover",
+                Fmt(r.post_shift.MissRate(), 3) + "/" +
+                    Fmt(r.post_shift.MiscoverRate(), 3)});
+  table.AddRow({"post-swap miss/miscover",
+                Fmt(r.post_swap.MissRate(), 3) + "/" +
+                    Fmt(r.post_swap.MiscoverRate(), 3)});
+  if (r.recal_enabled) {
+    table.AddRow({"triggers breach/drift",
+                  Fmt(r.recal.triggers_breach) + "/" +
+                      Fmt(r.recal.triggers_drift)});
+    table.AddRow({"refusals cooldown/min-samples",
+                  Fmt(r.recal.refusals_cooldown) + "/" +
+                      Fmt(r.recal.refusals_min_samples)});
+    table.AddRow({"records observed", Fmt(r.recal.records_observed)});
+  }
+  char digest[32];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(r.decision_digest));
+  table.AddRow({"decision digest", digest});
+  table.Print(std::cout);
+  return 0;
+}
+
 int RunEvaluate(const Flags& flags) {
+  if (!flags.GetString("drift-profile", "").empty()) {
+    return RunDriftRecovery(flags);
+  }
   auto built = BuildAndTrain(flags);
   if (!built.ok()) {
     std::cerr << built.status() << "\n";
@@ -815,6 +923,11 @@ int RunFleet(const Flags& flags) {
     std::cerr << "--degraded-mode must be drop or buffer\n";
     return 1;
   }
+  const std::string recal_name = flags.GetString("recal", "off");
+  if (recal_name != "on" && recal_name != "off") {
+    std::cerr << "--recal must be on or off\n";
+    return 1;
+  }
   const auto backend =
       nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
   if (!backend.ok()) {
@@ -843,6 +956,7 @@ int RunFleet(const Flags& flags) {
                              : cloud::DegradedMode::kDropWithAccounting;
   config.budget_cap_microusd =
       static_cast<int64_t>(budget_cap.value() * 1e6);
+  config.recal = recal_name == "on";
   config.runner.seed = config.base_seed;
   config.runner.nn_backend = backend.value();
   config.runner.collect_policy = policy.value();
@@ -861,6 +975,8 @@ int RunFleet(const Flags& flags) {
   int64_t relayed_frames = 0, positives = 0, misses = 0, breaches = 0;
   int64_t frames_scored = 0, frames_skipped = 0, horizons_reused = 0;
   int64_t local_mflops = 0, saved_mflops = 0;
+  int64_t recal_swaps = 0, recal_triggers = 0, recal_refusals = 0;
+  int64_t streams_with_swaps = 0;
   for (const auto& stream : result.streams) {
     delivered += stream.relay.orders_delivered;
     dropped += stream.relay.orders_dropped;
@@ -874,6 +990,12 @@ int RunFleet(const Flags& flags) {
     horizons_reused += stream.marshaller.horizons_reused;
     local_mflops += stream.marshaller.local_mflops;
     saved_mflops += stream.marshaller.saved_mflops;
+    recal_swaps += stream.recal_swaps;
+    recal_triggers +=
+        stream.recal_triggers_breach + stream.recal_triggers_drift;
+    recal_refusals +=
+        stream.recal_refusals_cooldown + stream.recal_refusals_min_samples;
+    if (stream.recal_swaps > 0) ++streams_with_swaps;
   }
   TablePrinter table({"Metric", "Value"});
   table.AddRow({"streams", Fmt(stats.streams)});
@@ -902,6 +1024,12 @@ int RunFleet(const Flags& flags) {
     table.AddRow({"horizons reused", Fmt(horizons_reused)});
     table.AddRow({"local/saved MFLOPs",
                   Fmt(local_mflops) + "/" + Fmt(saved_mflops)});
+  }
+  if (config.recal) {
+    table.AddRow({"recal triggers/refusals/swaps",
+                  Fmt(recal_triggers) + "/" + Fmt(recal_refusals) + "/" +
+                      Fmt(recal_swaps)});
+    table.AddRow({"streams with swaps", Fmt(streams_with_swaps)});
   }
   table.AddRow({"total cost USD", Fmt(stats.total_cost_usd, 4)});
   if (config.budget_cap_microusd > 0) {
