@@ -15,7 +15,11 @@
 //   fleetN_p99_frame_us  p99 per-frame tick latency       (lower-better)
 //   fleet_solo_digest_diff  streams whose fleet digests differ from their
 //                           solo run (must stay 0)         (lower-better)
+//   fleet100_prov_overhead_diff  relative fps cost of the provenance
+//                           ledger at 100 streams: (fps_off - fps_on) /
+//                           fps_off, gated <= a few percent (lower-better)
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -108,6 +112,30 @@ int main() {
   std::cout << "solo digest cross-check: " << total_mismatches
             << " mismatch(es) across " << legs.size() << " leg(s)\n";
 
+  // Provenance overhead: the decision ledger must be near-free. Measure
+  // the 100-stream leg back to back with the ledger off and on; the
+  // relative fps cost is gated in CI (<= 3% absolute band).
+  double prov_fps_off = 0.0;
+  double prov_fps_on = 0.0;
+  for (const bool armed : {false, true}) {
+    fleet::FleetConfig prov_config = config;
+    prov_config.num_streams = 100;
+    prov_config.provenance = armed;
+    fleet::StreamFleet prov_runner(task, prov_config);
+    const double fps = prov_runner.Run().stats.frames_per_sec;
+    (armed ? prov_fps_on : prov_fps_off) = fps;
+  }
+  const double prov_overhead_raw =
+      prov_fps_off > 0.0 ? (prov_fps_off - prov_fps_on) / prov_fps_off : 0.0;
+  // Negative overhead is measurement noise, not a property to bake into
+  // the baseline: clamp at 0 so the gate reads "overhead <= tolerance"
+  // against a stable zero baseline.
+  const double prov_overhead = std::max(0.0, prov_overhead_raw);
+  std::cout << "provenance overhead at 100 streams: "
+            << Fmt(prov_overhead_raw * 100.0, 2) << "% ("
+            << Fmt(prov_fps_off, 0) << " fps off, " << Fmt(prov_fps_on, 0)
+            << " fps on)\n";
+
   // Machine-readable baseline for CI and for tracking in-repo.
   std::ofstream json("BENCH_fleet.json");
   json << "{\n"
@@ -130,6 +158,7 @@ int main() {
          << "  \"" << prefix.str()
          << "_batch_fill_mean\": " << leg.stats.batch_fill_mean << ",\n";
   }
+  json << "  \"fleet100_prov_overhead_diff\": " << prov_overhead << ",\n";
   json << "  \"fast_mode\": " << (fast ? "true" : "false") << "\n}\n";
   std::cout << "wrote BENCH_fleet.json\n";
   return total_mismatches == 0 ? 0 : 1;

@@ -88,6 +88,7 @@ void Marshaller::set_collect_policy(
   // horizon indexing starts at the stream's first boundary.
   EVENTHIT_CHECK_EQ(frame_count_, 0);
   policy_ = std::move(policy);
+  policy_name_ = policy_ != nullptr ? policy_->name() : "full";
 }
 
 void Marshaller::set_cost_model(const sched::LocalCostModel& cost) {
@@ -159,6 +160,9 @@ bool Marshaller::PushFrameDeferred(const float* features,
     EVENTHIT_CHECK(pending_anchors_.empty());
     scored = last_decision_.exists.empty() ||
              policy_->ShouldScore(horizon_index);
+  }
+  if (provenance_ != nullptr) {
+    provenance_->OpenBoundary(current_frame, !scored, policy_name_);
   }
   if (!scored) {
     // Policy skip: replay the last decision, re-anchored at this
@@ -313,6 +317,22 @@ void Marshaller::CompletePredictionInternal(const MarshalDecision& decision,
   }
   sched_stride_gauge_->Set(static_cast<double>(
       policy_ != nullptr ? policy_->CurrentStride() : 1));
+
+  if (provenance_ != nullptr) {
+    // Fold point of the provenance digest: completion order is stream
+    // order (pending predictions drain FIFO), so the fold sequence is
+    // identical for a solo replay and any fleet batching of this stream.
+    uint32_t exists_mask = 0;
+    const size_t mask_events = std::min<size_t>(last_decision_.exists.size(),
+                                                32);
+    for (size_t k = 0; k < mask_events; ++k) {
+      if (last_decision_.exists[k]) exists_mask |= 1u << k;
+    }
+    provenance_->StampDecision(current_frame, reused, policy_name_,
+                               exists_mask, static_cast<int>(events_present),
+                               static_cast<int>(relayed.size()), billed,
+                               last_decision_.max_existence);
+  }
 
   if (decision_callback_) {
     decision_callback_(current_frame, last_decision_, reused);

@@ -14,6 +14,7 @@
 #include "core/prediction.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "sched/collect_policy.h"
 #include "sched/cost_model.h"
 
@@ -98,6 +99,17 @@ class Marshaller {
   /// feature extraction only).
   void set_cost_model(const sched::LocalCostModel& cost);
 
+  /// Attaches the decision-provenance ledger (obs/provenance.h). Non-
+  /// owning; nullptr (the default) disables stamping — every call site is
+  /// one inlined pointer check, so the disabled hot path is untouched.
+  /// The marshaller opens each boundary's record at push time and stamps
+  /// the sched + decision fields at completion; the fleet/relay/auditor
+  /// layers stamp theirs through the same ledger.
+  void set_provenance(obs::StreamProvenance* provenance) {
+    provenance_ = provenance;
+  }
+  obs::StreamProvenance* provenance() const { return provenance_; }
+
   /// Feeds the features of the next stream frame (feature_dim floats).
   /// Returns true when this frame triggered an inference-backed
   /// prediction (a policy-skipped boundary replays the last decision
@@ -158,7 +170,11 @@ class Marshaller {
   RelayCallback relay_callback_;
   DecisionCallback decision_callback_;
   std::unique_ptr<sched::CollectPolicy> policy_;
+  // Cached policy_->name() ("full" without a policy): the provenance
+  // stamp runs per boundary and must not allocate.
+  std::string policy_name_ = "full";
   sched::LocalCostModel cost_;
+  obs::StreamProvenance* provenance_ = nullptr;
 
   // Ring buffer of the last M frames' features (row-major M x D, logical
   // order reconstructed at prediction time).

@@ -26,6 +26,7 @@ void EventHitStrategy::set_calibrators(const CClassify* cclassify,
   if (options_.use_cregress) EVENTHIT_CHECK(cregress != nullptr);
   cclassify_ = cclassify;
   cregress_ = cregress;
+  ++calibrator_generation_;
 }
 
 std::string EventHitStrategy::name() const {

@@ -66,11 +66,18 @@ class EventHitStrategy : public MarshalStrategy {
   const CClassify* cclassify() const { return cclassify_; }
   const CRegress* cregress() const { return cregress_; }
 
+  /// Conformal generation: 0 for the calibrators installed at
+  /// construction, +1 per set_calibrators hot swap. Stamped into the
+  /// decision provenance ledger so a decision can be traced to the exact
+  /// calibrator pair that produced it.
+  int64_t calibrator_generation() const { return calibrator_generation_; }
+
  private:
   const EventHitModel* model_;
   const CClassify* cclassify_;
   const CRegress* cregress_;
   EventHitStrategyOptions options_;
+  int64_t calibrator_generation_ = 0;
 };
 
 }  // namespace eventhit::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -14,6 +15,7 @@
 #include "fleet/dynamic_batcher.h"
 #include "fleet/mpsc_queue.h"
 #include "fleet/shard_arena.h"
+#include "nn/backend.h"
 #include "obs/audit.h"
 #include "obs/schema.h"
 #include "sched/collect_policy.h"
@@ -79,6 +81,9 @@ struct StreamFleet::StreamState {
   // template, but swappable per stream by the recalibration loop.
   std::unique_ptr<core::EventHitStrategy> strategy;
   std::unique_ptr<adapt::RecalLoop> recal;
+  // Decision provenance ledger (nullptr when FleetConfig::provenance is
+  // off). Single-writer: only the thread owning this shard touches it.
+  std::unique_ptr<obs::StreamProvenance> provenance;
   // Scores of the boundary currently completing (ApplyCompletion scope);
   // nullptr during policy-reused completions, which carry no fresh scores.
   const core::EventScores* completing_scores = nullptr;
@@ -86,6 +91,10 @@ struct StreamFleet::StreamState {
   int64_t next_frame = 0;         // Local push cursor.
   int64_t seq = 0;                // Requests issued.
   int64_t billed_microusd = 0;    // Invoice already reported to the fleet.
+  // Most recent offending decision ids (completion order on the stream
+  // clock) — the exemplars folded into the exported audit counters.
+  int64_t last_miss_decision = -1;
+  int64_t last_miscover_decision = -1;
   uint64_t decision_digest = kFnvOffset;
   uint64_t delivery_digest = kFnvOffset;
   bool transcripts_on = false;
@@ -116,12 +125,23 @@ bool SameStreamResult(const FleetStreamResult& a, const FleetStreamResult& b) {
          a.audit_endpoints == b.audit_endpoints &&
          a.audit_miscovered == b.audit_miscovered &&
          a.audit_breaches == b.audit_breaches &&
+         a.last_miss_decision == b.last_miss_decision &&
+         a.last_miscover_decision == b.last_miscover_decision &&
+         a.last_breach_decision == b.last_breach_decision &&
          a.recal_triggers_breach == b.recal_triggers_breach &&
          a.recal_triggers_drift == b.recal_triggers_drift &&
          a.recal_refusals_cooldown == b.recal_refusals_cooldown &&
          a.recal_refusals_min_samples == b.recal_refusals_min_samples &&
          a.recal_swaps == b.recal_swaps &&
-         a.recal_last_swap_frame == b.recal_last_swap_frame;
+         a.recal_last_swap_frame == b.recal_last_swap_frame &&
+         // The provenance digest folds only clock-pure stamps, so it must
+         // be bit-identical between a solo replay and any fleet run. The
+         // rollup is deliberately excluded: its batch-residency fields
+         // differ between solo and fleet by design.
+         a.provenance_digest == b.provenance_digest &&
+         a.provenance_boundaries == b.provenance_boundaries &&
+         a.provenance_recorded == b.provenance_recorded &&
+         a.provenance_overflowed == b.provenance_overflowed;
 }
 
 StreamFleet::StreamFleet(const data::Task& task, const FleetConfig& config,
@@ -225,6 +245,19 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
   state.extractor.horizon = s.spec.horizon;
   state.transcripts_on = config_.record_transcripts;
 
+  if (config_.provenance) {
+    state.provenance = std::make_unique<obs::StreamProvenance>(
+        stream_index, s.spec.collection_window, s.spec.horizon,
+        config_.provenance_ring);
+  }
+  // Per-tenant Perfetto track on the simulated timeline: tenant spans
+  // (auditor breaches) carry tid = stream index, and the thread_name
+  // metadata record labels that track in the exported trace.
+  if (trace_ != nullptr) {
+    trace_->SetThreadName(obs::kSimulatedPid, stream_index,
+                          "tenant" + std::to_string(stream_index));
+  }
+
   state.video = std::make_unique<sim::SyntheticVideo>(
       sim::SyntheticVideo::Generate(s.spec, s.video_seed));
   state.service = std::make_unique<cloud::CloudService>(
@@ -283,12 +316,20 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
       state.strategy.get(), s.spec.collection_window, s.spec.horizon,
       s.spec.FeatureDim(), task_.event_indices.size(),
       stream_metrics_.get());
+  state.marshaller->set_provenance(state.provenance.get());
   // The order carries its own anchor: reused (policy-skipped) completions
   // fire inside PushFrameDeferred during the parallel push phase, where no
   // flush-side "current anchor" exists.
   state.marshaller->set_relay_callback(
       [&state](const core::RelayOrder& order) {
-        state.relay->Submit(order.event, order.frames, order.anchor);
+        const cloud::RelayResult result =
+            state.relay->Submit(order.event, order.frames, order.anchor);
+        if (state.provenance != nullptr) {
+          state.provenance->StampRelay(
+              order.anchor, result.attempts,
+              static_cast<int8_t>(result.outcome),
+              static_cast<int8_t>(state.relay->breaker_state()));
+        }
       });
   // All post-completion stream accounting (relay clock, digests, audit,
   // budget) rides the marshaller's completion callback so scored and
@@ -316,6 +357,7 @@ void StreamFleet::InitStream(StreamState& state, int stream_index) {
   obs::AuditConfig audit_config;
   audit_config.confidence = config_.confidence;
   audit_config.coverage = config_.coverage;
+  audit_config.sim_tid = stream_index;
   state.auditor = std::make_unique<obs::GuarantyAuditor>(
       audit_config, stream_metrics_.get(), /*trace=*/nullptr,
       stream_log_.get());
@@ -333,7 +375,14 @@ void StreamFleet::ApplyCompletion(StreamState& state, int64_t anchor,
   // post-completion accounting; `anchor` only cross-checks FIFO order.
   // Deciding here, against the stream's own strategy, keeps a recal swap
   // on one stream invisible to every other stream in the same batch.
-  (void)anchor;
+  // The backend and conformal generation live at scoring time: a recal
+  // swap between this boundary's scoring and a later one must show the
+  // generation the decision actually used.
+  if (state.provenance != nullptr) {
+    state.provenance->StampInference(
+        anchor, nn::BackendKindName(trained_->model->inference_backend()),
+        state.strategy->calibrator_generation());
+  }
   state.completing_scores = &scores;
   state.marshaller->CompletePrediction(
       state.strategy->DecideFromScores(scores));
@@ -370,6 +419,10 @@ void StreamFleet::OnCompletion(StreamState& state, int64_t anchor,
     const data::Record truth =
         data::BuildRecord(*state.video, task_, state.extractor, anchor);
     EVENTHIT_CHECK_EQ(decision.exists.size(), truth.labels.size());
+    const int64_t decision_id =
+        state.provenance != nullptr
+            ? state.provenance->DecisionIdOfAnchor(anchor)
+            : -1;
     for (size_t k = 0; k < truth.labels.size(); ++k) {
       const data::EventLabel& label = truth.labels[k];
       obs::AuditOutcome outcome;
@@ -377,12 +430,25 @@ void StreamFleet::OnCompletion(StreamState& state, int64_t anchor,
       outcome.event = static_cast<int>(k);
       outcome.truth_present = label.present;
       outcome.predicted_present = decision.exists[k];
+      outcome.decision_id = decision_id;
       if (label.present && decision.exists[k]) {
         const sim::Interval& interval = decision.intervals[k];
         outcome.start_covered = interval.start <= label.start;
         outcome.end_covered = interval.end >= label.end;
       }
       state.auditor->Observe(outcome);
+      if (state.provenance != nullptr) {
+        const bool missed = label.present && !decision.exists[k];
+        const int miscovered =
+            label.present && decision.exists[k]
+                ? (outcome.start_covered ? 0 : 1) +
+                      (outcome.end_covered ? 0 : 1)
+                : 0;
+        state.provenance->StampVerdict(anchor, label.present, missed,
+                                       miscovered);
+        if (missed) state.last_miss_decision = decision_id;
+        if (miscovered > 0) state.last_miscover_decision = decision_id;
+      }
     }
     // Feed the recalibration loop after the auditor so a breach latched by
     // this very boundary can trigger on it. Policy-reused completions carry
@@ -425,6 +491,9 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
         state.auditor->miscovered(static_cast<int>(k));
   }
   result.audit_breaches = state.auditor->breach_count();
+  result.last_miss_decision = state.last_miss_decision;
+  result.last_miscover_decision = state.last_miscover_decision;
+  result.last_breach_decision = state.auditor->last_breach_decision_id();
   if (state.recal != nullptr) {
     const adapt::RecalStats& rs = state.recal->stats();
     result.recal_triggers_breach = rs.triggers_breach;
@@ -433,6 +502,16 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
     result.recal_refusals_min_samples = rs.refusals_min_samples;
     result.recal_swaps = rs.swaps;
     result.recal_last_swap_frame = rs.last_swap_time;
+  }
+  if (state.provenance != nullptr) {
+    result.provenance_digest = state.provenance->Digest();
+    result.provenance_boundaries = state.provenance->boundaries();
+    result.provenance_recorded = state.provenance->recorded();
+    result.provenance_overflowed = state.provenance->overflowed();
+    result.provenance_rollup = state.provenance->rollup();
+    if (config_.collect_provenance_records) {
+      result.provenance_records = state.provenance->ExportResident();
+    }
   }
 
   uint64_t h = result.decision_digest;
@@ -466,12 +545,20 @@ FleetStreamResult StreamFleet::FinishStream(StreamState& state) {
   h = FnvI64(h, result.audit_endpoints);
   h = FnvI64(h, result.audit_miscovered);
   h = FnvI64(h, result.audit_breaches);
+  h = FnvI64(h, result.last_miss_decision);
+  h = FnvI64(h, result.last_miscover_decision);
+  h = FnvI64(h, result.last_breach_decision);
   h = FnvI64(h, result.recal_triggers_breach);
   h = FnvI64(h, result.recal_triggers_drift);
   h = FnvI64(h, result.recal_refusals_cooldown);
   h = FnvI64(h, result.recal_refusals_min_samples);
   h = FnvI64(h, result.recal_swaps);
   h = FnvI64(h, result.recal_last_swap_frame);
+  // The provenance digest is itself clock-pure, so folding it here makes
+  // state_digest equality cover the full causal chain too.
+  h = FnvI64(h, static_cast<int64_t>(result.provenance_digest));
+  h = FnvI64(h, result.provenance_boundaries);
+  h = FnvI64(h, result.provenance_overflowed);
   result.state_digest = h;
 
   if (state.transcripts_on) {
@@ -573,11 +660,30 @@ FleetRunResult StreamFleet::Run() {
       for (BatchFlush& flush : batcher.TakeReady(tick, final_tick)) {
         obs::TraceSpan span(trace_, obs::names::kSpanFleetBatch, "fleet");
         const size_t n = flush.requests.size();
+        int8_t flush_code = obs::kProvFlushNone;
+        switch (flush.reason) {
+          case FlushReason::kFull: flush_code = obs::kProvFlushFull; break;
+          case FlushReason::kDeadline:
+            flush_code = obs::kProvFlushDeadline;
+            break;
+          case FlushReason::kFinal: flush_code = obs::kProvFlushFinal; break;
+        }
+        // Batch ordinal within this run — stamped onto every member's
+        // provenance record (never the digest: batch placement is a fleet
+        // scheduling artifact, not part of the clock-pure chain).
+        const int64_t batch_id = stats.batches;
         std::vector<data::Record> records;
         records.reserve(n);
         for (auto& request : flush.requests) {
           request_delay_metric_->Observe(
               static_cast<double>(tick - request.enqueue_tick));
+          StreamState& owner =
+              arena[static_cast<size_t>(request.shard_slot)];
+          if (owner.provenance != nullptr) {
+            owner.provenance->StampBatch(request.anchor_frame, batch_id,
+                                         flush_code,
+                                         tick - request.enqueue_tick);
+          }
           records.push_back(std::move(request.record));
         }
         std::vector<core::EventScores> scores(n);
@@ -661,9 +767,44 @@ FleetRunResult StreamFleet::Run() {
     streams_active_metric_->Set(0.0);
   }
 
+  // Fold the per-tenant audit totals into the exported registry, serially
+  // in stream order so the snapshot (values AND exemplars — the last
+  // offending stream's last offending decision id) is deterministic at any
+  // thread count. The per-stream auditors themselves write to the private
+  // stream registry; this is the fleet-wide aggregate a scrape sees.
+  obs::Counter* fleet_audit_misses =
+      metrics_->GetCounter(obs::names::kAuditMisses);
+  obs::Counter* fleet_audit_miscovered =
+      metrics_->GetCounter(obs::names::kAuditMiscovered);
+  obs::Counter* fleet_audit_breaches =
+      metrics_->GetCounter(obs::names::kAuditBreaches);
   for (const FleetStreamResult& result : run.streams) {
     stats.total_cost_usd += result.invoice.total_cost_usd;
     if (result.audit_breaches > 0) ++stats.streams_with_breaches;
+    if (result.audit_misses > 0) {
+      if (result.last_miss_decision >= 0) {
+        fleet_audit_misses->Add(result.audit_misses,
+                                result.last_miss_decision);
+      } else {
+        fleet_audit_misses->Add(result.audit_misses);
+      }
+    }
+    if (result.audit_miscovered > 0) {
+      if (result.last_miscover_decision >= 0) {
+        fleet_audit_miscovered->Add(result.audit_miscovered,
+                                    result.last_miscover_decision);
+      } else {
+        fleet_audit_miscovered->Add(result.audit_miscovered);
+      }
+    }
+    if (result.audit_breaches > 0) {
+      if (result.last_breach_decision >= 0) {
+        fleet_audit_breaches->Add(result.audit_breaches,
+                                  result.last_breach_decision);
+      } else {
+        fleet_audit_breaches->Add(result.audit_breaches);
+      }
+    }
   }
   stats.budget_spend_microusd =
       budget_spend_microusd_.load(std::memory_order_relaxed);
@@ -693,12 +834,20 @@ FleetStreamResult StreamFleet::RunStreamSolo(int stream_index) {
   InitStream(state, stream_index);
   nn::Workspace ws;
   data::Record record;
+  int64_t solo_batches = 0;
   for (int64_t frame = 0; frame < state.settings.push_frames; ++frame) {
     const float* features = state.marshaller->NextFrameNeedsFeatures()
                                 ? state.video->FrameFeatures(frame)
                                 : nullptr;
     if (!state.marshaller->PushFrameDeferred(features, &record)) {
       continue;
+    }
+    // Solo scoring happens inline, so the batch stamp records zero
+    // residency and the solo flush reason (batch fields never enter the
+    // digest, so the solo == fleet digest contract is untouched).
+    if (state.provenance != nullptr) {
+      state.provenance->StampBatch(record.frame, solo_batches++,
+                                   obs::kProvFlushSolo, 0);
     }
     // Same scoring path as the fleet (PredictBatched at batch size 1 is
     // bit-identical to any other composition by the PR 3 contract).
@@ -707,6 +856,147 @@ FleetStreamResult StreamFleet::RunStreamSolo(int stream_index) {
     ApplyCompletion(state, record.frame, scores);
   }
   return FinishStream(state);
+}
+
+namespace {
+
+std::string Fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace
+
+FleetHealthReport BuildHealthReport(const FleetRunResult& run) {
+  FleetHealthReport report;
+  report.streams_total = static_cast<int64_t>(run.streams.size());
+  report.streams.reserve(run.streams.size());
+  for (const FleetStreamResult& result : run.streams) {
+    StreamHealth h;
+    h.stream_index = result.stream_index;
+    h.boundaries = result.provenance_boundaries;
+    const int64_t scored = result.marshaller.horizons_predicted;
+    const int64_t total = scored + result.marshaller.horizons_reused;
+    h.duty_cycle = total > 0
+                       ? static_cast<double>(scored) /
+                             static_cast<double>(total)
+                       : 1.0;
+    h.miss_rate = result.audit_positives > 0
+                      ? static_cast<double>(result.audit_misses) /
+                            static_cast<double>(result.audit_positives)
+                      : 0.0;
+    h.miscover_rate =
+        result.audit_endpoints > 0
+            ? static_cast<double>(result.audit_miscovered) /
+                  static_cast<double>(result.audit_endpoints)
+            : 0.0;
+    h.breaches = result.audit_breaches;
+    h.recal_swaps = result.recal_swaps;
+    h.relay_dropped_orders = result.relay.orders_dropped;
+    h.relay_drop_rate =
+        result.relay.orders_submitted > 0
+            ? static_cast<double>(result.relay.orders_dropped) /
+                  static_cast<double>(result.relay.orders_submitted)
+            : 0.0;
+    h.breaker_state = result.provenance_rollup.last_breaker_state;
+    h.residency_p50 = result.provenance_rollup.ResidencyPercentile(0.50);
+    h.residency_p99 = result.provenance_rollup.ResidencyPercentile(0.99);
+    h.spend_usd = result.invoice.total_cost_usd;
+    // Triage score: a latched breach outranks everything, a non-closed
+    // breaker outranks rate pressure, and the continuous terms order the
+    // remainder. Every input is deterministic, so the sort is too.
+    h.badness = 1e6 * static_cast<double>(h.breaches) +
+                1e5 * (h.breaker_state != 0 ? 1.0 : 0.0) +
+                1e4 * h.miss_rate + 1e4 * h.miscover_rate +
+                1e3 * h.relay_drop_rate + h.residency_p99;
+
+    report.streams_with_breaches += h.breaches > 0 ? 1 : 0;
+    report.streams_breaker_open += h.breaker_state != 0 ? 1 : 0;
+    report.total_breaches += h.breaches;
+    report.total_relay_dropped += h.relay_dropped_orders;
+    report.total_recal_swaps += h.recal_swaps;
+    report.total_spend_usd += h.spend_usd;
+    report.mean_duty_cycle += h.duty_cycle;
+    report.worst_miss_rate = std::max(report.worst_miss_rate, h.miss_rate);
+    report.worst_miscover_rate =
+        std::max(report.worst_miscover_rate, h.miscover_rate);
+    report.streams.push_back(h);
+  }
+  if (report.streams_total > 0) {
+    report.mean_duty_cycle /= static_cast<double>(report.streams_total);
+  }
+  std::sort(report.streams.begin(), report.streams.end(),
+            [](const StreamHealth& a, const StreamHealth& b) {
+              if (a.badness != b.badness) return a.badness > b.badness;
+              return a.stream_index < b.stream_index;
+            });
+  return report;
+}
+
+std::string HealthReportText(const FleetHealthReport& report, int top_n) {
+  std::string out;
+  out += "fleet health: " + std::to_string(report.streams_total) +
+         " streams, " + std::to_string(report.streams_with_breaches) +
+         " with breaches, " + std::to_string(report.streams_breaker_open) +
+         " with breaker not closed\n";
+  out += "  total breaches " + std::to_string(report.total_breaches) +
+         ", relay orders dropped " +
+         std::to_string(report.total_relay_dropped) + ", recal swaps " +
+         std::to_string(report.total_recal_swaps) + "\n";
+  out += "  mean duty cycle " + Fixed(report.mean_duty_cycle, 3) +
+         ", worst miss rate " + Fixed(report.worst_miss_rate, 3) +
+         ", worst miscoverage " + Fixed(report.worst_miscover_rate, 3) +
+         ", spend $" + Fixed(report.total_spend_usd, 4) + "\n";
+  const size_t rows = std::min<size_t>(
+      report.streams.size(),
+      static_cast<size_t>(std::max(0, top_n)));
+  if (rows == 0) return out;
+  out += "  worst " + std::to_string(rows) + " streams:\n";
+  out += "    stream  breach  brk        duty   miss   miscov  drop   "
+         "res_p99  swaps\n";
+  for (size_t i = 0; i < rows; ++i) {
+    const StreamHealth& h = report.streams[i];
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    %-7d %-7lld %-10s %-6.3f %-6.3f %-7.3f %-6.3f "
+                  "%-8.1f %lld\n",
+                  h.stream_index, static_cast<long long>(h.breaches),
+                  obs::ProvenanceBreakerName(h.breaker_state), h.duty_cycle,
+                  h.miss_rate, h.miscover_rate, h.relay_drop_rate,
+                  h.residency_p99, static_cast<long long>(h.recal_swaps));
+    out += line;
+  }
+  return out;
+}
+
+std::string StreamHealthJson(const StreamHealth& h) {
+  std::string out = "{";
+  auto field = [&out](const char* key, const std::string& value) {
+    if (out.size() > 1) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += value;
+  };
+  field("stream", std::to_string(h.stream_index));
+  field("boundaries", std::to_string(h.boundaries));
+  field("duty_cycle", Fixed(h.duty_cycle, 6));
+  field("miss_rate", Fixed(h.miss_rate, 6));
+  field("miscover_rate", Fixed(h.miscover_rate, 6));
+  field("breaches", std::to_string(h.breaches));
+  field("recal_swaps", std::to_string(h.recal_swaps));
+  field("relay_dropped_orders", std::to_string(h.relay_dropped_orders));
+  field("relay_drop_rate", Fixed(h.relay_drop_rate, 6));
+  field("breaker_state",
+        "\"" + std::string(obs::ProvenanceBreakerName(h.breaker_state)) +
+            "\"");
+  field("residency_p50", Fixed(h.residency_p50, 1));
+  field("residency_p99", Fixed(h.residency_p99, 1));
+  field("spend_usd", Fixed(h.spend_usd, 6));
+  field("badness", Fixed(h.badness, 3));
+  out += '}';
+  return out;
 }
 
 }  // namespace eventhit::fleet

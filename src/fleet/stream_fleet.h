@@ -38,6 +38,7 @@
 #include "nn/workspace.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "sim/scene_spec.h"
 
@@ -97,6 +98,23 @@ struct FleetConfig {
   adapt::RecalConfig recal_config;
   /// Collect per-tick wall latencies for the bench percentiles.
   bool collect_tick_latency = true;
+  /// Arm the per-stream decision provenance ledger (obs/provenance.h):
+  /// every marshalling boundary gets a decision id whose causal chain
+  /// (policy verdict, batch placement, backend + conformal generation,
+  /// decision, relay outcome, audit verdict) is recorded, digested and
+  /// rolled up. Observational only — the solo/fleet bit-exactness
+  /// contract holds with the ledger armed, and the digest itself is part
+  /// of that contract.
+  bool provenance = true;
+  /// Resident provenance records per stream (ring slots; older boundaries
+  /// are evicted from the ring but stay in the digest and rollup). The
+  /// default keeps a 10k-stream fleet within a few MB; the explain CLI
+  /// raises it to hold every boundary of the stream it replays.
+  size_t provenance_ring = 4;
+  /// Copy each stream's resident provenance records into its
+  /// FleetStreamResult (explain CLI and tests; the rollup and digest are
+  /// always kept).
+  bool collect_provenance_records = false;
   /// Training configuration for the one shared model (seed and all).
   eval::RunnerConfig runner;
 };
@@ -154,6 +172,12 @@ struct FleetStreamResult {
   int64_t audit_endpoints = 0;
   int64_t audit_miscovered = 0;
   int64_t audit_breaches = 0;
+  // Most recent offending decision ids on this stream's clock (-1 when
+  // clean or when the ledger is off) — folded into the exported audit
+  // counters as OpenMetrics exemplars at end of run.
+  int64_t last_miss_decision = -1;
+  int64_t last_miscover_decision = -1;
+  int64_t last_breach_decision = -1;
   // Recalibration-loop outcome (all zero / -1 when FleetConfig::recal is
   // off). Folded into state_digest like the audit counts.
   int64_t recal_triggers_breach = 0;
@@ -162,6 +186,17 @@ struct FleetStreamResult {
   int64_t recal_refusals_min_samples = 0;
   int64_t recal_swaps = 0;
   int64_t recal_last_swap_frame = -1;
+  // Provenance ledger outcome (all zero when FleetConfig::provenance is
+  // off). The digest folds only clock-pure stamps, so it participates in
+  // the solo/fleet bit-exactness contract; the rollup carries batch
+  // residency and therefore legitimately differs between solo and fleet.
+  uint64_t provenance_digest = 0;
+  int64_t provenance_boundaries = 0;
+  int64_t provenance_recorded = 0;
+  int64_t provenance_overflowed = 0;
+  obs::ProvenanceRollup provenance_rollup;
+  /// Resident records (collect_provenance_records only).
+  std::vector<obs::ProvenanceRecord> provenance_records;
   StreamTranscript transcript;
 };
 
@@ -198,6 +233,54 @@ struct FleetRunResult {
   std::vector<FleetStreamResult> streams;
   FleetRunStats stats;
 };
+
+/// Per-tenant health summary distilled from one settled stream result —
+/// the row of `eventhit_cli fleet --health-report`. Derived purely from
+/// FleetStreamResult, so the report is as deterministic as the run.
+struct StreamHealth {
+  int stream_index = -1;
+  int64_t boundaries = 0;
+  /// Scored boundaries / total boundaries (1.0 under the full policy).
+  double duty_cycle = 1.0;
+  /// Lifetime audited failure rates (0 when the denominator is 0).
+  double miss_rate = 0.0;
+  double miscover_rate = 0.0;
+  int64_t breaches = 0;
+  int64_t recal_swaps = 0;
+  int64_t relay_dropped_orders = 0;
+  double relay_drop_rate = 0.0;
+  /// Last observed breaker state (0 closed / 1 open / 2 half-open).
+  int8_t breaker_state = 0;
+  /// Batch-queue residency percentiles in ticks (0 when unbatched).
+  double residency_p50 = 0.0;
+  double residency_p99 = 0.0;
+  double spend_usd = 0.0;
+  /// Deterministic triage score: breaches dominate, then a non-closed
+  /// breaker, then guarantee pressure and relay loss. Ties break by
+  /// stream index, so the report ordering is reproducible.
+  double badness = 0.0;
+};
+
+struct FleetHealthReport {
+  std::vector<StreamHealth> streams;  // Sorted worst-first.
+  int64_t streams_total = 0;
+  int64_t streams_with_breaches = 0;
+  int64_t streams_breaker_open = 0;
+  int64_t total_breaches = 0;
+  int64_t total_relay_dropped = 0;
+  int64_t total_recal_swaps = 0;
+  double total_spend_usd = 0.0;
+  double mean_duty_cycle = 0.0;
+  double worst_miss_rate = 0.0;
+  double worst_miscover_rate = 0.0;
+};
+
+/// Distills a settled fleet run into the per-tenant health rollup.
+FleetHealthReport BuildHealthReport(const FleetRunResult& run);
+/// Human-readable report: fleet aggregates plus the `top_n` worst streams.
+std::string HealthReportText(const FleetHealthReport& report, int top_n);
+/// One-line JSON per stream (the rows of `fleet --health-out` JSONL).
+std::string StreamHealthJson(const StreamHealth& health);
 
 class StreamFleet {
  public:

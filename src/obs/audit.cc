@@ -83,7 +83,7 @@ GuarantyAuditor::EventState& GuarantyAuditor::State(int event) {
 
 void GuarantyAuditor::ObserveTrack(EventState& state, Track* track,
                                    AuditGuarantee guarantee, bool fail,
-                                   int64_t sim_time) {
+                                   int64_t sim_time, int64_t decision_id) {
   ++track->n;
   if (fail) ++track->fails;
 
@@ -132,15 +132,25 @@ void GuarantyAuditor::ObserveTrack(EventState& state, Track* track,
     track->breached = true;
     track->breach_time = sim_time;
     track->breach_active->Set(1.0);
-    track->breach_counter->Add(1);
-    total_breaches_->Add(1);
+    // The breach counters carry the offending boundary's decision id as
+    // an exemplar: an alert on audit.breaches links straight to
+    // `eventhit_cli explain --decision=<id>`.
+    if (decision_id >= 0) {
+      last_breach_decision_ = decision_id;
+      track->breach_counter->Add(1, decision_id);
+      total_breaches_->Add(1, decision_id);
+    } else {
+      track->breach_counter->Add(1);
+      total_breaches_->Add(1);
+    }
     ++breaches_;
     log_->Log(LogLevel::kError, "audit", "breach", sim_time,
               {LogStr("event_type", state.label),
                LogStr("guarantee", AuditGuaranteeName(guarantee)),
                LogNum("fast_rate", fast_rate),
                LogNum("wilson_lower", wilson), LogNum("budget", budget),
-               LogInt("samples", track->n)});
+               LogInt("samples", track->n),
+               LogInt("decision_id", decision_id)});
   }
 }
 
@@ -155,11 +165,16 @@ void GuarantyAuditor::Observe(const AuditOutcome& outcome) {
     state.positives->Add(1);
     const bool missed = !outcome.predicted_present;
     if (missed) {
-      total_misses_->Add(1);
-      state.misses->Add(1);
+      if (outcome.decision_id >= 0) {
+        total_misses_->Add(1, outcome.decision_id);
+        state.misses->Add(1, outcome.decision_id);
+      } else {
+        total_misses_->Add(1);
+        state.misses->Add(1);
+      }
     }
     ObserveTrack(state, &state.miss, AuditGuarantee::kMiss, missed,
-                 outcome.sim_time);
+                 outcome.sim_time, outcome.decision_id);
   }
 
   if (outcome.truth_present && outcome.predicted_present) {
@@ -169,11 +184,16 @@ void GuarantyAuditor::Observe(const AuditOutcome& outcome) {
       total_endpoints_->Add(1);
       state.endpoints->Add(1);
       if (!covered) {
-        total_miscovered_->Add(1);
-        state.miscovered->Add(1);
+        if (outcome.decision_id >= 0) {
+          total_miscovered_->Add(1, outcome.decision_id);
+          state.miscovered->Add(1, outcome.decision_id);
+        } else {
+          total_miscovered_->Add(1);
+          state.miscovered->Add(1);
+        }
       }
       ObserveTrack(state, &state.coverage, AuditGuarantee::kMiscoverage,
-                   !covered, outcome.sim_time);
+                   !covered, outcome.sim_time, outcome.decision_id);
     }
   }
 }
@@ -192,7 +212,8 @@ void GuarantyAuditor::Finalize(int64_t end_sim_time) {
       const int64_t end_us =
           static_cast<int64_t>(std::llround(end_sim_time * us_per_tick));
       RecordSimulatedSpan(trace_, names::kSpanAuditBreach, "simulated",
-                          start_us, std::max<int64_t>(0, end_us - start_us));
+                          start_us, std::max<int64_t>(0, end_us - start_us),
+                          config_.sim_tid);
     }
   }
 }

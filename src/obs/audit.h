@@ -49,6 +49,11 @@ struct AuditOutcome {
   bool predicted_present = false;
   bool start_covered = false;
   bool end_covered = false;
+  /// Provenance decision id of the marshalling boundary this outcome
+  /// audits (obs/provenance.h); -1 when no ledger is attached. Carried as
+  /// an exemplar on the audit.misses / audit.miscovered / audit.breaches
+  /// counters so a metric anomaly links to its causal chain.
+  int64_t decision_id = -1;
 };
 
 struct AuditConfig {
@@ -67,6 +72,10 @@ struct AuditConfig {
   double wilson_z = 1.959963984540054;
   /// Converts sim_time (frames) to seconds for breach trace spans.
   double stream_fps = 30.0;
+  /// Simulated-timeline track (tid) for breach spans: 0 for the solo
+  /// pipeline, the tenant index in a fleet (paired with a thread_name
+  /// metadata record so Perfetto groups per-tenant spans).
+  int32_t sim_tid = 0;
   /// Display names per event index; missing entries render as "event<k>".
   std::vector<std::string> event_labels;
 };
@@ -123,6 +132,10 @@ class GuarantyAuditor {
   int64_t breach_count() const { return breaches_; }
   /// Sim time the breach latched; -1 when not breached.
   int64_t breach_time(int event, AuditGuarantee guarantee) const;
+  /// Decision id of the most recently latched breach (-1 when none
+  /// breached or the outcomes carried no provenance ids) — the exemplar
+  /// the fleet folds into the exported audit.breaches counter.
+  int64_t last_breach_decision_id() const { return last_breach_decision_; }
 
   const AuditConfig& config() const { return config_; }
 
@@ -156,7 +169,8 @@ class GuarantyAuditor {
 
   EventState& State(int event);
   void ObserveTrack(EventState& state, Track* track,
-                    AuditGuarantee guarantee, bool fail, int64_t sim_time);
+                    AuditGuarantee guarantee, bool fail, int64_t sim_time,
+                    int64_t decision_id);
 
   const AuditConfig config_;
   MetricsRegistry* const metrics_;
@@ -175,6 +189,7 @@ class GuarantyAuditor {
   std::map<int, EventState> events_;
   int64_t outcomes_ = 0;
   int64_t breaches_ = 0;
+  int64_t last_breach_decision_ = -1;
   bool finalized_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/json_util.h"
+#include "obs/schema.h"
 
 namespace eventhit::obs {
 
@@ -62,6 +63,18 @@ void Logger::Log(LogLevel level, const std::string& component,
   int64_t& count = per_key_[component + '\0' + event];
   if (count >= rate_limit_) {
     ++suppressed_;
+    if (metrics_ != nullptr) {
+      // Surface the suppression per component (docs/TELEMETRY.md,
+      // log.suppressed) so throttled narratives are visible on
+      // dashboards instead of silently truncated. Registration is cached;
+      // this path is already off the hot loop (rate-limited keys only).
+      Counter*& counter = suppressed_counters_[component];
+      if (counter == nullptr) {
+        counter = metrics_->GetCounter(names::kLogSuppressed,
+                                       {{"component", component}});
+      }
+      counter->Add(1);
+    }
     return;
   }
   if (records_.size() >= capacity_) {
@@ -92,6 +105,12 @@ LogLevel Logger::min_level() const {
 void Logger::set_rate_limit(int64_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   rate_limit_ = n < 0 ? 0 : n;
+}
+
+void Logger::set_metrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  suppressed_counters_.clear();
 }
 
 std::vector<LogRecord> Logger::Records() const {

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace eventhit::obs {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
@@ -76,6 +78,13 @@ class Logger {
   /// suppressed. Applies to records accepted after the call.
   void set_rate_limit(int64_t n);
 
+  /// Attaches a metrics registry: rate-limiter suppressions additionally
+  /// surface as the `log.suppressed{component=...}` labeled counter
+  /// (docs/TELEMETRY.md) instead of only the silent suppressed() tally.
+  /// nullptr detaches. Counter handles are cached per component, so the
+  /// registry must outlive the logger's use.
+  void set_metrics(MetricsRegistry* metrics);
+
   /// Retained records sorted by (sim_time, seq).
   std::vector<LogRecord> Records() const;
 
@@ -104,6 +113,9 @@ class Logger {
   int64_t dropped_ = 0;                       // Guarded by mu_.
   std::vector<LogRecord> records_;            // Guarded by mu_.
   std::map<std::string, int64_t> per_key_;    // component\0event -> count.
+  MetricsRegistry* metrics_ = nullptr;        // Guarded by mu_.
+  // Cached log.suppressed{component=...} handles. Guarded by mu_.
+  std::map<std::string, Counter*> suppressed_counters_;
 };
 
 }  // namespace eventhit::obs

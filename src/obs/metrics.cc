@@ -238,9 +238,18 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   for (const auto& [name, entry] : metrics_) {
     switch (entry.kind) {
-      case Kind::kCounter:
-        snapshot.counters.push_back({name, entry.counter->Value()});
+      case Kind::kCounter: {
+        CounterSnapshot c;
+        c.name = name;
+        c.value = entry.counter->Value();
+        const int64_t exemplar = entry.counter->exemplar();
+        if (exemplar != kNoExemplar) {
+          c.has_exemplar = true;
+          c.exemplar = exemplar;
+        }
+        snapshot.counters.push_back(std::move(c));
         break;
+      }
       case Kind::kGauge:
         snapshot.gauges.push_back({name, entry.gauge->Value()});
         break;
@@ -293,6 +302,8 @@ void MetricsRegistry::Reset() {
         for (internal::CounterShard& shard : entry.counter->shards_) {
           shard.value.store(0, std::memory_order_relaxed);
         }
+        entry.counter->exemplar_.store(kNoExemplar,
+                                       std::memory_order_relaxed);
         break;
       case Kind::kGauge:
         entry.gauge->Set(0.0);

@@ -74,6 +74,10 @@ struct alignas(64) SumShard {
 
 }  // namespace internal
 
+/// Sentinel for "no exemplar recorded" on a counter.
+inline constexpr int64_t kNoExemplar =
+    std::numeric_limits<int64_t>::min();
+
 /// Monotonically increasing integer metric.
 class Counter {
  public:
@@ -83,9 +87,25 @@ class Counter {
         delta, std::memory_order_relaxed);
   }
 
+  /// Add carrying an exemplar id — e.g. the provenance decision id of the
+  /// offending boundary (docs/TELEMETRY.md, "Provenance & exemplars").
+  /// Last writer wins; surfaced by Snapshot() and the OpenMetrics
+  /// exposition so a metric anomaly links straight to its provenance
+  /// record.
+  void Add(int64_t delta, int64_t exemplar) {
+    Add(delta);
+    exemplar_.store(exemplar, std::memory_order_relaxed);
+  }
+
   /// Folds all shards. Linearizes against concurrent Add only per shard —
   /// callers snapshot between phases, not mid-increment.
   int64_t Value() const;
+
+  /// Last exemplar id attached via Add(delta, exemplar); kNoExemplar when
+  /// none was ever recorded.
+  int64_t exemplar() const {
+    return exemplar_.load(std::memory_order_relaxed);
+  }
 
   const std::string& name() const { return name_; }
 
@@ -95,6 +115,7 @@ class Counter {
 
   std::string name_;
   internal::CounterShard shards_[kMetricShards];
+  std::atomic<int64_t> exemplar_{kNoExemplar};
 };
 
 /// Last-write-wins floating-point level (window sizes, knob settings, ...).
@@ -140,6 +161,10 @@ class Histogram {
 struct CounterSnapshot {
   std::string name;
   int64_t value = 0;
+  /// Last exemplar id recorded on the counter (see Counter::Add with an
+  /// exemplar); valid only when has_exemplar.
+  bool has_exemplar = false;
+  int64_t exemplar = 0;
 };
 
 struct GaugeSnapshot {

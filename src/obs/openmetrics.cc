@@ -129,7 +129,14 @@ std::string MetricsToOpenMetrics(const MetricsSnapshot& snapshot) {
     const std::string base = OpenMetricsName(series.base);
     type_line(base, "counter");
     out += base + "_total" + LabelBlock(series.labels) + " " +
-           std::to_string(counter.value) + "\n";
+           std::to_string(counter.value);
+    if (counter.has_exemplar) {
+      // OpenMetrics exemplar: the last offending decision id, linking the
+      // counter to `eventhit_cli explain --decision=<id>`.
+      out += " # {decision_id=\"" + std::to_string(counter.exemplar) +
+             "\"} 1";
+    }
+    out += "\n";
   }
   for (const GaugeSnapshot& gauge : snapshot.gauges) {
     const ParsedSeries series = ParseSeriesName(gauge.name);

@@ -1,0 +1,223 @@
+// Decision provenance ledger: every marshalling boundary gets a monotone
+// decision id and a bounded record of its full causal chain — collect-policy
+// verdict (sched), batch id / flush reason / queue residency (fleet),
+// inference backend + conformal generation (adapt hot-swaps), decision
+// outcome (core), relay attempts / breaker state (cloud), and the auditor's
+// eventual hit/miss/miscover verdict joined back by boundary.
+//
+// Design contract (mirrors DESIGN.md §5g determinism):
+//   - One StreamProvenance per stream, touched only by whichever thread
+//     owns that stream at the moment (the fleet's shard ownership), so the
+//     hot path is plain stores — no atomics, no locks.
+//   - The ledger is observational: nothing reads it back into decisions.
+//   - Digest() folds only fields that are a pure function of the simulated
+//     clock and the stream-level config. Batch fields (batch id, flush
+//     reason, residency) legitimately differ between a solo replay and a
+//     fleet run, so they are excluded — everything else must be
+//     byte-identical across --threads and --batch, and solo == fleet.
+//   - Bounded: a fixed-capacity ring keyed by boundary index. Old records
+//     are evicted (counted in overflowed()); rollup aggregates and the
+//     digest keep covering every boundary regardless of ring capacity.
+//
+// Disabled cost: components hold a StreamProvenance* that is nullptr when
+// the ledger is off; every call site is a single inlined pointer check.
+#ifndef EVENTHIT_OBS_PROVENANCE_H_
+#define EVENTHIT_OBS_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eventhit::obs {
+
+/// Batch flush reasons, mirrored from fleet::FlushReason so the obs layer
+/// stays dependency-free (provenance_test pins the correspondence).
+enum ProvenanceFlush : int8_t {
+  kProvFlushNone = -1,   // Not batched yet / ledger opened only.
+  kProvFlushFull = 0,    // Batch reached batch_size.
+  kProvFlushDeadline = 1,  // Oldest request aged past the delay cap.
+  kProvFlushFinal = 2,   // Wave-end drain.
+  kProvFlushSolo = 3,    // Solo replay: scored alone, no batcher.
+};
+
+/// Relay outcomes, mirrored from cloud::RelayOutcome (pinned by test).
+const char* ProvenanceRelayOutcomeName(int8_t outcome);
+/// Breaker states, mirrored from cloud::BreakerState (pinned by test).
+const char* ProvenanceBreakerName(int8_t state);
+const char* ProvenanceFlushName(int8_t reason);
+
+/// One marshalling boundary's causal chain. Fixed-size (no heap) so a
+/// 10k-stream fleet with small rings stays within a few MB.
+struct ProvenanceRecord {
+  int64_t decision_id = -1;
+  int64_t anchor = -1;          // Absolute stream frame of the boundary.
+  int64_t boundary_index = -1;  // Anchor's ordinal: (anchor - (M-1)) / H.
+
+  // --- sched: collect policy ---
+  bool reused = false;          // Policy skip replayed the last decision.
+  char policy[12] = {0};        // Collect-policy name ("full" when none).
+
+  // --- fleet: dynamic batcher (excluded from Digest) ---
+  int64_t batch_id = -1;        // Fleet-wide flush ordinal, -1 unbatched.
+  int8_t flush_reason = kProvFlushNone;
+  int32_t residency_ticks = -1;  // Ticks queued between submit and flush.
+
+  // --- nn/adapt: inference backend + conformal generation ---
+  char backend[8] = {0};        // BackendKindName, empty on reused skips.
+  int32_t calibrator_generation = -1;  // RecalLoop hot-swap count at score.
+
+  // --- core: marshalling decision ---
+  uint32_t exists_mask = 0;     // Bit k set = event k predicted present.
+  int16_t events_present = 0;
+  int16_t relay_orders = 0;     // Orders issued (non-empty intervals only).
+  int32_t frames_billed = 0;    // Horizon union of relayed frames.
+  double max_existence = 0.0;   // Max existence score vs the threshold.
+
+  // --- cloud: relay/breaker ---
+  int16_t relay_attempts = 0;   // Attempts across this boundary's orders.
+  int16_t relay_delivered = 0;
+  int16_t relay_dropped = 0;
+  int16_t relay_buffered = 0;
+  int8_t last_outcome = -1;     // cloud::RelayOutcome of the last order.
+  int8_t breaker_state = -1;    // Breaker state after the last order.
+
+  // --- obs: auditor verdict (joined by boundary at completion) ---
+  bool verdict_known = false;
+  int16_t audited = 0;          // Events audited at this boundary.
+  int16_t truth_present = 0;
+  int16_t misses = 0;           // Positives predicted absent.
+  int16_t miscovered = 0;       // Interval endpoints outside prediction.
+};
+
+/// Residency histogram bounds (inclusive upper bounds, ticks) — matches
+/// the fleet.request.delay_ticks metric buckets.
+inline constexpr int kProvenanceResidencyBuckets = 11;  // 10 bounds + inf.
+const int64_t* ProvenanceResidencyBounds();             // 10 entries.
+
+/// Aggregates maintained unconditionally (even when the ring evicts), the
+/// per-tenant source of the fleet health rollup.
+struct ProvenanceRollup {
+  int64_t boundaries = 0;
+  int64_t scored = 0;
+  int64_t reused = 0;
+  int64_t relay_orders = 0;
+  int64_t relay_attempts = 0;
+  int64_t relay_delivered = 0;
+  int64_t relay_dropped = 0;
+  int64_t relay_buffered = 0;
+  int64_t frames_billed = 0;
+  int64_t max_generation = 0;   // Highest conformal generation observed.
+  int8_t last_breaker_state = 0;
+  int64_t residency_count = 0;
+  int64_t residency_sum = 0;
+  int64_t residency_max = 0;
+  int64_t residency_hist[kProvenanceResidencyBuckets] = {0};
+  int64_t audited = 0;
+  int64_t truth_present = 0;
+  int64_t misses = 0;
+  int64_t miscovered = 0;
+
+  /// Approximate percentile (0..1) of queue residency from the histogram
+  /// buckets (upper-bound convention, like obs::Histogram::ApproxQuantile).
+  double ResidencyPercentile(double q) const;
+};
+
+/// Per-stream provenance ledger. Single-writer; see file header.
+class StreamProvenance {
+ public:
+  /// `stream_index` seeds the decision-id namespace; `collection_window`
+  /// (M) and `horizon` (H) define the boundary grid; `ring_capacity` is
+  /// the number of resident records (>= 2 so a pending boundary can never
+  /// evict itself; clamped up if smaller).
+  StreamProvenance(int64_t stream_index, int collection_window, int horizon,
+                   size_t ring_capacity);
+
+  // Decision-id arithmetic: id = (stream << 32) | boundary_index.
+  static int64_t MakeDecisionId(int64_t stream_index, int64_t boundary_index);
+  static int64_t StreamOfId(int64_t decision_id);
+  static int64_t BoundaryOfId(int64_t decision_id);
+
+  int64_t BoundaryIndexOfAnchor(int64_t anchor) const;
+  int64_t AnchorOfBoundary(int64_t boundary_index) const;
+  int64_t DecisionIdOfAnchor(int64_t anchor) const;
+  /// Boundary whose horizon [anchor, anchor + H) covers `frame` (frames
+  /// before the first boundary map to boundary 0 — the window fill).
+  int64_t BoundaryForFrame(int64_t frame) const;
+
+  /// Opens the record for a boundary (called by the marshaller at push
+  /// time, scored and skipped boundaries alike). Evicts the slot's
+  /// previous resident if any.
+  void OpenBoundary(int64_t anchor, bool reused, std::string_view policy);
+
+  /// Fleet batcher stamp: excluded from Digest() (solo and fleet runs
+  /// batch differently by design).
+  void StampBatch(int64_t anchor, int64_t batch_id, int8_t flush_reason,
+                  int64_t residency_ticks);
+
+  /// Inference stamp (scored boundaries only): backend kind name and the
+  /// conformal calibrator generation live at scoring time.
+  void StampInference(int64_t anchor, std::string_view backend,
+                      int64_t calibrator_generation);
+
+  /// One relay order's result (may fire several times per boundary).
+  void StampRelay(int64_t anchor, int attempts, int8_t outcome,
+                  int8_t breaker_state);
+
+  /// Decision outcome, stamped once per boundary at completion. This is
+  /// the fold point for the sched + decision digest fields, so the digest
+  /// accumulates strictly in completion order (identical solo vs fleet).
+  void StampDecision(int64_t anchor, bool reused, std::string_view policy,
+                     uint32_t exists_mask, int events_present,
+                     int relay_orders, int64_t frames_billed,
+                     double max_existence);
+
+  /// Auditor verdict for one event at this boundary (joined back at
+  /// completion; may fire once per audited event).
+  void StampVerdict(int64_t anchor, bool truth_present, bool missed,
+                    int miscovered_endpoints);
+
+  /// Resident record for a decision id, nullptr when evicted or unknown.
+  const ProvenanceRecord* Find(int64_t decision_id) const;
+  const ProvenanceRecord* FindByAnchor(int64_t anchor) const;
+
+  /// All resident records in boundary order (for `eventhit_cli explain`).
+  std::vector<ProvenanceRecord> ExportResident() const;
+
+  int64_t stream_index() const { return stream_index_; }
+  int64_t boundaries() const { return rollup_.boundaries; }
+  /// Records still resident in the ring: recorded + overflowed ==
+  /// boundaries (the accounting identity pinned by provenance_test).
+  int64_t recorded() const { return rollup_.boundaries - overflowed_; }
+  int64_t overflowed() const { return overflowed_; }
+  size_t ring_capacity() const { return ring_.size(); }
+
+  const ProvenanceRollup& rollup() const { return rollup_; }
+
+  /// FNV-1a fold of the clock-pure chain (sched, inference, decision,
+  /// relay, verdict — never batch fields), accumulated in completion
+  /// order. Byte-identical across --threads and solo == fleet.
+  uint64_t Digest() const { return digest_; }
+
+ private:
+  ProvenanceRecord* Resident(int64_t anchor);
+  void FoldI64(int64_t v);
+  void FoldBytes(std::string_view bytes);
+
+  int64_t stream_index_;
+  int collection_window_;
+  int horizon_;
+  std::vector<ProvenanceRecord> ring_;
+  int64_t overflowed_ = 0;
+  uint64_t digest_;
+  ProvenanceRollup rollup_;
+};
+
+/// Human-readable multi-line rendering of one record (the `explain` table).
+std::string ProvenanceRecordText(const ProvenanceRecord& record);
+/// One-line JSON rendering (the `explain` JSONL form).
+std::string ProvenanceRecordJson(const ProvenanceRecord& record);
+
+}  // namespace eventhit::obs
+
+#endif  // EVENTHIT_OBS_PROVENANCE_H_

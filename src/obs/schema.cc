@@ -73,6 +73,7 @@ std::vector<std::string> AllMetricNames() {
       names::kAuditMiscoverageWilsonLower,
       names::kAuditBreachActive,
       names::kTraceEventsDropped,
+      names::kLogSuppressed,
       names::kFleetStreamsCompleted,
       names::kFleetFramesPushed,
       names::kFleetRequestsSubmitted,

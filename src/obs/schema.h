@@ -124,6 +124,12 @@ inline constexpr char kSchedFlopsSavedMflops[] = "sched.flops.saved_mflops";
 // (also exported into the Chrome trace as a metadata record).
 inline constexpr char kTraceEventsDropped[] = "trace.events.dropped";
 
+// Structured-log rate-limiter suppressions, labeled `{component=...}`:
+// records rejected because their (component, event) key exhausted the
+// per-key budget. Surfaced so a throttled narrative is visible instead of
+// silently truncated (the retained records stay deterministic).
+inline constexpr char kLogSuppressed[] = "log.suppressed";
+
 // Thread-pool substrate (pooled path only; threads == 1 records nothing).
 inline constexpr char kThreadPoolParallelForCalls[] =
     "threadpool.parallel_for.calls";

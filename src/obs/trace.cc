@@ -6,16 +6,19 @@
 
 #include "obs/json_util.h"
 #include "obs/metrics.h"
+#include "obs/schema.h"
 
 namespace eventhit::obs {
 
 TraceBuffer::TraceBuffer(size_t capacity, MetricsRegistry* metrics)
     : dropped_counter_(metrics != nullptr
-                           ? metrics->GetCounter("trace.events.dropped")
+                           ? metrics->GetCounter(names::kTraceEventsDropped)
                            : nullptr),
       capacity_(capacity == 0 ? 1 : capacity),
       epoch_(std::chrono::steady_clock::now()) {
   ring_.reserve(capacity_);
+  process_names_[kWallPid] = "wall";
+  process_names_[kSimulatedPid] = "simulated";
 }
 
 void TraceBuffer::Record(TraceEvent event) {
@@ -72,6 +75,17 @@ void TraceBuffer::Clear() {
   total_recorded_ = 0;
 }
 
+void TraceBuffer::SetProcessName(int32_t pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = name;
+}
+
+void TraceBuffer::SetThreadName(int32_t pid, int32_t tid,
+                                const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[{pid, tid}] = name;
+}
+
 std::vector<TraceBuffer::SpanAggregate> TraceBuffer::AggregateByName(
     const std::string& category) const {
   const std::vector<TraceEvent> events = Events();
@@ -94,13 +108,28 @@ std::vector<TraceBuffer::SpanAggregate> TraceBuffer::AggregateByName(
 std::string TraceBuffer::ToChromeJson() const {
   const std::vector<TraceEvent> events = Events();
   const int64_t dropped_events = dropped();
+  std::map<int32_t, std::string> process_names;
+  std::map<std::pair<int32_t, int32_t>, std::string> thread_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_names = process_names_;
+    thread_names = thread_names_;
+  }
   std::string json = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  json +=
-      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-      "\"args\":{\"name\":\"wall\"}},";
-  json +=
-      "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\","
-      "\"args\":{\"name\":\"simulated\"}},";
+  // Metadata first, sorted by pid / (pid, tid) (std::map order), so the
+  // exported file is deterministic and Perfetto groups spans under named
+  // per-tenant tracks.
+  for (const auto& [pid, name] : process_names) {
+    json += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+            ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+            JsonEscape(name) + "\"}},";
+  }
+  for (const auto& [key, name] : thread_names) {
+    json += "{\"ph\":\"M\",\"pid\":" + std::to_string(key.first) +
+            ",\"tid\":" + std::to_string(key.second) +
+            ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+            JsonEscape(name) + "\"}},";
+  }
   // Ring overflow would otherwise be invisible in the exported file: the
   // trace simply starts later than the run did.
   json += "{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_events_dropped\","
@@ -153,7 +182,7 @@ void TraceSpan::End() {
 
 int64_t RecordSimulatedSpan(TraceBuffer* buffer, const std::string& name,
                             const std::string& category, int64_t start_us,
-                            int64_t duration_us) {
+                            int64_t duration_us, int32_t tid) {
   if (buffer == nullptr) return start_us + duration_us;
   TraceEvent event;
   event.name = name;
@@ -161,7 +190,7 @@ int64_t RecordSimulatedSpan(TraceBuffer* buffer, const std::string& name,
   event.start_us = start_us;
   event.duration_us = duration_us;
   event.pid = kSimulatedPid;
-  event.tid = 0;
+  event.tid = tid;
   buffer->Record(std::move(event));
   return start_us + duration_us;
 }

@@ -17,8 +17,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace eventhit::obs {
@@ -69,8 +71,19 @@ class TraceBuffer {
   size_t capacity() const { return capacity_; }
   int64_t dropped() const;
 
-  /// Discards every event (the drop counter resets too).
+  /// Discards every event (the drop counter resets too). Registered
+  /// process/thread names survive — they describe the timelines, not the
+  /// events.
   void Clear();
+
+  /// Registers Perfetto-style metadata for the exported trace:
+  /// `process_name` for a pid, `thread_name` for a (pid, tid) pair. The
+  /// fleet registers one thread name per tenant stream on the simulated
+  /// timeline so per-tenant spans group under labeled tracks. Idempotent;
+  /// last writer wins. Emitted by ToChromeJson sorted by (pid, tid), so
+  /// the export stays deterministic.
+  void SetProcessName(int32_t pid, const std::string& name);
+  void SetThreadName(int32_t pid, int32_t tid, const std::string& name);
 
   /// Total duration and count per span name, sorted by name. When
   /// `category` is non-empty only events of that category aggregate —
@@ -101,6 +114,9 @@ class TraceBuffer {
   std::vector<TraceEvent> ring_;  // Guarded by mu_.
   size_t next_ = 0;               // Ring write cursor; guarded by mu_.
   int64_t total_recorded_ = 0;    // Guarded by mu_.
+  std::map<int32_t, std::string> process_names_;  // Guarded by mu_.
+  std::map<std::pair<int32_t, int32_t>, std::string>
+      thread_names_;  // Guarded by mu_.
 };
 
 /// RAII scoped timer: measures from construction to End()/destruction and
@@ -134,10 +150,12 @@ class TraceSpan {
 
 /// Appends a synthetic span on the simulated timeline (pid 2) starting at
 /// `start_us` on the cost model's clock. Returns start_us + duration_us,
-/// i.e. the start of the next back-to-back simulated span.
+/// i.e. the start of the next back-to-back simulated span. `tid` picks the
+/// simulated track — 0 for the solo pipeline, a tenant index in the fleet
+/// (paired with TraceBuffer::SetThreadName so Perfetto labels the track).
 int64_t RecordSimulatedSpan(TraceBuffer* buffer, const std::string& name,
                             const std::string& category, int64_t start_us,
-                            int64_t duration_us);
+                            int64_t duration_us, int32_t tid = 0);
 
 }  // namespace eventhit::obs
 

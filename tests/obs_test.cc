@@ -239,6 +239,50 @@ TEST(TraceBufferTest, ChromeJsonIsWellFormed) {
   EXPECT_NE(json.find("quoted\\\"name\\\\"), std::string::npos);
 }
 
+TEST(TraceBufferTest, ProcessAndThreadMetadataAreEmittedSorted) {
+  TraceBuffer buffer(16);
+  // The two timelines are pre-registered so every export groups spans
+  // under named tracks even when nobody calls SetProcessName.
+  std::string json = buffer.ToChromeJson();
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"args\":{\"name\":"
+                      "\"wall\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"args\":{\"name\":"
+                      "\"simulated\"}"),
+            std::string::npos);
+
+  // Fleet per-tenant tracks: thread_name metadata keyed (pid, tid),
+  // sorted, escaped, and re-registration overwrites.
+  buffer.SetThreadName(kSimulatedPid, 7, "tenant7");
+  buffer.SetThreadName(kSimulatedPid, 3, "old");
+  buffer.SetThreadName(kSimulatedPid, 3, "tenant\"3");
+  buffer.SetProcessName(9, "replica");
+  json = buffer.ToChromeJson();
+  const size_t tid3 = json.find(
+      "{\"ph\":\"M\",\"pid\":" + std::to_string(kSimulatedPid) +
+      ",\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":"
+      "\"tenant\\\"3\"}}");
+  const size_t tid7 = json.find(
+      "{\"ph\":\"M\",\"pid\":" + std::to_string(kSimulatedPid) +
+      ",\"tid\":7,\"name\":\"thread_name\",\"args\":{\"name\":"
+      "\"tenant7\"}}");
+  ASSERT_NE(tid3, std::string::npos);
+  ASSERT_NE(tid7, std::string::npos);
+  EXPECT_LT(tid3, tid7);  // (pid, tid) sort order.
+  EXPECT_EQ(json.find("\"old\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"args\":{\"name\":"
+                      "\"replica\"}"),
+            std::string::npos);
+  // All metadata precedes the first duration event.
+  const size_t first_span = json.find("\"ph\":\"X\"");
+  const size_t dropped_meta = json.find("trace_events_dropped");
+  ASSERT_NE(dropped_meta, std::string::npos);
+  EXPECT_LT(tid7, dropped_meta);
+  if (first_span != std::string::npos) {
+    EXPECT_LT(dropped_meta, first_span);
+  }
+}
+
 TEST(TraceBufferTest, EmitHorizonSpansAreBackToBackInOrder) {
   TraceBuffer buffer(16);
   cloud::StageBreakdown breakdown;
@@ -485,6 +529,34 @@ TEST(LoggerTest, RateLimitIsDeterministicPerKey) {
   const std::vector<LogRecord> records = logger.Records();
   EXPECT_EQ(records[0].sim_time, 0);
   EXPECT_EQ(records[1].sim_time, 1);
+}
+
+TEST(LoggerTest, SuppressionSurfacesAsLabeledCounterPerComponent) {
+  MetricsRegistry registry;
+  Logger logger;
+  logger.set_rate_limit(1);
+  logger.set_metrics(&registry);
+  for (int i = 0; i < 4; ++i) {
+    logger.Log(LogLevel::kInfo, "relay", "spam", i);
+  }
+  logger.Log(LogLevel::kInfo, "audit", "spam", 9);
+  logger.Log(LogLevel::kInfo, "audit", "spam", 10);
+  EXPECT_EQ(logger.suppressed(), 4);
+  EXPECT_EQ(
+      registry.GetCounter(names::kLogSuppressed, {{"component", "relay"}})
+          ->Value(),
+      3);
+  EXPECT_EQ(
+      registry.GetCounter(names::kLogSuppressed, {{"component", "audit"}})
+          ->Value(),
+      1);
+  // Level-filtered records never count as suppression.
+  logger.set_min_level(LogLevel::kWarn);
+  logger.Log(LogLevel::kInfo, "relay", "spam", 11);
+  EXPECT_EQ(
+      registry.GetCounter(names::kLogSuppressed, {{"component", "relay"}})
+          ->Value(),
+      3);
 }
 
 TEST(LoggerTest, ParseLogLevelAcceptsAliases) {

@@ -85,6 +85,25 @@ TEST(OpenMetricsTest, LabeledHistogramAppendsLeAfterLabels) {
   EXPECT_NE(text.find("lat_ms_count{k=\"v\"} 1\n"), std::string::npos);
 }
 
+TEST(OpenMetricsTest, CounterExemplarRendersLastDecisionId) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.GetCounter("audit.misses", {{"event_type", "E1"}});
+  counter->Add(2);
+  std::string text = MetricsToOpenMetrics(registry.Snapshot());
+  // No exemplar recorded yet: the plain exposition, nothing appended.
+  EXPECT_NE(text.find("audit_misses_total{event_type=\"E1\"} 2\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("decision_id"), std::string::npos);
+
+  counter->Add(1, /*exemplar=*/12884901893);  // Stream 3, boundary 5.
+  counter->Add(1, /*exemplar=*/12884901894);  // Last offender wins.
+  text = MetricsToOpenMetrics(registry.Snapshot());
+  EXPECT_NE(text.find("audit_misses_total{event_type=\"E1\"} 4 "
+                      "# {decision_id=\"12884901894\"} 1\n"),
+            std::string::npos);
+}
+
 TEST(OpenMetricsTest, GaugeRendersNonFiniteLiterally) {
   MetricsRegistry registry;
   registry.GetGauge("g.inf")->Set(
@@ -100,6 +119,11 @@ TEST(OpenMetricsTest, GoldenFileStaysInSync) {
   MetricsRegistry registry;
   registry.GetCounter("relay.orders.submitted")->Add(7);
   registry.GetCounter("audit.misses", {{"event_type", "E1"}})->Add(2);
+  // Hostile label value (quote, backslash, newline) and an exemplar-
+  // carrying breach counter: the escaping and `# {decision_id=...}`
+  // rendering are pinned byte-for-byte by the golden.
+  registry.GetCounter("audit.breaches", {{"guarantee", "mi\"ss\\q\nnl"}})
+      ->Add(1, /*exemplar=*/8589934594);  // Stream 2, boundary 2.
   registry.GetGauge("breaker.state")->Set(1.0);
   registry.GetGauge("audit.miss.rate", {{"event_type", "E1"}})->Set(0.125);
   Histogram* histogram =

@@ -91,7 +91,8 @@ namespace sched = ::eventhit::sched;
 void PrintUsage(std::ostream& os) {
   os <<
       "usage: eventhit_cli "
-      "<stats|generate|evaluate|sweep|hypersearch|fleet|help> [flags]\n"
+      "<stats|generate|evaluate|sweep|hypersearch|fleet|explain|help> "
+      "[flags]\n"
       "  stats        --dataset=VIRAT|THUMOS|Breakfast [--seed=N]\n"
       "               [--load=PATH]  dataset statistics (Table I); --load\n"
       "               reads a stream written by `generate` instead of\n"
@@ -125,6 +126,29 @@ void PrintUsage(std::ostream& os) {
       "               --recal=on arms a per-stream recalibration loop\n"
       "               (breach/drift triggered conformal rebuilds hot-swap\n"
       "               into that stream's private strategy only)\n"
+      "               [--provenance=on|off]  arm the per-stream decision\n"
+      "               provenance ledger (default on; docs/TELEMETRY.md)\n"
+      "               [--health-report] print the per-tenant fleet health\n"
+      "               rollup (worst streams first: breaches, breaker state,\n"
+      "               duty cycle, miss/miscoverage rates, relay drops,\n"
+      "               batch residency p50/p99, spend)\n"
+      "               [--health-out=PATH] write one JSON health row per\n"
+      "               stream as JSONL\n"
+      "  explain      --decision=ID | --frame=F [--stream=S] [--task=TA10]\n"
+      "               [--seed=N] [--frames=N] [--confidence=C]\n"
+      "               [--coverage=A] [--nn-backend=K] [--collect-policy=P]\n"
+      "               [--fault-profile=NAME] [--fault-seed=N]\n"
+      "               [--degraded-mode=drop|buffer] [--recal=on|off]\n"
+      "               [--json-out=PATH]  replay one stream deterministically\n"
+      "               and print the full causal chain of one marshalling\n"
+      "               boundary: collect-policy verdict, batch placement,\n"
+      "               inference backend + conformal generation, decision,\n"
+      "               relay/breaker outcome, and the auditor's verdict.\n"
+      "               --decision takes the decision id carried by metric\n"
+      "               exemplars (audit.misses et al.); --frame resolves the\n"
+      "               boundary whose horizon covers frame F on --stream.\n"
+      "               Pass the same task/seed/knobs as the fleet run being\n"
+      "               explained — the replay is bit-identical to it.\n"
       "  help         print this reference and exit 0\n"
       "  --threads=N  worker threads for evaluation/calibration/search\n"
       "               (default 1; 0 = all hardware threads). Results are\n"
@@ -928,6 +952,14 @@ int RunFleet(const Flags& flags) {
     std::cerr << "--recal must be on or off\n";
     return 1;
   }
+  const std::string provenance_name = flags.GetString("provenance", "on");
+  if (provenance_name != "on" && provenance_name != "off") {
+    std::cerr << "--provenance must be on or off\n";
+    return 1;
+  }
+  const bool health_report =
+      flags.GetBool("health-report", false).value_or(false);
+  const std::string health_out = flags.GetString("health-out", "");
   const auto backend =
       nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
   if (!backend.ok()) {
@@ -957,6 +989,7 @@ int RunFleet(const Flags& flags) {
   config.budget_cap_microusd =
       static_cast<int64_t>(budget_cap.value() * 1e6);
   config.recal = recal_name == "on";
+  config.provenance = provenance_name == "on";
   config.runner.seed = config.base_seed;
   config.runner.nn_backend = backend.value();
   config.runner.collect_policy = policy.value();
@@ -1037,6 +1070,24 @@ int RunFleet(const Flags& flags) {
   }
   table.Print(std::cout);
 
+  if (health_report || !health_out.empty()) {
+    const fleet::FleetHealthReport report = fleet::BuildHealthReport(result);
+    if (health_report) {
+      std::cout << "\n" << fleet::HealthReportText(report, 10);
+    }
+    if (!health_out.empty()) {
+      std::ofstream out(health_out);
+      for (const fleet::StreamHealth& health : report.streams) {
+        out << fleet::StreamHealthJson(health) << "\n";
+      }
+      if (!out) {
+        std::cerr << "cannot write " << health_out << "\n";
+        return 1;
+      }
+      std::cerr << "health report written to " << health_out << "\n";
+    }
+  }
+
   const int verify = static_cast<int>(
       std::min<int64_t>(verify_solo.value(), config.num_streams));
   if (verify > 0) {
@@ -1052,6 +1103,139 @@ int RunFleet(const Flags& flags) {
     }
     std::cout << "verify-solo: " << verify
               << " stream(s) bit-identical to solo runs\n";
+  }
+  return 0;
+}
+
+// `explain`: deterministically replays one stream (the solo path of the
+// fleet state machine, bit-identical to the batched run by the DESIGN.md
+// §5g contract) with a provenance ring large enough to hold every
+// boundary, then prints the causal chain of the requested decision.
+int RunExplain(const Flags& flags) {
+  const std::string task_name = flags.GetString("task", "TA10");
+  const auto task = data::FindTask(task_name);
+  if (!task.ok()) {
+    std::cerr << task.status() << "\n";
+    return 1;
+  }
+  const auto decision = flags.GetInt("decision", -1);
+  const auto frame = flags.GetInt("frame", -1);
+  const auto stream_flag = flags.GetInt("stream", 0);
+  const auto seed = flags.GetInt("seed", 42);
+  const auto frames = flags.GetInt("frames", 0);
+  const auto confidence = flags.GetDouble("confidence", 0.9);
+  const auto coverage = flags.GetDouble("coverage", 0.5);
+  const auto fault_seed = flags.GetInt("fault-seed", 1234);
+  for (const auto* status :
+       {&decision.status(), &frame.status(), &stream_flag.status(),
+        &seed.status(), &frames.status(), &confidence.status(),
+        &coverage.status(), &fault_seed.status()}) {
+    if (!status->ok()) {
+      std::cerr << *status << "\n";
+      return 1;
+    }
+  }
+  if (decision.value() < 0 && frame.value() < 0) {
+    std::cerr << "explain: pass --decision=ID (from a metric exemplar or "
+                 "breach log) or --frame=F\n";
+    return 1;
+  }
+  const std::string mode_name = flags.GetString("degraded-mode", "drop");
+  if (mode_name != "drop" && mode_name != "buffer") {
+    std::cerr << "--degraded-mode must be drop or buffer\n";
+    return 1;
+  }
+  const std::string recal_name = flags.GetString("recal", "off");
+  if (recal_name != "on" && recal_name != "off") {
+    std::cerr << "--recal must be on or off\n";
+    return 1;
+  }
+  const auto backend =
+      nn::ParseBackendKind(flags.GetString("nn-backend", "blocked"));
+  if (!backend.ok()) {
+    std::cerr << backend.status() << "\n";
+    return 1;
+  }
+  const auto policy =
+      sched::ParseCollectPolicy(flags.GetString("collect-policy", "full"));
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    return 1;
+  }
+
+  const int64_t stream_index =
+      decision.value() >= 0
+          ? obs::StreamProvenance::StreamOfId(decision.value())
+          : stream_flag.value();
+  if (stream_index < 0 || stream_index > 1000000) {
+    std::cerr << "explain: implausible stream index " << stream_index
+              << " (bad --decision id?)\n";
+    return 1;
+  }
+
+  fleet::FleetConfig config;
+  config.num_streams = static_cast<int>(stream_index) + 1;
+  config.base_seed = static_cast<uint64_t>(seed.value());
+  config.frames_per_stream = frames.value();
+  config.confidence = confidence.value();
+  config.coverage = coverage.value();
+  config.fault_profile = flags.GetString("fault-profile", "none");
+  config.fault_seed = static_cast<uint64_t>(fault_seed.value());
+  config.degraded_mode = mode_name == "buffer"
+                             ? cloud::DegradedMode::kBufferAndReplay
+                             : cloud::DegradedMode::kDropWithAccounting;
+  config.recal = recal_name == "on";
+  config.collect_tick_latency = false;
+  config.runner.seed = config.base_seed;
+  config.runner.nn_backend = backend.value();
+  config.runner.collect_policy = policy.value();
+  // A solo replay must retain every boundary: one ring slot per possible
+  // anchor of the stream (boundaries are spaced >= 1 frame apart).
+  sim::DatasetSpec spec = sim::MakeDatasetSpec(task.value().dataset);
+  const int64_t spec_frames =
+      config.frames_per_stream > 0 ? config.frames_per_stream
+                                   : spec.num_frames;
+  config.provenance = true;
+  config.provenance_ring = static_cast<size_t>(spec_frames) + 2;
+  config.collect_provenance_records = true;
+
+  std::cerr << "replaying stream " << stream_index << " of " << task_name
+            << " at seed " << config.base_seed << "...\n";
+  fleet::StreamFleet fleet_run(task.value(), config);
+  const fleet::FleetStreamResult result =
+      fleet_run.RunStreamSolo(static_cast<int>(stream_index));
+
+  const fleet::StreamSettings settings =
+      fleet_run.DeriveStreamSettings(static_cast<int>(stream_index));
+  obs::StreamProvenance ids(stream_index, settings.spec.collection_window,
+                            settings.spec.horizon, 2);
+  const int64_t want_boundary =
+      decision.value() >= 0
+          ? obs::StreamProvenance::BoundaryOfId(decision.value())
+          : ids.BoundaryForFrame(frame.value());
+
+  const obs::ProvenanceRecord* hit = nullptr;
+  for (const obs::ProvenanceRecord& record : result.provenance_records) {
+    if (record.boundary_index == want_boundary) hit = &record;
+  }
+  if (hit == nullptr) {
+    std::cerr << "explain: boundary " << want_boundary << " of stream "
+              << stream_index << " was never marshalled (the stream has "
+              << result.provenance_boundaries
+              << " boundaries; check --task/--seed/--frames match the run "
+                 "being explained)\n";
+    return 1;
+  }
+  std::cout << ProvenanceRecordText(*hit);
+  const std::string json_out = flags.GetString("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << ProvenanceRecordJson(*hit) << "\n";
+    if (!out) {
+      std::cerr << "cannot write " << json_out << "\n";
+      return 1;
+    }
+    std::cerr << "decision JSON written to " << json_out << "\n";
   }
   return 0;
 }
@@ -1134,6 +1318,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   obs::Logger::Global().set_min_level(min_level);
+  // Rate-limited suppressions surface as the log.suppressed counter (per
+  // component) in every metrics export.
+  obs::Logger::Global().set_metrics(&obs::MetricsRegistry::Global());
   int rc = -1;
   if (command == "stats") rc = RunStats(flags.value());
   if (command == "generate") rc = RunGenerate(flags.value());
@@ -1141,6 +1328,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") rc = RunSweep(flags.value());
   if (command == "hypersearch") rc = RunHyperSearch(flags.value());
   if (command == "fleet") rc = RunFleet(flags.value());
+  if (command == "explain") rc = RunExplain(flags.value());
   if (rc < 0) return Usage();
   const int telemetry_rc = FlushTelemetry(flags.value());
   return rc != 0 ? rc : telemetry_rc;
